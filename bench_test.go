@@ -1,0 +1,270 @@
+package treesls
+
+// One benchmark per table and figure of the paper's evaluation (§7), plus
+// the Figure 7 copy-method ablation and the §7.2 functional suite. Each
+// benchmark regenerates its table/figure at QuickScale and reports the
+// headline quantity as custom metrics; run with
+//
+//	go test -bench=. -benchmem
+//
+// and use cmd/treesls-bench to print the full tables (or at FullScale).
+
+import (
+	"testing"
+
+	"treesls/internal/caps"
+	"treesls/internal/experiments"
+)
+
+func BenchmarkFunctionalCrashRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Functional(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Pass {
+				b.Fatalf("%s: %s", r.Test, r.Note)
+			}
+		}
+	}
+}
+
+func BenchmarkTable2WorkloadComposition(b *testing.B) {
+	var pmoDelta int
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table2(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		pmoDelta = rows[5].Delta[caps.KindPMO] // Redis row
+	}
+	b.ReportMetric(float64(pmoDelta), "redis-pmo-delta")
+}
+
+func BenchmarkFigure9aSTWBreakdown(b *testing.B) {
+	var defaultUs, redisUs float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure9a(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defaultUs, redisUs = rows[0].TotalUs, rows[5].TotalUs
+	}
+	b.ReportMetric(defaultUs, "default-stw-µs")
+	b.ReportMetric(redisUs, "redis-stw-µs")
+}
+
+func BenchmarkFigure9bCapTreeBreakdown(b *testing.B) {
+	var threadUs float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure9b(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		threadUs = rows[5].PerKindUs[caps.KindThread]
+	}
+	b.ReportMetric(threadUs, "redis-thread-µs")
+}
+
+func BenchmarkTable3SingleObject(b *testing.B) {
+	var pmoFullUs float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table3(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Kind == caps.KindPMO {
+				pmoFullUs = r.MaxFull.Micros()
+			}
+		}
+	}
+	b.ReportMetric(pmoFullUs, "pmo-full-max-µs")
+}
+
+func BenchmarkFigure10RuntimeOverhead(b *testing.B) {
+	var memcachedCOW, memcachedHybrid float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure10(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		memcachedCOW, memcachedHybrid = rows[0].PlusMemcpy, rows[0].Hybrid
+	}
+	b.ReportMetric(memcachedCOW, "memcached-cow-norm")
+	b.ReportMetric(memcachedHybrid, "memcached-hybrid-norm")
+}
+
+func BenchmarkTable4HybridCopy(b *testing.B) {
+	var eliminated float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Table4(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		eliminated = rows[0].FaultsEliminated
+	}
+	b.ReportMetric(eliminated*100, "memcached-faults-eliminated-%")
+}
+
+func BenchmarkFigure11CheckpointFrequency(b *testing.B) {
+	var p95At1ms float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure11(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Op == "SET" && r.IntervalMs == 1 {
+				p95At1ms = r.P95Us
+			}
+		}
+	}
+	b.ReportMetric(p95At1ms, "set-p95-1ms-µs")
+}
+
+func BenchmarkFigure12ExternalSynchrony(b *testing.B) {
+	var extP50 float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure12(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Config == "TreeSLS-ExtSync" && r.IntervalMs == 1 {
+				extP50 = r.P50Ms
+			}
+		}
+	}
+	b.ReportMetric(extP50, "extsync-p50-1ms-ms")
+}
+
+func BenchmarkFigure13YCSBRedis(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure13(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var t1ms, lwal float64
+		for _, r := range rows {
+			if r.Workload == "100% Update" {
+				switch r.Config {
+				case "TreeSLS-1ms":
+					t1ms = r.ThroughKop
+				case "Linux-WAL":
+					lwal = r.ThroughKop
+				}
+			}
+		}
+		ratio = t1ms / lwal
+	}
+	b.ReportMetric(ratio, "treesls1ms-over-linuxwal")
+}
+
+func BenchmarkFigure14RocksDB(b *testing.B) {
+	var apiRatio float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.Figure14(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var t1ms, api float64
+		for _, r := range rows {
+			switch r.Config {
+			case "TreeSLS-1ms":
+				t1ms = r.ThroughKop
+			case "Aurora-API":
+				api = r.ThroughKop
+			}
+		}
+		apiRatio = t1ms / api
+	}
+	b.ReportMetric(apiRatio, "treesls1ms-over-auroraapi")
+}
+
+func BenchmarkAblationCopyMethods(b *testing.B) {
+	var sacOverCow float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.AblationCopyMethods(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		sacOverCow = rows[0].STWUs / rows[1].STWUs
+	}
+	b.ReportMetric(sacOverCow, "sac-pause-over-cow")
+}
+
+// BenchmarkRestoreTime runs the recovery-time extension study.
+func BenchmarkRestoreTime(b *testing.B) {
+	var largestUs float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.RestoreTime(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		largestUs = rows[len(rows)-1].RestoreUs
+	}
+	b.ReportMetric(largestUs, "restore-µs")
+}
+
+// BenchmarkSensitivityNVM runs the NVM-speed sensitivity extension study.
+func BenchmarkSensitivityNVM(b *testing.B) {
+	var p50AtOptane float64
+	for i := 0; i < b.N; i++ {
+		rows, _, err := experiments.SensitivityNVM(experiments.QuickScale())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Factor == 1.0 {
+				p50AtOptane = r.OpP50Us
+			}
+		}
+	}
+	b.ReportMetric(p50AtOptane, "set-p50-µs")
+}
+
+// BenchmarkCheckpointDefault measures the raw checkpoint path itself: one
+// incremental whole-system checkpoint of the default system image.
+func BenchmarkCheckpointDefault(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := New(cfg)
+	m.TakeCheckpoint() // full round outside the loop
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.TakeCheckpoint()
+	}
+	b.ReportMetric(m.Ckpt.LastReport.STWTotal.Micros(), "stw-µs")
+}
+
+// BenchmarkCrashRestore measures a whole crash+restore cycle of a machine
+// with a loaded KV store.
+func BenchmarkCrashRestore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cfg := DefaultConfig()
+		cfg.CheckpointEvery = 0
+		m := New(cfg)
+		p, err := m.NewProcess("app", 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		va, _, _ := p.Mmap(64, PMODefault)
+		for j := uint64(0); j < 64; j++ {
+			if _, err := m.Run(p, p.MainThread(), func(e *Env) error {
+				return e.WriteU64(va+j*4096, j)
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		m.TakeCheckpoint()
+		b.StartTimer()
+		m.Crash()
+		if err := m.Restore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

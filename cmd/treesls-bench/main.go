@@ -1,0 +1,101 @@
+// Command treesls-bench regenerates the paper's evaluation (§7): every
+// table and figure, printed as text tables, plus the Figure 7 ablation.
+//
+// Usage:
+//
+//	treesls-bench [-scale quick|full] [-only table2,fig9a,...]
+//
+// Experiment names: functional, table2, fig9a, fig9b, table3, fig10,
+// table4, fig11, fig12, fig13, fig14, ablation, restoretime.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"treesls/internal/experiments"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
+	onlyFlag := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleFlag {
+	case "quick":
+		scale = experiments.QuickScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	type experiment struct {
+		name string
+		run  func(experiments.Scale) (string, error)
+	}
+	all := []experiment{
+		{"functional", func(s experiments.Scale) (string, error) { _, t, err := experiments.Functional(s); return t, err }},
+		{"table2", func(s experiments.Scale) (string, error) { _, t, err := experiments.Table2(s); return t, err }},
+		{"fig9a", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure9a(s); return t, err }},
+		{"fig9b", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure9b(s); return t, err }},
+		{"table3", func(s experiments.Scale) (string, error) { _, t, err := experiments.Table3(s); return t, err }},
+		{"fig10", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure10(s); return t, err }},
+		{"table4", func(s experiments.Scale) (string, error) { _, t, err := experiments.Table4(s); return t, err }},
+		{"fig11", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure11(s); return t, err }},
+		{"fig12", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure12(s); return t, err }},
+		{"fig13", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure13(s); return t, err }},
+		{"fig14", func(s experiments.Scale) (string, error) { _, t, err := experiments.Figure14(s); return t, err }},
+		{"ablation", func(s experiments.Scale) (string, error) {
+			_, t, err := experiments.AblationCopyMethods(s)
+			return t, err
+		}},
+		{"restoretime", func(s experiments.Scale) (string, error) { _, t, err := experiments.RestoreTime(s); return t, err }},
+		{"sensitivity", func(s experiments.Scale) (string, error) { _, t, err := experiments.SensitivityNVM(s); return t, err }},
+	}
+
+	selected := all
+	if *onlyFlag != "" {
+		want := map[string]bool{}
+		for _, n := range strings.Split(*onlyFlag, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		selected = selected[:0]
+		for _, e := range all {
+			if want[e.name] {
+				selected = append(selected, e)
+				delete(want, e.name)
+			}
+		}
+		if len(want) > 0 {
+			fmt.Fprintf(os.Stderr, "unknown experiments: %v\n", keys(want))
+			os.Exit(2)
+		}
+	}
+
+	fmt.Printf("TreeSLS reproduction — evaluation harness (scale: %s)\n", scale.Name)
+	fmt.Printf("Times are SIMULATED; compare shapes against the paper, see EXPERIMENTS.md.\n\n")
+	for _, e := range selected {
+		start := time.Now()
+		txt, err := e.run(scale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(txt)
+		fmt.Printf("  [%s took %.1fs host time]\n\n", e.name, time.Since(start).Seconds())
+	}
+}
+
+func keys(m map[string]bool) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	return ks
+}

@@ -1,0 +1,69 @@
+// Persistent-kv: the paper's motivating scenario (§2.2) — an in-memory
+// cache server (Memcached-like) gains crash persistence with zero
+// persistence code, avoiding the "hours of warm-up time after a reboot".
+// The demo loads a cache, crashes the machine repeatedly, and shows the
+// cache stays warm, then contrasts the per-op cost with a WAL.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treesls"
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/baseline/disk"
+	"treesls/internal/baseline/wal"
+)
+
+func main() {
+	m := treesls.New(treesls.DefaultConfig())
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+		Name: "memcached", Threads: 4, HeapPages: 8192, Buckets: 4096,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm the cache.
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		if _, _, err := srv.Set(i, key(i), []byte(fmt.Sprintf("cached-object-%d", i))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	m.TakeCheckpoint()
+	fmt.Printf("cache warm: %d keys, machine time %v\n", keys, m.Now().Sub(0))
+
+	// Crash it three times. A real Memcached would come back empty and
+	// hammer the backing database; this one stays warm.
+	for round := 1; round <= 3; round++ {
+		m.Crash()
+		if err := m.Restore(); err != nil {
+			log.Fatal(err)
+		}
+		hits := 0
+		for i := 0; i < keys; i += 97 {
+			if _, _, ok, _ := srv.Get(i, key(i)); ok {
+				hits++
+			}
+		}
+		fmt.Printf("reboot %d: %d/%d sampled keys still cached (no warm-up)\n",
+			round, hits, (keys+96)/97)
+	}
+
+	// Contrast: the same store with a write-ahead log pays on every op.
+	m2 := treesls.New(treesls.Config{Cores: 8, CheckpointEvery: 0})
+	log2 := wal.New(disk.New(disk.PMDAX, m2.Model))
+	srv2, err := kvstore.NewServer(m2, kvstore.ServerConfig{
+		Name: "memcached-wal", Threads: 4, WAL: log2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	r1, _, _ := srv.Set(0, key(0), []byte("x"))
+	r2, _, _ := srv2.Set(0, key(0), []byte("x"))
+	fmt.Printf("per-op cost: TreeSLS transparent %v vs WAL %v (the double write the paper eliminates)\n",
+		r1.Latency(), r2.Latency())
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("obj:%06d", i)) }

@@ -1,0 +1,54 @@
+// Phoenix: run the WordCount and KMeans compute workloads under 1 ms
+// whole-system checkpointing (the §7.3/§7.4 setting) and report what the
+// checkpointer did: pause times, copy-on-write faults, and how many of them
+// hybrid copy turned into pause-parallel stop-and-copies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"treesls"
+	"treesls/internal/apps/phoenix"
+)
+
+func main() {
+	m := treesls.New(treesls.DefaultConfig())
+
+	wc, err := phoenix.NewWordCount(m, "wordcount", 8, 128, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := wc.Run(); err != nil {
+		log.Fatal(err)
+	}
+	top, _ := wc.Count("w000")
+	fmt.Printf("WordCount over 128 KiB corpus done at t=%v; count(w000)=%d\n", m.Now().Sub(0), top)
+
+	km, err := phoenix.NewKMeans(m, "kmeans", 8, 2000, 8, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := km.Run(10); err != nil {
+		log.Fatal(err)
+	}
+	c0, _ := km.Centroid(0, 0)
+	fmt.Printf("KMeans (2000 points, 10 iters) done at t=%v; centroid0[0]=%d\n", m.Now().Sub(0), c0>>16)
+
+	rep := m.Ckpt.LastReport
+	fmt.Printf("\ncheckpointer: %d checkpoints, last STW %v (cap tree %v, hybrid ‖ %v)\n",
+		m.Stats.Checkpoints, rep.STWTotal, rep.CapTree, rep.HybridCopy)
+	fmt.Printf("copy-on-write faults: %d; pages copied: %d; DRAM-cached hot pages: %d\n",
+		m.Ckpt.Stats.COWFaults, m.Ckpt.Stats.PagesCopied, m.Ckpt.CachedPages())
+
+	// And of course: crash mid-everything, come back, keep computing.
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	km.Reset()
+	if err := km.Run(2); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\ncrashed, restored, and KMeans kept iterating — whole-system persistence.")
+}

@@ -1,0 +1,3 @@
+module treesls
+
+go 1.22

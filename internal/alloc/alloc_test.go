@@ -1,0 +1,334 @@
+package alloc
+
+import (
+	"math/rand"
+	"testing"
+
+	"treesls/internal/journal"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+func newTestAllocator() (*Allocator, *simclock.Lane) {
+	model := simclock.DefaultCostModel()
+	m := mem.New(mem.Config{NVMFrames: 1024, DRAMFrames: 64}, model)
+	j := journal.New(model)
+	return New(m, j), &simclock.Lane{}
+}
+
+func TestAllocPage(t *testing.T) {
+	a, lane := newTestAllocator()
+	p, err := a.AllocPage(lane)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Kind != mem.KindNVM {
+		t.Errorf("AllocPage returned %v", p)
+	}
+	if p.Frame < ReservedMetaFrames {
+		t.Errorf("allocated a reserved metadata frame %d", p.Frame)
+	}
+	if lane.Now() == 0 {
+		t.Error("allocation charged no time")
+	}
+	if a.Stats.PageAllocs != 1 {
+		t.Errorf("stats = %+v", a.Stats)
+	}
+}
+
+func TestSlotLifecycle(t *testing.T) {
+	a, lane := newTestAllocator()
+	s, err := a.AllocSlot(lane, ClassThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.IsNil() || s.Class != ClassThread {
+		t.Errorf("slot = %+v", s)
+	}
+	if a.LiveSlots(ClassThread) != 1 {
+		t.Errorf("live = %d", a.LiveSlots(ClassThread))
+	}
+	a.FreeSlot(lane, s)
+	if a.LiveSlots(ClassThread) != 0 {
+		t.Errorf("live after free = %d", a.LiveSlots(ClassThread))
+	}
+}
+
+func TestSlotPacking(t *testing.T) {
+	orig := Slot{Class: ClassRadixNode, Frame: 123456, Index: 37}
+	got := unpackSlot(packSlot(orig))
+	if got != orig {
+		t.Errorf("round trip: %+v -> %+v", orig, got)
+	}
+}
+
+func TestClassGeometry(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.Size() <= 0 || c.Size() > mem.PageSize {
+			t.Errorf("class %v has size %d", c, c.Size())
+		}
+		if c.String() == "" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+}
+
+func TestManySlotsSpanPages(t *testing.T) {
+	a, lane := newTestAllocator()
+	spp := mem.PageSize / ClassThread.Size()
+	var slots []Slot
+	for i := 0; i < spp*3+1; i++ {
+		s, err := a.AllocSlot(lane, ClassThread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots = append(slots, s)
+	}
+	frames := map[uint32]bool{}
+	for _, s := range slots {
+		frames[s.Frame] = true
+	}
+	if len(frames) != 4 {
+		t.Errorf("slots spread over %d pages, want 4", len(frames))
+	}
+	seen := map[Slot]bool{}
+	for _, s := range slots {
+		if seen[s] {
+			t.Fatalf("slot %+v handed out twice", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRollbackRestoresCheckpointState(t *testing.T) {
+	a, lane := newTestAllocator()
+
+	// Pre-checkpoint state: some pages and slots.
+	p1, _ := a.AllocPage(lane)
+	s1, _ := a.AllocSlot(lane, ClassPMO)
+	a.OnCheckpointCommit(lane) // checkpoint: this is the durable state
+	freeAtCkpt := a.FreeFrames()
+	liveAtCkpt := a.LiveSlots(ClassPMO)
+
+	// Post-checkpoint churn that must be rolled back.
+	p2, _ := a.AllocPage(lane)
+	_, _ = a.AllocSlot(lane, ClassPMO)
+	a.FreePage(lane, p1)
+	a.FreeSlot(lane, s1)
+	_ = p2
+
+	n, err := a.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Errorf("rolled back %d ops, want 4", n)
+	}
+	if a.FreeFrames() != freeAtCkpt {
+		t.Errorf("free frames %d != checkpoint state %d", a.FreeFrames(), freeAtCkpt)
+	}
+	if a.LiveSlots(ClassPMO) != liveAtCkpt {
+		t.Errorf("live slots %d != checkpoint state %d", a.LiveSlots(ClassPMO), liveAtCkpt)
+	}
+	// p1/s1 must be allocated again (they belong to the checkpoint).
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+	if a.LogLen() != 0 {
+		t.Errorf("log not cleared: %d", a.LogLen())
+	}
+}
+
+func TestRecoverIdempotentOnCleanState(t *testing.T) {
+	a, lane := newTestAllocator()
+	a.AllocPage(lane)
+	a.OnCheckpointCommit(lane)
+	n, err := a.Recover()
+	if err != nil || n != 0 {
+		t.Errorf("Recover() = %d, %v", n, err)
+	}
+}
+
+func crashingOp(t *testing.T, a *Allocator, op func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("fault plan did not fire")
+		}
+		if _, ok := r.(CrashError); !ok {
+			panic(r)
+		}
+	}()
+	op()
+}
+
+func TestCrashMidAllocBegun(t *testing.T) {
+	a, lane := newTestAllocator()
+	a.OnCheckpointCommit(lane)
+	free := a.FreeFrames()
+
+	a.SetFaultPlan(&FaultPlan{Point: "buddy-alloc:begun"})
+	crashingOp(t, a, func() { a.AllocPage(lane) })
+
+	if _, err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != free {
+		t.Errorf("free = %d, want %d", a.FreeFrames(), free)
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCrashMidAllocApplied(t *testing.T) {
+	a, lane := newTestAllocator()
+	a.OnCheckpointCommit(lane)
+	free := a.FreeFrames()
+
+	a.SetFaultPlan(&FaultPlan{Point: "buddy-alloc:applied"})
+	crashingOp(t, a, func() { a.AllocPage(lane) })
+
+	// The block was carved out of the buddy but never logged or linked
+	// anywhere: recovery must undo it via the journal.
+	if _, err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != free {
+		t.Errorf("free = %d, want %d (leak after mid-alloc crash)", a.FreeFrames(), free)
+	}
+}
+
+func TestCrashMidFreeApplied(t *testing.T) {
+	a, lane := newTestAllocator()
+	p, _ := a.AllocPage(lane)
+	a.OnCheckpointCommit(lane)
+	free := a.FreeFrames()
+
+	a.SetFaultPlan(&FaultPlan{Point: "buddy-free:applied"})
+	crashingOp(t, a, func() { a.FreePage(lane, p) })
+
+	if _, err := a.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	if a.FreeFrames() != free {
+		t.Errorf("free = %d, want %d (page lost after mid-free crash)", a.FreeFrames(), free)
+	}
+}
+
+func TestCrashMidSlabOps(t *testing.T) {
+	for _, point := range []string{"slab-alloc:begun", "slab-alloc:applied", "slab-free:begun", "slab-free:applied"} {
+		t.Run(point, func(t *testing.T) {
+			a, lane := newTestAllocator()
+			s, _ := a.AllocSlot(lane, ClassNotification)
+			a.OnCheckpointCommit(lane)
+			live := a.LiveSlots(ClassNotification)
+			free := a.FreeFrames()
+
+			a.SetFaultPlan(&FaultPlan{Point: point})
+			crashingOp(t, a, func() {
+				if point == "slab-free:begun" || point == "slab-free:applied" {
+					a.FreeSlot(lane, s)
+				} else {
+					a.AllocSlot(lane, ClassNotification)
+				}
+			})
+
+			if _, err := a.Recover(); err != nil {
+				t.Fatal(err)
+			}
+			if a.LiveSlots(ClassNotification) != live {
+				t.Errorf("live = %d, want %d", a.LiveSlots(ClassNotification), live)
+			}
+			if a.FreeFrames() != free {
+				t.Errorf("free frames = %d, want %d", a.FreeFrames(), free)
+			}
+		})
+	}
+}
+
+func TestFaultPlanCountdown(t *testing.T) {
+	a, lane := newTestAllocator()
+	a.SetFaultPlan(&FaultPlan{Point: "buddy-alloc:applied", Countdown: 2})
+	// First two allocations survive, third crashes.
+	if _, err := a.AllocPage(lane); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.AllocPage(lane); err != nil {
+		t.Fatal(err)
+	}
+	crashingOp(t, a, func() { a.AllocPage(lane) })
+}
+
+// Property test: a random operation sequence followed by crash + Recover
+// always lands exactly on the state at the last checkpoint commit.
+func TestRandomOpsRecoverToCheckpoint(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		a, lane := newTestAllocator()
+
+		var pages []mem.PageID
+		var slots []Slot
+		// Build up some durable state.
+		for i := 0; i < 50; i++ {
+			p, err := a.AllocPage(lane)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, p)
+			s, err := a.AllocSlot(lane, Class(rng.Intn(int(NumClasses))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			slots = append(slots, s)
+		}
+		a.OnCheckpointCommit(lane)
+		wantFree := a.FreeFrames()
+		wantLive := make([]int, NumClasses)
+		for c := Class(0); c < NumClasses; c++ {
+			wantLive[c] = a.LiveSlots(c)
+		}
+
+		// Random churn after the checkpoint.
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(4) {
+			case 0:
+				if p, err := a.AllocPage(lane); err == nil {
+					pages = append(pages, p)
+				}
+			case 1:
+				if len(pages) > 0 {
+					i := rng.Intn(len(pages))
+					a.FreePage(lane, pages[i])
+					pages = append(pages[:i], pages[i+1:]...)
+				}
+			case 2:
+				if s, err := a.AllocSlot(lane, Class(rng.Intn(int(NumClasses)))); err == nil {
+					slots = append(slots, s)
+				}
+			case 3:
+				if len(slots) > 0 {
+					i := rng.Intn(len(slots))
+					a.FreeSlot(lane, slots[i])
+					slots = append(slots[:i], slots[i+1:]...)
+				}
+			}
+		}
+
+		if _, err := a.Recover(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.FreeFrames() != wantFree {
+			t.Errorf("seed %d: free = %d, want %d", seed, a.FreeFrames(), wantFree)
+		}
+		for c := Class(0); c < NumClasses; c++ {
+			if a.LiveSlots(c) != wantLive[c] {
+				t.Errorf("seed %d: class %v live = %d, want %d", seed, c, a.LiveSlots(c), wantLive[c])
+			}
+		}
+		if err := a.CheckInvariants(); err != nil {
+			t.Errorf("seed %d: %v", seed, err)
+		}
+	}
+}

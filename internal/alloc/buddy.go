@@ -1,0 +1,235 @@
+// Package alloc implements the NVM allocator of the TreeSLS checkpoint
+// manager: a buddy system for page-granularity allocations plus slab
+// allocators for small fixed-size kernel objects (§3 of the paper).
+//
+// All allocator metadata conceptually lives in the global metadata area on
+// NVM and therefore survives power failures; what does NOT survive is an
+// in-flight operation, which is protected by the redo/undo journal
+// (internal/journal), and operations performed after the last checkpoint,
+// which are rolled back during recovery via the persistent operation log
+// (the paper identifies them "by comparing system state at crash with the
+// last checkpoint's state"; the log is the equivalent mechanism made
+// explicit).
+package alloc
+
+import "fmt"
+
+const (
+	stateInterior  uint8 = iota // not a block head
+	stateFreeHead               // head of a free block
+	stateAllocated              // head of an allocated block
+)
+
+// Buddy is a binary buddy allocator over the NVM frame range [0, nFrames).
+// It is deterministic: free lists are LIFO stacks with O(1) removal via
+// intrusive links, so identical operation sequences yield identical layouts.
+type Buddy struct {
+	nFrames  uint32
+	maxOrder int
+
+	freeHead []int32 // per order; -1 when empty
+	next     []int32 // intrusive links, valid for free block heads
+	prev     []int32
+	state    []uint8 // per frame: interior / free head / allocated head
+	order    []uint8 // valid for heads
+
+	freeFrames uint32
+}
+
+// NewBuddy creates a buddy allocator covering nFrames frames, with the first
+// reserved frames pre-allocated (the global metadata area).
+func NewBuddy(nFrames int, reserved int) *Buddy {
+	if nFrames <= 0 || reserved < 0 || reserved > nFrames {
+		panic(fmt.Sprintf("alloc: bad buddy geometry nFrames=%d reserved=%d", nFrames, reserved))
+	}
+	maxOrder := 0
+	for (1 << (maxOrder + 1)) <= nFrames {
+		maxOrder++
+	}
+	b := &Buddy{
+		nFrames:  uint32(nFrames),
+		maxOrder: maxOrder,
+		freeHead: make([]int32, maxOrder+1),
+		next:     make([]int32, nFrames),
+		prev:     make([]int32, nFrames),
+		state:    make([]uint8, nFrames),
+		order:    make([]uint8, nFrames),
+	}
+	for o := range b.freeHead {
+		b.freeHead[o] = -1
+	}
+	// Carve the frame range into maximal aligned free blocks.
+	start := uint32(0)
+	remaining := uint32(nFrames)
+	for remaining > 0 {
+		o := b.maxOrder
+		for o > 0 && ((start&((1<<o)-1)) != 0 || (1<<o) > remaining) {
+			o--
+		}
+		b.insertFree(start, o)
+		start += 1 << o
+		remaining -= 1 << o
+	}
+	b.freeFrames = uint32(nFrames)
+	// Reserve the metadata area by exact allocation, one frame at a time.
+	for f := 0; f < reserved; f++ {
+		if err := b.AllocExact(uint32(f), 0); err != nil {
+			panic("alloc: reserving metadata area: " + err.Error())
+		}
+	}
+	return b
+}
+
+// MaxOrder returns the largest supported allocation order.
+func (b *Buddy) MaxOrder() int { return b.maxOrder }
+
+// FreeFrames returns the number of free frames.
+func (b *Buddy) FreeFrames() int { return int(b.freeFrames) }
+
+func (b *Buddy) insertFree(start uint32, o int) {
+	b.state[start] = stateFreeHead
+	b.order[start] = uint8(o)
+	b.prev[start] = -1
+	b.next[start] = b.freeHead[o]
+	if b.freeHead[o] >= 0 {
+		b.prev[b.freeHead[o]] = int32(start)
+	}
+	b.freeHead[o] = int32(start)
+}
+
+func (b *Buddy) removeFree(start uint32) {
+	o := int(b.order[start])
+	if b.prev[start] >= 0 {
+		b.next[b.prev[start]] = b.next[start]
+	} else {
+		b.freeHead[o] = b.next[start]
+	}
+	if b.next[start] >= 0 {
+		b.prev[b.next[start]] = b.prev[start]
+	}
+	b.state[start] = stateInterior
+}
+
+// ErrOutOfMemory is returned when no free block of the requested order
+// exists.
+var ErrOutOfMemory = fmt.Errorf("alloc: out of NVM")
+
+// Alloc allocates a block of 2^order frames and returns its start frame.
+func (b *Buddy) Alloc(order int) (uint32, error) {
+	if order < 0 || order > b.maxOrder {
+		return 0, fmt.Errorf("alloc: order %d out of range [0,%d]", order, b.maxOrder)
+	}
+	o := order
+	for o <= b.maxOrder && b.freeHead[o] < 0 {
+		o++
+	}
+	if o > b.maxOrder {
+		return 0, ErrOutOfMemory
+	}
+	start := uint32(b.freeHead[o])
+	b.removeFree(start)
+	// Split down, releasing the upper halves.
+	for o > order {
+		o--
+		b.insertFree(start+(1<<o), o)
+	}
+	b.state[start] = stateAllocated
+	b.order[start] = uint8(order)
+	b.freeFrames -= 1 << order
+	return start, nil
+}
+
+// AllocExact allocates the specific block [start, start+2^order). It is used
+// to reserve the metadata area and to roll back Free operations during
+// recovery. The block must currently be fully contained in one free block.
+func (b *Buddy) AllocExact(start uint32, order int) error {
+	if order < 0 || order > b.maxOrder || start%(1<<order) != 0 || start+(1<<order) > b.nFrames {
+		return fmt.Errorf("alloc: AllocExact(%d, order %d) out of range", start, order)
+	}
+	// Find the free block containing [start, start+2^order).
+	o := order
+	for ; o <= b.maxOrder; o++ {
+		base := start &^ ((1 << o) - 1)
+		if base < b.nFrames && b.state[base] == stateFreeHead && int(b.order[base]) == o {
+			b.removeFree(base)
+			// Split down toward the target, freeing the halves that
+			// do not contain it.
+			for o > order {
+				o--
+				half := base + (1 << o)
+				if start >= half {
+					b.insertFree(base, o)
+					base = half
+				} else {
+					b.insertFree(half, o)
+				}
+			}
+			b.state[base] = stateAllocated
+			b.order[base] = uint8(order)
+			b.freeFrames -= 1 << order
+			return nil
+		}
+	}
+	return fmt.Errorf("alloc: AllocExact(%d, order %d): block not free", start, order)
+}
+
+// Free releases the block starting at start with the given order, merging
+// buddies as far as possible.
+func (b *Buddy) Free(start uint32, order int) {
+	if start >= b.nFrames || b.state[start] != stateAllocated || int(b.order[start]) != order {
+		panic(fmt.Sprintf("alloc: bad Free(%d, order %d)", start, order))
+	}
+	b.state[start] = stateInterior
+	b.freeFrames += 1 << order
+	o := order
+	for o < b.maxOrder {
+		buddy := start ^ (1 << o)
+		if buddy >= b.nFrames || b.state[buddy] != stateFreeHead || int(b.order[buddy]) != o {
+			break
+		}
+		b.removeFree(buddy)
+		if buddy < start {
+			start = buddy
+		}
+		o++
+	}
+	b.insertFree(start, o)
+}
+
+// IsAllocated reports whether start is the head of an allocated block of the
+// given order (used by tests and recovery assertions).
+func (b *Buddy) IsAllocated(start uint32, order int) bool {
+	return start < b.nFrames && b.state[start] == stateAllocated && int(b.order[start]) == order
+}
+
+// CheckInvariants validates the free-list structure and returns an error
+// describing the first violation found. Tests call this after random
+// operation sequences.
+func (b *Buddy) CheckInvariants() error {
+	seen := uint32(0)
+	for o := 0; o <= b.maxOrder; o++ {
+		for f := b.freeHead[o]; f >= 0; f = b.next[f] {
+			fr := uint32(f)
+			if b.state[fr] != stateFreeHead || int(b.order[fr]) != o {
+				return fmt.Errorf("free list %d contains non-free-head frame %d", o, fr)
+			}
+			if fr%(1<<o) != 0 {
+				return fmt.Errorf("free block %d misaligned for order %d", fr, o)
+			}
+			if fr+(1<<o) > b.nFrames {
+				return fmt.Errorf("free block %d order %d overruns device", fr, o)
+			}
+			// A free block must not have a free buddy of the same
+			// order (it should have merged).
+			buddy := fr ^ (1 << o)
+			if o < b.maxOrder && buddy < b.nFrames && b.state[buddy] == stateFreeHead && int(b.order[buddy]) == o {
+				return fmt.Errorf("unmerged buddies %d/%d at order %d", fr, buddy, o)
+			}
+			seen += 1 << o
+		}
+	}
+	if seen != b.freeFrames {
+		return fmt.Errorf("free frame accounting: lists hold %d, counter says %d", seen, b.freeFrames)
+	}
+	return nil
+}

@@ -1,0 +1,251 @@
+package alloc
+
+import (
+	"fmt"
+
+	"treesls/internal/mem"
+)
+
+// Class identifies a slab size class. TreeSLS uses one class per kernel
+// object kind so that Table 2-style space accounting falls out naturally.
+type Class uint8
+
+// Slab size classes, one per capability-referred object kind (Table 1) plus
+// the bookkeeping structures of the checkpoint manager.
+const (
+	ClassCapGroup Class = iota
+	ClassThread
+	ClassVMSpace
+	ClassPMO
+	ClassIPCConn
+	ClassNotification
+	ClassIRQNotification
+	ClassORoot
+	ClassRadixNode
+	ClassCheckpointedPage
+	ClassVMRegion
+	NumClasses
+)
+
+// classSizes gives the simulated object size in bytes per class, used for
+// slots-per-page geometry and space accounting. The values mirror plausible
+// kernel object sizes in ChCore.
+var classSizes = [NumClasses]int{
+	ClassCapGroup:         512, // capability table header + fixed array chunk
+	ClassThread:           704, // register context + scheduling state
+	ClassVMSpace:          256,
+	ClassPMO:              192,
+	ClassIPCConn:          128,
+	ClassNotification:     96,
+	ClassIRQNotification:  96,
+	ClassORoot:            64,
+	ClassRadixNode:        576, // 64-ary node of 8-byte entries + header
+	ClassCheckpointedPage: 32,  // version + backup pointer(s)
+	ClassVMRegion:         96,
+}
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassCapGroup:
+		return "CapGroup"
+	case ClassThread:
+		return "Thread"
+	case ClassVMSpace:
+		return "VMSpace"
+	case ClassPMO:
+		return "PMO"
+	case ClassIPCConn:
+		return "IPCConn"
+	case ClassNotification:
+		return "Notification"
+	case ClassIRQNotification:
+		return "IRQNotification"
+	case ClassORoot:
+		return "ORoot"
+	case ClassRadixNode:
+		return "RadixNode"
+	case ClassCheckpointedPage:
+		return "CkptPage"
+	case ClassVMRegion:
+		return "VMRegion"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Size returns the simulated object size of the class in bytes.
+func (c Class) Size() int { return classSizes[c] }
+
+// Slot names one allocated slab slot.
+type Slot struct {
+	Class Class
+	Frame uint32 // NVM frame holding the slab page
+	Index uint16 // slot within the page
+}
+
+// NilSlot is the absent slot.
+var NilSlot = Slot{Class: NumClasses}
+
+// IsNil reports whether the slot is absent.
+func (s Slot) IsNil() bool { return s.Class >= NumClasses }
+
+type slabPage struct {
+	frame    uint32
+	freeBits []uint64 // 1 = free
+	nFree    int
+}
+
+type slabClass struct {
+	class        Class
+	slotsPerPage int
+	pages        []*slabPage
+	partial      []int // indices into pages with nFree > 0 (LIFO)
+	byFrame      map[uint32]int
+
+	liveSlots int
+}
+
+func newSlabClass(c Class) *slabClass {
+	spp := mem.PageSize / classSizes[c]
+	if spp < 1 {
+		spp = 1
+	}
+	return &slabClass{class: c, slotsPerPage: spp, byFrame: make(map[uint32]int)}
+}
+
+// slabs bundles all classes. It is part of the persistent metadata world.
+type slabs struct {
+	classes [NumClasses]*slabClass
+}
+
+func newSlabs() *slabs {
+	s := &slabs{}
+	for c := Class(0); c < NumClasses; c++ {
+		s.classes[c] = newSlabClass(c)
+	}
+	return s
+}
+
+// alloc takes one slot, growing the class with a fresh buddy page via grow()
+// when no partial page exists. It is deterministic.
+func (s *slabs) alloc(c Class, grow func() (uint32, error)) (Slot, error) {
+	sc := s.classes[c]
+	for len(sc.partial) > 0 {
+		pi := sc.partial[len(sc.partial)-1]
+		pg := sc.pages[pi]
+		if pg == nil || pg.nFree == 0 {
+			sc.partial = sc.partial[:len(sc.partial)-1]
+			continue
+		}
+		idx := pg.takeFirstFree()
+		sc.liveSlots++
+		return Slot{Class: c, Frame: pg.frame, Index: uint16(idx)}, nil
+	}
+	frame, err := grow()
+	if err != nil {
+		return NilSlot, err
+	}
+	pg := &slabPage{frame: frame, freeBits: make([]uint64, (sc.slotsPerPage+63)/64), nFree: sc.slotsPerPage}
+	for i := 0; i < sc.slotsPerPage; i++ {
+		pg.freeBits[i/64] |= 1 << (i % 64)
+	}
+	sc.pages = append(sc.pages, pg)
+	sc.byFrame[frame] = len(sc.pages) - 1
+	sc.partial = append(sc.partial, len(sc.pages)-1)
+	idx := pg.takeFirstFree()
+	sc.liveSlots++
+	return Slot{Class: c, Frame: pg.frame, Index: uint16(idx)}, nil
+}
+
+// allocExact re-allocates a specific slot during recovery rollback. The slot
+// must be free and its page must exist.
+func (s *slabs) allocExact(sl Slot) error {
+	sc := s.classes[sl.Class]
+	pi, ok := sc.byFrame[sl.Frame]
+	if !ok || sc.pages[pi] == nil {
+		return fmt.Errorf("alloc: slab rollback: no page for %v", sl)
+	}
+	pg := sc.pages[pi]
+	w, bit := int(sl.Index)/64, uint64(1)<<(int(sl.Index)%64)
+	if pg.freeBits[w]&bit == 0 {
+		return fmt.Errorf("alloc: slab rollback: slot %v not free", sl)
+	}
+	pg.freeBits[w] &^= bit
+	if pg.nFree == sc.slotsPerPage {
+		// Page was fully free; it becomes partial again.
+		sc.partial = append(sc.partial, pi)
+	}
+	pg.nFree--
+	sc.liveSlots++
+	return nil
+}
+
+func (s *slabs) free(sl Slot) error {
+	sc := s.classes[sl.Class]
+	pi, ok := sc.byFrame[sl.Frame]
+	if !ok || sc.pages[pi] == nil {
+		return fmt.Errorf("alloc: slab free: no page for %v", sl)
+	}
+	pg := sc.pages[pi]
+	if int(sl.Index) >= sc.slotsPerPage {
+		return fmt.Errorf("alloc: slab free: index out of range in %v", sl)
+	}
+	w, bit := int(sl.Index)/64, uint64(1)<<(int(sl.Index)%64)
+	if pg.freeBits[w]&bit != 0 {
+		return fmt.Errorf("alloc: slab double free of %v", sl)
+	}
+	pg.freeBits[w] |= bit
+	if pg.nFree == 0 {
+		sc.partial = append(sc.partial, pi)
+	}
+	pg.nFree++
+	sc.liveSlots--
+	return nil
+}
+
+func (p *slabPage) takeFirstFree() int {
+	for w, bits := range p.freeBits {
+		if bits == 0 {
+			continue
+		}
+		for i := 0; i < 64; i++ {
+			if bits&(1<<i) != 0 {
+				p.freeBits[w] &^= 1 << i
+				p.nFree--
+				return w*64 + i
+			}
+		}
+	}
+	panic("alloc: takeFirstFree on full page")
+}
+
+// pageEmpty reports whether the registered slab page at frame is fully free.
+func (s *slabs) pageEmpty(c Class, frame uint32) bool {
+	sc := s.classes[c]
+	pi, ok := sc.byFrame[frame]
+	if !ok || sc.pages[pi] == nil {
+		return false
+	}
+	return sc.pages[pi].nFree == sc.slotsPerPage
+}
+
+// deregister removes a fully-free slab page so its frame can be returned to
+// the buddy system (used when rolling back the allocation that grew the
+// class). Stale partial-list entries are cleaned up lazily by alloc().
+func (s *slabs) deregister(c Class, frame uint32) error {
+	sc := s.classes[c]
+	pi, ok := sc.byFrame[frame]
+	if !ok || sc.pages[pi] == nil {
+		return fmt.Errorf("alloc: deregister: class %v has no page at frame %d", c, frame)
+	}
+	if sc.pages[pi].nFree != sc.slotsPerPage {
+		return fmt.Errorf("alloc: deregister: page %d of class %v still has live slots", frame, c)
+	}
+	sc.pages[pi] = nil
+	delete(sc.byFrame, frame)
+	return nil
+}
+
+// LiveSlots reports how many slots of class c are currently allocated.
+func (s *slabs) LiveSlots(c Class) int { return s.classes[c].liveSlots }

@@ -1,0 +1,129 @@
+package kvstore
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"treesls/internal/kernel"
+)
+
+// TestChainCollisions forces many keys into few buckets and exercises
+// mid-chain deletes and updates.
+func TestChainCollisions(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	s, err := NewServer(m, ServerConfig{Name: "kv", Threads: 1, Buckets: 2, HeapPages: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 60
+	for i := 0; i < n; i++ {
+		if _, _, err := s.Set(0, []byte(fmt.Sprintf("key-%02d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete every third key (hits heads, middles and tails of chains).
+	for i := 0; i < n; i += 3 {
+		_, ok, err := s.Delete(0, []byte(fmt.Sprintf("key-%02d", i)))
+		if err != nil || !ok {
+			t.Fatalf("delete %d: %v %v", i, ok, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, v, ok, err := s.Get(0, []byte(fmt.Sprintf("key-%02d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if ok {
+				t.Errorf("deleted key %d found", i)
+			}
+		} else if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Errorf("key %d = %q,%v", i, v, ok)
+		}
+	}
+	cnt, _ := s.Count()
+	if int(cnt) != n-n/3 {
+		t.Errorf("count = %d", cnt)
+	}
+}
+
+func TestMultiPageValues(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	s, err := NewServer(m, ServerConfig{Name: "kv", Threads: 1, HeapPages: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 12 KiB value spans multiple pages in the heap.
+	big := make([]byte, 12*1024)
+	for i := range big {
+		big[i] = byte(i * 13)
+	}
+	if _, _, err := s.Set(0, []byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	_, v, ok, err := s.Get(0, []byte("big"))
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v, big) {
+		t.Error("multi-page value corrupted")
+	}
+	// Shrink in place, then regrow.
+	if _, _, err := s.Set(0, []byte("big"), []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	_, v, _, _ = s.Get(0, []byte("big"))
+	if string(v) != "small" {
+		t.Errorf("shrunk = %q", v)
+	}
+	if _, _, err := s.Set(0, []byte("big"), big); err != nil {
+		t.Fatal(err)
+	}
+	_, v, _, _ = s.Get(0, []byte("big"))
+	if !bytes.Equal(v, big) {
+		t.Error("regrown value corrupted")
+	}
+}
+
+func TestEmptyKeyAndValue(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	s, _ := NewServer(m, ServerConfig{Name: "kv", Threads: 1})
+	if _, _, err := s.Set(0, []byte("k"), nil); err != nil {
+		t.Fatal(err)
+	}
+	_, v, ok, err := s.Get(0, []byte("k"))
+	if err != nil || !ok || len(v) != 0 {
+		t.Errorf("empty value: %q %v %v", v, ok, err)
+	}
+	if _, _, err := s.Set(0, []byte{}, []byte("anon")); err != nil {
+		t.Fatal(err)
+	}
+	_, v, ok, _ = s.Get(0, []byte{})
+	if !ok || string(v) != "anon" {
+		t.Errorf("empty key: %q %v", v, ok)
+	}
+}
+
+func TestHeapExhaustionSurfaces(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	s, _ := NewServer(m, ServerConfig{Name: "kv", Threads: 1, HeapPages: 8})
+	var sawErr bool
+	for i := 0; i < 2000; i++ {
+		if _, _, err := s.Set(0, []byte(fmt.Sprintf("key-%d", i)), make([]byte, 256)); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("tiny heap never exhausted")
+	}
+}

@@ -1,0 +1,107 @@
+package lsm
+
+import (
+	"fmt"
+	"testing"
+
+	"treesls/internal/baseline/disk"
+	"treesls/internal/baseline/wal"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+func newMachine(interval simclock.Duration) *kernel.Machine {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = interval
+	return kernel.New(cfg)
+}
+
+func TestPutGet(t *testing.T) {
+	db, err := Open(newMachine(0), Config{Name: "rocks", Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Put(0, []byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	_, v, ok, err := db.Get(1, []byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get = %q,%v,%v", v, ok, err)
+	}
+	n, _ := db.Count()
+	if n != 1 {
+		t.Errorf("count = %d", n)
+	}
+}
+
+func TestWALOnCriticalPath(t *testing.T) {
+	m1 := newMachine(0)
+	plain, _ := Open(m1, Config{Name: "rocks"})
+	m2 := newMachine(0)
+	log := wal.New(disk.New(disk.DRAMDisk, m2.Model))
+	walled, _ := Open(m2, Config{Name: "rocks", WAL: log})
+
+	r1, _ := plain.Put(0, []byte("key"), make([]byte, 100))
+	r2, _ := walled.Put(0, []byte("key"), make([]byte, 100))
+	if r2.Latency() <= r1.Latency() {
+		t.Errorf("WAL put %v not dearer than plain %v", r2.Latency(), r1.Latency())
+	}
+	if log.Stats.Records != 1 {
+		t.Errorf("wal records = %d", log.Stats.Records)
+	}
+}
+
+func TestFlushAndStall(t *testing.T) {
+	m := newMachine(0)
+	dev := disk.New(disk.NVMe, m.Model)
+	db, _ := Open(m, Config{Name: "rocks", FlushDev: dev, MemtableLimit: 4096})
+	val := make([]byte, 500)
+	for i := 0; i < 64; i++ {
+		if _, err := db.Put(0, []byte(fmt.Sprintf("k%02d", i)), val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Stats.Flushes < 2 {
+		t.Errorf("flushes = %d", db.Stats.Flushes)
+	}
+	if dev.Stats.AsyncJobs != db.Stats.Flushes {
+		t.Errorf("device jobs %d != flushes %d", dev.Stats.AsyncJobs, db.Stats.Flushes)
+	}
+	if db.Stats.StallTime == 0 {
+		t.Log("no write stalls observed (device kept up)")
+	}
+}
+
+func TestCrashRestoreMemtable(t *testing.T) {
+	m := newMachine(simclock.Millisecond)
+	db, err := Open(m, Config{Name: "rocks", Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		if _, err := db.Put(i, []byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.TakeCheckpoint()
+	for i := 300; i < 320; i++ {
+		db.Put(i, []byte(fmt.Sprintf("key-%04d", i)), []byte("doomed"))
+	}
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		_, v, ok, err := db.Get(0, []byte(fmt.Sprintf("key-%04d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(v) != fmt.Sprintf("val-%d", i) {
+			t.Fatalf("key %d lost after restore", i)
+		}
+	}
+	// Database remains writable.
+	if _, err := db.Put(0, []byte("alive"), []byte("yes")); err != nil {
+		t.Fatal(err)
+	}
+}

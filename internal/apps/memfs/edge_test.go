@@ -1,0 +1,83 @@
+package memfs
+
+import (
+	"strings"
+	"testing"
+
+	"treesls/internal/kernel"
+)
+
+func TestHeapExhaustionOnWrite(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	fs, err := Mount(m, "tinyfs", 16) // 64 KiB heap
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Create("/big"); err != nil {
+		t.Fatal(err)
+	}
+	err = fs.WriteAt("/big", 0, make([]byte, 40*ExtentSize))
+	if err == nil || !strings.Contains(err.Error(), "out of heap") {
+		t.Fatalf("oversized write: %v", err)
+	}
+}
+
+func TestOpsOnMissingFiles(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	fs, _ := Mount(m, "memfs", 0)
+	if err := fs.WriteAt("/ghost", 0, []byte("x")); err == nil {
+		t.Error("write to missing file succeeded")
+	}
+	if _, err := fs.Size("/ghost"); err == nil {
+		t.Error("size of missing file succeeded")
+	}
+	if err := fs.Delete("/ghost"); err == nil {
+		t.Error("delete of missing file succeeded")
+	}
+	if ok, err := fs.Exists("/ghost"); err != nil || ok {
+		t.Errorf("Exists = %v, %v", ok, err)
+	}
+}
+
+func TestSparseGrowth(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	fs, _ := Mount(m, "memfs", 1024)
+	fs.Create("/sparse")
+	// Write far past the start: all intermediate extents materialize.
+	if err := fs.WriteAt("/sparse", 10*ExtentSize, []byte("far")); err != nil {
+		t.Fatal(err)
+	}
+	size, _ := fs.Size("/sparse")
+	if size != 10*ExtentSize+3 {
+		t.Errorf("size = %d", size)
+	}
+	mid := make([]byte, 4)
+	if err := fs.ReadAt("/sparse", 5*ExtentSize, mid); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range mid {
+		if b != 0 {
+			t.Fatal("sparse middle not zero")
+		}
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	fs, _ := Mount(m, "memfs", 0)
+	fs.Create("/a")
+	fs.WriteAt("/a", 0, []byte("x"))
+	fs.ReadAt("/a", 0, make([]byte, 1))
+	fs.Delete("/a")
+	if fs.Stats.Creates != 1 || fs.Stats.Writes != 1 || fs.Stats.Reads != 1 || fs.Stats.Deletes != 1 {
+		t.Errorf("stats = %+v", fs.Stats)
+	}
+}

@@ -1,0 +1,387 @@
+// Package memfs is a user-space file system service — the example §3 of the
+// paper uses to argue for microkernel-based single-level stores: "taking a
+// checkpoint of file systems in a monolithic kernel requires finding FD
+// tables, dentry-cache, and inode-cache, and preserving relations among
+// these structures. In comparison, a microkernel usually maintains these
+// structures in user-space file system services. The checkpoint procedures
+// do not need to know such structures and their relations and can treat
+// them as normal runtime data of applications."
+//
+// Everything here — the name index, inodes, extent tables, file contents —
+// lives in simulated PMO-backed process memory allocated from a uheap, so
+// the whole file system becomes persistent purely by virtue of running on
+// TreeSLS. There is no storage format, no journal, no fsck.
+//
+// Layout in process memory:
+//
+//	index:  a kvstore table mapping path -> inode VA
+//	inode:  +0 size (bytes), +8 extent count, +16 extent table VA
+//	etable: extent count * 8 bytes of extent VAs (one extent = one 4 KiB
+//	        chunk), reallocated geometrically as the file grows
+package memfs
+
+import (
+	"fmt"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/apps/uheap"
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// ExtentSize is the file allocation unit.
+const ExtentSize = mem.PageSize
+
+const inodeSize = 24
+
+// perOpCost models the FS server's request handling (path parse, lookup).
+const perOpCost = 700 * simclock.Nanosecond
+
+// Stats counts file-system operations.
+type Stats struct {
+	Creates, Writes, Reads, Deletes uint64
+}
+
+// FS is a restore-safe handle to the file-system service.
+type FS struct {
+	m    *kernel.Machine
+	name string
+
+	heapBase, heapLimit uint64
+	indexVA             uint64
+
+	Stats Stats
+}
+
+// Mount creates the file-system service process with a heap of heapPages.
+func Mount(m *kernel.Machine, name string, heapPages uint64) (*FS, error) {
+	if heapPages == 0 {
+		heapPages = 4096
+	}
+	p, err := m.NewProcess(name, 2)
+	if err != nil {
+		return nil, err
+	}
+	fs := &FS{m: m, name: name}
+	_, err = m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		heap, err := uheap.New(e, heapPages)
+		if err != nil {
+			return err
+		}
+		idx, err := kvstore.Create(e, heap, 512)
+		if err != nil {
+			return err
+		}
+		fs.heapBase, fs.heapLimit = heap.Base, heap.Limit
+		fs.indexVA = idx.HeaderVA
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("memfs: mounting %s: %w", name, err)
+	}
+	return fs, nil
+}
+
+// Machine returns the hosting machine.
+func (fs *FS) Machine() *kernel.Machine { return fs.m }
+
+func (fs *FS) proc() (*kernel.Process, error) {
+	p := fs.m.Process(fs.name)
+	if p == nil {
+		return nil, fmt.Errorf("memfs: process %q not found", fs.name)
+	}
+	return p, nil
+}
+
+func (fs *FS) heap() *uheap.Heap { return uheap.Attach(fs.heapBase, fs.heapLimit) }
+
+func (fs *FS) index() *kvstore.Store { return kvstore.Attach(fs.heap(), fs.indexVA) }
+
+// run executes fn as one FS request on the service process.
+func (fs *FS) run(fn func(e *kernel.Env) error) error {
+	p, err := fs.proc()
+	if err != nil {
+		return err
+	}
+	_, err = fs.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		e.Syscall() // request IPC
+		e.Charge(perOpCost)
+		return fn(e)
+	})
+	return err
+}
+
+// lookup returns the inode VA for path, or 0.
+func (fs *FS) lookup(e *kernel.Env, path string) (uint64, error) {
+	v, ok, err := fs.index().Get(e, []byte(path))
+	if err != nil || !ok {
+		return 0, err
+	}
+	var va uint64
+	for i := len(v) - 1; i >= 0; i-- {
+		va = va<<8 | uint64(v[i])
+	}
+	return va, nil
+}
+
+// Create makes an empty file; it fails if the path exists.
+func (fs *FS) Create(path string) error {
+	err := fs.run(func(e *kernel.Env) error {
+		if ino, err := fs.lookup(e, path); err != nil {
+			return err
+		} else if ino != 0 {
+			return fmt.Errorf("memfs: %s exists", path)
+		}
+		ino, err := fs.heap().Alloc(e, inodeSize)
+		if err != nil {
+			return err
+		}
+		if err := e.WriteU64(ino, 0); err != nil { // size
+			return err
+		}
+		if err := e.WriteU64(ino+8, 0); err != nil { // extents
+			return err
+		}
+		if err := e.WriteU64(ino+16, 0); err != nil { // etable
+			return err
+		}
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(ino >> (8 * i))
+		}
+		return fs.index().Set(e, []byte(path), buf[:])
+	})
+	if err == nil {
+		fs.Stats.Creates++
+	}
+	return err
+}
+
+// ensureExtents grows the file's extent table to cover n extents.
+func (fs *FS) ensureExtents(e *kernel.Env, ino uint64, n uint64) error {
+	cur, err := e.ReadU64(ino + 8)
+	if err != nil {
+		return err
+	}
+	if n <= cur {
+		return nil
+	}
+	oldTab, err := e.ReadU64(ino + 16)
+	if err != nil {
+		return err
+	}
+	newTab, err := fs.heap().Alloc(e, n*8)
+	if err != nil {
+		return err
+	}
+	// Carry over existing extent pointers.
+	for i := uint64(0); i < cur; i++ {
+		v, err := e.ReadU64(oldTab + i*8)
+		if err != nil {
+			return err
+		}
+		if err := e.WriteU64(newTab+i*8, v); err != nil {
+			return err
+		}
+	}
+	if oldTab != 0 {
+		if err := fs.heap().Free(e, oldTab, cur*8); err != nil {
+			return err
+		}
+	}
+	// Allocate the new extents.
+	for i := cur; i < n; i++ {
+		ext, err := fs.heap().Alloc(e, ExtentSize)
+		if err != nil {
+			return err
+		}
+		if err := e.WriteU64(newTab+i*8, ext); err != nil {
+			return err
+		}
+	}
+	if err := e.WriteU64(ino+8, n); err != nil {
+		return err
+	}
+	return e.WriteU64(ino+16, newTab)
+}
+
+// WriteAt writes data at byte offset off, growing the file as needed.
+func (fs *FS) WriteAt(path string, off uint64, data []byte) error {
+	err := fs.run(func(e *kernel.Env) error {
+		ino, err := fs.lookup(e, path)
+		if err != nil {
+			return err
+		}
+		if ino == 0 {
+			return fmt.Errorf("memfs: %s: no such file", path)
+		}
+		end := off + uint64(len(data))
+		if err := fs.ensureExtents(e, ino, (end+ExtentSize-1)/ExtentSize); err != nil {
+			return err
+		}
+		tab, err := e.ReadU64(ino + 16)
+		if err != nil {
+			return err
+		}
+		for len(data) > 0 {
+			ei := off / ExtentSize
+			eo := off % ExtentSize
+			n := ExtentSize - eo
+			if n > uint64(len(data)) {
+				n = uint64(len(data))
+			}
+			ext, err := e.ReadU64(tab + ei*8)
+			if err != nil {
+				return err
+			}
+			if err := e.Write(ext+eo, data[:n]); err != nil {
+				return err
+			}
+			off += n
+			data = data[n:]
+		}
+		size, err := e.ReadU64(ino)
+		if err != nil {
+			return err
+		}
+		if end > size {
+			return e.WriteU64(ino, end)
+		}
+		return nil
+	})
+	if err == nil {
+		fs.Stats.Writes++
+	}
+	return err
+}
+
+// Append writes data at the end of the file.
+func (fs *FS) Append(path string, data []byte) error {
+	size, err := fs.Size(path)
+	if err != nil {
+		return err
+	}
+	return fs.WriteAt(path, size, data)
+}
+
+// ReadAt reads len(buf) bytes at offset off; short reads past EOF error.
+func (fs *FS) ReadAt(path string, off uint64, buf []byte) error {
+	err := fs.run(func(e *kernel.Env) error {
+		ino, err := fs.lookup(e, path)
+		if err != nil {
+			return err
+		}
+		if ino == 0 {
+			return fmt.Errorf("memfs: %s: no such file", path)
+		}
+		size, err := e.ReadU64(ino)
+		if err != nil {
+			return err
+		}
+		if off+uint64(len(buf)) > size {
+			return fmt.Errorf("memfs: read past EOF (%d+%d > %d)", off, len(buf), size)
+		}
+		tab, err := e.ReadU64(ino + 16)
+		if err != nil {
+			return err
+		}
+		out := buf
+		for len(out) > 0 {
+			ei := off / ExtentSize
+			eo := off % ExtentSize
+			n := ExtentSize - eo
+			if n > uint64(len(out)) {
+				n = uint64(len(out))
+			}
+			ext, err := e.ReadU64(tab + ei*8)
+			if err != nil {
+				return err
+			}
+			if err := e.Read(ext+eo, out[:n]); err != nil {
+				return err
+			}
+			off += n
+			out = out[n:]
+		}
+		return nil
+	})
+	if err == nil {
+		fs.Stats.Reads++
+	}
+	return err
+}
+
+// Size returns the file's length in bytes.
+func (fs *FS) Size(path string) (uint64, error) {
+	var size uint64
+	err := fs.run(func(e *kernel.Env) error {
+		ino, err := fs.lookup(e, path)
+		if err != nil {
+			return err
+		}
+		if ino == 0 {
+			return fmt.Errorf("memfs: %s: no such file", path)
+		}
+		size, err = e.ReadU64(ino)
+		return err
+	})
+	return size, err
+}
+
+// Exists reports whether path names a file.
+func (fs *FS) Exists(path string) (bool, error) {
+	var ok bool
+	err := fs.run(func(e *kernel.Env) error {
+		ino, err := fs.lookup(e, path)
+		ok = ino != 0
+		return err
+	})
+	return ok, err
+}
+
+// Delete removes a file, recycling its extents and inode.
+func (fs *FS) Delete(path string) error {
+	err := fs.run(func(e *kernel.Env) error {
+		ino, err := fs.lookup(e, path)
+		if err != nil {
+			return err
+		}
+		if ino == 0 {
+			return fmt.Errorf("memfs: %s: no such file", path)
+		}
+		nExt, err := e.ReadU64(ino + 8)
+		if err != nil {
+			return err
+		}
+		tab, err := e.ReadU64(ino + 16)
+		if err != nil {
+			return err
+		}
+		for i := uint64(0); i < nExt; i++ {
+			ext, err := e.ReadU64(tab + i*8)
+			if err != nil {
+				return err
+			}
+			if err := fs.heap().Free(e, ext, ExtentSize); err != nil {
+				return err
+			}
+		}
+		if tab != 0 {
+			if err := fs.heap().Free(e, tab, nExt*8); err != nil {
+				return err
+			}
+		}
+		if err := fs.heap().Free(e, ino, inodeSize); err != nil {
+			return err
+		}
+		if _, err := fs.index().Delete(e, []byte(path)); err != nil {
+			return err
+		}
+		return nil
+	})
+	if err == nil {
+		fs.Stats.Deletes++
+	}
+	return err
+}

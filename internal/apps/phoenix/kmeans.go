@@ -1,0 +1,286 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// KMeans clusters synthetic points. Points are read-only; the centroids and
+// per-thread accumulators are rewritten every iteration, forming the small,
+// repeatedly-dirtied hot set that makes KMeans the best case for hybrid copy
+// (Table 4: 95% of page faults eliminated).
+//
+// Values are stored as fixed-point int64 (16.16) words in simulated memory.
+type KMeans struct {
+	m       *kernel.Machine
+	name    string
+	threads int
+
+	nPoints, dim, k int
+
+	pointsVA uint64 // nPoints * dim words
+	centVA   uint64 // k * dim words (centroids)
+	accVA    uint64 // threads * k * (dim+1) words (sums + count)
+
+	iter      int
+	nextChunk int
+	chunkPts  int
+}
+
+const fixShift = 16
+
+// NewKMeans creates the workload: nPoints points of dim dimensions around k
+// well-separated centers.
+func NewKMeans(m *kernel.Machine, name string, threads, nPoints, dim, k int) (*KMeans, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	p, err := m.NewProcess(name, threads)
+	if err != nil {
+		return nil, err
+	}
+	km := &KMeans{m: m, name: name, threads: threads, nPoints: nPoints, dim: dim, k: k, chunkPts: 64}
+
+	ptsBytes := nPoints * dim * 8
+	ptsPages := uint64((ptsBytes + mem.PageSize - 1) / mem.PageSize)
+	km.pointsVA, _, err = p.Mmap(ptsPages, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Deterministic points: cluster c at (c*1000, c*1000, ...) + noise.
+	data := make([]byte, ptsBytes)
+	x := uint64(2463534242)
+	for i := 0; i < nPoints; i++ {
+		c := i % k
+		for d := 0; d < dim; d++ {
+			x ^= x << 13
+			x ^= x >> 7
+			x ^= x << 17
+			noise := int64(x%200) - 100
+			v := (int64(c*1000) + noise) << fixShift
+			off := (i*dim + d) * 8
+			for b := 0; b < 8; b++ {
+				data[off+b] = byte(uint64(v) >> (8 * b))
+			}
+		}
+	}
+	if err := fillPMO(m, p, km.pointsVA, data); err != nil {
+		return nil, err
+	}
+
+	centPages := uint64((k*dim*8 + mem.PageSize - 1) / mem.PageSize)
+	km.centVA, _, err = p.Mmap(centPages, 0)
+	if err != nil {
+		return nil, err
+	}
+	accWords := threads * k * (dim + 1)
+	accPages := uint64((accWords*8 + mem.PageSize - 1) / mem.PageSize)
+	km.accVA, _, err = p.Mmap(accPages, 0)
+	if err != nil {
+		return nil, err
+	}
+	// Initial centroids: the first k points.
+	if _, err := m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		for c := 0; c < k; c++ {
+			for d := 0; d < dim; d++ {
+				v, err := e.ReadU64(km.pointsVA + uint64((c*dim+d)*8))
+				if err != nil {
+					return err
+				}
+				if err := e.WriteU64(km.centVA+uint64((c*dim+d)*8), v); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return km, nil
+}
+
+func (km *KMeans) proc() (*kernel.Process, error) {
+	p := km.m.Process(km.name)
+	if p == nil {
+		return nil, fmt.Errorf("phoenix: process %q not found", km.name)
+	}
+	return p, nil
+}
+
+// Chunks returns chunks per iteration.
+func (km *KMeans) Chunks() int { return (km.nPoints + km.chunkPts - 1) / km.chunkPts }
+
+// Step assigns one chunk of points (on a worker thread) or, at the end of an
+// iteration, recomputes the centroids. Returns false when iters iterations
+// are complete.
+func (km *KMeans) Step(iters int) (bool, error) {
+	if km.iter >= iters {
+		return false, nil
+	}
+	p, err := km.proc()
+	if err != nil {
+		return false, err
+	}
+	if km.nextChunk < km.Chunks() {
+		ci := km.nextChunk
+		km.nextChunk++
+		tid := ci % km.threads
+		_, err := km.m.Run(p, p.Thread(tid), func(e *kernel.Env) error {
+			return km.assignChunk(e, tid, ci)
+		})
+		return true, err
+	}
+	// Reduce: fold accumulators into new centroids, reset accumulators.
+	_, err = km.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		return km.updateCentroids(e)
+	})
+	if err != nil {
+		return false, err
+	}
+	km.iter++
+	km.nextChunk = 0
+	return km.iter < iters, nil
+}
+
+func (km *KMeans) assignChunk(e *kernel.Env, tid, ci int) error {
+	first := ci * km.chunkPts
+	last := first + km.chunkPts
+	if last > km.nPoints {
+		last = km.nPoints
+	}
+	// Load the centroids once per chunk.
+	cent := make([]int64, km.k*km.dim)
+	cbuf := make([]byte, len(cent)*8)
+	if err := e.Read(km.centVA, cbuf); err != nil {
+		return err
+	}
+	for i := range cent {
+		v := uint64(0)
+		for b := 7; b >= 0; b-- {
+			v = v<<8 | uint64(cbuf[i*8+b])
+		}
+		cent[i] = int64(v)
+	}
+	pbuf := make([]byte, (last-first)*km.dim*8)
+	if err := e.Read(km.pointsVA+uint64(first*km.dim*8), pbuf); err != nil {
+		return err
+	}
+	accBase := km.accVA + uint64(tid*km.k*(km.dim+1)*8)
+	for i := first; i < last; i++ {
+		pt := make([]int64, km.dim)
+		for d := 0; d < km.dim; d++ {
+			off := ((i-first)*km.dim + d) * 8
+			v := uint64(0)
+			for b := 7; b >= 0; b-- {
+				v = v<<8 | uint64(pbuf[off+b])
+			}
+			pt[d] = int64(v)
+		}
+		best, bestDist := 0, int64(1)<<62
+		for c := 0; c < km.k; c++ {
+			var dist int64
+			for d := 0; d < km.dim; d++ {
+				diff := (pt[d] - cent[c*km.dim+d]) >> fixShift
+				dist += diff * diff
+			}
+			if dist < bestDist {
+				best, bestDist = c, dist
+			}
+		}
+		e.Charge(flopCost * simclock.Duration(km.k*km.dim*3))
+		// Accumulate into this thread's sums.
+		base := accBase + uint64(best*(km.dim+1)*8)
+		for d := 0; d < km.dim; d++ {
+			cur, err := e.ReadU64(base + uint64(d*8))
+			if err != nil {
+				return err
+			}
+			if err := e.WriteU64(base+uint64(d*8), uint64(int64(cur)+pt[d])); err != nil {
+				return err
+			}
+		}
+		cnt, err := e.ReadU64(base + uint64(km.dim*8))
+		if err != nil {
+			return err
+		}
+		if err := e.WriteU64(base+uint64(km.dim*8), cnt+1); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (km *KMeans) updateCentroids(e *kernel.Env) error {
+	for c := 0; c < km.k; c++ {
+		var count int64
+		sums := make([]int64, km.dim)
+		for tid := 0; tid < km.threads; tid++ {
+			base := km.accVA + uint64((tid*km.k+c)*(km.dim+1)*8)
+			for d := 0; d < km.dim; d++ {
+				v, err := e.ReadU64(base + uint64(d*8))
+				if err != nil {
+					return err
+				}
+				sums[d] += int64(v)
+				if err := e.WriteU64(base+uint64(d*8), 0); err != nil {
+					return err
+				}
+			}
+			cnt, err := e.ReadU64(base + uint64(km.dim*8))
+			if err != nil {
+				return err
+			}
+			count += int64(cnt)
+			if err := e.WriteU64(base+uint64(km.dim*8), 0); err != nil {
+				return err
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		for d := 0; d < km.dim; d++ {
+			if err := e.WriteU64(km.centVA+uint64((c*km.dim+d)*8), uint64(sums[d]/count)); err != nil {
+				return err
+			}
+		}
+		e.Charge(flopCost * simclock.Duration(km.dim))
+	}
+	return nil
+}
+
+// Run executes iters full iterations.
+func (km *KMeans) Run(iters int) error {
+	for {
+		more, err := km.Step(iters)
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// Centroid returns dimension d of centroid c (fixed-point).
+func (km *KMeans) Centroid(c, d int) (int64, error) {
+	p, err := km.proc()
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	_, err = km.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		var err error
+		v, err = e.ReadU64(km.centVA + uint64((c*km.dim+d)*8))
+		return err
+	})
+	return int64(v), err
+}
+
+// Reset rewinds the iteration counter so Run can be called again.
+func (km *KMeans) Reset() {
+	km.iter = 0
+	km.nextChunk = 0
+}

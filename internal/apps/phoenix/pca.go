@@ -1,0 +1,202 @@
+package phoenix
+
+import (
+	"fmt"
+
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// PCA computes row means and the (lower-triangular) covariance matrix of a
+// synthetic matrix, Phoenix-style. Unlike KMeans, PCA's writes stream across
+// the large covariance output with almost no reuse — the paper measures the
+// lowest hybrid-copy benefit for it (Table 4: 11% of faults eliminated,
+// 13% dirty rate in cached pages).
+type PCA struct {
+	m       *kernel.Machine
+	name    string
+	threads int
+
+	rows, cols int
+
+	matVA  uint64 // rows*cols fixed-point words (input)
+	meanVA uint64 // rows words
+	covVA  uint64 // rows*(rows+1)/2 words (lower triangle)
+
+	phase   int // 0 = means, 1 = covariance, 2 = done
+	nextRow int
+}
+
+// NewPCA creates the workload over a rows x cols synthetic matrix.
+func NewPCA(m *kernel.Machine, name string, threads, rows, cols int) (*PCA, error) {
+	if threads <= 0 {
+		threads = 1
+	}
+	p, err := m.NewProcess(name, threads)
+	if err != nil {
+		return nil, err
+	}
+	pca := &PCA{m: m, name: name, threads: threads, rows: rows, cols: cols}
+
+	matBytes := rows * cols * 8
+	pca.matVA, _, err = p.Mmap(uint64((matBytes+mem.PageSize-1)/mem.PageSize), 0)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, matBytes)
+	x := uint64(362436069)
+	for i := 0; i < rows*cols; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := int64(x%2000) - 1000
+		for b := 0; b < 8; b++ {
+			data[i*8+b] = byte(uint64(v) >> (8 * b))
+		}
+	}
+	if err := fillPMO(m, p, pca.matVA, data); err != nil {
+		return nil, err
+	}
+
+	pca.meanVA, _, err = p.Mmap(uint64((rows*8+mem.PageSize-1)/mem.PageSize), 0)
+	if err != nil {
+		return nil, err
+	}
+	covWords := rows * (rows + 1) / 2
+	pca.covVA, _, err = p.Mmap(uint64((covWords*8+mem.PageSize-1)/mem.PageSize), 0)
+	if err != nil {
+		return nil, err
+	}
+	return pca, nil
+}
+
+func (pca *PCA) proc() (*kernel.Process, error) {
+	p := pca.m.Process(pca.name)
+	if p == nil {
+		return nil, fmt.Errorf("phoenix: process %q not found", pca.name)
+	}
+	return p, nil
+}
+
+// readRow loads row r into a Go buffer (bulk read).
+func (pca *PCA) readRow(e *kernel.Env, r int, buf []int64) error {
+	raw := make([]byte, pca.cols*8)
+	if err := e.Read(pca.matVA+uint64(r*pca.cols*8), raw); err != nil {
+		return err
+	}
+	for i := 0; i < pca.cols; i++ {
+		v := uint64(0)
+		for b := 7; b >= 0; b-- {
+			v = v<<8 | uint64(raw[i*8+b])
+		}
+		buf[i] = int64(v)
+	}
+	return nil
+}
+
+// Step computes one row of means or one row of the covariance triangle.
+// Returns false when the whole computation is done.
+func (pca *PCA) Step() (bool, error) {
+	if pca.phase == 2 {
+		return false, nil
+	}
+	p, err := pca.proc()
+	if err != nil {
+		return false, err
+	}
+	r := pca.nextRow
+	tid := r % pca.threads
+	switch pca.phase {
+	case 0:
+		_, err = pca.m.Run(p, p.Thread(tid), func(e *kernel.Env) error {
+			row := make([]int64, pca.cols)
+			if err := pca.readRow(e, r, row); err != nil {
+				return err
+			}
+			var sum int64
+			for _, v := range row {
+				sum += v
+			}
+			e.Charge(flopCost * simclock.Duration(pca.cols))
+			return e.WriteU64(pca.meanVA+uint64(r*8), uint64(sum/int64(pca.cols)))
+		})
+	case 1:
+		_, err = pca.m.Run(p, p.Thread(tid), func(e *kernel.Env) error {
+			ri := make([]int64, pca.cols)
+			rj := make([]int64, pca.cols)
+			if err := pca.readRow(e, r, ri); err != nil {
+				return err
+			}
+			mi, err := e.ReadU64(pca.meanVA + uint64(r*8))
+			if err != nil {
+				return err
+			}
+			out := make([]byte, (r+1)*8)
+			for j := 0; j <= r; j++ {
+				if err := pca.readRow(e, j, rj); err != nil {
+					return err
+				}
+				mj, err := e.ReadU64(pca.meanVA + uint64(j*8))
+				if err != nil {
+					return err
+				}
+				var dot int64
+				for c := 0; c < pca.cols; c++ {
+					dot += (ri[c] - int64(mi)) * (rj[c] - int64(mj))
+				}
+				e.Charge(flopCost * simclock.Duration(pca.cols*2))
+				cov := dot / int64(pca.cols)
+				for b := 0; b < 8; b++ {
+					out[j*8+b] = byte(uint64(cov) >> (8 * b))
+				}
+			}
+			base := r * (r + 1) / 2 * 8
+			return e.Write(pca.covVA+uint64(base), out)
+		})
+	}
+	if err != nil {
+		return false, err
+	}
+	pca.nextRow++
+	if pca.nextRow >= pca.rows {
+		pca.phase++
+		pca.nextRow = 0
+	}
+	return pca.phase < 2, nil
+}
+
+// Run drives the computation to completion.
+func (pca *PCA) Run() error {
+	for {
+		more, err := pca.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			return nil
+		}
+	}
+}
+
+// Cov returns covariance entry (i, j), i >= j.
+func (pca *PCA) Cov(i, j int) (int64, error) {
+	p, err := pca.proc()
+	if err != nil {
+		return 0, err
+	}
+	var v uint64
+	_, err = pca.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		idx := i*(i+1)/2 + j
+		var err error
+		v, err = e.ReadU64(pca.covVA + uint64(idx*8))
+		return err
+	})
+	return int64(v), err
+}
+
+// Reset rewinds the computation so Run can be called again.
+func (pca *PCA) Reset() {
+	pca.phase = 0
+	pca.nextRow = 0
+}

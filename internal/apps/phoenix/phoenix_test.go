@@ -1,0 +1,187 @@
+package phoenix
+
+import (
+	"testing"
+
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+func newMachine(interval simclock.Duration) *kernel.Machine {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = interval
+	return kernel.New(cfg)
+}
+
+func TestWordCountCorrectness(t *testing.T) {
+	m := newMachine(0)
+	w, err := NewWordCount(m, "wordcount", 4, 32, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !w.Done() {
+		t.Error("not done after Run")
+	}
+	// The corpus is ~32 KiB of 5-byte words: ~6550 words total. Sum of
+	// all merged counts must match.
+	var total uint64
+	for id := 0; id < 50; id++ {
+		c, err := w.Count(wordName(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c
+	}
+	wantMin := uint64(32*1024/5 - 10)
+	if total < wantMin || total > wantMin+20 {
+		t.Errorf("total words = %d, want ~%d", total, wantMin)
+	}
+}
+
+func wordName(id int) string {
+	return string([]byte{'w', byte('0' + id/100), byte('0' + id/10%10), byte('0' + id%10)})
+}
+
+func TestWordCountUnderCheckpointing(t *testing.T) {
+	m := newMachine(simclock.Millisecond)
+	w, err := NewWordCount(m, "wordcount", 8, 64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Checkpoints == 0 {
+		t.Error("no checkpoints during the run")
+	}
+}
+
+func TestWordCountCrashRestoreMidRun(t *testing.T) {
+	m := newMachine(0)
+	w, err := NewWordCount(m, "wordcount", 2, 16, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Map half the chunks, checkpoint, crash.
+	half := w.Chunks() / 2
+	for i := 0; i < half; i++ {
+		if _, err := w.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.TakeCheckpoint()
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	// The count tables are intact; finishing the run works (the driver
+	// resumes from its chunk counter, like a restarted client would).
+	if err := w.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c, err := w.Count("w001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == 0 {
+		t.Error("no counts after crash-resume")
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	m := newMachine(0)
+	km, err := NewKMeans(m, "kmeans", 4, 400, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := km.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	// Cluster centers were synthesized at c*1000 (fixed point): the
+	// learned centroids must be near 0, 1000, 2000 in some order.
+	found := map[int]bool{}
+	for c := 0; c < 3; c++ {
+		v, err := km.Centroid(c, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		real := v >> fixShift
+		for _, center := range []int64{0, 1000, 2000} {
+			if real > center-200 && real < center+200 {
+				found[int(center)] = true
+			}
+		}
+	}
+	if len(found) != 3 {
+		t.Errorf("centroids found near %v, want all 3 centers", found)
+	}
+}
+
+func TestKMeansDirtiesHotPages(t *testing.T) {
+	m := newMachine(simclock.Millisecond)
+	km, err := NewKMeans(m, "kmeans", 8, 2000, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := km.Run(14); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Checkpoints == 0 {
+		t.Fatal("no checkpoints")
+	}
+	// The accumulators are rewritten every chunk: hybrid copy must cache
+	// them (KMeans is the paper's best case, Table 4).
+	if m.Ckpt.CachedPages() == 0 {
+		t.Error("no pages cached for the hottest workload")
+	}
+}
+
+func TestPCACorrectVariance(t *testing.T) {
+	m := newMachine(0)
+	pca, err := NewPCA(m, "pca", 4, 24, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pca.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Diagonal entries are variances of uniform [-1000,1000) data:
+	// ~1000^2/3 = 333k. Allow wide tolerance (small sample).
+	v, err := pca.Cov(5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v < 100_000 || v > 700_000 {
+		t.Errorf("variance = %d, want ~333000", v)
+	}
+	// Symmetric pair sanity: cov(i,j) stored once; off-diagonal of
+	// independent data is small relative to the variance.
+	off, _ := pca.Cov(5, 2)
+	if abs64(off) > v {
+		t.Errorf("cov(5,2)=%d exceeds variance %d", off, v)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func TestPCARunsUnderCheckpointing(t *testing.T) {
+	m := newMachine(simclock.Millisecond)
+	pca, err := NewPCA(m, "pca", 2, 96, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pca.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Stats.Checkpoints == 0 {
+		t.Error("no checkpoints")
+	}
+}

@@ -1,0 +1,161 @@
+// Package tablestore implements the SQLite stand-in of §7.3: a
+// single-threaded embedded row store executing a mixed
+// read/insert/update/delete workload. Rows live in simulated process memory
+// (a kvstore table keyed by row ID), and every statement pays a fixed
+// parse/plan cost, which is what makes SQLite's per-op profile heavier than
+// a raw KV store's.
+package tablestore
+
+import (
+	"fmt"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/apps/uheap"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+// parseCost models SQL parsing/planning per statement.
+const parseCost = 2 * simclock.Microsecond
+
+// Stats counts executed statements.
+type Stats struct {
+	Inserts, Updates, Deletes, Selects uint64
+}
+
+// Table is a restore-safe handle to a row table.
+type Table struct {
+	m    *kernel.Machine
+	name string
+
+	heapBase, heapLimit uint64
+	headerVA            uint64
+
+	Stats Stats
+}
+
+// Open creates the (single-threaded) database process and its table.
+func Open(m *kernel.Machine, name string, heapPages uint64) (*Table, error) {
+	if heapPages == 0 {
+		heapPages = 2048
+	}
+	p, err := m.NewProcess(name, 1)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{m: m, name: name}
+	_, err = m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		heap, err := uheap.New(e, heapPages)
+		if err != nil {
+			return err
+		}
+		st, err := kvstore.Create(e, heap, 1024)
+		if err != nil {
+			return err
+		}
+		t.heapBase, t.heapLimit = heap.Base, heap.Limit
+		t.headerVA = st.HeaderVA
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("tablestore: opening %s: %w", name, err)
+	}
+	return t, nil
+}
+
+// Machine returns the hosting machine.
+func (t *Table) Machine() *kernel.Machine { return t.m }
+
+func (t *Table) proc() (*kernel.Process, error) {
+	p := t.m.Process(t.name)
+	if p == nil {
+		return nil, fmt.Errorf("tablestore: process %q not found", t.name)
+	}
+	return p, nil
+}
+
+func (t *Table) store() *kvstore.Store {
+	return kvstore.Attach(uheap.Attach(t.heapBase, t.heapLimit), t.headerVA)
+}
+
+func rowKey(id uint64) []byte {
+	k := make([]byte, 8)
+	for i := range k {
+		k[i] = byte(id >> (8 * i))
+	}
+	return k
+}
+
+func (t *Table) exec(fn func(e *kernel.Env) error) (kernel.OpResult, error) {
+	p, err := t.proc()
+	if err != nil {
+		return kernel.OpResult{}, err
+	}
+	return t.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		e.Syscall()
+		e.Charge(parseCost)
+		return fn(e)
+	})
+}
+
+// Insert adds a row.
+func (t *Table) Insert(id uint64, payload []byte) (kernel.OpResult, error) {
+	res, err := t.exec(func(e *kernel.Env) error {
+		return t.store().Set(e, rowKey(id), payload)
+	})
+	if err == nil {
+		t.Stats.Inserts++
+	}
+	return res, err
+}
+
+// Update rewrites a row's payload.
+func (t *Table) Update(id uint64, payload []byte) (kernel.OpResult, error) {
+	res, err := t.exec(func(e *kernel.Env) error {
+		return t.store().Set(e, rowKey(id), payload)
+	})
+	if err == nil {
+		t.Stats.Updates++
+	}
+	return res, err
+}
+
+// Delete removes a row, reporting whether it existed.
+func (t *Table) Delete(id uint64) (kernel.OpResult, bool, error) {
+	var ok bool
+	res, err := t.exec(func(e *kernel.Env) error {
+		var err error
+		ok, err = t.store().Delete(e, rowKey(id))
+		return err
+	})
+	if err == nil {
+		t.Stats.Deletes++
+	}
+	return res, ok, err
+}
+
+// Select reads a row.
+func (t *Table) Select(id uint64) (kernel.OpResult, []byte, bool, error) {
+	var row []byte
+	var ok bool
+	res, err := t.exec(func(e *kernel.Env) error {
+		var err error
+		row, ok, err = t.store().Get(e, rowKey(id))
+		return err
+	})
+	if err == nil {
+		t.Stats.Selects++
+	}
+	return res, row, ok, err
+}
+
+// Count returns the number of rows.
+func (t *Table) Count() (uint64, error) {
+	var n uint64
+	_, err := t.exec(func(e *kernel.Env) error {
+		var err error
+		n, err = t.store().Count(e)
+		return err
+	})
+	return n, err
+}

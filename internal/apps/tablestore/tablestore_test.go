@@ -1,0 +1,117 @@
+package tablestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+func newTable(t *testing.T, interval simclock.Duration) *Table {
+	t.Helper()
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = interval
+	m := kernel.New(cfg)
+	tb, err := Open(m, "sqlite", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestCRUD(t *testing.T) {
+	tb := newTable(t, 0)
+	if _, err := tb.Insert(1, []byte("row-one")); err != nil {
+		t.Fatal(err)
+	}
+	_, row, ok, _ := tb.Select(1)
+	if !ok || string(row) != "row-one" {
+		t.Fatalf("Select = %q,%v", row, ok)
+	}
+	tb.Update(1, []byte("row-one-v2"))
+	_, row, _, _ = tb.Select(1)
+	if string(row) != "row-one-v2" {
+		t.Errorf("after update: %q", row)
+	}
+	_, ok, _ = tb.Delete(1)
+	if !ok {
+		t.Error("delete failed")
+	}
+	if _, _, ok, _ := tb.Select(1); ok {
+		t.Error("deleted row found")
+	}
+}
+
+func TestMixedWorkloadMatchesModel(t *testing.T) {
+	tb := newTable(t, simclock.Millisecond)
+	rng := rand.New(rand.NewSource(11))
+	model := map[uint64]string{}
+	for i := 0; i < 1500; i++ {
+		id := uint64(rng.Intn(200))
+		switch rng.Intn(4) {
+		case 0:
+			v := fmt.Sprintf("p%d", rng.Int())
+			tb.Insert(id, []byte(v))
+			model[id] = v
+		case 1:
+			v := fmt.Sprintf("u%d", rng.Int())
+			tb.Update(id, []byte(v))
+			model[id] = v
+		case 2:
+			_, ok, _ := tb.Delete(id)
+			if _, want := model[id]; ok != want {
+				t.Fatalf("delete %d = %v", id, ok)
+			}
+			delete(model, id)
+		case 3:
+			_, row, ok, _ := tb.Select(id)
+			want, exists := model[id]
+			if ok != exists || (ok && string(row) != want) {
+				t.Fatalf("select %d = %q,%v want %q,%v", id, row, ok, want, exists)
+			}
+		}
+	}
+	n, _ := tb.Count()
+	if int(n) != len(model) {
+		t.Errorf("count %d != model %d", n, len(model))
+	}
+	if tb.Machine().Stats.Checkpoints == 0 {
+		t.Error("no checkpoints during the mixed workload")
+	}
+}
+
+func TestStatementCostsParse(t *testing.T) {
+	tb := newTable(t, 0)
+	res, _ := tb.Insert(7, []byte("x"))
+	if res.Latency() < parseCost {
+		t.Errorf("latency %v below parse cost", res.Latency())
+	}
+}
+
+func TestCrashRestoreRows(t *testing.T) {
+	tb := newTable(t, 0)
+	m := tb.Machine()
+	for i := uint64(0); i < 100; i++ {
+		tb.Insert(i, []byte(fmt.Sprintf("row%d", i)))
+	}
+	m.TakeCheckpoint()
+	tb.Insert(999, []byte("uncommitted"))
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok, _ := tb.Select(999); ok {
+		t.Error("uncommitted row survived")
+	}
+	for i := uint64(0); i < 100; i++ {
+		_, row, ok, err := tb.Select(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok || string(row) != fmt.Sprintf("row%d", i) {
+			t.Fatalf("row %d lost", i)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package uheap
+
+import (
+	"testing"
+
+	"treesls/internal/kernel"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {32, 0}, {33, 1}, {64, 1}, {65, 2},
+		{4096, 7}, {4097, -1}, {1 << 20, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.want {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	for c := 0; c < numClasses; c++ {
+		if classSize(c) != uint64(minClass)<<uint(c) {
+			t.Errorf("classSize(%d) = %d", c, classSize(c))
+		}
+	}
+}
+
+func TestZeroSizeAllocAndOversizedFree(t *testing.T) {
+	m, p := newProc(t)
+	run(t, m, p, func(e *kernel.Env) error {
+		h, err := New(e, 8)
+		if err != nil {
+			return err
+		}
+		va, err := h.Alloc(e, 0) // rounds up to the smallest class
+		if err != nil {
+			return err
+		}
+		if va == 0 {
+			t.Error("zero VA")
+		}
+		// Oversized blocks are bump-only; Free is a no-op, not a crash.
+		big, err := h.Alloc(e, 10000)
+		if err != nil {
+			return err
+		}
+		if err := h.Free(e, big, 10000); err != nil {
+			return err
+		}
+		// The block is NOT recycled (bump region semantics).
+		next, err := h.Alloc(e, 10000)
+		if err != nil {
+			return err
+		}
+		if next == big {
+			t.Error("oversized block recycled")
+		}
+		return nil
+	})
+}
+
+func TestAlignment(t *testing.T) {
+	m, p := newProc(t)
+	run(t, m, p, func(e *kernel.Env) error {
+		h, err := New(e, 8)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 20; i++ {
+			va, err := h.Alloc(e, uint64(1+i*37%200))
+			if err != nil {
+				return err
+			}
+			if va%16 != 0 {
+				t.Errorf("alloc %d misaligned at %#x", i, va)
+			}
+		}
+		return nil
+	})
+}

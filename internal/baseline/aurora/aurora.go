@@ -1,0 +1,179 @@
+// Package aurora implements an Aurora-style single-level store baseline
+// (§2.3, Figure 2): a two-tier SLS that stops the world, copies dirty state
+// into DRAM buffers, and flushes the buffers to a storage device
+// *asynchronously*. The asynchrony is what limits it: a checkpoint is not
+// durable until its flush completes, the next checkpoint cannot start before
+// that, and external synchrony therefore waits up to interval + flush time
+// (the paper measures 5-7 ms per flush with DRAM as storage, ~100 ms with
+// SSD).
+//
+// The simulator wraps a TreeSLS machine running with native checkpointing
+// disabled: it reuses the machine's lanes, capability tree and hardware
+// dirty bits, but persists through the two-tier copy-then-flush pipeline
+// instead of the NVM-native tree checkpoint.
+package aurora
+
+import (
+	"treesls/internal/baseline/disk"
+	"treesls/internal/caps"
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// Stats describes the simulator's activity.
+type Stats struct {
+	Checkpoints     uint64
+	DirtyPages      uint64
+	ObjectsCopied   uint64
+	JournalAppends  uint64
+	LastSTW         simclock.Duration
+	LastFlush       simclock.Duration
+	MaxEffInterval  simclock.Duration
+	lastPersistTime simclock.Time
+}
+
+// Simulator drives Aurora-style checkpointing over a machine.
+type Simulator struct {
+	M        *kernel.Machine
+	Dev      *disk.Device
+	Journal  *disk.Device // journaling-API device (Aurora-API configuration)
+	Interval simclock.Duration
+
+	nextCkpt  simclock.Time
+	flushDone simclock.Time
+	lastSTW   simclock.Time
+
+	Stats Stats
+}
+
+// New creates the simulator. The machine must run with its native periodic
+// checkpointing off (CheckpointEvery = 0).
+func New(m *kernel.Machine, dev *disk.Device, interval simclock.Duration) *Simulator {
+	if m.Config().CheckpointEvery != 0 {
+		panic("aurora: machine must have native checkpointing disabled")
+	}
+	return &Simulator{
+		M:        m,
+		Dev:      dev,
+		Journal:  disk.New(dev.Profile(), m.Model),
+		Interval: interval,
+		nextCkpt: simclock.Time(interval),
+	}
+}
+
+// Tick fires any checkpoint that is due at the machine's current time.
+// Drivers call it between operations (the machine does this automatically
+// for native checkpoints; Aurora is external, so the workload loop ticks).
+func (s *Simulator) Tick() {
+	if s.Interval <= 0 {
+		return
+	}
+	now := s.M.Now()
+	for {
+		due := s.nextCkpt
+		// §2.3: "Since the checkpoint is incomplete before all dirty
+		// data is persisted, the next checkpoint cannot be taken."
+		if s.flushDone > due {
+			due = s.flushDone
+		}
+		if due > now {
+			s.nextCkpt = due
+			return
+		}
+		s.checkpoint(due)
+	}
+}
+
+// checkpoint runs one stop-the-world copy at time at.
+func (s *Simulator) checkpoint(at simclock.Time) {
+	model := s.M.Model
+	// Rendezvous all lanes.
+	barrier := at
+	for _, c := range s.M.Cores {
+		if c.Lane.Now() > barrier {
+			barrier = c.Lane.Now()
+		}
+	}
+	for _, c := range s.M.Cores {
+		c.Lane.AdvanceTo(barrier)
+	}
+	leader := &s.M.Cores[0].Lane
+	leader.Charge(model.IPISend + simclock.Duration(len(s.M.Cores)-1)*model.IPIAckPerCore)
+
+	// Stop-and-copy every dirty page into DRAM staging buffers, and every
+	// kernel object (Aurora checkpoints process state wholesale; EROS's
+	// process/object caches behave alike). The scan itself walks page
+	// metadata — this is the O(resident pages) cost a two-tier SLS pays.
+	dirtyBytes := 0
+	objects := 0
+	s.M.Tree.Walk(func(o caps.Object) {
+		objects++
+		leader.Charge(model.ThreadCopy / 2) // object copy into staging
+		if pmo, ok := o.(*caps.PMO); ok {
+			pmo.ForEachPage(func(idx uint64, slot *caps.PageSlot) bool {
+				leader.Charge(model.PageTableWalk)
+				if slot.Dirty {
+					leader.Charge(model.DRAMCopyPage)
+					slot.Dirty = false
+					dirtyBytes += mem.PageSize
+					s.Stats.DirtyPages++
+				}
+				return true
+			})
+		}
+	})
+	s.Stats.ObjectsCopied += uint64(objects)
+	leader.Charge(model.IPIResume)
+
+	stwEnd := leader.Now()
+	for _, c := range s.M.Cores {
+		c.Lane.AdvanceTo(stwEnd)
+	}
+	s.Stats.LastSTW = stwEnd.Sub(barrier)
+
+	// Background flush of the staging buffers to storage; durability of
+	// this checkpoint arrives only when the flush completes.
+	flushBytes := dirtyBytes + objects*256
+	s.flushDone = s.Dev.WriteAsync(stwEnd, flushBytes)
+	s.Stats.LastFlush = s.flushDone.Sub(stwEnd)
+
+	if s.Stats.lastPersistTime > 0 {
+		eff := s.flushDone.Sub(s.Stats.lastPersistTime)
+		if eff > s.Stats.MaxEffInterval {
+			s.Stats.MaxEffInterval = eff
+		}
+	}
+	s.Stats.lastPersistTime = s.flushDone
+	s.Stats.Checkpoints++
+	s.lastSTW = stwEnd
+	s.nextCkpt = stwEnd.Add(s.Interval)
+}
+
+// PersistTimeFor returns when state produced at time t becomes durable: the
+// flush completion of the first checkpoint taken at or after t. Used to
+// compute external-synchrony latency for Aurora configurations.
+func (s *Simulator) PersistTimeFor(t simclock.Time) simclock.Time {
+	if t <= s.lastSTW {
+		return s.flushDone
+	}
+	// The next checkpoint starts no earlier than both the interval tick
+	// and the previous flush; its own flush then needs ~LastFlush again.
+	start := s.nextCkpt
+	if s.flushDone > start {
+		start = s.flushDone
+	}
+	if start < t {
+		start = t.Add(s.Interval)
+	}
+	return start.Add(s.Stats.LastFlush)
+}
+
+// JournalAppend persists one record synchronously through Aurora's
+// journaling API (the opt-in external-synchrony mechanism applications must
+// be modified to call, §2.4).
+func (s *Simulator) JournalAppend(lane *simclock.Lane, bytes int) {
+	lane.Charge(s.M.Model.SyscallEntry)
+	s.Journal.WriteSync(lane, bytes)
+	s.Stats.JournalAppends++
+}

@@ -1,0 +1,139 @@
+package aurora
+
+import (
+	"testing"
+
+	"treesls/internal/baseline/disk"
+	"treesls/internal/caps"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+func newRig(t *testing.T, interval simclock.Duration, profile disk.Profile) (*kernel.Machine, *Simulator) {
+	t.Helper()
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = 0
+	m := kernel.New(cfg)
+	return m, New(m, disk.New(profile, m.Model), interval)
+}
+
+func TestPanicsIfNativeCheckpointingOn(t *testing.T) {
+	m := kernel.New(kernel.DefaultConfig()) // native 1ms checkpointing
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic with native checkpointing on")
+		}
+	}()
+	New(m, disk.New(disk.DRAMDisk, m.Model), 5*simclock.Millisecond)
+}
+
+func TestCheckpointsFireAndFlushAsync(t *testing.T) {
+	m, s := newRig(t, 5*simclock.Millisecond, disk.DRAMDisk)
+	p, _ := m.NewProcess("app", 2)
+	va, _, _ := p.Mmap(64, caps.PMODefault)
+
+	for m.Now() < simclock.Time(20*simclock.Millisecond) {
+		_, err := m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+			e.Charge(100 * simclock.Microsecond)
+			return e.Write(va+uint64(m.Stats.Ops%64)*4096, []byte("dirty"))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Tick()
+	}
+	if s.Stats.Checkpoints < 2 {
+		t.Fatalf("checkpoints = %d", s.Stats.Checkpoints)
+	}
+	if s.Stats.DirtyPages == 0 {
+		t.Error("no dirty pages copied")
+	}
+	if s.Stats.LastFlush <= 0 {
+		t.Error("flush took no time")
+	}
+	if s.Dev.Stats.AsyncJobs == 0 {
+		t.Error("nothing flushed to the device")
+	}
+}
+
+// §2.3: with slow storage the effective checkpoint interval stretches far
+// past the nominal one, because the next checkpoint waits for the flush.
+func TestSlowDeviceLimitsFrequency(t *testing.T) {
+	mFast, sFast := newRig(t, simclock.Millisecond, disk.DRAMDisk)
+	mSlow, sSlow := newRig(t, simclock.Millisecond, disk.NVMe)
+
+	drive := func(m *kernel.Machine, s *Simulator) uint64 {
+		p, _ := m.NewProcess("app", 4)
+		va, _, _ := p.Mmap(512, caps.PMODefault)
+		buf := make([]byte, 4096)
+		i := uint64(0)
+		for m.Now() < simclock.Time(30*simclock.Millisecond) {
+			m.Run(p, p.Thread(int(i)), func(e *kernel.Env) error {
+				e.Charge(3 * simclock.Microsecond)
+				return e.Write(va+(i%512)*4096, buf)
+			})
+			i++
+			s.Tick()
+		}
+		return s.Stats.Checkpoints
+	}
+	fast := drive(mFast, sFast)
+	slow := drive(mSlow, sSlow)
+	if slow >= fast {
+		t.Errorf("slow device took %d checkpoints, fast %d — flush gating missing", slow, fast)
+	}
+}
+
+func TestPersistTimeAfterOp(t *testing.T) {
+	m, s := newRig(t, 5*simclock.Millisecond, disk.DRAMDisk)
+	p, _ := m.NewProcess("app", 1)
+	va, _, _ := p.Mmap(8, caps.PMODefault)
+	res, _ := m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		return e.Write(va, []byte("op"))
+	})
+	persist := s.PersistTimeFor(res.End)
+	if persist <= res.End {
+		t.Error("durability cannot precede the op")
+	}
+	// Durability is roughly interval + flush away, never immediate.
+	if persist.Sub(res.End) < s.Interval/2 {
+		t.Errorf("persist gap %v suspiciously small", persist.Sub(res.End))
+	}
+}
+
+func TestJournalAppendSynchronous(t *testing.T) {
+	_, s := newRig(t, 5*simclock.Millisecond, disk.DRAMDisk)
+	var lane simclock.Lane
+	before := lane.Now()
+	s.JournalAppend(&lane, 128)
+	if lane.Now() == before {
+		t.Error("journal append free")
+	}
+	if s.Stats.JournalAppends != 1 {
+		t.Errorf("appends = %d", s.Stats.JournalAppends)
+	}
+}
+
+func TestDirtyBitsClearedAfterCheckpoint(t *testing.T) {
+	m, s := newRig(t, simclock.Millisecond, disk.DRAMDisk)
+	p, _ := m.NewProcess("app", 1)
+	va, pmo, _ := p.Mmap(4, caps.PMODefault)
+	m.Run(p, p.MainThread(), func(e *kernel.Env) error { return e.Write(va, []byte("d")) })
+	m.SettleTo(simclock.Time(2 * simclock.Millisecond))
+	s.Tick()
+	// Boot-time service pages are dirty too; at least ours must be among
+	// the copied set, and its bit must clear.
+	if s.Stats.DirtyPages == 0 {
+		t.Fatal("no dirty pages copied")
+	}
+	if pmo.Lookup(0).Dirty {
+		t.Error("dirty bit not cleared")
+	}
+	// Unchanged pages are not re-copied next round.
+	after := s.Stats.DirtyPages
+	m.SettleTo(simclock.Time(4 * simclock.Millisecond))
+	s.Tick()
+	if s.Stats.DirtyPages != after {
+		t.Errorf("clean pages re-copied: %d -> %d", after, s.Stats.DirtyPages)
+	}
+}

@@ -1,0 +1,95 @@
+package disk
+
+import (
+	"testing"
+
+	"treesls/internal/simclock"
+)
+
+func TestProfilesOrdering(t *testing.T) {
+	model := simclock.DefaultCostModel()
+	nvme := New(NVMe, model)
+	ram := New(DRAMDisk, model)
+
+	var l1, l2 simclock.Lane
+	nvme.WriteSync(&l1, 4096)
+	ram.WriteSync(&l2, 4096)
+	if l1.Now() <= l2.Now() {
+		t.Errorf("NVMe write (%d) should cost more than DRAM-disk (%d)", l1.Now(), l2.Now())
+	}
+}
+
+func TestWriteSyncRoundsToBlocks(t *testing.T) {
+	d := New(NVMe, simclock.DefaultCostModel())
+	var lane simclock.Lane
+	d.WriteSync(&lane, 1)
+	if d.Stats.BlocksWritten != 1 {
+		t.Errorf("blocks = %d", d.Stats.BlocksWritten)
+	}
+	d.WriteSync(&lane, BlockSize+1)
+	if d.Stats.BlocksWritten != 3 {
+		t.Errorf("blocks = %d, want 3", d.Stats.BlocksWritten)
+	}
+	if d.Stats.Flushes != 2 {
+		t.Errorf("flushes = %d", d.Stats.Flushes)
+	}
+}
+
+func TestWriteSyncZeroBytes(t *testing.T) {
+	d := New(NVMe, simclock.DefaultCostModel())
+	var lane simclock.Lane
+	d.WriteSync(&lane, 0)
+	if lane.Now() != 0 || d.Stats.Flushes != 0 {
+		t.Error("zero-byte write charged")
+	}
+}
+
+func TestPMDAXByteGranularButSyncDominated(t *testing.T) {
+	model := simclock.DefaultCostModel()
+	dax := New(PMDAX, model)
+	var lane simclock.Lane
+	dax.WriteSync(&lane, 100)
+	// No block amplification: 100 bytes is 100 bytes.
+	if dax.Stats.BytesWritten != 100 {
+		t.Errorf("bytes = %d", dax.Stats.BytesWritten)
+	}
+	// But the fsync (journal commit) dominates the cost.
+	if simclock.Duration(lane.Now()) < model.DAXFsync {
+		t.Errorf("append cost %d below fsync cost %d", lane.Now(), model.DAXFsync)
+	}
+	// Doubling the payload barely moves the total (sync-dominated).
+	var lane2 simclock.Lane
+	dax.WriteSync(&lane2, 200)
+	if lane2.Now() > lane.Now()*2 {
+		t.Error("append cost not sync-dominated")
+	}
+}
+
+func TestAsyncSerialQueue(t *testing.T) {
+	d := New(NVMe, simclock.DefaultCostModel())
+	c1 := d.WriteAsync(1000, BlockSize)
+	if c1 <= 1000 {
+		t.Error("async write completed instantly")
+	}
+	// Issued before c1 completes: must queue behind it.
+	c2 := d.WriteAsync(1001, BlockSize)
+	if c2 <= c1 {
+		t.Errorf("overlapping write finished at %d, first at %d", c2, c1)
+	}
+	// Issued after the device drains: starts fresh.
+	c3 := d.WriteAsync(c2.Add(simclock.Millisecond), BlockSize)
+	if c3.Sub(c2.Add(simclock.Millisecond)) != c2.Sub(c1) {
+		t.Error("idle device did not start immediately")
+	}
+	if d.BusyUntil() != c3 {
+		t.Error("BusyUntil out of sync")
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	for _, p := range []Profile{NVMe, DRAMDisk, PMDAX} {
+		if p.String() == "" {
+			t.Error("unnamed profile")
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package wal
+
+import (
+	"testing"
+
+	"treesls/internal/baseline/disk"
+	"treesls/internal/simclock"
+)
+
+func TestAppendChargesCriticalPath(t *testing.T) {
+	l := New(disk.New(disk.PMDAX, simclock.DefaultCostModel()))
+	var lane simclock.Lane
+	l.Append(&lane, 100)
+	if lane.Now() == 0 {
+		t.Error("append charged nothing")
+	}
+	if l.Stats.Records != 1 || l.Stats.Syncs != 1 {
+		t.Errorf("stats = %+v", l.Stats)
+	}
+}
+
+func TestGroupCommitBatches(t *testing.T) {
+	dev := disk.New(disk.PMDAX, simclock.DefaultCostModel())
+	l := New(dev)
+	l.GroupCommit = 4
+	var lane simclock.Lane
+	for i := 0; i < 3; i++ {
+		l.Append(&lane, 50)
+	}
+	if l.Stats.Syncs != 0 {
+		t.Errorf("premature sync: %d", l.Stats.Syncs)
+	}
+	l.Append(&lane, 50)
+	if l.Stats.Syncs != 1 {
+		t.Errorf("syncs = %d", l.Stats.Syncs)
+	}
+	// Flush drains leftovers.
+	l.Append(&lane, 10)
+	l.Flush(&lane)
+	if l.Stats.Syncs != 2 {
+		t.Errorf("syncs after flush = %d", l.Stats.Syncs)
+	}
+	l.Flush(&lane) // idempotent on empty
+	if l.Stats.Syncs != 2 {
+		t.Error("empty flush synced")
+	}
+}
+
+func TestPerRecordSyncCostsMoreThanBatched(t *testing.T) {
+	model := simclock.DefaultCostModel()
+	strict := New(disk.New(disk.PMDAX, model))
+	batched := New(disk.New(disk.PMDAX, model))
+	batched.GroupCommit = 32
+	var l1, l2 simclock.Lane
+	for i := 0; i < 32; i++ {
+		strict.Append(&l1, 64)
+		batched.Append(&l2, 64)
+	}
+	batched.Flush(&l2)
+	if l1.Now() <= l2.Now() {
+		t.Errorf("strict sync (%d) should cost more than group commit (%d)", l1.Now(), l2.Now())
+	}
+}

@@ -1,0 +1,167 @@
+package caps
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRadixEmpty(t *testing.T) {
+	var r Radix[int]
+	if r.Len() != 0 {
+		t.Error("empty tree has entries")
+	}
+	if _, ok := r.Get(0); ok {
+		t.Error("Get on empty tree succeeded")
+	}
+	if r.Delete(5) {
+		t.Error("Delete on empty tree succeeded")
+	}
+	r.Walk(func(uint64, int) bool { t.Error("walk visited entry in empty tree"); return true })
+}
+
+func TestRadixSetGet(t *testing.T) {
+	var r Radix[string]
+	if !r.Set(3, "a") {
+		t.Error("first Set not reported as new")
+	}
+	if r.Set(3, "b") {
+		t.Error("overwrite reported as new")
+	}
+	if v, ok := r.Get(3); !ok || v != "b" {
+		t.Errorf("Get(3) = %q, %v", v, ok)
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRadixGrowth(t *testing.T) {
+	var r Radix[uint64]
+	// Indices spanning several depths: 64, 64^2, 64^3 boundaries.
+	idxs := []uint64{0, 63, 64, 4095, 4096, 262143, 262144, 1 << 30}
+	for _, i := range idxs {
+		r.Set(i, i*10)
+	}
+	for _, i := range idxs {
+		if v, ok := r.Get(i); !ok || v != i*10 {
+			t.Errorf("Get(%d) = %d, %v", i, v, ok)
+		}
+	}
+	if r.Len() != len(idxs) {
+		t.Errorf("Len = %d, want %d", r.Len(), len(idxs))
+	}
+	// Growing must keep early entries reachable.
+	if v, ok := r.Get(0); !ok || v != 0 {
+		t.Error("entry 0 lost after growth")
+	}
+	if r.Nodes() <= 1 {
+		t.Errorf("Nodes = %d after deep growth", r.Nodes())
+	}
+}
+
+func TestRadixWalkOrder(t *testing.T) {
+	var r Radix[int]
+	idxs := []uint64{500, 2, 70, 4096, 1}
+	for _, i := range idxs {
+		r.Set(i, int(i))
+	}
+	var got []uint64
+	r.Walk(func(i uint64, v int) bool {
+		if v != int(i) {
+			t.Errorf("value mismatch at %d: %d", i, v)
+		}
+		got = append(got, i)
+		return true
+	})
+	want := []uint64{1, 2, 70, 500, 4096}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRadixWalkEarlyStop(t *testing.T) {
+	var r Radix[int]
+	for i := uint64(0); i < 100; i++ {
+		r.Set(i, 1)
+	}
+	n := 0
+	r.Walk(func(uint64, int) bool { n++; return n < 10 })
+	if n != 10 {
+		t.Errorf("early stop visited %d", n)
+	}
+}
+
+func TestRadixDelete(t *testing.T) {
+	var r Radix[int]
+	r.Set(100, 7)
+	if !r.Delete(100) {
+		t.Error("Delete failed")
+	}
+	if _, ok := r.Get(100); ok {
+		t.Error("entry survived Delete")
+	}
+	if r.Delete(100) {
+		t.Error("double Delete succeeded")
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+// Property: the radix tree agrees with a map under random operations.
+func TestRadixMatchesMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var r Radix[uint64]
+	model := map[uint64]uint64{}
+	for step := 0; step < 20000; step++ {
+		idx := uint64(rng.Intn(100000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			v := rng.Uint64()
+			r.Set(idx, v)
+			model[idx] = v
+		case 2:
+			got := r.Delete(idx)
+			_, want := model[idx]
+			if got != want {
+				t.Fatalf("step %d: Delete(%d) = %v, want %v", step, idx, got, want)
+			}
+			delete(model, idx)
+		}
+	}
+	if r.Len() != len(model) {
+		t.Fatalf("Len = %d, map has %d", r.Len(), len(model))
+	}
+	seen := 0
+	r.Walk(func(i uint64, v uint64) bool {
+		if model[i] != v {
+			t.Fatalf("walk mismatch at %d", i)
+		}
+		seen++
+		return true
+	})
+	if seen != len(model) {
+		t.Fatalf("walk visited %d of %d", seen, len(model))
+	}
+}
+
+// Property (quick): Set then Get round-trips for arbitrary indices below a
+// sane bound.
+func TestRadixQuickSetGet(t *testing.T) {
+	f := func(rawIdx uint32, v uint64) bool {
+		idx := uint64(rawIdx)
+		var r Radix[uint64]
+		r.Set(idx, v)
+		got, ok := r.Get(idx)
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+package caps
+
+import "testing"
+
+// fakeResolver hands out ORoots keyed by object ID, mimicking the checkpoint
+// manager's resolve step.
+type fakeResolver struct {
+	roots map[uint64]*ORoot
+}
+
+func newFakeResolver() *fakeResolver { return &fakeResolver{roots: map[uint64]*ORoot{}} }
+
+func (f *fakeResolver) resolve(o Object) *ORoot {
+	r, ok := f.roots[o.ID()]
+	if !ok {
+		r = &ORoot{ObjID: o.ID(), Kind: o.Kind(), Runtime: o}
+		f.roots[o.ID()] = r
+		o.setORoot(r)
+	}
+	return r
+}
+
+func (f *fakeResolver) revive(r *ORoot) Object { return r.Runtime }
+
+func TestThreadSnapshotRoundTrip(t *testing.T) {
+	tree := NewTree()
+	g := tree.NewCapGroup(tree.Root, "g")
+	th := tree.NewThread(g)
+	th.Touch(func(c *Context) { c.PC = 0x4000; c.SP = 0x7fff; c.R[3] = 99 })
+	th.SetState(ThreadRunning)
+
+	var snap ThreadSnap
+	th.Snapshot(&snap)
+
+	// Post-snapshot mutation must not leak into the snapshot.
+	th.Touch(func(c *Context) { c.R[3] = 100 })
+
+	th2 := ReviveThread(th.ID())
+	th2.RestoreFrom(&snap)
+	if th2.Ctx.PC != 0x4000 || th2.Ctx.R[3] != 99 {
+		t.Errorf("restored context = %+v", th2.Ctx)
+	}
+	if th2.State != ThreadRunnable {
+		t.Errorf("running thread restored as %v, want runnable", th2.State)
+	}
+	if th2.Dirty() {
+		t.Error("restored thread marked dirty")
+	}
+}
+
+func TestCapGroupSnapshotRoundTrip(t *testing.T) {
+	tree := NewTree()
+	g := tree.NewCapGroup(tree.Root, "payments")
+	th := tree.NewThread(g)
+	n := tree.NewNotification(g)
+	slot := g.Install(th, RightRead) // duplicate cap, limited rights
+	g.Remove(1)                      // tombstone the notification's original slot? find th's slot instead
+	_ = n
+	_ = slot
+
+	res := newFakeResolver()
+	var snap CapGroupSnap
+	g.Snapshot(&snap, res.resolve)
+	if len(snap.Slots) != g.NumSlots() {
+		t.Fatalf("snapshot has %d slots, group has %d", len(snap.Slots), g.NumSlots())
+	}
+
+	g2 := ReviveCapGroup(g.ID())
+	g2.RestoreFrom(&snap, res.revive)
+	if g2.Name != "payments" {
+		t.Errorf("name = %q", g2.Name)
+	}
+	if g2.NumSlots() != g.NumSlots() {
+		t.Errorf("restored %d slots, want %d", g2.NumSlots(), g.NumSlots())
+	}
+	// Tombstones preserved at the same indices.
+	for i := 0; i < g.NumSlots(); i++ {
+		a, b := g.Cap(i), g2.Cap(i)
+		if (a.Obj == nil) != (b.Obj == nil) {
+			t.Errorf("slot %d tombstone mismatch", i)
+		}
+		if a.Obj != nil && (a.Obj.ID() != b.Obj.ID() || a.Rights != b.Rights) {
+			t.Errorf("slot %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestVMSpaceSnapshotRoundTrip(t *testing.T) {
+	tree := NewTree()
+	g := tree.NewCapGroup(tree.Root, "g")
+	vs := tree.NewVMSpace(g)
+	pmo := tree.NewPMO(g, 64, PMODefault)
+	_ = vs.Map(&VMRegion{VABase: 0x1000_0000, NumPages: 32, PMO: pmo, PMOOffset: 8, Perm: RightRead | RightWrite})
+	vs.PageTable = "stale-page-table"
+
+	res := newFakeResolver()
+	var snap VMSpaceSnap
+	vs.Snapshot(&snap, res.resolve)
+
+	vs2 := ReviveVMSpace(vs.ID())
+	vs2.RestoreFrom(&snap, res.revive)
+	if vs2.NumRegions() != 1 {
+		t.Fatalf("regions = %d", vs2.NumRegions())
+	}
+	r := vs2.FindRegion(0x1000_0000)
+	if r == nil || r.PMO != pmo || r.PMOOffset != 8 || r.NumPages != 32 {
+		t.Errorf("restored region = %+v", r)
+	}
+	if vs2.PageTable != nil {
+		t.Error("restore must clear the page table (derived state)")
+	}
+}
+
+func TestIPCAndNotificationSnapshotRoundTrip(t *testing.T) {
+	tree := NewTree()
+	g := tree.NewCapGroup(tree.Root, "g")
+	client := tree.NewThread(g)
+	server := tree.NewThread(g)
+	conn := tree.NewIPCConn(g, client, server)
+	conn.Send([]byte("request-1"))
+
+	noti := tree.NewNotification(g)
+	noti.Signal()
+	noti.Signal()
+	waiter := tree.NewThread(g)
+	noti.Wait(waiter)
+	noti.Wait(waiter)
+	noti.Wait(waiter) // blocks: count exhausted
+
+	res := newFakeResolver()
+	var cs IPCConnSnap
+	conn.Snapshot(&cs, res.resolve)
+	var ns NotificationSnap
+	noti.Snapshot(&ns, res.resolve)
+
+	conn2 := ReviveIPCConn(conn.ID())
+	conn2.RestoreFrom(&cs, res.revive)
+	if string(conn2.Buf) != "request-1" || conn2.Seq != 1 {
+		t.Errorf("conn restored = %q seq %d", conn2.Buf, conn2.Seq)
+	}
+	if conn2.Client != client || conn2.Server != server {
+		t.Error("endpoints not restored")
+	}
+
+	noti2 := ReviveNotification(noti.ID())
+	noti2.RestoreFrom(&ns, res.revive)
+	if noti2.Count != 0 || noti2.NumWaiters() != 1 {
+		t.Errorf("notification restored count=%d waiters=%d", noti2.Count, noti2.NumWaiters())
+	}
+}
+
+func TestIRQSnapshotRoundTrip(t *testing.T) {
+	tree := NewTree()
+	g := tree.NewCapGroup(tree.Root, "g")
+	irq := tree.NewIRQNotification(g, 33)
+	h := tree.NewThread(g)
+	irq.Handler = h
+	irq.Raise()
+
+	res := newFakeResolver()
+	var snap IRQNotificationSnap
+	irq.Snapshot(&snap, res.resolve)
+
+	irq2 := ReviveIRQNotification(irq.ID())
+	irq2.RestoreFrom(&snap, res.revive)
+	if irq2.Line != 33 || irq2.Pending != 1 || irq2.Handler != h {
+		t.Errorf("restored irq = %+v", irq2)
+	}
+}
+
+func TestORootVersionRules(t *testing.T) {
+	r := &ORoot{}
+	// No backups yet.
+	if s, v := r.LatestCommitted(10); s != nil || v != 0 {
+		t.Error("empty root returned a snapshot")
+	}
+	if r.WriteSlot(10) != 0 {
+		t.Error("empty root should write slot 0")
+	}
+
+	s0, s1 := &ThreadSnap{}, &ThreadSnap{}
+	r.Backup[0], r.Ver[0] = s0, 4
+
+	// Committed version 4: slot 0 is the newest committed.
+	if s, v := r.LatestCommitted(4); s != s0 || v != 4 {
+		t.Error("slot 0 not selected")
+	}
+	if r.WriteSlot(4) != 1 {
+		t.Error("in-flight checkpoint must write the other slot")
+	}
+
+	r.Backup[1], r.Ver[1] = s1, 5
+	// Crash before commit of version 5: committed is still 4.
+	if s, _ := r.LatestCommitted(4); s != s0 {
+		t.Error("uncommitted snapshot must be ignored")
+	}
+	// After commit of version 5: slot 1 wins.
+	if s, v := r.LatestCommitted(5); s != s1 || v != 5 {
+		t.Error("committed snapshot not selected")
+	}
+	if r.WriteSlot(5) != 0 {
+		t.Error("next round must overwrite the older slot")
+	}
+}
+
+func TestORootSeenInRound(t *testing.T) {
+	r := &ORoot{}
+	if r.SeenInRound(3) {
+		t.Error("fresh root seen")
+	}
+	r.MarkSeen(3)
+	if !r.SeenInRound(3) || r.SeenInRound(4) {
+		t.Error("round bookkeeping wrong")
+	}
+}

@@ -1,0 +1,332 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/journal"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// QuiesceFunc models the residual non-interruptible kernel time of a core
+// when the stop IPI arrives (cores are interrupted from user space or at
+// syscall boundaries; a core inside the kernel finishes its short critical
+// section first). The kernel supplies a deterministic pseudo-random function
+// bounded by CostModel.MaxKernelSection.
+type QuiesceFunc func(core int) simclock.Duration
+
+// TakeCheckpoint performs one whole-system checkpoint (Figure 5, steps ❶-❺)
+// and returns its report. lanes are the simulated core clocks; lanes[leader]
+// runs the main checkpoint procedure while the others run hybrid copy in
+// parallel. quiesce may be nil (zero residual kernel time).
+func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce QuiesceFunc) Report {
+	if m.tree == nil {
+		panic("checkpoint: no runtime tree")
+	}
+	var rep Report
+	round := m.committed + 1
+	rep.Version = round
+	rep.Full = !m.HasCheckpoint()
+	rep.FaultsLastEpoch = m.Stats.EpochFaults
+	m.Stats.EpochFaults = 0
+
+	ll := lanes[leader]
+
+	// --- Step ❶: IPI broadcast and quiescence. -------------------------
+	// All cores rendezvous at the latest lane time (idle cores simply
+	// wait at the barrier), then each core needs IPI delivery, its
+	// residual kernel section, and an acknowledgement.
+	stwStart := ll.Now()
+	for _, l := range lanes {
+		if l.Now() > stwStart {
+			stwStart = l.Now()
+		}
+	}
+	ll.AdvanceTo(stwStart)
+	ll.Charge(m.model.IPISend)
+	quiescedAt := ll.Now()
+	for i, l := range lanes {
+		if i == leader {
+			continue
+		}
+		l.AdvanceTo(ll.Now())
+		var extra simclock.Duration
+		if quiesce != nil {
+			extra = quiesce(i)
+			if extra > m.model.MaxKernelSection {
+				extra = m.model.MaxKernelSection
+			}
+		}
+		l.Charge(extra + m.model.IPIAckPerCore)
+		if l.Now() > quiescedAt {
+			quiescedAt = l.Now()
+		}
+	}
+	for _, l := range lanes {
+		l.AdvanceTo(quiescedAt)
+	}
+	rep.IPIWait = quiescedAt.Sub(stwStart)
+
+	// --- Step ❷: the leader checkpoints the capability tree. -----------
+	treeStart := ll.Now()
+	m.rootORoot = m.checkpointObject(ll, m.tree.Root, round, &rep)
+	rep.CapTree = ll.Now().Sub(treeStart)
+
+	// --- Step ❸: other cores run hybrid copy in parallel. --------------
+	// Each non-leader core walks a stride-partitioned sublist of the
+	// active page list. With a single core, the leader does it serially.
+	hybridStart := quiescedAt
+	var hybridEnd simclock.Time
+	if m.cfg.HybridCopy {
+		workers := make([]*simclock.Lane, 0, len(lanes))
+		for i, l := range lanes {
+			if i != leader {
+				workers = append(workers, l)
+			}
+		}
+		serial := false
+		if len(workers) == 0 {
+			workers = append(workers, ll)
+			serial = true
+		}
+		hybridEnd = m.runHybridCopy(workers, hybridStart, round, serial, &rep)
+	}
+
+	// --- Step ❹: atomic commit of the new checkpoint. ------------------
+	othersStart := ll.Now()
+	rec := m.jrnl.Begin(ll, journal.OpCheckpointCommit, round)
+	m.committed = round // atomic global-version bump: the commit point
+	m.jrnl.MarkApplied(ll, rec)
+	m.alloc.TruncateLog()
+	m.jrnl.Commit(ll, rec)
+	ll.Charge(m.model.CommitCheckpoint)
+	m.savedNextID = m.tree.NextID()
+
+	// Deferred runtime-frame releases: safe now that the commit has made
+	// the state that stopped referencing them durable.
+	m.freedThisRound = make(map[uint32]bool)
+	for _, p := range m.deferredFrees {
+		m.alloc.FreePageCkpt(ll, p)
+		m.freedThisRound[p.Frame] = true
+	}
+	m.deferredFrees = m.deferredFrees[:0]
+
+	// Garbage-collect object roots that this (now committed) round could
+	// not reach: their objects were deleted before the checkpoint, so no
+	// restorable state references them anymore.
+	m.sweepUnreachable(ll, round)
+	m.freedThisRound = nil
+
+	// External-synchrony checkpoint callbacks (§5): run by the leader
+	// right after commit, before cores resume.
+	for _, cb := range m.callbacks {
+		ll.Charge(m.model.SyscallEntry)
+		cb.OnCheckpoint(round, ll)
+	}
+
+	// --- Step ❺: resume. ------------------------------------------------
+	ll.Charge(m.model.IPIResume)
+	rep.Others = ll.Now().Sub(othersStart)
+
+	stwEnd := ll.Now()
+	if hybridEnd > stwEnd {
+		stwEnd = hybridEnd
+	}
+	for _, l := range lanes {
+		l.AdvanceTo(stwEnd)
+	}
+	rep.STWTotal = stwEnd.Sub(stwStart)
+	if m.cfg.HybridCopy {
+		rep.HybridCopy = hybridEnd.Sub(hybridStart)
+	}
+	rep.CachedPages = m.cached
+	m.savedWallClock = stwEnd
+
+	m.Stats.Checkpoints++
+	m.LastReport = rep
+	return rep
+}
+
+// checkpointObject checkpoints o (if dirty) and recurses into the objects it
+// references, charging the leader lane. It implements the per-kind
+// strategies of §4.1.
+func (m *Manager) checkpointObject(lane *simclock.Lane, o caps.Object, round uint64, rep *Report) *caps.ORoot {
+	r := m.resolve(lane, o)
+	if r.SeenInRound(round) {
+		return r
+	}
+	r.MarkSeen(round)
+
+	start := lane.Now()
+	committed := m.committed
+	_, latestVer := r.LatestCommitted(committed)
+	needSnap := o.Dirty() || latestVer == 0
+	full := latestVer == 0
+
+	// resolveChild both finds/creates the child's ORoot and recursively
+	// checkpoints it; recursion time must not pollute this object's
+	// per-kind timing, so children are gathered first and visited after
+	// the timing window closes.
+	var children []caps.Object
+	resolveChild := func(c caps.Object) *caps.ORoot {
+		children = append(children, c)
+		return m.resolve(lane, c)
+	}
+
+	switch obj := o.(type) {
+	case *caps.CapGroup:
+		if needSnap {
+			ws := r.WriteSlot(committed)
+			snap := m.snapshotSlot(r, ws, round, func() caps.Snapshot { return &caps.CapGroupSnap{} }).(*caps.CapGroupSnap)
+			obj.Snapshot(snap, resolveChild)
+			lane.Charge(simclock.Duration(len(snap.Slots)) * m.model.CapCopy)
+			if full {
+				m.Stats.BackupBytes += alloc.ClassCapGroup.Size() + 16*len(snap.Slots)
+				lane.Charge(m.model.SlabAlloc)
+			}
+		} else {
+			// Clean group: the checkpointer still scans the slot
+			// array to detect changes (Table 3's incremental
+			// CapGroup cost), and descends — children may be dirty.
+			lane.Charge(simclock.Duration(obj.NumSlots()) * m.model.CapCopy / 4)
+			obj.ForEach(func(_ int, c caps.Capability) { children = append(children, c.Obj) })
+		}
+	case *caps.Thread:
+		if needSnap {
+			ws := r.WriteSlot(committed)
+			snap := m.snapshotSlot(r, ws, round, func() caps.Snapshot { return &caps.ThreadSnap{} }).(*caps.ThreadSnap)
+			obj.Snapshot(snap)
+			lane.Charge(m.model.ThreadCopy)
+			if full {
+				m.Stats.BackupBytes += alloc.ClassThread.Size()
+				lane.Charge(m.model.SlabAlloc)
+			}
+		}
+	case *caps.VMSpace:
+		// Write-protect the newly-changed pages of the PMOs backing
+		// this space (the paper attributes this page-table walk to VM
+		// Space checkpointing, Figure 9b), then snapshot the region
+		// list. The page table itself is never checkpointed.
+		obj.ForEachRegion(func(reg *caps.VMRegion) {
+			rep.PagesMarkedRO += m.writeProtectTouched(lane, reg.PMO)
+		})
+		if needSnap {
+			ws := r.WriteSlot(committed)
+			snap := m.snapshotSlot(r, ws, round, func() caps.Snapshot { return &caps.VMSpaceSnap{} }).(*caps.VMSpaceSnap)
+			obj.Snapshot(snap, resolveChild)
+			lane.Charge(simclock.Duration(len(snap.Regions)) * m.model.VMRegionCopy)
+			if full {
+				m.Stats.BackupBytes += alloc.ClassVMSpace.Size() + alloc.ClassVMRegion.Size()*len(snap.Regions)
+				lane.Charge(m.model.SlabAlloc)
+			}
+		} else {
+			// Clean space: scan the region list for changes.
+			lane.Charge(simclock.Duration(obj.NumRegions()) * m.model.VMRegionCopy / 4)
+			obj.ForEachRegion(func(reg *caps.VMRegion) { children = append(children, reg.PMO) })
+		}
+	case *caps.PMO:
+		m.checkpointPMO(lane, obj, r, round, full, rep)
+	case *caps.IPCConn:
+		if needSnap {
+			ws := r.WriteSlot(committed)
+			snap := m.snapshotSlot(r, ws, round, func() caps.Snapshot { return &caps.IPCConnSnap{} }).(*caps.IPCConnSnap)
+			obj.Snapshot(snap, resolveChild)
+			lane.Charge(m.model.IPCObjCopy)
+			if full {
+				m.Stats.BackupBytes += alloc.ClassIPCConn.Size()
+				lane.Charge(m.model.SlabAlloc)
+			}
+		}
+	case *caps.Notification:
+		if needSnap {
+			ws := r.WriteSlot(committed)
+			snap := m.snapshotSlot(r, ws, round, func() caps.Snapshot { return &caps.NotificationSnap{} }).(*caps.NotificationSnap)
+			obj.Snapshot(snap, resolveChild)
+			lane.Charge(m.model.NotifObjCopy + simclock.Duration(len(snap.Waiters))*m.model.CapCopy)
+			if full {
+				m.Stats.BackupBytes += alloc.ClassNotification.Size()
+				lane.Charge(m.model.SlabAlloc)
+			}
+		}
+	case *caps.IRQNotification:
+		if needSnap {
+			ws := r.WriteSlot(committed)
+			snap := m.snapshotSlot(r, ws, round, func() caps.Snapshot { return &caps.IRQNotificationSnap{} }).(*caps.IRQNotificationSnap)
+			obj.Snapshot(snap, resolveChild)
+			lane.Charge(m.model.NotifObjCopy)
+			if full {
+				m.Stats.BackupBytes += alloc.ClassIRQNotification.Size()
+				lane.Charge(m.model.SlabAlloc)
+			}
+		}
+	default:
+		panic(fmt.Sprintf("checkpoint: unknown object kind %T", o))
+	}
+
+	if needSnap {
+		caps.ClearDirty(o)
+	}
+	elapsed := lane.Now().Sub(start)
+	rep.PerKind[o.Kind()] += elapsed
+	rep.PerKindCount[o.Kind()]++
+	if needSnap {
+		ts := &m.Stats.PerKind[o.Kind()]
+		if full {
+			ts.addFull(elapsed)
+		} else {
+			ts.addIncr(elapsed)
+		}
+	}
+
+	for _, c := range children {
+		if c != nil {
+			m.checkpointObject(lane, c, round, rep)
+		}
+	}
+	return r
+}
+
+// snapshotSlot prepares backup slot ws of root r for a snapshot at version
+// round, honouring eidetic retention, and returns the snapshot object to
+// fill (reusing the previous allocation when possible — the paper's
+// "subsequent checkpoints reuse many of the already established object
+// structures").
+func (m *Manager) snapshotSlot(r *caps.ORoot, ws int, round uint64, fresh func() caps.Snapshot) caps.Snapshot {
+	if m.cfg.EideticVersions > 0 && r.Backup[ws] != nil && r.Ver[ws] > 0 {
+		r.History = append(r.History, caps.HistoricSnapshot{Version: r.Ver[ws], Snap: r.Backup[ws]})
+		if over := len(r.History) - m.cfg.EideticVersions; over > 0 {
+			r.History = append(r.History[:0], r.History[over:]...)
+		}
+		r.Backup[ws] = nil
+	}
+	if r.Backup[ws] == nil {
+		r.Backup[ws] = fresh()
+	}
+	r.Ver[ws] = round
+	return r.Backup[ws]
+}
+
+// writeProtectTouched write-protects the NVM-resident touched pages of pmo,
+// returning how many PTEs it flipped. (DRAM-cached hot pages deliberately
+// stay writable; eternal PMOs are never protected.)
+func (m *Manager) writeProtectTouched(lane *simclock.Lane, pmo *caps.PMO) int {
+	if pmo.Type == caps.PMOEternal || m.cfg.Method == MethodStopAndCopy {
+		return 0
+	}
+	n := 0
+	for _, idx := range pmo.Touched {
+		s := pmo.Lookup(idx)
+		if s == nil || !s.Writable {
+			continue
+		}
+		if s.Page.Kind == mem.KindDRAM {
+			continue
+		}
+		s.Writable = false
+		lane.Charge(m.model.MarkPageRO)
+		n++
+	}
+	return n
+}

@@ -1,0 +1,55 @@
+package checkpoint
+
+import (
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// sweepUnreachable garbage-collects object roots that the just-committed
+// round did not visit: their runtime objects were removed from the
+// capability tree before the checkpoint (process exit, object revocation),
+// so no restorable state can reference them. Running strictly after the
+// commit keeps the protocol crash-safe — until the commit, the previous
+// round's state still referenced these backups.
+//
+// For PMO roots the checkpointed radix pages are released (skipping frames
+// already freed as deferred runtime frames this round — a demoted page's
+// backup slot aliases its runtime frame), replicas are dropped and swap
+// slots recycled. Non-PMO snapshots are plain Go objects; removing the root
+// makes them collectible.
+func (m *Manager) sweepUnreachable(lane *simclock.Lane, round uint64) {
+	for id, r := range m.roots {
+		if r.SeenInRound(round) {
+			continue
+		}
+		if snap, ok := r.Backup[0].(*caps.PMOSnap); ok {
+			snap.Pages.Walk(func(idx uint64, cp *caps.CkptPage) bool {
+				for i := 0; i < 2; i++ {
+					p := cp.Page[i]
+					if p.IsNil() || p.Kind != mem.KindNVM {
+						continue
+					}
+					if m.freedThisRound[p.Frame] || m.alloc.WasRolledBack(p.Frame) {
+						continue
+					}
+					// Both slots of a CkptPage can alias the
+					// same frame right after a restore.
+					if i == 1 && cp.Page[0] == p {
+						continue
+					}
+					m.dropReplica(p)
+					m.alloc.FreePageCkpt(lane, p)
+					m.freedThisRound[p.Frame] = true
+					m.Stats.BackupPages--
+				}
+				if cp.Swap != 0 && m.cfg.ReleaseSwapSlot != nil {
+					m.cfg.ReleaseSwapSlot(cp.Swap - 1)
+				}
+				return true
+			})
+		}
+		delete(m.roots, id)
+		m.Stats.RootsSwept++
+	}
+}

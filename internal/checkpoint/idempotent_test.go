@@ -1,0 +1,79 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"treesls/internal/caps"
+)
+
+// TestRestoreIdempotent: a crash in the middle of a restore simply restarts
+// it — restoring twice (or N times) from the same checkpoint yields the same
+// state, because the restore path never destroys version information.
+func TestRestoreIdempotent(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 2)
+	_, pmo, th := h.buildProc("app", 8)
+	th.Touch(func(c *caps.Context) { c.R[2] = 1111 })
+	h.writePage(t, pmo, 0, []byte("stable"))
+	h.writePage(t, pmo, 1, []byte("other"))
+	h.checkpoint()
+	h.writePage(t, pmo, 0, []byte("mutate")) // fault: backup at v1
+	h.checkpoint()                           // v2
+	h.writePage(t, pmo, 1, []byte("again!")) // fault during epoch 2
+
+	h.crash()
+	for round := 0; round < 4; round++ {
+		// Every restore — including "crashed mid-restore, restore
+		// again" — lands on version 2's state.
+		tree, ver, err := h.mgr.Restore(h.lane())
+		if err != nil {
+			t.Fatalf("restore %d: %v", round, err)
+		}
+		if ver != 2 {
+			t.Fatalf("restore %d: version %d", round, ver)
+		}
+		var pmo2 *caps.PMO
+		var th2 *caps.Thread
+		tree.Walk(func(o caps.Object) {
+			switch v := o.(type) {
+			case *caps.PMO:
+				pmo2 = v
+			case *caps.Thread:
+				th2 = v
+			}
+		})
+		if got := h.readPage(t, pmo2, 0, 6); string(got) != "mutate" {
+			t.Fatalf("restore %d: page 0 = %q", round, got)
+		}
+		if got := h.readPage(t, pmo2, 1, 5); string(got) != "other" {
+			t.Fatalf("restore %d: page 1 = %q", round, got)
+		}
+		if th2.Ctx.R[2] != 1111 {
+			t.Fatalf("restore %d: register %d", round, th2.Ctx.R[2])
+		}
+		// Crash again right away (mid-"boot").
+		h.crash()
+	}
+}
+
+// TestBackupSpaceBounded: steady-state checkpointing must not leak backup
+// pages — a page needs at most two NVM backups, so backup use stays bounded
+// by a small multiple of the working set no matter how many rounds run.
+func TestBackupSpaceBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HotThreshold = 2
+	h := newHarness(t, cfg, 2)
+	_, pmo, _ := h.buildProc("app", 32)
+	const working = 16
+	for round := 0; round < 60; round++ {
+		for i := uint64(0); i < working; i++ {
+			h.writePage(t, pmo, i, []byte{byte(round), byte(i)})
+		}
+		h.checkpoint()
+		if got := h.mgr.Stats.BackupPages; got > 3*working {
+			t.Fatalf("round %d: %d backup pages for a %d-page working set", round, got, working)
+		}
+	}
+	if h.mgr.Stats.BackupPages == 0 {
+		t.Fatal("no backups at all?")
+	}
+}

@@ -1,0 +1,396 @@
+// Package checkpoint implements the TreeSLS checkpoint manager (§3-§4): the
+// in-kernel, failure-resilient module that takes whole-system checkpoints of
+// the capability tree onto NVM and restores the system from them after a
+// power failure.
+//
+// The manager is deliberately *not* part of the capability tree (that would
+// be a bootstrapping problem). Its state — the object-root directory, backup
+// snapshots, checkpointed radix trees, the global version number — lives in
+// the persistent world: it survives machine crashes, modelling structures
+// kept in NVM, and its in-flight mutations are protected by the allocator's
+// redo/undo journal.
+//
+// Checkpointing follows Figure 5: ❶ IPI all cores into quiescence, ❷ the
+// leader walks the runtime capability tree and snapshots dirty objects into
+// the backup tree, ❸ the other cores run hybrid copy (stop-and-copy of dirty
+// DRAM-cached hot pages, NVM<->DRAM migration) in parallel, ❹ the global
+// version number is bumped atomically (the commit point), ❺ cores resume,
+// ❻ later stores to write-protected pages fault and copy-on-write into the
+// backup tree, ❼ restore revives the runtime tree from the backup tree.
+package checkpoint
+
+import (
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/journal"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// CopyMethod selects how memory pages are checkpointed (§4.3.1, Figure 7).
+type CopyMethod uint8
+
+const (
+	// MethodCOW is TreeSLS's default: pages are write-protected during
+	// the STW pause and copied lazily on the first post-checkpoint write.
+	// On NVM the checkpoint is already consistent when the pause ends,
+	// because the unmodified runtime page doubles as the backup.
+	MethodCOW CopyMethod = iota
+	// MethodStopAndCopy copies every dirty page during the STW pause
+	// (the classic approach of Figure 7): simple, no runtime faults, but
+	// the pause grows with the dirty set and every page needs a real
+	// backup copy.
+	MethodStopAndCopy
+)
+
+// String names the method.
+func (m CopyMethod) String() string {
+	if m == MethodStopAndCopy {
+		return "stop-and-copy"
+	}
+	return "copy-on-write"
+}
+
+// Config tunes the checkpoint manager.
+type Config struct {
+	// Method selects the page checkpointing strategy.
+	Method CopyMethod
+	// HybridCopy enables the hybrid page-copy policy of §4.3.2: hot-page
+	// tracking, NVM->DRAM migration, and parallel stop-and-copy during
+	// the STW pause. With it off, every page is checkpointed by pure
+	// copy-on-write.
+	HybridCopy bool
+	// HotThreshold is the number of write faults after which a page is
+	// appended to the active page list.
+	HotThreshold uint16
+	// DemoteAfter is the number of consecutive checkpoint rounds a cached
+	// page may stay clean before being migrated back to NVM.
+	DemoteAfter uint16
+	// MaxCachedPages caps the number of DRAM-cached hot pages.
+	MaxCachedPages int
+	// EideticVersions > 0 retains that many historical snapshots per
+	// object (§8 "Extending to Eidetic System"). 0 keeps only the two
+	// alternating backups.
+	EideticVersions int
+	// Replicas > 1 keeps extra copies of backup pages with checksums and
+	// recovers from a corrupted primary (§8 "Data Reliability").
+	Replicas int
+	// ReleaseSwapSlot, when set by the kernel, is called when a
+	// checkpoint round supersedes a swapped page's content, so the swap
+	// backend can recycle the slot (§8 memory over-commitment).
+	ReleaseSwapSlot func(slot uint64)
+}
+
+// DefaultConfig mirrors the paper's evaluated configuration.
+func DefaultConfig() Config {
+	return Config{
+		HybridCopy:     true,
+		HotThreshold:   3,
+		DemoteAfter:    8,
+		MaxCachedPages: 4096,
+	}
+}
+
+// Report describes one stop-the-world checkpoint (the quantities behind
+// Figure 9 and Table 4).
+type Report struct {
+	// Version is the version this checkpoint committed.
+	Version uint64
+	// Full reports whether this was a first (full) checkpoint round for
+	// most objects (version 1).
+	Full bool
+
+	// IPIWait is the leader's cost to force and await quiescence (step ❶).
+	IPIWait simclock.Duration
+	// CapTree is the leader's cost to checkpoint the capability tree (❷).
+	CapTree simclock.Duration
+	// PerKind breaks CapTree down by object kind (Figure 9b).
+	PerKind [caps.NumKinds]simclock.Duration
+	// PerKindCount counts objects checkpointed per kind this round.
+	PerKindCount [caps.NumKinds]int
+	// Others covers commit, allocator-log truncation, callbacks (❹).
+	Others simclock.Duration
+	// HybridCopy is the maximum per-core time spent in parallel
+	// stop-and-copy/migration (❸; the right-hand bars of Figure 9a).
+	HybridCopy simclock.Duration
+	// STWTotal is the full pause experienced by application cores.
+	STWTotal simclock.Duration
+
+	// Page accounting for Table 4.
+	PagesStopCopied int // pages copied in-pause under MethodStopAndCopy
+	PagesMarkedRO   int // newly write-protected NVM pages
+	DirtyDRAMCopied int // dirty cached pages stop-and-copied
+	CachedPages     int // pages cached in DRAM after this round
+	Migrated        int // NVM->DRAM migrations this round
+	Demoted         int // DRAM->NVM demotions this round
+	FaultsLastEpoch int // COW faults since the previous checkpoint
+}
+
+// ObjTimeStats tracks min/max per-object checkpoint/restore times for one
+// object kind (Table 3).
+type ObjTimeStats struct {
+	MinIncr, MaxIncr       simclock.Duration
+	MinFull, MaxFull       simclock.Duration
+	MinRestore, MaxRestore simclock.Duration
+	NIncr, NFull, NRestore int
+}
+
+func (s *ObjTimeStats) addIncr(d simclock.Duration) {
+	if s.NIncr == 0 || d < s.MinIncr {
+		s.MinIncr = d
+	}
+	if d > s.MaxIncr {
+		s.MaxIncr = d
+	}
+	s.NIncr++
+}
+
+func (s *ObjTimeStats) addFull(d simclock.Duration) {
+	if s.NFull == 0 || d < s.MinFull {
+		s.MinFull = d
+	}
+	if d > s.MaxFull {
+		s.MaxFull = d
+	}
+	s.NFull++
+}
+
+func (s *ObjTimeStats) addRestore(d simclock.Duration) {
+	if s.NRestore == 0 || d < s.MinRestore {
+		s.MinRestore = d
+	}
+	if d > s.MaxRestore {
+		s.MaxRestore = d
+	}
+	s.NRestore++
+}
+
+// Stats accumulates manager activity across rounds.
+type Stats struct {
+	Checkpoints   uint64
+	COWFaults     uint64
+	PagesCopied   uint64
+	BackupPages   int // live backup pages allocated (checkpoint size, pages)
+	BackupBytes   int // backup object space (snapshots, radix nodes)
+	Migrations    uint64
+	Demotions     uint64
+	Restores      uint64
+	RootsSwept    uint64
+	PerKind       [caps.NumKinds]ObjTimeStats
+	EpochFaults   int // COW faults in the current epoch (reset per round)
+	ReplicaRepair uint64
+}
+
+// Callback hooks external-synchrony services (§5) into the checkpoint cycle.
+type Callback interface {
+	// OnCheckpoint runs at the end of each checkpoint (after commit,
+	// before cores resume): the service may now release externally
+	// visible effects that depend on state up to this version.
+	OnCheckpoint(version uint64, lane *simclock.Lane)
+	// OnRestore runs at the end of recovery with the restored version.
+	OnRestore(version uint64, lane *simclock.Lane)
+}
+
+// Manager is the checkpoint manager.
+type Manager struct {
+	cfg    Config
+	memory *mem.Memory
+	model  *simclock.CostModel
+	alloc  *alloc.Allocator
+	jrnl   *journal.Journal
+
+	// ---- Persistent world (survives Crash) ----
+
+	// committed is the global version number in the global metadata area;
+	// bumping it is the checkpoint commit point (Figure 5 ❹).
+	committed uint64
+	// rootORoot anchors the backup capability tree.
+	rootORoot *caps.ORoot
+	// roots is the ORoot directory: object ID -> root.
+	roots map[uint64]*caps.ORoot
+	// savedNextID is the tree's ID counter as of the last commit.
+	savedNextID uint64
+	// savedWallClock is the machine time at the last commit, used to
+	// restart lanes after recovery.
+	savedWallClock simclock.Time
+	// replicas: backup-page frame -> replica pages + checksum.
+	replicas map[mem.PageID]*pageReplica
+
+	// ---- Runtime world (rebuilt on restore) ----
+
+	tree      *caps.Tree
+	active    []pageRef // dual-function active page list (§4.3.2)
+	callbacks []Callback
+	cached    int // pages currently in DRAM
+	// deferredFrees holds runtime frames whose release must wait for the
+	// next checkpoint commit: freeing them immediately would let a
+	// checkpoint-owned allocation (which recovery does not roll back)
+	// reuse a frame that the post-crash rollback needs to re-allocate.
+	// The list is runtime state: a crash drops it, leaking the frames
+	// (bounded by one epoch) rather than risking reuse.
+	deferredFrees []mem.PageID
+	// freedThisRound tracks the frames just released at this commit so
+	// the unreachable-object sweep never double-frees a backup slot that
+	// aliased a runtime frame (the demoted-page case).
+	freedThisRound map[uint32]bool
+
+	// LastReport is the report of the most recent checkpoint.
+	LastReport Report
+	// Stats accumulates across rounds.
+	Stats Stats
+}
+
+// pageRef names one tracked page on the active list.
+type pageRef struct {
+	pmo  *caps.PMO
+	snap *caps.PMOSnap
+	idx  uint64
+}
+
+// New creates a manager over the machine's memory and allocator, initially
+// tracking tree as the runtime capability tree.
+func New(cfg Config, memory *mem.Memory, al *alloc.Allocator, tree *caps.Tree) *Manager {
+	if cfg.HotThreshold == 0 {
+		cfg.HotThreshold = DefaultConfig().HotThreshold
+	}
+	if cfg.DemoteAfter == 0 {
+		cfg.DemoteAfter = DefaultConfig().DemoteAfter
+	}
+	if cfg.MaxCachedPages == 0 {
+		cfg.MaxCachedPages = DefaultConfig().MaxCachedPages
+	}
+	if cfg.Method == MethodStopAndCopy {
+		// Hybrid copy presupposes copy-on-write fault tracking.
+		cfg.HybridCopy = false
+	}
+	return &Manager{
+		cfg:      cfg,
+		memory:   memory,
+		model:    memory.Model(),
+		alloc:    al,
+		jrnl:     al.Journal(),
+		roots:    make(map[uint64]*caps.ORoot),
+		replicas: make(map[mem.PageID]*pageReplica),
+		tree:     tree,
+	}
+}
+
+// Config returns the active configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// CommittedVersion returns the version of the newest committed checkpoint.
+func (m *Manager) CommittedVersion() uint64 { return m.committed }
+
+// HasCheckpoint reports whether at least one checkpoint has committed.
+func (m *Manager) HasCheckpoint() bool { return m.committed > 0 }
+
+// Tree returns the runtime capability tree currently tracked.
+func (m *Manager) Tree() *caps.Tree { return m.tree }
+
+// Register adds an external-synchrony callback (a user-space driver's
+// checkpoint/restore hooks, §5).
+func (m *Manager) Register(cb Callback) { m.callbacks = append(m.callbacks, cb) }
+
+// CachedPages reports how many pages are currently cached in DRAM.
+func (m *Manager) CachedPages() int { return m.cached }
+
+// HistoryOf returns the retained historic snapshots of object objID
+// (eidetic mode, §8): (version, snapshot) pairs older than the two live
+// backup slots, newest last. Empty unless Config.EideticVersions > 0.
+func (m *Manager) HistoryOf(objID uint64) []caps.HistoricSnapshot {
+	r, ok := m.roots[objID]
+	if !ok {
+		return nil
+	}
+	return r.History
+}
+
+// RetainedVersions lists every version of object objID that can still be
+// inspected: the eidetic history plus the committed backup slots.
+func (m *Manager) RetainedVersions(objID uint64) []uint64 {
+	r, ok := m.roots[objID]
+	if !ok {
+		return nil
+	}
+	var vs []uint64
+	for _, h := range r.History {
+		vs = append(vs, h.Version)
+	}
+	for i := 0; i < 2; i++ {
+		if r.Backup[i] != nil && r.Ver[i] != 0 && r.Ver[i] <= m.committed {
+			vs = append(vs, r.Ver[i])
+		}
+	}
+	return vs
+}
+
+// SnapshotAt returns object objID's snapshot at exactly version v, searching
+// the live slots and the eidetic history. Nil if not retained.
+func (m *Manager) SnapshotAt(objID, v uint64) caps.Snapshot {
+	r, ok := m.roots[objID]
+	if !ok {
+		return nil
+	}
+	for i := 0; i < 2; i++ {
+		if r.Backup[i] != nil && r.Ver[i] == v {
+			return r.Backup[i]
+		}
+	}
+	for _, h := range r.History {
+		if h.Version == v {
+			return h.Snap
+		}
+	}
+	return nil
+}
+
+// DeferFreePage queues a runtime NVM frame for release at the next
+// checkpoint commit. See deferredFrees for why frees must not happen
+// mid-epoch.
+func (m *Manager) DeferFreePage(p mem.PageID) {
+	m.deferredFrees = append(m.deferredFrees, p)
+}
+
+// PurgePMO releases the runtime resources of a PMO that is being removed
+// from the capability tree (process exit / revocation): DRAM-cached frames
+// go back to the DRAM pool immediately (volatile), NVM runtime frames are
+// deferred to the next commit, and the hot-page list forgets the object.
+// The checkpointed backups are reclaimed later by the unreachable-root
+// sweep, once a committed round proves nothing references them.
+func (m *Manager) PurgePMO(pmo *caps.PMO) {
+	pmo.ForEachPage(func(idx uint64, s *caps.PageSlot) bool {
+		switch {
+		case s.SwappedOut || s.Page.IsNil():
+		case s.Page.Kind == mem.KindDRAM:
+			m.memory.FreeDRAM(s.Page)
+			m.cached--
+		default:
+			m.DeferFreePage(s.Page)
+		}
+		return true
+	})
+	keep := m.active[:0]
+	for _, ref := range m.active {
+		if ref.pmo != pmo {
+			keep = append(keep, ref)
+		}
+	}
+	m.active = keep
+}
+
+// ActiveListLen reports the length of the active page list.
+func (m *Manager) ActiveListLen() int { return len(m.active) }
+
+// resolve returns (creating if needed) the ORoot for object o, charging the
+// lookup/creation costs to lane.
+func (m *Manager) resolve(lane *simclock.Lane, o caps.Object) *caps.ORoot {
+	if r := o.ORoot(); r != nil {
+		return r
+	}
+	lane.Charge(m.model.ORootTouch + m.model.SlabAlloc)
+	r := &caps.ORoot{ObjID: o.ID(), Kind: o.Kind(), Runtime: o}
+	m.roots[o.ID()] = r
+	caps.BindORoot(o, r)
+	m.Stats.BackupBytes += alloc.ClassORoot.Size()
+	return r
+}

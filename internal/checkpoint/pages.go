@@ -1,0 +1,431 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// pmoSnap returns (creating on demand) the singleton PMOSnap of r. Unlike
+// other object kinds, a PMO keeps ONE long-lived backup structure whose
+// pages carry their own versions (§4.2); slot 0 holds it. The snapshot's
+// slot version is set once, to the round that created it, and never
+// advanced: advancing it would un-commit the PMO if a later round crashed
+// mid-checkpoint, while page-level versions already carry all content
+// history the restore rules need.
+func (m *Manager) pmoSnap(lane *simclock.Lane, r *caps.ORoot, pmo *caps.PMO, round uint64) *caps.PMOSnap {
+	if r.Backup[0] == nil {
+		lane.Charge(m.model.SlabAlloc)
+		m.Stats.BackupBytes += alloc.ClassPMO.Size()
+		r.Backup[0] = &caps.PMOSnap{Type: pmo.Type, SizePages: pmo.SizePages}
+		r.Ver[0] = round
+	}
+	return r.Backup[0].(*caps.PMOSnap)
+}
+
+// checkpointPMO checkpoints one PMO during the STW pause: it reuses the
+// checkpointed radix tree, adding entries for pages touched since the last
+// round, and reclaims entries for pages removed since then. Page *contents*
+// are not copied here — the runtime NVM page doubles as the consistent copy
+// (Figure 6a), and DRAM-cached pages are stop-and-copied by the hybrid-copy
+// cores.
+func (m *Manager) checkpointPMO(lane *simclock.Lane, pmo *caps.PMO, r *caps.ORoot, round uint64, full bool, rep *Report) {
+	snap := m.pmoSnap(lane, r, pmo, round)
+	snap.SizePages = pmo.SizePages
+	nodesBefore := snap.Pages.Nodes()
+
+	// Incremental root visit (Table 3: PMO incremental ~0.03 µs).
+	lane.Charge(m.model.RadixVisit)
+
+	if m.cfg.Method == MethodStopAndCopy {
+		m.stopAndCopyPMO(lane, pmo, snap, round, rep)
+		if grown := snap.Pages.Nodes() - nodesBefore; grown > 0 {
+			m.Stats.BackupBytes += alloc.ClassRadixNode.Size() * grown
+		}
+		caps.ClearDirty(pmo)
+		return
+	}
+
+	for _, idx := range pmo.Touched {
+		s := pmo.Lookup(idx)
+		if s == nil {
+			continue // installed and removed within the epoch
+		}
+		cp, ok := snap.Pages.Get(idx)
+		if !ok {
+			cp = &caps.CkptPage{Born: round}
+			snap.Pages.Set(idx, cp)
+			lane.Charge(m.model.RadixInsert)
+			m.Stats.BackupBytes += alloc.ClassCheckpointedPage.Size()
+		} else {
+			lane.Charge(m.model.RadixVisit)
+		}
+		if s.Page.Kind == mem.KindDRAM {
+			continue // hybrid copy owns cached pages
+		}
+		// The runtime NVM page becomes "the second backup with
+		// version zero" (§4.3.3): it is the consistent copy for the
+		// version being committed, because it is write-protected now
+		// and was saved to Page[0] by any fault that modified it.
+		cp.Page[1] = s.Page
+		cp.Ver[1] = 0
+		if cp.Swap != 0 {
+			// This round supersedes the swapped content.
+			if m.cfg.ReleaseSwapSlot != nil {
+				m.cfg.ReleaseSwapSlot(cp.Swap - 1)
+			}
+			cp.Swap = 0
+		}
+		if pmo.Type != caps.PMOEternal && s.Writable {
+			// Fallback protection for PMOs not mapped in any VM
+			// space (the VMSpace pass normally did this).
+			s.Writable = false
+			lane.Charge(m.model.MarkPageRO)
+			rep.PagesMarkedRO++
+		}
+		s.Dirty = false
+	}
+	pmo.Touched = pmo.Touched[:0]
+
+	// Reclaim backups of removed pages. Deferred to the commit phase in
+	// spirit; see DESIGN.md for the crash-window discussion.
+	if len(pmo.Removed) > 0 {
+		for _, idx := range pmo.Removed {
+			if pmo.Lookup(idx) != nil {
+				continue // reinstalled at the same index
+			}
+			cp, ok := snap.Pages.Get(idx)
+			if !ok {
+				continue
+			}
+			if !cp.Page[0].IsNil() {
+				m.alloc.FreePageCkpt(lane, cp.Page[0])
+				m.Stats.BackupPages--
+			}
+			m.dropReplica(cp.Page[0])
+			snap.Pages.Delete(idx)
+			lane.Charge(m.model.RadixVisit)
+		}
+		pmo.Removed = pmo.Removed[:0]
+	}
+
+	if grown := snap.Pages.Nodes() - nodesBefore; grown > 0 {
+		m.Stats.BackupBytes += alloc.ClassRadixNode.Size() * grown
+	}
+	caps.ClearDirty(pmo)
+	_ = full
+}
+
+// stopAndCopyPMO checkpoints a PMO under MethodStopAndCopy: every dirty page
+// (hardware dirty bit) is copied into a versioned backup during the pause.
+// Pages are never write-protected, so there are no runtime faults — the cost
+// moves wholesale into the STW window, which is exactly the trade-off
+// Figure 7 illustrates.
+func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.PMOSnap, round uint64, rep *Report) {
+	pmo.Touched = pmo.Touched[:0]
+	pmo.Removed = pmo.Removed[:0]
+	if pmo.Type == caps.PMOEternal {
+		// Eternal pages still need radix entries pointing at the
+		// runtime page so restore can find them.
+		pmo.ForEachPage(func(idx uint64, s *caps.PageSlot) bool {
+			cp, ok := snap.Pages.Get(idx)
+			if !ok {
+				cp = &caps.CkptPage{Born: round}
+				snap.Pages.Set(idx, cp)
+				lane.Charge(m.model.RadixInsert)
+			}
+			cp.Page[1] = s.Page
+			cp.Ver[1] = 0
+			return true
+		})
+		return
+	}
+	pmo.ForEachPage(func(idx uint64, s *caps.PageSlot) bool {
+		lane.Charge(m.model.PageTableWalk) // dirty-bit scan
+		if !s.Dirty {
+			return true
+		}
+		cp, ok := snap.Pages.Get(idx)
+		if !ok {
+			cp = &caps.CkptPage{Born: round}
+			snap.Pages.Set(idx, cp)
+			lane.Charge(m.model.RadixInsert)
+			m.Stats.BackupBytes += alloc.ClassCheckpointedPage.Size()
+		} else {
+			lane.Charge(m.model.RadixVisit)
+		}
+		ws := m.backupWriteSlot(cp)
+		if cp.Page[ws].IsNil() {
+			p, err := m.alloc.AllocPageCkpt(lane)
+			if err != nil {
+				return true // out of NVM: page stays dirty, retried next round
+			}
+			cp.Page[ws] = p
+			m.Stats.BackupPages++
+		}
+		lane.Charge(m.memory.CopyPage(cp.Page[ws], s.Page))
+		cp.Ver[ws] = round
+		m.updateReplica(lane, cp.Page[ws])
+		s.Dirty = false
+		rep.PagesStopCopied++
+		m.Stats.PagesCopied++
+		return true
+	})
+}
+
+// HandleWriteFault implements the copy-on-write step (Figure 5 ❻): the
+// pre-modification page content — which is exactly the content of the last
+// committed checkpoint, since the page was write-protected — is copied to
+// the backup page with the current global version, then the page is made
+// writable again. It also feeds the hotness tracking of hybrid copy.
+func (m *Manager) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint64, s *caps.PageSlot) error {
+	r := pmo.ORoot()
+	if r == nil || r.Backup[0] == nil {
+		return fmt.Errorf("checkpoint: write fault on never-checkpointed PMO %d", pmo.ID())
+	}
+	snap := r.Backup[0].(*caps.PMOSnap)
+	cp, ok := snap.Pages.Get(idx)
+	if !ok {
+		return fmt.Errorf("checkpoint: write fault on page %d of PMO %d with no checkpointed entry", idx, pmo.ID())
+	}
+	if cp.Page[0].IsNil() {
+		p, err := m.alloc.AllocPageCkpt(lane)
+		if err != nil {
+			return fmt.Errorf("checkpoint: allocating backup page: %w", err)
+		}
+		cp.Page[0] = p
+		m.Stats.BackupPages++
+	}
+	lane.Charge(m.memory.CopyPage(cp.Page[0], s.Page))
+	cp.Ver[0] = m.committed
+	m.updateReplica(lane, cp.Page[0])
+
+	s.Writable = true
+	s.Dirty = true
+	s.IdleRounds = 0
+	if s.Hotness < ^uint16(0) {
+		s.Hotness++
+	}
+	pmo.Touched = append(pmo.Touched, idx)
+
+	if m.cfg.HybridCopy && !s.OnHotList && s.Hotness >= m.cfg.HotThreshold && pmo.Type != caps.PMOEternal {
+		m.active = append(m.active, pageRef{pmo: pmo, snap: snap, idx: idx})
+		s.OnHotList = true
+		lane.Charge(m.model.HotListAppend)
+	}
+
+	m.Stats.COWFaults++
+	m.Stats.EpochFaults++
+	m.Stats.PagesCopied++
+	return nil
+}
+
+// runHybridCopy is step ❸ of Figure 5: the non-leader cores traverse
+// stride-partitioned sublists of the dual-function active page list,
+// stop-and-copying dirty DRAM-cached pages, migrating newly-hot pages to
+// DRAM, and demoting pages that stayed clean too long back to NVM.
+// It returns the latest finishing time across the worker lanes.
+func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, round uint64, serial bool, rep *Report) simclock.Time {
+	_ = serial
+	keep := m.active[:0]
+	for i, ref := range m.active {
+		w := workers[i%len(workers)]
+		w.Charge(m.model.HotListVisit)
+		s := ref.pmo.Lookup(ref.idx)
+		if s == nil {
+			continue // page removed; drop from the list
+		}
+		cp, ok := ref.snap.Pages.Get(ref.idx)
+		if !ok {
+			s.OnHotList = false
+			continue
+		}
+		switch {
+		case s.Page.Kind == mem.KindNVM:
+			// Newly appended since the last checkpoint: migrate to
+			// DRAM (NVM->DRAM migration, Figure 6b).
+			if m.cached >= m.cfg.MaxCachedPages {
+				s.OnHotList = false
+				s.Hotness = 0
+				continue
+			}
+			d := m.memory.AllocDRAM()
+			if d.IsNil() {
+				s.OnHotList = false
+				s.Hotness = 0
+				continue
+			}
+			w.Charge(m.memory.CopyPage(d, s.Page))
+			// The old NVM runtime page becomes the latest backup.
+			cp.Page[1] = s.Page
+			cp.Ver[1] = round
+			s.Page = d
+			s.Writable = true
+			s.Dirty = false
+			s.IdleRounds = 0
+			m.cached++
+			rep.Migrated++
+			m.Stats.Migrations++
+			keep = append(keep, ref)
+
+		case s.Dirty:
+			// Dirty cached page: stop-and-copy into the backup slot
+			// not holding the newest committed version.
+			ws := m.backupWriteSlot(cp)
+			if cp.Page[ws].IsNil() {
+				p, err := m.alloc.AllocPageCkpt(w)
+				if err != nil {
+					// NVM exhausted: keep the page dirty; it
+					// will be retried next round.
+					keep = append(keep, ref)
+					continue
+				}
+				cp.Page[ws] = p
+				m.Stats.BackupPages++
+			}
+			w.Charge(m.memory.CopyPage(cp.Page[ws], s.Page))
+			cp.Ver[ws] = round
+			m.updateReplica(w, cp.Page[ws])
+			s.Dirty = false
+			s.IdleRounds = 0
+			rep.DirtyDRAMCopied++
+			m.Stats.PagesCopied++
+			keep = append(keep, ref)
+
+		default:
+			// Clean cached page: age it; demote if cold (DRAM->NVM
+			// migration, §4.3.3).
+			s.IdleRounds++
+			if s.IdleRounds < m.cfg.DemoteAfter {
+				keep = append(keep, ref)
+				continue
+			}
+			// Ensure the second backup holds the latest data, then
+			// make it the runtime page with version zero.
+			latest := m.latestBackupSlot(cp)
+			if cp.Page[1].IsNil() {
+				p, err := m.alloc.AllocPageCkpt(w)
+				if err != nil {
+					keep = append(keep, ref)
+					continue
+				}
+				cp.Page[1] = p
+				m.Stats.BackupPages++
+				latest = 0
+			}
+			if latest != 1 {
+				w.Charge(m.memory.CopyPage(cp.Page[1], s.Page))
+				m.Stats.PagesCopied++
+			}
+			cp.Ver[1] = 0
+			m.memory.FreeDRAM(s.Page)
+			s.Page = cp.Page[1]
+			s.Writable = false
+			s.OnHotList = false
+			s.Hotness = 0
+			s.Dirty = false
+			s.IdleRounds = 0
+			m.cached--
+			rep.Demoted++
+			m.Stats.Demotions++
+		}
+	}
+	m.active = keep
+
+	end := start
+	for _, w := range workers {
+		if w.Now() > end {
+			end = w.Now()
+		}
+	}
+	return end
+}
+
+// backupWriteSlot picks the CkptPage slot that may be overwritten during an
+// in-flight checkpoint: the one NOT holding the newest committed version.
+func (m *Manager) backupWriteSlot(cp *caps.CkptPage) int {
+	latest := m.latestBackupSlot(cp)
+	if latest < 0 {
+		return 0
+	}
+	return 1 - latest
+}
+
+// latestBackupSlot returns the slot holding the newest committed version, or
+// -1 if neither slot holds one.
+func (m *Manager) latestBackupSlot(cp *caps.CkptPage) int {
+	best, bestVer := -1, uint64(0)
+	for i := 0; i < 2; i++ {
+		if !cp.Page[i].IsNil() && cp.Ver[i] != 0 && cp.Ver[i] <= m.committed && cp.Ver[i] >= bestVer {
+			best, bestVer = i, cp.Ver[i]
+		}
+	}
+	return best
+}
+
+// ---- Backup-page replication (§8 "Data Reliability") -----------------------
+
+type pageReplica struct {
+	copy mem.PageID
+	sum  uint64
+}
+
+func pageChecksum(data []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(data)
+	return h.Sum64()
+}
+
+// updateReplica refreshes the replica + checksum of a backup page after it
+// was (re)written. No-op unless cfg.Replicas > 1.
+func (m *Manager) updateReplica(lane *simclock.Lane, p mem.PageID) {
+	if m.cfg.Replicas <= 1 || p.IsNil() {
+		return
+	}
+	rep, ok := m.replicas[p]
+	if !ok {
+		c, err := m.alloc.AllocPageCkpt(lane)
+		if err != nil {
+			return // replication is best-effort under NVM pressure
+		}
+		rep = &pageReplica{copy: c}
+		m.replicas[p] = rep
+	}
+	lane.Charge(m.memory.CopyPage(rep.copy, p))
+	rep.sum = pageChecksum(m.memory.Data(p))
+}
+
+// dropReplica releases the replica of a reclaimed backup page.
+func (m *Manager) dropReplica(p mem.PageID) {
+	if rep, ok := m.replicas[p]; ok {
+		m.alloc.FreePageCkpt(nil, rep.copy)
+		delete(m.replicas, p)
+	}
+}
+
+// verifyBackupPage checks a backup page against its checksum before it is
+// used for recovery, repairing it from the replica on corruption. Returns
+// false if the page is corrupt and unrepairable.
+func (m *Manager) verifyBackupPage(lane *simclock.Lane, p mem.PageID) bool {
+	if m.cfg.Replicas <= 1 {
+		return true
+	}
+	rep, ok := m.replicas[p]
+	if !ok {
+		return true
+	}
+	lane.Charge(m.model.NVMReadPage)
+	if pageChecksum(m.memory.Data(p)) == rep.sum {
+		return true
+	}
+	if pageChecksum(m.memory.Data(rep.copy)) != rep.sum {
+		return false // both copies corrupt
+	}
+	lane.Charge(m.memory.CopyPage(p, rep.copy))
+	m.Stats.ReplicaRepair++
+	return true
+}

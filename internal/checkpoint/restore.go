@@ -1,0 +1,329 @@
+package checkpoint
+
+import (
+	"fmt"
+
+	"treesls/internal/caps"
+	"treesls/internal/journal"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// Restore rebuilds the whole system from the persistent world after a power
+// failure (Figure 5, step ❼):
+//
+//  1. The allocator journal's pending record is resolved (with the
+//     checkpoint-commit record handled here, since only the manager knows
+//     whether the version bump happened) and the allocator op log is rolled
+//     back, reverting all post-checkpoint malloc/free.
+//  2. Every kernel object reachable from the backup root is revived from the
+//     newest committed snapshot (two-phase: create, then fill, so references
+//     resolve regardless of graph shape).
+//  3. PMO pages are rebuilt by the version rules of §4.2/§4.3.3: a backup
+//     with version == global version wins; otherwise a version-zero second
+//     backup (the unmodified runtime page); otherwise the newest committed
+//     backup.
+//
+// It returns the restored runtime capability tree and the version restored
+// to. The caller (the kernel) rebuilds derived state: page tables (lazily,
+// via faults), scheduler queues, and address-space structures.
+func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
+	// Step 1: allocator recovery.
+	if rec := m.jrnl.PendingRecord(); rec != nil && rec.Op == journal.OpCheckpointCommit {
+		if rec.Args[0] == m.committed {
+			// The version bump hit NVM before the crash: the
+			// checkpoint IS committed; redo the log truncation.
+			m.alloc.TruncateLog()
+		}
+		m.jrnl.Retire(rec)
+	}
+	if _, err := m.alloc.Recover(); err != nil {
+		return nil, 0, fmt.Errorf("checkpoint: allocator recovery: %w", err)
+	}
+	if !m.HasCheckpoint() {
+		return nil, 0, fmt.Errorf("checkpoint: no committed checkpoint to restore")
+	}
+	if m.rootORoot == nil {
+		return nil, 0, fmt.Errorf("checkpoint: missing backup root")
+	}
+
+	// Runtime bookkeeping is volatile: reset it. Deferred frees are
+	// dropped rather than processed — the rollback may have revived the
+	// state that referenced those frames (the frames leak, bounded by
+	// one epoch's frees).
+	m.active = m.active[:0]
+	m.cached = 0
+	m.deferredFrees = m.deferredFrees[:0]
+	m.Stats.EpochFaults = 0
+
+	// Step 2a: discover reachable roots and create empty runtime objects.
+	order := make([]*caps.ORoot, 0, len(m.roots))
+	seen := make(map[*caps.ORoot]bool)
+	revived := make(map[*caps.ORoot]caps.Object)
+	var discover func(r *caps.ORoot) error
+	discover = func(r *caps.ORoot) error {
+		if r == nil || seen[r] {
+			return nil
+		}
+		seen[r] = true
+		snap, ver := r.LatestCommitted(m.committed)
+		if snap == nil {
+			return fmt.Errorf("checkpoint: object %d (%v) reachable but has no committed snapshot", r.ObjID, r.Kind)
+		}
+		_ = ver
+		obj := reviveEmpty(r, snap)
+		caps.BindORoot(obj, r)
+		r.Runtime = obj
+		revived[r] = obj
+		order = append(order, r)
+		for _, child := range snapshotRefs(snap) {
+			if err := discover(child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := discover(m.rootORoot); err != nil {
+		return nil, 0, err
+	}
+
+	// Step 2b: fill each object from its snapshot; step 3 for PMOs.
+	lookup := func(r *caps.ORoot) caps.Object {
+		o := revived[r]
+		if o == nil {
+			panic(fmt.Sprintf("checkpoint: restore reference to undiscovered object %d", r.ObjID))
+		}
+		return o
+	}
+	for _, r := range order {
+		snap, _ := r.LatestCommitted(m.committed)
+		start := lane.Now()
+		lane.Charge(m.model.RestoreObject)
+		switch s := snap.(type) {
+		case *caps.CapGroupSnap:
+			revived[r].(*caps.CapGroup).RestoreFrom(s, lookup)
+			lane.Charge(simclock.Duration(len(s.Slots)) * m.model.CapCopy)
+		case *caps.ThreadSnap:
+			revived[r].(*caps.Thread).RestoreFrom(s)
+			lane.Charge(m.model.ThreadCopy)
+		case *caps.VMSpaceSnap:
+			revived[r].(*caps.VMSpace).RestoreFrom(s, lookup)
+			lane.Charge(simclock.Duration(len(s.Regions)) * m.model.VMRegionCopy)
+		case *caps.PMOSnap:
+			if err := m.restorePMOPages(lane, revived[r].(*caps.PMO), s); err != nil {
+				return nil, 0, err
+			}
+		case *caps.IPCConnSnap:
+			revived[r].(*caps.IPCConn).RestoreFrom(s, lookup)
+			lane.Charge(m.model.IPCObjCopy)
+		case *caps.NotificationSnap:
+			revived[r].(*caps.Notification).RestoreFrom(s, lookup)
+			lane.Charge(m.model.NotifObjCopy)
+		case *caps.IRQNotificationSnap:
+			revived[r].(*caps.IRQNotification).RestoreFrom(s, lookup)
+			lane.Charge(m.model.NotifObjCopy)
+		default:
+			return nil, 0, fmt.Errorf("checkpoint: unknown snapshot type %T", snap)
+		}
+		m.Stats.PerKind[r.Kind].addRestore(lane.Now().Sub(start))
+	}
+
+	root, ok := revived[m.rootORoot].(*caps.CapGroup)
+	if !ok {
+		return nil, 0, fmt.Errorf("checkpoint: backup root is not a cap group")
+	}
+	m.tree = caps.RebuildTree(root, m.savedNextID)
+	m.Stats.Restores++
+
+	// External-synchrony restore callbacks (§5).
+	for _, cb := range m.callbacks {
+		lane.Charge(m.model.SyscallEntry)
+		cb.OnRestore(m.committed, lane)
+	}
+	return m.tree, m.committed, nil
+}
+
+// reviveEmpty creates the shell runtime object for a root.
+func reviveEmpty(r *caps.ORoot, snap caps.Snapshot) caps.Object {
+	switch s := snap.(type) {
+	case *caps.CapGroupSnap:
+		return caps.ReviveCapGroup(r.ObjID)
+	case *caps.ThreadSnap:
+		return caps.ReviveThread(r.ObjID)
+	case *caps.VMSpaceSnap:
+		return caps.ReviveVMSpace(r.ObjID)
+	case *caps.PMOSnap:
+		return caps.RevivePMO(r.ObjID, s.SizePages, s.Type)
+	case *caps.IPCConnSnap:
+		return caps.ReviveIPCConn(r.ObjID)
+	case *caps.NotificationSnap:
+		return caps.ReviveNotification(r.ObjID)
+	case *caps.IRQNotificationSnap:
+		return caps.ReviveIRQNotification(r.ObjID)
+	default:
+		panic(fmt.Sprintf("checkpoint: unknown snapshot type %T", snap))
+	}
+}
+
+// snapshotRefs enumerates the ORoots a snapshot references.
+func snapshotRefs(snap caps.Snapshot) []*caps.ORoot {
+	var refs []*caps.ORoot
+	add := func(r *caps.ORoot) {
+		if r != nil {
+			refs = append(refs, r)
+		}
+	}
+	switch s := snap.(type) {
+	case *caps.CapGroupSnap:
+		for _, bc := range s.Slots {
+			add(bc.Root)
+		}
+	case *caps.VMSpaceSnap:
+		for i := range s.Regions {
+			add(s.Regions[i].PMORoot)
+		}
+	case *caps.IPCConnSnap:
+		add(s.ClientRoot)
+		add(s.ServerRoot)
+	case *caps.NotificationSnap:
+		refs = append(refs, s.Waiters...)
+	case *caps.IRQNotificationSnap:
+		add(s.HandlerRoot)
+	}
+	return refs
+}
+
+// Sentinel results of chooseRestoreSource beyond slot indices 0 and 1.
+const (
+	srcNone = -1 // no recoverable copy (uncommitted-only page)
+	srcSwap = -2 // the consistent copy lives on the swap device
+)
+
+// chooseRestoreSource applies the version rules of §4.2/§4.3.3 to one
+// checkpointed page and returns the slot index holding the consistent
+// content for the committed version — or srcSwap/srcNone. valid reports
+// whether a slot's frame may be trusted (non-nil, NVM, not reclaimed by the
+// allocator rollback). Pure function; property-tested in isolation.
+func chooseRestoreSource(cp *caps.CkptPage, committed uint64, valid func(mem.PageID) bool) int {
+	// Rule 1: a backup whose version equals the global version.
+	for i := 0; i < 2; i++ {
+		if valid(cp.Page[i]) && cp.Ver[i] == committed && cp.Ver[i] != 0 {
+			return i
+		}
+	}
+	// Swapped pages: the device copy supersedes anything older.
+	if cp.Swap != 0 {
+		return srcSwap
+	}
+	// Rule 2: a version-zero second backup is the unmodified runtime page.
+	if valid(cp.Page[1]) && cp.Ver[1] == 0 {
+		return 1
+	}
+	// Rule 3: the newest committed backup.
+	src, best := srcNone, uint64(0)
+	for i := 0; i < 2; i++ {
+		if valid(cp.Page[i]) && cp.Ver[i] != 0 && cp.Ver[i] <= committed && cp.Ver[i] > best {
+			src, best = i, cp.Ver[i]
+		}
+	}
+	return src
+}
+
+// restorePMOPages rebuilds the runtime page set of a PMO by the version
+// rules. For each checkpointed page it selects the consistent source:
+//
+//	rule 1: a backup whose version equals the global version (the page was
+//	        modified after the checkpoint; the backup holds the
+//	        pre-modification content saved by the fault handler);
+//	rule 2: otherwise a second backup with version zero (the unmodified
+//	        runtime page itself, which NVM kept intact);
+//	rule 3: otherwise the backup with the higher (committed) version — the
+//	        DRAM-cached-page case, where the runtime copy died with DRAM.
+//
+// Restoration is non-destructive to version information, so a crash in the
+// middle of a restore simply restarts it (idempotence).
+func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps.PMOSnap) error {
+	// A persistent entry must never be trusted when it points at a frame
+	// the allocator rollback just reclaimed (e.g. the runtime frame of a
+	// page swapped in during the crashed epoch).
+	valid := func(p mem.PageID) bool {
+		if p.IsNil() || p.Kind == mem.KindDRAM {
+			return false
+		}
+		return !m.alloc.WasRolledBack(p.Frame)
+	}
+	var fail error
+	snap.Pages.Walk(func(idx uint64, cp *caps.CkptPage) bool {
+		lane.Charge(m.model.RestorePerPage)
+		if cp.Born > m.committed {
+			// The entry was created inside a round that never
+			// committed: the page does not belong to the restored
+			// state.
+			return true
+		}
+		src := chooseRestoreSource(cp, m.committed, valid)
+		if src == srcSwap {
+			// Swapped-out page (§8 over-commitment): the
+			// consistent content lives on the swap device; revive
+			// the page as a swapped-out placeholder and let a
+			// fault bring it back. Any stale runtime pointer is
+			// cleared (its frame may have been reclaimed by the
+			// allocator rollback).
+			cp.Page[1] = mem.NilPage
+			cp.Ver[1] = 0
+			pmo.InstallSwapped(idx)
+			return true
+		}
+		if src == srcNone {
+			// No recoverable source: the page's only copies were
+			// made inside the uncommitted round.
+			return true
+		}
+
+		var runtime mem.PageID
+		if src == 1 && cp.Ver[1] == 0 {
+			// The runtime NVM page is the consistent copy; adopt
+			// it directly, no copying.
+			runtime = cp.Page[1]
+		} else {
+			if !m.verifyBackupPage(lane, cp.Page[src]) {
+				fail = fmt.Errorf("checkpoint: backup page %v of PMO %d page %d is corrupt", cp.Page[src], pmo.ID(), idx)
+				return false
+			}
+			// Copy the consistent backup into the other slot, which
+			// becomes the new runtime page (version zero). A stale
+			// (rolled-back) other slot is replaced with a fresh
+			// frame.
+			other := 1 - src
+			if !valid(cp.Page[other]) {
+				p, err := m.alloc.AllocPageCkpt(lane)
+				if err != nil {
+					fail = fmt.Errorf("checkpoint: allocating restore page: %w", err)
+					return false
+				}
+				cp.Page[other] = p
+				m.Stats.BackupPages++
+			}
+			lane.Charge(m.memory.CopyPage(cp.Page[other], cp.Page[src]))
+			cp.Ver[other] = 0
+			if other == 0 {
+				// Keep the invariant that slot 1 is the runtime/
+				// version-zero slot by swapping the slots.
+				cp.Page[0], cp.Page[1] = cp.Page[1], cp.Page[0]
+				cp.Ver[0], cp.Ver[1] = cp.Ver[1], cp.Ver[0]
+			}
+			runtime = cp.Page[1]
+		}
+
+		s := pmo.InstallPage(idx, runtime)
+		s.Writable = pmo.Type == caps.PMOEternal
+		s.Dirty = false
+		return true
+	})
+	// InstallPage filled Touched/Removed/dirty bookkeeping; a freshly
+	// restored PMO is clean and fully synced with its snapshot.
+	pmo.Touched = pmo.Touched[:0]
+	pmo.Removed = pmo.Removed[:0]
+	caps.ClearDirty(pmo)
+	return fail
+}

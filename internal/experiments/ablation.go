@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/checkpoint"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// AblationRow compares the page-checkpointing methods of Figure 7 / §4.3.1
+// on the same write-heavy KV workload.
+type AblationRow struct {
+	Method      string
+	STWUs       float64 // mean stop-the-world pause
+	RunTimeNorm float64 // makespan normalized to copy-on-write
+	Faults      uint64  // total COW faults
+	PagesCopied uint64  // total page copies (any path)
+	BackupPages int     // backup pages allocated (checkpoint space)
+}
+
+// AblationCopyMethods runs stop-and-copy, plain copy-on-write, and hybrid
+// copy over an identical workload. The expected shape (Figure 7's argument):
+// stop-and-copy has the longest pause and the most copies; COW moves the
+// cost into runtime faults; hybrid eliminates part of the faults and keeps
+// the pause short because its stop-and-copy half runs on the other cores.
+func AblationCopyMethods(s Scale) ([]AblationRow, string, error) {
+	type variant struct {
+		name   string
+		method checkpoint.CopyMethod
+		hybrid bool
+	}
+	variants := []variant{
+		{"stop-and-copy", checkpoint.MethodStopAndCopy, false},
+		{"copy-on-write", checkpoint.MethodCOW, false},
+		{"hybrid copy", checkpoint.MethodCOW, true},
+	}
+	var rows []AblationRow
+	var cowTime simclock.Duration
+	for _, v := range variants {
+		cfg := kernel.DefaultConfig()
+		cfg.CheckpointEvery = simclock.Millisecond
+		cfg.Checkpoint.Method = v.method
+		cfg.Checkpoint.HybridCopy = v.hybrid
+		m := kernel.New(cfg)
+		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+			Name: "kv", Threads: 8, HeapPages: 8192, Buckets: 4096,
+			PerOpCompute: 600 * simclock.Nanosecond,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		rng := rand.New(rand.NewSource(5))
+		zipf := workload.NewZipfian(rng, s.Records, 0.99)
+		val := make([]byte, s.ValueSize)
+
+		start := m.Now()
+		deadline := start.Add(simclock.Duration(s.RunMillis+10) * simclock.Millisecond)
+		var stwSum simclock.Duration
+		seen := m.Stats.Checkpoints
+		for i := 0; i < s.KVOps || m.Now() < deadline; i++ {
+			if _, _, err := srv.Set(i, workload.Key(zipf.Next()), val); err != nil {
+				return nil, "", err
+			}
+			if m.Stats.Checkpoints > seen {
+				seen = m.Stats.Checkpoints
+				stwSum += m.Ckpt.LastReport.STWTotal
+			}
+		}
+		elapsed := m.Now().Sub(start)
+		if v.name == "copy-on-write" {
+			cowTime = elapsed
+		}
+		row := AblationRow{
+			Method:      v.name,
+			Faults:      m.Ckpt.Stats.COWFaults,
+			PagesCopied: m.Ckpt.Stats.PagesCopied,
+			BackupPages: m.Ckpt.Stats.BackupPages,
+		}
+		if seen > 0 {
+			row.STWUs = (stwSum / simclock.Duration(seen)).Micros()
+		}
+		row.RunTimeNorm = float64(elapsed)
+		rows = append(rows, row)
+	}
+	// Normalize makespans to the COW variant.
+	for i := range rows {
+		if cowTime > 0 {
+			rows[i].RunTimeNorm /= float64(cowTime)
+		}
+	}
+
+	header := []string{"Method", "mean STW(µs)", "runtime (norm.)", "COW faults", "pages copied", "backup pages"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Method, f1(r.STWUs), f2(r.RunTimeNorm),
+			f1(float64(r.Faults)), f1(float64(r.PagesCopied)), f1(float64(r.BackupPages)),
+		})
+	}
+	return rows, "Ablation (Figure 7): page checkpointing methods\n" + table(header, cells), nil
+}

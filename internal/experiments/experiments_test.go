@@ -1,0 +1,428 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"treesls/internal/caps"
+)
+
+// The experiment tests assert the SHAPES the paper claims — who wins, in
+// which direction, where the crossovers are — not absolute numbers.
+
+func TestFunctionalAllPass(t *testing.T) {
+	rows, txt, err := Functional(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("only %d functional tests", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Pass {
+			t.Errorf("%s failed: %s", r.Test, r.Note)
+		}
+	}
+	if !strings.Contains(txt, "PASS") {
+		t.Error("table missing PASS markers")
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	rows, txt, err := Table2(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	def := rows[0]
+	// The Default row mirrors the paper exactly (shaped at boot).
+	if def.Counts[caps.KindCapGroup] != 6 || def.Counts[caps.KindThread] != 27 ||
+		def.Counts[caps.KindPMO] != 71 {
+		t.Errorf("default composition = %v", def.Counts)
+	}
+	for _, r := range rows[1:] {
+		// Every workload adds at least one cap group, one VM space and
+		// some PMOs over Default.
+		if r.Delta[caps.KindCapGroup] < 1 || r.Delta[caps.KindVMSpace] < 1 || r.Delta[caps.KindPMO] < 1 {
+			t.Errorf("%s deltas = %v", r.Workload, r.Delta)
+		}
+		if r.AppMiB <= 0 {
+			t.Errorf("%s has no resident memory", r.Workload)
+		}
+	}
+	// Redis has the largest thread/IPC footprint among the apps (its
+	// clients are checkpointed too).
+	redis := rows[5]
+	if redis.Workload != "Redis" {
+		t.Fatalf("row order: %s", redis.Workload)
+	}
+	for _, r := range rows[1:5] {
+		if r.Delta[caps.KindThread] > redis.Delta[caps.KindThread] {
+			t.Errorf("%s has more threads than Redis", r.Workload)
+		}
+	}
+	if txt == "" {
+		t.Error("empty table")
+	}
+}
+
+func TestFigure9Shape(t *testing.T) {
+	rows, txt, err := Figure9a(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	def := rows[0]
+	if def.Workload != "Default" {
+		t.Fatal("row order")
+	}
+	for _, r := range rows {
+		if r.Rounds == 0 {
+			t.Errorf("%s measured no checkpoints", r.Workload)
+			continue
+		}
+		// Breakdown must be internally consistent.
+		if r.TotalUs+0.01 < r.IPIUs+r.CapTreeUs {
+			t.Errorf("%s: total %v below parts", r.Workload, r.TotalUs)
+		}
+		// The headline claim: whole-system checkpoint completes in
+		// around (tens to a couple hundred) microseconds.
+		if r.TotalUs <= 0 || r.TotalUs > 300 {
+			t.Errorf("%s STW = %.1fµs, outside the paper's regime", r.Workload, r.TotalUs)
+		}
+		// Default is the cheapest or near-cheapest.
+		if r.CapTreeUs+0.5 < def.CapTreeUs {
+			t.Errorf("%s cap-tree time below Default", r.Workload)
+		}
+	}
+	if !strings.Contains(txt, "STW") {
+		t.Error("bad table")
+	}
+
+	// 9(b): cap-tree time concentrates in cap groups/threads/VM spaces
+	// for thread-heavy workloads.
+	rows9b, _, err := Figure9b(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	redis := rows9b[5]
+	if redis.PerKindUs[caps.KindCapGroup] <= 0 || redis.PerKindUs[caps.KindThread] <= 0 {
+		t.Error("Redis checkpoint has no cap-group/thread component")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, txt, err := Table3(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKind := map[caps.ObjectKind]Table3Row{}
+	for _, r := range rows {
+		byKind[r.Kind] = r
+		if r.MaxIncr < r.MinIncr || r.MaxFull < r.MinFull || r.MaxRestore < r.MinRestore {
+			t.Errorf("%v: inverted ranges %+v", r.Kind, r)
+		}
+	}
+	// Incremental checkpoints are cheap: every kind under ~10 µs (the
+	// paper's worst incremental is 3.28 µs for cap groups).
+	for _, r := range rows {
+		if r.MaxIncr.Micros() > 10 {
+			t.Errorf("%v incremental max %.2fµs too slow", r.Kind, r.MaxIncr.Micros())
+		}
+	}
+	// Full PMO checkpoint (radix construction) dwarfs its incremental.
+	pmo := byKind[caps.KindPMO]
+	if pmo.MaxFull <= pmo.MaxIncr {
+		t.Error("PMO full checkpoint not dearer than incremental")
+	}
+	// PMO restore is the most expensive restore (page version rules).
+	for _, r := range rows {
+		if r.Kind != caps.KindPMO && r.MaxRestore > pmo.MaxRestore {
+			t.Errorf("%v restore above PMO's", r.Kind)
+		}
+	}
+	_ = txt
+}
+
+func TestFigure10Shape(t *testing.T) {
+	rows, _, err := Figure10(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// Cumulative bars are monotone.
+		if !(r.Base <= r.PlusCkpt+1e-9 && r.PlusCkpt <= r.PlusFault+1e-9 && r.PlusFault <= r.PlusMemcpy+1e-9) {
+			t.Errorf("%s bars not monotone: %+v", r.Workload, r)
+		}
+		// Hybrid copy reduces (or at worst matches) the COW overhead.
+		if r.Hybrid > r.PlusMemcpy+0.08 {
+			t.Errorf("%s: hybrid %v above pure COW %v", r.Workload, r.Hybrid, r.PlusMemcpy)
+		}
+	}
+}
+
+func TestTable4Shape(t *testing.T) {
+	rows, _, err := Table4(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	anyCached := false
+	for _, r := range rows {
+		if r.FaultsEliminated < 0 || r.FaultsEliminated > 1 || r.DirtyRate < 0 || r.DirtyRate > 1.000001 {
+			t.Errorf("%s ratios out of range: %+v", r.Workload, r)
+		}
+		if r.CachedPages > 0 {
+			anyCached = true
+		}
+	}
+	if !anyCached {
+		t.Error("hybrid copy cached nothing anywhere")
+	}
+}
+
+func TestFigure11Shape(t *testing.T) {
+	rows, _, err := Figure11(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	get := func(op string, ms int) Fig11Row {
+		for _, r := range rows {
+			if r.Op == op && r.IntervalMs == ms {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", op, ms)
+		return Fig11Row{}
+	}
+	baseSet := get("SET", 0)
+	// Checkpointing never makes ops faster; 1 ms is the worst case.
+	for _, ms := range []int{1, 5, 10, 50} {
+		r := get("SET", ms)
+		if r.P95Us+0.5 < baseSet.P95Us {
+			t.Errorf("SET P95 at %dms (%v) below baseline (%v)", ms, r.P95Us, baseSet.P95Us)
+		}
+	}
+	if s1, s50 := get("SET", 1), get("SET", 50); s1.P95Us+0.1 < s50.P95Us {
+		t.Errorf("SET P95: 1ms (%v) below 50ms (%v)", s1.P95Us, s50.P95Us)
+	}
+	// µs-scale latencies, as the paper's machine-local transport.
+	if baseSet.P50Us < 5 || baseSet.P50Us > 100 {
+		t.Errorf("baseline P50 %vµs not µs-scale", baseSet.P50Us)
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	rows, _, err := Figure12(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	find := func(cfg string, ms int) Fig12Row {
+		for _, r := range rows {
+			if r.Config == cfg && r.IntervalMs == ms {
+				return r
+			}
+		}
+		t.Fatalf("missing %s/%d", cfg, ms)
+		return Fig12Row{}
+	}
+	base := find("Baseline", 0)
+	for _, ms := range []int{1, 5, 10} {
+		plain := find("TreeSLS", ms)
+		ext := find("TreeSLS-ExtSync", ms)
+		// Delaying responses costs ~one checkpoint interval of latency.
+		if ext.P50Ms < float64(ms)/2 {
+			t.Errorf("ExtSync P50 at %dms = %vms, below half an interval", ms, ext.P50Ms)
+		}
+		if ext.P50Ms > float64(ms)*3 {
+			t.Errorf("ExtSync P50 at %dms = %vms, way above an interval", ms, ext.P50Ms)
+		}
+		// Blocking clients cut throughput; larger intervals cut more.
+		if ext.ThroughKop > plain.ThroughKop {
+			t.Errorf("ExtSync throughput above plain at %dms", ms)
+		}
+		if plain.P50Ms > base.P50Ms*10 {
+			t.Errorf("plain checkpointing P50 exploded at %dms", ms)
+		}
+	}
+	e1, e10 := find("TreeSLS-ExtSync", 1), find("TreeSLS-ExtSync", 10)
+	if e10.ThroughKop > e1.ThroughKop {
+		t.Error("longer interval should throttle extsync throughput more")
+	}
+}
+
+func TestFigure13Shape(t *testing.T) {
+	rows, _, err := Figure13(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 20 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, wl := range []string{"100% Update", "100% Insert"} {
+		base, _ := fig13Lookup(rows, wl, "Linux-base")
+		walRow, _ := fig13Lookup(rows, wl, "Linux-WAL")
+		t1ms, _ := fig13Lookup(rows, wl, "TreeSLS-1ms")
+		// Headline: WAL collapses on write-heavy workloads (paper:
+		// 64-78% drop); TreeSLS-1ms ends up ~2x Linux-WAL.
+		if walRow.ThroughKop > base.ThroughKop*0.6 {
+			t.Errorf("%s: WAL only dropped to %.0f%% of base", wl, 100*walRow.ThroughKop/base.ThroughKop)
+		}
+		ratio := t1ms.ThroughKop / walRow.ThroughKop
+		if ratio < 1.5 {
+			t.Errorf("%s: TreeSLS-1ms only %.2fx of Linux-WAL (paper: 1.9-2.2x)", wl, ratio)
+		}
+	}
+	// Read-only workload: WAL writes nothing, so it matches Linux-base.
+	cBase, _ := fig13Lookup(rows, "Workload C", "Linux-base")
+	cWAL, _ := fig13Lookup(rows, "Workload C", "Linux-WAL")
+	if cWAL.ThroughKop < cBase.ThroughKop*0.97 {
+		t.Error("Workload C: WAL should cost nothing on reads")
+	}
+	// TreeSLS-1ms never beats its own baseline.
+	for _, wl := range []string{"Workload A", "100% Update"} {
+		tb, _ := fig13Lookup(rows, wl, "TreeSLS-base")
+		t1, _ := fig13Lookup(rows, wl, "TreeSLS-1ms")
+		if t1.ThroughKop > tb.ThroughKop*1.02 {
+			t.Errorf("%s: checkpointing increased throughput", wl)
+		}
+	}
+}
+
+func TestFigure14Shape(t *testing.T) {
+	rows, _, err := Figure14(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	tBase := fig14Lookup(rows, "TreeSLS-base")
+	t1 := fig14Lookup(rows, "TreeSLS-1ms")
+	t5 := fig14Lookup(rows, "TreeSLS-5ms")
+	aBase := fig14Lookup(rows, "Aurora-base")
+	a5 := fig14Lookup(rows, "Aurora-5ms")
+	api := fig14Lookup(rows, "Aurora-API")
+	walRow := fig14Lookup(rows, "Aurora-base-WAL")
+
+	// Aurora's FreeBSD baseline beats TreeSLS's musl baseline (paper).
+	if aBase.ThroughKop < tBase.ThroughKop {
+		t.Error("Aurora-base should out-run TreeSLS-base (libc difference)")
+	}
+	// Transparent checkpointing at 1 ms costs little throughput.
+	if t1.ThroughKop < tBase.ThroughKop*0.8 {
+		t.Errorf("TreeSLS-1ms lost %.0f%% throughput (paper: ~10%%)", 100*(1-t1.ThroughKop/tBase.ThroughKop))
+	}
+	// 5 ms costs less than 1 ms.
+	if t5.ThroughKop < t1.ThroughKop*0.98 {
+		t.Error("TreeSLS-5ms below TreeSLS-1ms")
+	}
+	// Headline: transparent checkpointing clearly beats the journaling
+	// API and the WAL (paper: 2.4x / 2.5x; shape target: >1.4x).
+	if t1.ThroughKop/api.ThroughKop < 1.4 {
+		t.Errorf("TreeSLS-1ms only %.2fx of Aurora-API", t1.ThroughKop/api.ThroughKop)
+	}
+	if t1.ThroughKop/walRow.ThroughKop < 1.4 {
+		t.Errorf("TreeSLS-1ms only %.2fx of RocksDB-WAL", t1.ThroughKop/walRow.ThroughKop)
+	}
+	// API/WAL pay on the critical path: latency clearly above baselines.
+	if api.P50Us < aBase.P50Us*1.5 || walRow.P50Us < aBase.P50Us*1.5 {
+		t.Error("journaling/WAL P50 should sit well above the base")
+	}
+	// Aurora's two-tier checkpointing hurts the tail more than its base.
+	if a5.P99Us < aBase.P99Us {
+		t.Error("Aurora-5ms P99 below Aurora-base")
+	}
+	// Checkpointing costs tail latency on TreeSLS too (paper: +69% P99).
+	if t1.P99Us < tBase.P99Us {
+		t.Error("TreeSLS-1ms P99 below base")
+	}
+}
+
+func TestRestoreTimeShape(t *testing.T) {
+	rows, _, err := RestoreTime(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		if r.RestoreUs <= 0 || r.AppPages <= 0 {
+			t.Errorf("row %d = %+v", i, r)
+		}
+		if i > 0 && r.RestoreUs < rows[i-1].RestoreUs {
+			t.Errorf("restore time not monotone in dataset size: %v then %v",
+				rows[i-1].RestoreUs, r.RestoreUs)
+		}
+	}
+	// "Near-instantaneous": even the biggest quick-scale dataset restores
+	// in well under a simulated second.
+	if rows[len(rows)-1].RestoreUs > 1e6 {
+		t.Errorf("restore took %.0fµs", rows[len(rows)-1].RestoreUs)
+	}
+}
+
+func TestSensitivityShape(t *testing.T) {
+	rows, _, err := SensitivityNVM(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Fault cost is strictly increasing in the NVM cost factor, and the
+	// pause should not shrink as the medium slows down.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FaultCostUs <= rows[i-1].FaultCostUs {
+			t.Errorf("fault cost not increasing: %v then %v", rows[i-1].FaultCostUs, rows[i].FaultCostUs)
+		}
+		if rows[i].STWUs+1.0 < rows[i-1].STWUs {
+			t.Errorf("STW shrank as NVM slowed: %v then %v", rows[i-1].STWUs, rows[i].STWUs)
+		}
+	}
+}
+
+func TestAblationShape(t *testing.T) {
+	rows, _, err := AblationCopyMethods(QuickScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sac, cow, hyb := rows[0], rows[1], rows[2]
+	// Figure 7's argument: stop-and-copy has the longest pause and no
+	// faults; COW has a short pause and faults; hybrid keeps the short
+	// pause and eliminates much of the faulting.
+	if sac.STWUs < cow.STWUs*2 {
+		t.Errorf("SAC pause %.1fµs not clearly above COW %.1fµs", sac.STWUs, cow.STWUs)
+	}
+	if sac.Faults != 0 {
+		t.Errorf("SAC faulted %d times", sac.Faults)
+	}
+	if cow.Faults == 0 {
+		t.Error("COW produced no faults")
+	}
+	if hyb.Faults >= cow.Faults {
+		t.Errorf("hybrid (%d faults) did not reduce COW faults (%d)", hyb.Faults, cow.Faults)
+	}
+	if hyb.STWUs > sac.STWUs {
+		t.Error("hybrid pause above stop-and-copy pause")
+	}
+}

@@ -1,0 +1,204 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treesls/internal/checkpoint"
+	"treesls/internal/simclock"
+)
+
+// Fig10Row is one workload's normalized runtime under increasing checkpoint
+// machinery (Figure 10): base = 1.0, then cumulative costs of the STW pauses,
+// page-fault traps and page copies (the pure copy-on-write configuration),
+// and finally the hybrid-copy configuration that claws part of it back.
+type Fig10Row struct {
+	Workload   string
+	Base       float64 // always 1.0
+	PlusCkpt   float64 // + STW pauses
+	PlusFault  float64 // + fault trap time
+	PlusMemcpy float64 // + page copies == full COW configuration
+	Hybrid     float64 // hybrid-copy configuration
+}
+
+// buildFig10Rigs builds the four §7.4 workloads (Memcached, Redis, KMeans,
+// PCA) with the given interval and hybrid-copy setting.
+func buildFig10Rigs(interval simclock.Duration, hybrid bool, s Scale) ([]*rig, error) {
+	cfg := kernelConfigFor(interval, hybrid)
+	mk := withConfig(cfg)
+	mc, err := rigMemcached(mk, s)
+	if err != nil {
+		return nil, err
+	}
+	rd, err := rigRedis(mk, s)
+	if err != nil {
+		return nil, err
+	}
+	km, err := rigKMeans(mk, s)
+	if err != nil {
+		return nil, err
+	}
+	pc, err := rigPCA(mk, s)
+	if err != nil {
+		return nil, err
+	}
+	return []*rig{&mc.rig, &rd.rig, km, pc}, nil
+}
+
+// fig10Run executes `work` fixed steps of each workload under one
+// configuration and returns (makespan, checkpoint stats) per workload.
+func fig10Run(interval simclock.Duration, hybrid bool, s Scale, work int) ([]simclock.Duration, []checkpoint.Stats, []checkpoint.Report, error) {
+	// Build rigs with the desired hybrid setting by tweaking the default
+	// config used by the rig constructors: they use kernel.DefaultConfig
+	// through machineWith, which has hybrid on; for the hybrid-off run we
+	// flip it afterwards via a dedicated constructor below.
+	rigs, err := buildFig10Rigs(interval, hybrid, s)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var times []simclock.Duration
+	var stats []checkpoint.Stats
+	var lasts []checkpoint.Report
+	for _, r := range rigs {
+		start := r.M.Now()
+		for i := 0; i < work; i++ {
+			if err := r.Step(); err != nil {
+				return nil, nil, nil, fmt.Errorf("%s: %w", r.Name, err)
+			}
+		}
+		times = append(times, r.M.Now().Sub(start))
+		stats = append(stats, r.M.Ckpt.Stats)
+		lasts = append(lasts, r.M.Ckpt.LastReport)
+	}
+	return times, stats, lasts, nil
+}
+
+// Figure10 reproduces Figure 10: normalized runtime overhead breakdown with
+// and without hybrid copy, for Memcached, Redis, KMeans and PCA.
+func Figure10(s Scale) ([]Fig10Row, string, error) {
+	work := s.KVOps
+	base, _, _, err := fig10Run(0, false, s, work)
+	if err != nil {
+		return nil, "", err
+	}
+	cowTimes, cowStats, _, err := fig10Run(simclock.Millisecond, false, s, work)
+	if err != nil {
+		return nil, "", err
+	}
+	hybTimes, _, _, err := fig10Run(simclock.Millisecond, true, s, work)
+	if err != nil {
+		return nil, "", err
+	}
+
+	names := []string{"Memcached", "Redis", "KMeans", "PCA"}
+	model := simclock.DefaultCostModel()
+	var rows []Fig10Row
+	var cells [][]string
+	for i, name := range names {
+		t0 := float64(base[i])
+		tc := float64(cowTimes[i])
+		th := float64(hybTimes[i])
+		if t0 == 0 {
+			t0 = 1
+		}
+		// Split the COW overhead into trap time vs copy time by the
+		// cost-model ratio, and attribute the rest to the STW pauses.
+		st := cowStats[i]
+		faultCost := float64(st.COWFaults) * float64(model.PageFaultTrap+model.PageTableUpdate)
+		copyCost := float64(st.PagesCopied) * float64(model.NVMReadPage+model.NVMWritePage)
+		overhead := tc - t0
+		if overhead < 0 {
+			overhead = 0
+		}
+		denom := faultCost + copyCost
+		var faultShare, copyShare float64
+		if denom > 0 {
+			pageShare := overhead * 0.8 // STW gets the remainder
+			if faultCost+copyCost < pageShare {
+				pageShare = faultCost + copyCost
+			}
+			faultShare = pageShare * faultCost / denom
+			copyShare = pageShare * copyCost / denom
+		}
+		stwShare := overhead - faultShare - copyShare
+		row := Fig10Row{
+			Workload:   name,
+			Base:       1,
+			PlusCkpt:   (t0 + stwShare) / t0,
+			PlusFault:  (t0 + stwShare + faultShare) / t0,
+			PlusMemcpy: tc / t0,
+			Hybrid:     th / t0,
+		}
+		rows = append(rows, row)
+		cells = append(cells, []string{
+			name, f2(row.Base), f2(row.PlusCkpt), f2(row.PlusFault), f2(row.PlusMemcpy), f2(row.Hybrid),
+		})
+	}
+	header := []string{"Workload", "base", "+checkpoint", "+page fault", "+page memcpy", "+hybrid copy"}
+	return rows, "Figure 10: normalized runtime overhead breakdown (1 ms checkpointing)\n" + table(header, cells), nil
+}
+
+// Table4Row is one workload's hybrid-copy effectiveness (Table 4).
+type Table4Row struct {
+	Workload         string
+	RuntimeFaults    float64 // COW faults per checkpoint
+	DirtyCachedPages float64 // dirty cached pages stop-and-copied per checkpoint
+	CachedPages      float64 // DRAM-cached pages
+	FaultsEliminated float64 // dirty/(dirty+faults)
+	DirtyRate        float64 // dirty/cached
+}
+
+// Table4 reproduces Table 4: recall/precision of hybrid copy per workload.
+func Table4(s Scale) ([]Table4Row, string, error) {
+	rigs, err := buildFig10Rigs(simclock.Millisecond, true, s)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Table4Row
+	var cells [][]string
+	for _, r := range rigs {
+		// Warm up so the cache fills, then measure.
+		if err := r.runUntil(r.M.Now().Add(5 * simclock.Millisecond)); err != nil {
+			return nil, "", err
+		}
+		var faults, dirty, cached float64
+		rounds := 0
+		seen := r.M.Stats.Checkpoints
+		deadline := r.M.Now().Add(simclock.Duration(s.RunMillis) * simclock.Millisecond)
+		for r.M.Now() < deadline {
+			if err := r.Step(); err != nil {
+				return nil, "", err
+			}
+			if r.M.Stats.Checkpoints > seen {
+				seen = r.M.Stats.Checkpoints
+				rep := r.M.Ckpt.LastReport
+				faults += float64(rep.FaultsLastEpoch)
+				dirty += float64(rep.DirtyDRAMCopied)
+				cached += float64(rep.CachedPages)
+				rounds++
+			}
+		}
+		if rounds == 0 {
+			rounds = 1
+		}
+		row := Table4Row{
+			Workload:         r.Name,
+			RuntimeFaults:    faults / float64(rounds),
+			DirtyCachedPages: dirty / float64(rounds),
+			CachedPages:      cached / float64(rounds),
+		}
+		if row.DirtyCachedPages+row.RuntimeFaults > 0 {
+			row.FaultsEliminated = row.DirtyCachedPages / (row.DirtyCachedPages + row.RuntimeFaults)
+		}
+		if row.CachedPages > 0 {
+			row.DirtyRate = row.DirtyCachedPages / row.CachedPages
+		}
+		rows = append(rows, row)
+		cells = append(cells, []string{
+			r.Name, f1(row.RuntimeFaults), f1(row.DirtyCachedPages), f1(row.CachedPages),
+			fmt.Sprintf("%.0f%%", row.FaultsEliminated*100),
+			fmt.Sprintf("%.0f%%", row.DirtyRate*100),
+		})
+	}
+	header := []string{"Workload", "faults/ckpt", "dirty cached", "cached pages", "faults eliminated", "dirty rate"}
+	return rows, "Table 4: effect of hybrid memory checkpoint\n" + table(header, cells), nil
+}

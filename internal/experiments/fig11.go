@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// Fig11Row is one (operation, checkpoint interval) point of Figure 11:
+// Memcached SET/GET latency percentiles under different checkpoint
+// frequencies, against the no-checkpoint baseline.
+type Fig11Row struct {
+	Op         string // "SET" or "GET"
+	IntervalMs int    // 0 = baseline (no checkpointing)
+	P50Us      float64
+	P95Us      float64
+}
+
+// Figure11 reproduces Figure 11: an 8-threaded client drives an 8-threaded
+// Memcached server over the machine-local UDP-like transport (latency
+// includes the network RTT), at checkpoint intervals of 1/5/10/50 ms plus
+// the no-checkpoint baseline. Each point runs long enough to span several
+// intervals so STW pauses and copy-on-write faults land in the percentiles.
+func Figure11(s Scale) ([]Fig11Row, string, error) {
+	intervals := []int{0, 1, 5, 10, 50}
+	var rows []Fig11Row
+	for _, ms := range intervals {
+		m := withInterval(simclock.Duration(ms) * simclock.Millisecond)()
+		rtt := m.Model.NetRTT
+		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+			Name:         "memcached",
+			Threads:      8,
+			HeapPages:    16384,
+			Buckets:      8192,
+			PerOpCompute: 1500 * simclock.Nanosecond,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		if _, err := m.NewProcess("memcached-cli", 8); err != nil {
+			return nil, "", err
+		}
+		rng := rand.New(rand.NewSource(13))
+		zipf := workload.NewZipfian(rng, s.Records, 0.99)
+		val := make([]byte, s.ValueSize)
+
+		// Run long enough to see several checkpoint intervals.
+		runFor := simclock.Duration(s.RunMillis) * simclock.Millisecond
+		if min := 4 * simclock.Duration(ms) * simclock.Millisecond; min > runFor {
+			runFor = min
+		}
+
+		measure := func(doSet bool) ([]simclock.Duration, error) {
+			clients := 8
+			arrival := make([]simclock.Time, clients)
+			for i := range arrival {
+				arrival[i] = m.Now()
+			}
+			var lat []simclock.Duration
+			deadline := m.Now().Add(runFor)
+			for m.Now() < deadline {
+				for c := 0; c < clients; c++ {
+					// The request crosses half the RTT before
+					// service; the reply crosses the other half.
+					at := arrival[c].Add(rtt / 2)
+					var end simclock.Time
+					if doSet {
+						res, _, err := srv.SetAt(at, c, workload.Key(zipf.Next()), val)
+						if err != nil {
+							return nil, err
+						}
+						end = res.End
+					} else {
+						res, _, _, err := srv.GetAt(at, c, workload.Key(zipf.Next()))
+						if err != nil {
+							return nil, err
+						}
+						end = res.End
+					}
+					done := end.Add(rtt / 2)
+					lat = append(lat, done.Sub(arrival[c]))
+					arrival[c] = done
+				}
+			}
+			return lat, nil
+		}
+		setLat, err := measure(true)
+		if err != nil {
+			return nil, "", err
+		}
+		getLat, err := measure(false)
+		if err != nil {
+			return nil, "", err
+		}
+		rows = append(rows,
+			Fig11Row{Op: "SET", IntervalMs: ms, P50Us: percentile(setLat, 0.50).Micros(), P95Us: percentile(setLat, 0.95).Micros()},
+			Fig11Row{Op: "GET", IntervalMs: ms, P50Us: percentile(getLat, 0.50).Micros(), P95Us: percentile(getLat, 0.95).Micros()},
+		)
+	}
+
+	header := []string{"Op", "Interval(ms)", "P50(µs)", "P95(µs)"}
+	var cells [][]string
+	for _, r := range rows {
+		iv := "baseline"
+		if r.IntervalMs > 0 {
+			iv = f1(float64(r.IntervalMs))
+		}
+		cells = append(cells, []string{r.Op, iv, f1(r.P50Us), f1(r.P95Us)})
+	}
+	return rows, "Figure 11: Memcached SET/GET latency vs checkpoint interval\n" + table(header, cells), nil
+}

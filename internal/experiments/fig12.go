@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/extsync"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// Fig12Row is one (configuration, interval) point of Figure 12: the Redis
+// SET benchmark with and without transparent external synchrony.
+type Fig12Row struct {
+	Config     string // Baseline / TreeSLS / TreeSLS-ExtSync
+	IntervalMs int
+	P50Ms      float64 // client-perceived P50 latency
+	ThroughKop float64 // Kops/s
+}
+
+// Figure12 reproduces Figure 12: many clients concurrently SET 1024-byte
+// values, each client sending a batch of requests and blocking until every
+// response in the batch is (externally) visible. With external synchrony the
+// response is visible only after the next checkpoint, adding roughly one
+// checkpoint interval of latency and throttling the closed-loop clients.
+func Figure12(s Scale) ([]Fig12Row, string, error) {
+	const batch = 32
+	valSize := 1024
+	type cfg struct {
+		name     string
+		interval simclock.Duration
+		ext      bool
+	}
+	var cfgs []cfg
+	cfgs = append(cfgs, cfg{"Baseline", 0, false})
+	for _, ms := range []int{1, 5, 10} {
+		cfgs = append(cfgs, cfg{"TreeSLS", simclock.Duration(ms) * simclock.Millisecond, false})
+		cfgs = append(cfgs, cfg{"TreeSLS-ExtSync", simclock.Duration(ms) * simclock.Millisecond, true})
+	}
+
+	var rows []Fig12Row
+	for _, c := range cfgs {
+		m := withInterval(c.interval)()
+		var drv *extsync.Driver
+		var err error
+		if c.ext {
+			drv, err = extsync.NewDriver(m, 16384)
+			if err != nil {
+				return nil, "", err
+			}
+		}
+		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+			Name:         "redis",
+			Threads:      1, // Redis is single-threaded
+			HeapPages:    32768,
+			Buckets:      8192,
+			PerOpCompute: 2600 * simclock.Nanosecond,
+			Ext:          drv,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+
+		// Track ack time per sequence number for extsync latency.
+		ackAt := map[uint64]simclock.Time{}
+		if drv != nil {
+			drv.SetDeliver(func(seq uint64, _ []byte, at simclock.Time) {
+				ackAt[seq] = at
+			})
+		}
+
+		rng := rand.New(rand.NewSource(21))
+		zipf := workload.NewZipfian(rng, s.Records, 0.99)
+		val := make([]byte, valSize)
+
+		clients := s.Clients
+		nextBatchAt := make([]simclock.Time, clients)
+		var latencies []simclock.Duration
+		totalOps := 0
+		start := m.Now()
+		deadline := start.Add(simclock.Duration(s.RunMillis) * simclock.Millisecond)
+
+		// Clients run concurrently: each round interleaves one batch per
+		// client (the requests pipeline into the server), then — under
+		// external synchrony — the machine idles to the next checkpoint
+		// so the delayed responses release.
+		for m.Now() < deadline {
+			type pend struct {
+				seq    uint64
+				submit simclock.Time
+				client int
+			}
+			var pending []pend
+			for cl := 0; cl < clients; cl++ {
+				arrive := nextBatchAt[cl]
+				var batchEnd simclock.Time
+				for b := 0; b < batch; b++ {
+					res, seq, err := srv.SetAt(arrive, 0, workload.Key(zipf.Next()), val)
+					if err != nil {
+						return nil, "", err
+					}
+					totalOps++
+					sub := arrive
+					if sub == 0 || res.Start > sub {
+						sub = res.Start
+					}
+					if c.ext {
+						pending = append(pending, pend{seq: seq, submit: sub, client: cl})
+					} else {
+						latencies = append(latencies, res.End.Sub(sub))
+						if res.End > batchEnd {
+							batchEnd = res.End
+						}
+					}
+				}
+				nextBatchAt[cl] = batchEnd
+			}
+			if c.ext {
+				// Idle to the next checkpoint: the acks release.
+				m.SettleTo(m.NextCheckpointAt())
+				for _, p := range pending {
+					at, ok := ackAt[p.seq]
+					if !ok {
+						return nil, "", fmt.Errorf("seq %d never delivered", p.seq)
+					}
+					latencies = append(latencies, at.Sub(p.submit))
+					if at > nextBatchAt[p.client] {
+						nextBatchAt[p.client] = at
+					}
+				}
+			}
+		}
+		elapsed := m.Now().Sub(start)
+		row := Fig12Row{
+			Config:     c.name,
+			IntervalMs: int(c.interval.Millis()),
+			P50Ms:      percentile(latencies, 0.5).Millis(),
+			ThroughKop: float64(totalOps) / (elapsed.Millis()),
+		}
+		rows = append(rows, row)
+	}
+
+	header := []string{"Config", "Interval(ms)", "P50(ms)", "Throughput(Kops/s)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Config, fmt.Sprintf("%d", r.IntervalMs), f2(r.P50Ms), f1(r.ThroughKop)})
+	}
+	return rows, "Figure 12: Redis SET with/without external synchrony\n" + table(header, cells), nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/baseline/disk"
+	"treesls/internal/baseline/wal"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// Fig13Row is one (workload, configuration) throughput point of Figure 13:
+// YCSB on Redis under four persistence configurations.
+type Fig13Row struct {
+	Workload   string
+	Config     string
+	ThroughKop float64 // KTPS
+}
+
+// fig13Configs are the four bars of Figure 13 per workload group.
+var fig13Configs = []string{"TreeSLS-base", "TreeSLS-1ms", "Linux-base", "Linux-WAL"}
+
+// Figure13 reproduces Figure 13: YCSB A/B/C, 100% Update and 100% Insert on
+// Redis, comparing transparent TreeSLS checkpointing against Redis's own
+// write-ahead log (AOF) on Linux. The Linux baseline is modestly faster per
+// op (glibc vs musl, no microkernel IPC), as in the paper.
+func Figure13(s Scale) ([]Fig13Row, string, error) {
+	kinds := []workload.YCSBKind{
+		workload.YCSBA, workload.YCSBB, workload.YCSBC,
+		workload.YCSBUpdate100, workload.YCSBInsert100,
+	}
+	// YCSB's standard record is ~1 KB (10 fields x 100 B); the client is
+	// single-threaded and closed-loop over the local transport, as in the
+	// paper's setup — throughput is 1/(RTT + per-op service time).
+	const ycsbValue = 1000
+	var rows []Fig13Row
+	for _, kind := range kinds {
+		for _, cfgName := range fig13Configs {
+			var interval simclock.Duration
+			perOp := 2600 * simclock.Nanosecond // Redis on musl + microkernel IPC
+			var log *wal.Log
+			switch cfgName {
+			case "TreeSLS-1ms":
+				interval = simclock.Millisecond
+			case "Linux-base", "Linux-WAL":
+				perOp = 2200 * simclock.Nanosecond // glibc, native syscalls
+			}
+			m := withInterval(interval)()
+			rtt := m.Model.NetRTT
+			if cfgName == "Linux-WAL" {
+				// Redis AOF with appendfsync=always on Ext4-DAX
+				// over persistent memory.
+				log = wal.New(disk.New(disk.PMDAX, m.Model))
+			}
+			srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+				Name:         "redis",
+				Threads:      1, // Redis is single-threaded
+				HeapPages:    32768,
+				Buckets:      8192,
+				PerOpCompute: perOp,
+				WAL:          log,
+			})
+			if err != nil {
+				return nil, "", err
+			}
+
+			gen := workload.NewYCSB(kind, s.Records, ycsbValue, 31)
+			// Load phase (not measured).
+			for i, op := range gen.LoadOps() {
+				if _, _, err := srv.Set(i, op.Key, op.Value); err != nil {
+					return nil, "", err
+				}
+			}
+			start := m.Now()
+			arrival := start
+			for i := 0; i < s.KVOps; i++ {
+				op := gen.Next()
+				at := arrival.Add(rtt / 2)
+				var end simclock.Time
+				switch op.Type {
+				case workload.OpRead:
+					res, _, _, err := srv.GetAt(at, 0, op.Key)
+					if err != nil {
+						return nil, "", err
+					}
+					end = res.End
+				default:
+					res, _, err := srv.SetAt(at, 0, op.Key, op.Value)
+					if err != nil {
+						return nil, "", err
+					}
+					end = res.End
+				}
+				arrival = end.Add(rtt / 2)
+			}
+			elapsed := arrival.Sub(start)
+			rows = append(rows, Fig13Row{
+				Workload:   kind.String(),
+				Config:     cfgName,
+				ThroughKop: float64(s.KVOps) / elapsed.Millis(),
+			})
+		}
+	}
+
+	header := []string{"Workload", "Config", "Throughput(KTPS)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Workload, r.Config, f1(r.ThroughKop)})
+	}
+	return rows, "Figure 13: YCSB on Redis — transparent checkpointing vs WAL\n" + table(header, cells), nil
+}
+
+// fig13Lookup finds a row by workload+config (test helper).
+func fig13Lookup(rows []Fig13Row, wl, cfg string) (Fig13Row, error) {
+	for _, r := range rows {
+		if r.Workload == wl && r.Config == cfg {
+			return r, nil
+		}
+	}
+	return Fig13Row{}, fmt.Errorf("no row for %s/%s", wl, cfg)
+}

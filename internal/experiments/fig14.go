@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"treesls/internal/apps/lsm"
+	"treesls/internal/baseline/aurora"
+	"treesls/internal/baseline/disk"
+	"treesls/internal/baseline/wal"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// Fig14Row is one configuration of Figure 14: RocksDB under Facebook's
+// Prefix_dist workload.
+type Fig14Row struct {
+	Config     string
+	ThroughKop float64
+	P50Us      float64 // write latency
+	P99Us      float64
+}
+
+// Figure14 reproduces Figure 14: RocksDB (memtable-in-NVM) persisted
+// transparently by TreeSLS at 1/5 ms, against Aurora's two-tier
+// checkpointing, Aurora's journaling API, and RocksDB's own WAL.
+func Figure14(s Scale) ([]Fig14Row, string, error) {
+	const (
+		perOpTreeSLS = 8000 * simclock.Nanosecond // musl-libc baseline
+		perOpAurora  = 7200 * simclock.Nanosecond // FreeBSD baseline (faster libc)
+	)
+	configs := []string{
+		"TreeSLS-base", "TreeSLS-5ms", "TreeSLS-1ms",
+		"Aurora-base", "Aurora-5ms", "Aurora-API", "Aurora-base-WAL",
+	}
+	var rows []Fig14Row
+	for _, name := range configs {
+		var interval simclock.Duration
+		perOp := perOpTreeSLS
+		switch name {
+		case "TreeSLS-5ms":
+			interval = 5 * simclock.Millisecond
+		case "TreeSLS-1ms":
+			interval = simclock.Millisecond
+		case "Aurora-base", "Aurora-5ms", "Aurora-API", "Aurora-base-WAL":
+			perOp = perOpAurora
+		}
+		m := withInterval(interval)()
+
+		var aur *aurora.Simulator
+		dbCfg := lsm.Config{
+			Name:         "rocksdb",
+			Threads:      4,
+			HeapPages:    32768,
+			Buckets:      8192,
+			PerOpCompute: perOp,
+		}
+		// On Aurora (a two-tier SLS) RocksDB's LSM lives on Aurora's
+		// file system: memtable flushes share the storage device with
+		// Aurora's own checkpoint flushes, so writers can stall behind
+		// them — the tail-latency mechanism behind Figure 14(c).
+		if name == "Aurora-base" || name == "Aurora-5ms" || name == "Aurora-API" || name == "Aurora-base-WAL" {
+			dev := disk.New(disk.DRAMDisk, m.Model)
+			dbCfg.FlushDev = dev
+			dbCfg.MemtableLimit = 256 << 10
+			switch name {
+			case "Aurora-5ms":
+				// Aurora with DRAM as storage, 5 ms interval.
+				aur = aurora.New(m, dev, 5*simclock.Millisecond)
+			case "Aurora-API":
+				aur = aurora.New(m, dev, 0)
+				dbCfg.JournalAppend = aur.JournalAppend
+			case "Aurora-base-WAL":
+				// RocksDB's own WAL on the same store.
+				dbCfg.WAL = wal.New(dev)
+			}
+		}
+		db, err := lsm.Open(m, dbCfg)
+		if err != nil {
+			return nil, "", err
+		}
+
+		// Facebook's Prefix_dist carries ~1 KB values.
+		gen := workload.NewPrefixDist(256, 100000, 1024, 0.8, 41)
+		var writeLat []simclock.Duration
+		ops := 0
+		start := m.Now()
+		// Run long enough that even 5 ms intervals see many checkpoints.
+		minRun := 6 * interval
+		if aur != nil && 6*aur.Interval > minRun {
+			minRun = 6 * aur.Interval
+		}
+		deadline := start.Add(simclock.Duration(s.RunMillis) * simclock.Millisecond)
+		if d := start.Add(minRun); d > deadline {
+			deadline = d
+		}
+		for ops < s.KVOps || m.Now() < deadline {
+			op := gen.Next()
+			switch op.Type {
+			case workload.OpRead:
+				if _, _, _, err := db.Get(ops, op.Key); err != nil {
+					return nil, "", err
+				}
+			default:
+				res, err := db.Put(ops, op.Key, op.Value)
+				if err != nil {
+					return nil, "", err
+				}
+				writeLat = append(writeLat, res.Latency())
+			}
+			ops++
+			if aur != nil {
+				aur.Tick()
+			}
+		}
+		elapsed := m.Now().Sub(start)
+		rows = append(rows, Fig14Row{
+			Config:     name,
+			ThroughKop: float64(ops) / elapsed.Millis(),
+			P50Us:      percentile(writeLat, 0.50).Micros(),
+			P99Us:      percentile(writeLat, 0.99).Micros(),
+		})
+	}
+
+	header := []string{"Config", "Throughput(Kops/s)", "P50 write(µs)", "P99 write(µs)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{r.Config, f1(r.ThroughKop), f1(r.P50Us), f1(r.P99Us)})
+	}
+	return rows, "Figure 14: RocksDB with Facebook Prefix_dist\n" + table(header, cells), nil
+}
+
+// fig14Lookup finds a row by config name (test helper).
+func fig14Lookup(rows []Fig14Row, cfg string) Fig14Row {
+	for _, r := range rows {
+		if r.Config == cfg {
+			return r
+		}
+	}
+	return Fig14Row{}
+}

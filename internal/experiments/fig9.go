@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treesls/internal/caps"
+	"treesls/internal/checkpoint"
+	"treesls/internal/simclock"
+)
+
+// Fig9Row is one workload's STW checkpoint profile: Figure 9(a)'s breakdown
+// of the main procedure (IPI / cap tree / others, with hybrid copy running
+// in parallel) and Figure 9(b)'s per-object-kind split of the cap-tree time.
+type Fig9Row struct {
+	Workload string
+	// Microseconds, averaged over the measured incremental checkpoints.
+	IPIUs, CapTreeUs, OthersUs, HybridUs, TotalUs float64
+	// PerKindUs splits CapTreeUs by object kind.
+	PerKindUs [caps.NumKinds]float64
+	// Rounds is how many checkpoints were averaged.
+	Rounds int
+}
+
+// stwSuite runs the Table 2 workloads under 1000 Hz checkpointing, collects
+// every incremental checkpoint report after warm-up, and finishes each
+// machine with a crash+restore (populating Table 3's restore columns).
+func stwSuite(s Scale) ([]Fig9Row, [caps.NumKinds]checkpoint.ObjTimeStats, error) {
+	rigs, err := allTable2Rigs(simclock.Millisecond, s)
+	if err != nil {
+		return nil, [caps.NumKinds]checkpoint.ObjTimeStats{}, err
+	}
+	var rows []Fig9Row
+	var agg [caps.NumKinds]checkpoint.ObjTimeStats
+	for _, r := range rigs {
+		// Warm up: first checkpoints are full ones.
+		warm := r.M.Now().Add(2 * simclock.Millisecond)
+		if err := r.runUntil(warm); err != nil {
+			return nil, agg, fmt.Errorf("%s warmup: %w", r.Name, err)
+		}
+		row := Fig9Row{Workload: r.Name}
+		seen := r.M.Stats.Checkpoints
+		deadline := r.M.Now().Add(simclock.Duration(s.RunMillis) * simclock.Millisecond)
+		for r.M.Now() < deadline {
+			if err := r.Step(); err != nil {
+				return nil, agg, fmt.Errorf("%s: %w", r.Name, err)
+			}
+			if r.M.Stats.Checkpoints > seen {
+				seen = r.M.Stats.Checkpoints
+				rep := r.M.Ckpt.LastReport
+				row.IPIUs += rep.IPIWait.Micros()
+				row.CapTreeUs += rep.CapTree.Micros()
+				row.OthersUs += rep.Others.Micros()
+				row.HybridUs += rep.HybridCopy.Micros()
+				row.TotalUs += rep.STWTotal.Micros()
+				for k := 0; k < caps.NumKinds; k++ {
+					row.PerKindUs[k] += rep.PerKind[k].Micros()
+				}
+				row.Rounds++
+			}
+		}
+		if row.Rounds > 0 {
+			n := float64(row.Rounds)
+			row.IPIUs /= n
+			row.CapTreeUs /= n
+			row.OthersUs /= n
+			row.HybridUs /= n
+			row.TotalUs /= n
+			for k := range row.PerKindUs {
+				row.PerKindUs[k] /= n
+			}
+		}
+		rows = append(rows, row)
+
+		// Crash + restore to populate Table 3's restore statistics.
+		r.M.Crash()
+		if err := r.M.Restore(); err != nil {
+			return nil, agg, fmt.Errorf("%s restore: %w", r.Name, err)
+		}
+		// Merge this machine's per-kind object stats.
+		for k := 0; k < caps.NumKinds; k++ {
+			mergeObjStats(&agg[k], r.M.Ckpt.Stats.PerKind[k])
+		}
+	}
+	return rows, agg, nil
+}
+
+func mergeObjStats(dst *checkpoint.ObjTimeStats, src checkpoint.ObjTimeStats) {
+	mergeRange := func(dMin, dMax *simclock.Duration, dN *int, sMin, sMax simclock.Duration, sN int) {
+		if sN == 0 {
+			return
+		}
+		if *dN == 0 || sMin < *dMin {
+			*dMin = sMin
+		}
+		if sMax > *dMax {
+			*dMax = sMax
+		}
+		*dN += sN
+	}
+	mergeRange(&dst.MinIncr, &dst.MaxIncr, &dst.NIncr, src.MinIncr, src.MaxIncr, src.NIncr)
+	mergeRange(&dst.MinFull, &dst.MaxFull, &dst.NFull, src.MinFull, src.MaxFull, src.NFull)
+	mergeRange(&dst.MinRestore, &dst.MaxRestore, &dst.NRestore, src.MinRestore, src.MaxRestore, src.NRestore)
+}
+
+// Figure9a reproduces Figure 9(a): the STW time breakdown per workload.
+func Figure9a(s Scale) ([]Fig9Row, string, error) {
+	rows, _, err := stwSuite(s)
+	if err != nil {
+		return nil, "", err
+	}
+	header := []string{"Workload", "IPI(µs)", "CapTree(µs)", "Others(µs)", "‖HybridCopy(µs)", "STW total(µs)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload, f1(r.IPIUs), f1(r.CapTreeUs), f1(r.OthersUs), f1(r.HybridUs), f1(r.TotalUs),
+		})
+	}
+	return rows, "Figure 9(a): STW checkpoint time breakdown (incremental rounds, 1000 Hz)\n" + table(header, cells), nil
+}
+
+// Figure9b reproduces Figure 9(b): cap-tree checkpoint time by object kind.
+func Figure9b(s Scale) ([]Fig9Row, string, error) {
+	rows, _, err := stwSuite(s)
+	if err != nil {
+		return nil, "", err
+	}
+	header := []string{"Workload", "CapGroup", "Thread", "IPC", "Noti", "PMO", "VMSpace"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Workload,
+			f2(r.PerKindUs[caps.KindCapGroup]),
+			f2(r.PerKindUs[caps.KindThread]),
+			f2(r.PerKindUs[caps.KindIPCConn]),
+			f2(r.PerKindUs[caps.KindNotification]),
+			f2(r.PerKindUs[caps.KindPMO]),
+			f2(r.PerKindUs[caps.KindVMSpace]),
+		})
+	}
+	return rows, "Figure 9(b): capability-tree checkpoint time by object kind (µs)\n" + table(header, cells), nil
+}
+
+// Table3Row is one object kind's checkpoint/restore time range (Table 3).
+type Table3Row struct {
+	Kind                   caps.ObjectKind
+	MinIncr, MaxIncr       simclock.Duration
+	MinFull, MaxFull       simclock.Duration
+	MinRestore, MaxRestore simclock.Duration
+}
+
+// Table3 reproduces Table 3: per-object checkpoint/restore times, min/max
+// across all workloads of the STW suite.
+func Table3(s Scale) ([]Table3Row, string, error) {
+	_, agg, err := stwSuite(s)
+	if err != nil {
+		return nil, "", err
+	}
+	kinds := []caps.ObjectKind{
+		caps.KindCapGroup, caps.KindThread, caps.KindIPCConn,
+		caps.KindNotification, caps.KindPMO, caps.KindVMSpace,
+	}
+	var rows []Table3Row
+	var cells [][]string
+	for _, k := range kinds {
+		a := agg[k]
+		rows = append(rows, Table3Row{
+			Kind:    k,
+			MinIncr: a.MinIncr, MaxIncr: a.MaxIncr,
+			MinFull: a.MinFull, MaxFull: a.MaxFull,
+			MinRestore: a.MinRestore, MaxRestore: a.MaxRestore,
+		})
+		cells = append(cells, []string{
+			k.String(),
+			f2(a.MinIncr.Micros()), f2(a.MaxIncr.Micros()),
+			f2(a.MinFull.Micros()), f2(a.MaxFull.Micros()),
+			f2(a.MinRestore.Micros()), f2(a.MaxRestore.Micros()),
+		})
+	}
+	header := []string{"Object", "Incr min(µs)", "Incr max(µs)", "Full min(µs)", "Full max(µs)", "Restore min(µs)", "Restore max(µs)"}
+	return rows, "Table 3: checkpoint/restore time of a single object\n" + table(header, cells), nil
+}

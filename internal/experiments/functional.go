@@ -1,0 +1,291 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/apps/memfs"
+	"treesls/internal/apps/tablestore"
+	"treesls/internal/caps"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+// FunctionalRow is one §7.2 functional test outcome.
+type FunctionalRow struct {
+	Test string
+	Pass bool
+	Note string
+}
+
+// Functional reproduces §7.2: simple test programs (hello world, ping-pong,
+// a simple key-value store) plus a real application are run, the system is
+// crashed and rebooted mid-run, and the programs must continue with expected
+// behaviour.
+func Functional(s Scale) ([]FunctionalRow, string, error) {
+	var rows []FunctionalRow
+	add := func(name string, err error) {
+		r := FunctionalRow{Test: name, Pass: err == nil, Note: "ok"}
+		if err != nil {
+			r.Note = err.Error()
+		}
+		rows = append(rows, r)
+	}
+
+	add("hello-world", funcHelloWorld())
+	add("ping-pong", funcPingPong())
+	add("simple-kv", funcSimpleKV(s))
+	add("sqlite-crash-reboot", funcTableStore(s))
+	add("filesystem-crash-reboot", funcMemFS())
+	add("repeated-crashes", funcRepeatedCrashes(s))
+
+	header := []string{"Test", "Result", "Note"}
+	var cells [][]string
+	for _, r := range rows {
+		res := "PASS"
+		if !r.Pass {
+			res = "FAIL"
+		}
+		cells = append(cells, []string{r.Test, res, r.Note})
+	}
+	return rows, "Functional tests (§7.2): crash + reboot mid-run\n" + table(header, cells), nil
+}
+
+// funcHelloWorld: a process writes a greeting and its thread counts in a
+// register; after crash+reboot both survive exactly as checkpointed.
+func funcHelloWorld() error {
+	m := kernel.New(kernel.DefaultConfig())
+	p, err := m.NewProcess("hello", 1)
+	if err != nil {
+		return err
+	}
+	va, _, err := p.Mmap(1, caps.PMODefault)
+	if err != nil {
+		return err
+	}
+	if _, err := m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		e.Touch(func(c *caps.Context) { c.R[0] = 42 })
+		return e.Write(va, []byte("hello, world"))
+	}); err != nil {
+		return err
+	}
+	m.TakeCheckpoint()
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		return err
+	}
+	p2 := m.Process("hello")
+	if p2 == nil {
+		return fmt.Errorf("process lost")
+	}
+	if p2.MainThread().Ctx.R[0] != 42 {
+		return fmt.Errorf("register lost: %d", p2.MainThread().Ctx.R[0])
+	}
+	buf := make([]byte, 12)
+	if _, err := m.Run(p2, p2.MainThread(), func(e *kernel.Env) error {
+		return e.Read(va, buf)
+	}); err != nil {
+		return err
+	}
+	if string(buf) != "hello, world" {
+		return fmt.Errorf("memory lost: %q", buf)
+	}
+	return nil
+}
+
+// funcPingPong: two processes exchange messages over IPC; the connection
+// state (sequence numbers, in-flight buffer) survives crash+reboot.
+func funcPingPong() error {
+	m := kernel.New(kernel.DefaultConfig())
+	ping, err := m.NewProcess("ping", 1)
+	if err != nil {
+		return err
+	}
+	pong, err := m.NewProcess("pong", 1)
+	if err != nil {
+		return err
+	}
+	conn := ping.Connect(pong)
+	for i := 0; i < 5; i++ {
+		if _, err := m.Run(ping, ping.MainThread(), func(e *kernel.Env) error {
+			e.IPCCall(conn, []byte(fmt.Sprintf("ping-%d", i)))
+			return nil
+		}); err != nil {
+			return err
+		}
+	}
+	m.TakeCheckpoint()
+	// One more message that must be rolled back.
+	if _, err := m.Run(ping, ping.MainThread(), func(e *kernel.Env) error {
+		e.IPCCall(conn, []byte("lost-ball"))
+		return nil
+	}); err != nil {
+		return err
+	}
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		return err
+	}
+	var conn2 *caps.IPCConn
+	m.Tree.Walk(func(o caps.Object) {
+		if c, ok := o.(*caps.IPCConn); ok && c.ID() == conn.ID() {
+			conn2 = c
+		}
+	})
+	if conn2 == nil {
+		return fmt.Errorf("connection lost")
+	}
+	if conn2.Seq != 5 {
+		return fmt.Errorf("seq = %d, want 5 (post-checkpoint message must roll back)", conn2.Seq)
+	}
+	if string(conn2.Buf) != "ping-4" {
+		return fmt.Errorf("buffer = %q", conn2.Buf)
+	}
+	// The game goes on after reboot.
+	ping2 := m.Process("ping")
+	if _, err := m.Run(ping2, ping2.MainThread(), func(e *kernel.Env) error {
+		e.IPCCall(conn2, []byte("ping-5"))
+		return nil
+	}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// funcSimpleKV: a KV store keeps serving correct data across a crash.
+func funcSimpleKV(s Scale) error {
+	m := kernel.New(kernel.DefaultConfig())
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{Name: "kv", Threads: 4})
+	if err != nil {
+		return err
+	}
+	n := s.KVOps / 10
+	if n < 50 {
+		n = 50
+	}
+	for i := 0; i < n; i++ {
+		if _, _, err := srv.Set(i, []byte(fmt.Sprintf("k%d", i)), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			return err
+		}
+	}
+	m.TakeCheckpoint()
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		_, v, ok, err := srv.Get(i, []byte(fmt.Sprintf("k%d", i)))
+		if err != nil {
+			return err
+		}
+		if !ok || string(v) != fmt.Sprintf("v%d", i) {
+			return fmt.Errorf("key k%d = %q,%v after reboot", i, v, ok)
+		}
+	}
+	return nil
+}
+
+// funcTableStore: the SQLite-like store survives a crash mid-benchmark.
+func funcTableStore(s Scale) error {
+	m := kernel.New(kernel.DefaultConfig())
+	tb, err := tablestore.Open(m, "sqlite", 0)
+	if err != nil {
+		return err
+	}
+	for i := uint64(0); i < 64; i++ {
+		if _, err := tb.Insert(i, []byte(fmt.Sprintf("row%d", i))); err != nil {
+			return err
+		}
+	}
+	m.TakeCheckpoint()
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		return err
+	}
+	for i := uint64(0); i < 64; i++ {
+		_, row, ok, err := tb.Select(i)
+		if err != nil {
+			return err
+		}
+		if !ok || string(row) != fmt.Sprintf("row%d", i) {
+			return fmt.Errorf("row %d = %q,%v", i, row, ok)
+		}
+	}
+	return nil
+}
+
+// funcMemFS: the user-space file system of §3's argument — FD tables,
+// inodes and data are ordinary process memory, so the FS survives a crash
+// with zero persistence code.
+func funcMemFS() error {
+	m := kernel.New(kernel.DefaultConfig())
+	fs, err := memfs.Mount(m, "memfs", 2048)
+	if err != nil {
+		return err
+	}
+	if err := fs.Create("/etc/hosts"); err != nil {
+		return err
+	}
+	if err := fs.WriteAt("/etc/hosts", 0, []byte("127.0.0.1 localhost")); err != nil {
+		return err
+	}
+	m.TakeCheckpoint()
+	fs.WriteAt("/etc/hosts", 0, []byte("0.0.0.0 CLOBBERED!!")) // rolled back
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		return err
+	}
+	buf := make([]byte, 19)
+	if err := fs.ReadAt("/etc/hosts", 0, buf); err != nil {
+		return err
+	}
+	if string(buf) != "127.0.0.1 localhost" {
+		return fmt.Errorf("file content after reboot: %q", buf)
+	}
+	return nil
+}
+
+// funcRepeatedCrashes: crash at arbitrary points between periodic
+// checkpoints, many times in a row; the durable prefix never regresses.
+func funcRepeatedCrashes(s Scale) error {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = simclock.Millisecond
+	m := kernel.New(cfg)
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{Name: "kv", Threads: 4})
+	if err != nil {
+		return err
+	}
+	written := 0
+	for cycle := 0; cycle < 6; cycle++ {
+		for i := 0; i < 120; i++ {
+			if _, _, err := srv.Set(i, []byte(fmt.Sprintf("c%d-k%d", cycle, i)), []byte("v")); err != nil {
+				return err
+			}
+			written++
+		}
+		m.TakeCheckpoint() // make this cycle durable
+		// Uncheckpointed suffix.
+		for i := 0; i < 10; i++ {
+			srv.Set(i, []byte(fmt.Sprintf("ghost-%d-%d", cycle, i)), []byte("x"))
+		}
+		m.Crash()
+		if err := m.Restore(); err != nil {
+			return fmt.Errorf("cycle %d: %w", cycle, err)
+		}
+		// All checkpointed keys of every cycle so far must be present.
+		for cc := 0; cc <= cycle; cc++ {
+			_, _, ok, err := srv.Get(0, []byte(fmt.Sprintf("c%d-k%d", cc, 7)))
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("cycle %d: durable key of cycle %d lost", cycle, cc)
+			}
+		}
+		// Ghost keys must be gone.
+		if _, _, ok, _ := srv.Get(0, []byte(fmt.Sprintf("ghost-%d-0", cycle))); ok {
+			return fmt.Errorf("cycle %d: uncheckpointed key survived", cycle)
+		}
+	}
+	return nil
+}

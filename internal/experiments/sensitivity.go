@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// SensitivityRow is one point of the NVM-speed sensitivity study: the same
+// Memcached workload under 1 ms checkpointing with the NVM write cost scaled
+// by Factor. An extension, not a paper figure — it isolates how much of
+// TreeSLS's overhead is the NVM medium itself versus the checkpoint
+// algorithms (§2.5's motivation made quantitative).
+type SensitivityRow struct {
+	Factor      float64 // NVM write cost multiplier (1.0 = calibrated Optane)
+	STWUs       float64 // mean incremental STW
+	OpP50Us     float64 // SET P50
+	FaultCostUs float64 // mean simulated cost of one COW fault (trap+copy)
+}
+
+// SensitivityNVM sweeps the NVM write latency and reports its effect on the
+// pause and on request latency.
+func SensitivityNVM(s Scale) ([]SensitivityRow, string, error) {
+	factors := []float64{0.25, 0.5, 1.0, 2.0, 4.0}
+	var rows []SensitivityRow
+	for _, f := range factors {
+		model := simclock.DefaultCostModel()
+		model.NVMWritePage = simclock.Duration(float64(model.NVMWritePage) * f)
+		model.NVMReadPage = simclock.Duration(float64(model.NVMReadPage) * f)
+		model.NVMAccess = simclock.Duration(float64(model.NVMAccess) * f)
+
+		cfg := kernel.DefaultConfig()
+		cfg.Model = model
+		m := kernel.New(cfg)
+		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+			Name: "memcached", Threads: 8,
+			HeapPages: 16384, Buckets: 8192,
+			PerOpCompute: 1500 * simclock.Nanosecond,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		rng := rand.New(rand.NewSource(17))
+		zipf := workload.NewZipfian(rng, s.Records, 0.99)
+		val := make([]byte, s.ValueSize)
+
+		var lats []simclock.Duration
+		var stwSum simclock.Duration
+		rounds := 0
+		seen := m.Stats.Checkpoints
+		deadline := m.Now().Add(simclock.Duration(s.RunMillis) * simclock.Millisecond)
+		for m.Now() < deadline {
+			res, _, err := srv.Set(len(lats), workload.Key(zipf.Next()), val)
+			if err != nil {
+				return nil, "", err
+			}
+			lats = append(lats, res.Latency())
+			if m.Stats.Checkpoints > seen {
+				seen = m.Stats.Checkpoints
+				stwSum += m.Ckpt.LastReport.STWTotal
+				rounds++
+			}
+		}
+		row := SensitivityRow{
+			Factor:  f,
+			OpP50Us: percentile(lats, 0.5).Micros(),
+			FaultCostUs: (model.PageFaultTrap + model.NVMReadPage +
+				model.NVMWritePage + model.PageTableUpdate).Micros(),
+		}
+		if rounds > 0 {
+			row.STWUs = (stwSum / simclock.Duration(rounds)).Micros()
+		}
+		rows = append(rows, row)
+	}
+	header := []string{"NVM cost x", "mean STW(µs)", "SET P50(µs)", "fault cost(µs)"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			fmt.Sprintf("%.2f", r.Factor), f1(r.STWUs), f1(r.OpP50Us), f2(r.FaultCostUs),
+		})
+	}
+	return rows, "Sensitivity (extension): NVM speed vs checkpoint overhead (Memcached, 1 ms)\n" + table(header, cells), nil
+}

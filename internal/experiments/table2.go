@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// Table2Row is one row of Table 2: the object composition and memory sizes
+// of a workload.
+type Table2Row struct {
+	Workload string
+	// Counts holds absolute reachable-object counts by kind.
+	Counts [caps.NumKinds]int
+	// Delta is Counts minus the Default row (zero for Default itself),
+	// matching the paper's "+N" presentation.
+	Delta [caps.NumKinds]int
+	// AppMiB is the runtime memory consumption (materialized PMO pages).
+	AppMiB float64
+	// CkptMiB is the checkpoint size (backup pages + backup structures) —
+	// smaller than AppMiB because unmodified runtime NVM pages serve as
+	// their own checkpoint.
+	CkptMiB float64
+}
+
+// Table2 reproduces Table 2: each workload runs under 1000 Hz checkpointing
+// for half the scale's time budget, then the capability tree is inventoried.
+func Table2(s Scale) ([]Table2Row, string, error) {
+	rigs, err := allTable2Rigs(simclock.Millisecond, s)
+	if err != nil {
+		return nil, "", err
+	}
+	var rows []Table2Row
+	var defaults [caps.NumKinds]int
+	for i, r := range rigs {
+		deadline := r.M.Now().Add(simclock.Duration(s.RunMillis) * simclock.Millisecond / 2)
+		if err := r.runUntil(deadline); err != nil {
+			return nil, "", fmt.Errorf("%s: %w", r.Name, err)
+		}
+		row := Table2Row{Workload: r.Name, Counts: r.M.Tree.Counts()}
+		row.AppMiB = float64(r.M.Tree.TotalPMOPages()) * mem.PageSize / (1 << 20)
+		row.CkptMiB = (float64(r.M.Ckpt.Stats.BackupPages)*mem.PageSize +
+			float64(r.M.Ckpt.Stats.BackupBytes)) / (1 << 20)
+		if i == 0 {
+			defaults = row.Counts
+		}
+		for k := range row.Delta {
+			row.Delta[k] = row.Counts[k] - defaults[k]
+		}
+		rows = append(rows, row)
+	}
+	return rows, formatTable2(rows), nil
+}
+
+func formatTable2(rows []Table2Row) string {
+	header := []string{"Workload", "C.G.", "Thread", "IPC", "Noti.", "PMO", "VMS", "App(MiB)", "Ckpt(MiB)"}
+	var cells [][]string
+	for i, r := range rows {
+		fmtCount := func(k caps.ObjectKind) string {
+			if i == 0 {
+				return fmt.Sprintf("%d", r.Counts[k])
+			}
+			return fmt.Sprintf("+%d", r.Delta[k])
+		}
+		cells = append(cells, []string{
+			r.Workload,
+			fmtCount(caps.KindCapGroup),
+			fmtCount(caps.KindThread),
+			fmtCount(caps.KindIPCConn),
+			fmtCount(caps.KindNotification),
+			fmtCount(caps.KindPMO),
+			fmtCount(caps.KindVMSpace),
+			f1(r.AppMiB),
+			f1(r.CkptMiB),
+		})
+	}
+	return "Table 2: workload object composition and sizes\n" + table(header, cells)
+}

@@ -1,0 +1,280 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/apps/lsm"
+	"treesls/internal/apps/phoenix"
+	"treesls/internal/apps/tablestore"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// rig is one benchmark workload bound to a machine: Step drives one unit of
+// load (a request or a compute chunk).
+type rig struct {
+	Name string
+	M    *kernel.Machine
+	Step func() error
+}
+
+// runUntil drives the rig until the machine clock passes the deadline.
+func (r *rig) runUntil(deadline simclock.Time) error {
+	for r.M.Now() < deadline {
+		if err := r.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mkMachine is a machine factory; rigs take one so experiments can vary the
+// checkpoint configuration (interval, hybrid copy, copy method) per run.
+type mkMachine func() *kernel.Machine
+
+// withInterval returns a factory for a default machine at the given
+// checkpoint interval.
+func withInterval(interval simclock.Duration) mkMachine {
+	return func() *kernel.Machine {
+		cfg := kernel.DefaultConfig()
+		cfg.CheckpointEvery = interval
+		return kernel.New(cfg)
+	}
+}
+
+// withConfig returns a factory for an explicit kernel config.
+func withConfig(cfg kernel.Config) mkMachine {
+	return func() *kernel.Machine { return kernel.New(cfg) }
+}
+
+// heapPagesFor sizes an application heap so the scale's whole request volume
+// fits with room to spare.
+func heapPagesFor(s Scale, factor uint64) uint64 {
+	bytes := (s.Records + uint64(s.KVOps)) * uint64(s.ValueSize+192) * factor
+	pages := bytes/4096 + 2048
+	return pages
+}
+
+// kernelConfigFor is the default config with the interval and hybrid-copy
+// switch applied.
+func kernelConfigFor(interval simclock.Duration, hybrid bool) kernel.Config {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = interval
+	cfg.Checkpoint.HybridCopy = hybrid
+	return cfg
+}
+
+// rigDefault is the "system services only" workload of Table 2: the machine
+// idles, time advances in small slices.
+func rigDefault(mk mkMachine) *rig {
+	m := mk()
+	return &rig{Name: "Default", M: m, Step: func() error {
+		m.SettleTo(m.Now().Add(50 * simclock.Microsecond))
+		return nil
+	}}
+}
+
+// rigSQLite drives the mixed read/insert/update/delete benchmark on the
+// single-threaded table store.
+func rigSQLite(mk mkMachine, s Scale) (*rig, error) {
+	m := mk()
+	tb, err := tablestore.Open(m, "sqlite", heapPagesFor(s, 1))
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.NewMixed(s.Records, s.ValueSize, 101)
+	return &rig{Name: "SQLite", M: m, Step: func() error {
+		typ, id, v := gen.NextID()
+		var err error
+		switch typ {
+		case workload.OpRead:
+			_, _, _, err = tb.Select(id)
+		case workload.OpInsert:
+			_, err = tb.Insert(id, v)
+		case workload.OpUpdate:
+			_, err = tb.Update(id, v)
+		case workload.OpDelete:
+			_, _, err = tb.Delete(id)
+		}
+		return err
+	}}, nil
+}
+
+// rigLevelDB drives dbbench fillbatch on the (single-threaded) LSM store.
+func rigLevelDB(mk mkMachine, s Scale) (*rig, error) {
+	m := mk()
+	db, err := lsm.Open(m, lsm.Config{Name: "leveldb", Threads: 1, HeapPages: heapPagesFor(s, 2)})
+	if err != nil {
+		return nil, err
+	}
+	gen := workload.NewFillBatch(s.ValueSize, 102)
+	return &rig{Name: "LevelDB", M: m, Step: func() error {
+		op := gen.Next()
+		_, err := db.Put(0, op.Key, op.Value)
+		return err
+	}}, nil
+}
+
+// rigWordCount drives the 8-threaded WordCount (restarted when it drains).
+func rigWordCount(mk mkMachine, s Scale) (*rig, error) {
+	m := mk()
+	w, err := phoenix.NewWordCount(m, "wordcount", 8, s.DataKiB, 200)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{Name: "WordCount", M: m, Step: func() error {
+		more, err := w.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			w.Reset()
+		}
+		return nil
+	}}, nil
+}
+
+// rigKMeans drives the 8-threaded KMeans indefinitely.
+func rigKMeans(mk mkMachine, s Scale) (*rig, error) {
+	m := mk()
+	points := s.DataKiB * 8 // ~1/8 KiB per 8-dim point
+	km, err := phoenix.NewKMeans(m, "kmeans", 8, points, 8, 10)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{Name: "KMeans", M: m, Step: func() error {
+		more, err := km.Step(math.MaxInt32)
+		if err != nil {
+			return err
+		}
+		if !more {
+			km.Reset()
+		}
+		return nil
+	}}, nil
+}
+
+// rigPCA drives the 8-threaded PCA (restarted when it completes).
+func rigPCA(mk mkMachine, s Scale) (*rig, error) {
+	m := mk()
+	rows := 32 + s.DataKiB/8
+	pca, err := phoenix.NewPCA(m, "pca", 8, rows, 128)
+	if err != nil {
+		return nil, err
+	}
+	return &rig{Name: "PCA", M: m, Step: func() error {
+		more, err := pca.Step()
+		if err != nil {
+			return err
+		}
+		if !more {
+			pca.Reset()
+		}
+		return nil
+	}}, nil
+}
+
+// kvRig is a KV-server rig with its request generator state.
+type kvRig struct {
+	rig
+	Srv *kvstore.Server
+}
+
+// newKVRig builds a Redis- or Memcached-shaped server plus a checkpointed
+// client process (the paper checkpoints the clients too), driven by a
+// zipfian SET stream.
+func newKVRig(name string, mk mkMachine, s Scale, serverThreads, clientThreads int, perOp simclock.Duration) (*kvRig, error) {
+	m := mk()
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+		Name:         name,
+		Threads:      serverThreads,
+		HeapPages:    8192,
+		Buckets:      4096,
+		PerOpCompute: perOp,
+	})
+	if err != nil {
+		return nil, err
+	}
+	client, err := m.NewProcess(name+"-cli", clientThreads)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < clientThreads; i++ {
+		client.Connect(m.Process(name))
+	}
+	rng := rand.New(rand.NewSource(7))
+	zipf := workload.NewZipfian(rng, s.Records, 0.99)
+	val := make([]byte, s.ValueSize)
+	i := 0
+	kr := &kvRig{Srv: srv}
+	kr.rig = rig{Name: name, M: m, Step: func() error {
+		i++
+		key := workload.Key(zipf.Next())
+		_, _, err := srv.Set(i, key, val)
+		return err
+	}}
+	return kr, nil
+}
+
+// rigRedis mirrors the paper's Redis workload shape (8-threaded SET clients).
+func rigRedis(mk mkMachine, s Scale) (*kvRig, error) {
+	kr, err := newKVRig("redis", mk, s, 16, 8, 900*simclock.Nanosecond)
+	if err != nil {
+		return nil, err
+	}
+	kr.Name = "Redis"
+	return kr, nil
+}
+
+// rigMemcached mirrors the Memcached workload (4 server threads, 8 clients).
+func rigMemcached(mk mkMachine, s Scale) (*kvRig, error) {
+	kr, err := newKVRig("memcached", mk, s, 4, 8, 600*simclock.Nanosecond)
+	if err != nil {
+		return nil, err
+	}
+	kr.Name = "Memcached"
+	return kr, nil
+}
+
+// allTable2Rigs builds the seven workloads of Table 2 / Figure 9 in paper
+// order.
+func allTable2Rigs(interval simclock.Duration, s Scale) ([]*rig, error) {
+	mk := withInterval(interval)
+	var rigs []*rig
+	rigs = append(rigs, rigDefault(mk))
+	sq, err := rigSQLite(mk, s)
+	if err != nil {
+		return nil, fmt.Errorf("sqlite rig: %w", err)
+	}
+	rigs = append(rigs, sq)
+	ldb, err := rigLevelDB(mk, s)
+	if err != nil {
+		return nil, fmt.Errorf("leveldb rig: %w", err)
+	}
+	rigs = append(rigs, ldb)
+	wc, err := rigWordCount(mk, s)
+	if err != nil {
+		return nil, fmt.Errorf("wordcount rig: %w", err)
+	}
+	rigs = append(rigs, wc)
+	km, err := rigKMeans(mk, s)
+	if err != nil {
+		return nil, fmt.Errorf("kmeans rig: %w", err)
+	}
+	rigs = append(rigs, km)
+	rd, err := rigRedis(mk, s)
+	if err != nil {
+		return nil, fmt.Errorf("redis rig: %w", err)
+	}
+	rigs = append(rigs, &rd.rig)
+	mc, err := rigMemcached(mk, s)
+	if err != nil {
+		return nil, fmt.Errorf("memcached rig: %w", err)
+	}
+	rigs = append(rigs, &mc.rig)
+	return rigs, nil
+}

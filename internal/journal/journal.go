@@ -1,0 +1,175 @@
+// Package journal implements the redo/undo journal that makes the TreeSLS
+// checkpoint manager failure-resilient (§3 of the paper).
+//
+// The checkpoint manager's own state (buddy/slab metadata, the operation log)
+// is deliberately *not* captured by the capability-tree checkpoint — that
+// would be a bootstrapping problem. Instead it lives on NVM and every
+// in-flight mutation is bracketed by a journal record: Begin persists the
+// record atomically before the mutation touches metadata, Commit retires it
+// atomically after the mutation is complete. After a power failure the
+// recovery path inspects the (at most one, per journal) pending record and
+// asks its owner to redo or undo the half-applied operation.
+//
+// In the simulation the journal is part of the persistent world: the Journal
+// object and its records survive machine.Crash(). Begin/Commit are atomic
+// (an 8-byte status flip on real NVM with eADR); torn records cannot occur,
+// which matches the paper's assumption.
+package journal
+
+import (
+	"fmt"
+
+	"treesls/internal/simclock"
+)
+
+// Op identifies the kind of in-flight operation a record protects.
+type Op uint8
+
+// Journal record kinds. The arguments' meaning is owned by the module that
+// wrote the record (the allocator, or the checkpoint committer).
+const (
+	OpNone Op = iota
+	// OpBuddyAlloc: args = start frame, order.
+	OpBuddyAlloc
+	// OpBuddyFree: args = start frame, order.
+	OpBuddyFree
+	// OpSlabAlloc: args = class, slot.
+	OpSlabAlloc
+	// OpSlabFree: args = class, slot.
+	OpSlabFree
+	// OpLogTruncate: checkpoint commit truncating the allocator op log.
+	OpLogTruncate
+	// OpCheckpointCommit: the global-version bump (redo-only; the version
+	// word itself flips atomically, the record orders it w.r.t. the log
+	// truncation).
+	OpCheckpointCommit
+)
+
+// String names the op for diagnostics.
+func (o Op) String() string {
+	switch o {
+	case OpBuddyAlloc:
+		return "buddy-alloc"
+	case OpBuddyFree:
+		return "buddy-free"
+	case OpSlabAlloc:
+		return "slab-alloc"
+	case OpSlabFree:
+		return "slab-free"
+	case OpLogTruncate:
+		return "log-truncate"
+	case OpCheckpointCommit:
+		return "ckpt-commit"
+	default:
+		return "none"
+	}
+}
+
+// Phase tracks how far the protected operation got. Owners advance the phase
+// at their own milestones so recovery knows whether to redo or undo.
+type Phase uint8
+
+const (
+	// PhaseBegun: the record is persisted but the mutation has not
+	// modified any metadata yet. Recovery discards the operation.
+	PhaseBegun Phase = iota
+	// PhaseApplied: the mutation has fully modified metadata but the
+	// caller has not yet observed the result. Recovery redoes dependent
+	// bookkeeping (or simply retires the record).
+	PhaseApplied
+)
+
+// Record is one journal entry.
+type Record struct {
+	Seq   uint64
+	Op    Op
+	Phase Phase
+	Args  [3]uint64
+
+	pending bool
+}
+
+// Pending reports whether the record is still in flight.
+func (r *Record) Pending() bool { return r != nil && r.pending }
+
+// Journal is a single-writer redo/undo journal on NVM. TreeSLS's kernel runs
+// allocator operations under the kernel lock, so at most one record is in
+// flight at a time; the journal enforces that invariant.
+type Journal struct {
+	model *simclock.CostModel
+
+	seq     uint64
+	current *Record
+
+	// Stats for the experiment reports.
+	Records uint64
+}
+
+// New creates an empty journal.
+func New(model *simclock.CostModel) *Journal {
+	return &Journal{model: model}
+}
+
+// Begin persists a new pending record and returns it. It panics if another
+// record is already in flight (a kernel-lock violation in the simulation).
+func (j *Journal) Begin(lane *simclock.Lane, op Op, args ...uint64) *Record {
+	if j.current.Pending() {
+		panic(fmt.Sprintf("journal: Begin(%s) while %s still pending", op, j.current.Op))
+	}
+	j.seq++
+	r := &Record{Seq: j.seq, Op: op, pending: true}
+	copy(r.Args[:], args)
+	j.current = r
+	j.Records++
+	if lane != nil {
+		lane.Charge(j.model.JournalRecord)
+	}
+	return r
+}
+
+// MarkApplied records that the protected mutation has fully hit metadata.
+// The phase flip is atomic on NVM.
+func (j *Journal) MarkApplied(lane *simclock.Lane, r *Record) {
+	if !r.Pending() {
+		panic("journal: MarkApplied on retired record")
+	}
+	r.Phase = PhaseApplied
+	if lane != nil {
+		lane.Charge(j.model.JournalRecord / 2)
+	}
+}
+
+// Commit retires the record. The status flip is atomic on NVM.
+func (j *Journal) Commit(lane *simclock.Lane, r *Record) {
+	if !r.Pending() {
+		panic("journal: Commit on retired record")
+	}
+	r.pending = false
+	if j.current == r {
+		j.current = nil
+	}
+	if lane != nil {
+		lane.Charge(j.model.JournalRecord / 2)
+	}
+}
+
+// PendingRecord returns the in-flight record, or nil. Recovery calls this
+// after a crash; the owner of the op decides how to repair.
+func (j *Journal) PendingRecord() *Record {
+	if j.current.Pending() {
+		return j.current
+	}
+	return nil
+}
+
+// Retire clears the pending record during recovery, after the owner has
+// repaired the half-applied operation.
+func (j *Journal) Retire(r *Record) {
+	if r == nil {
+		return
+	}
+	r.pending = false
+	if j.current == r {
+		j.current = nil
+	}
+}

@@ -1,0 +1,94 @@
+package journal
+
+import (
+	"testing"
+
+	"treesls/internal/simclock"
+)
+
+func TestBeginCommitLifecycle(t *testing.T) {
+	j := New(simclock.DefaultCostModel())
+	var lane simclock.Lane
+
+	r := j.Begin(&lane, OpBuddyAlloc, 10, 2)
+	if !r.Pending() {
+		t.Fatal("fresh record not pending")
+	}
+	if r.Args[0] != 10 || r.Args[1] != 2 {
+		t.Errorf("args = %v", r.Args)
+	}
+	if j.PendingRecord() != r {
+		t.Error("PendingRecord did not return in-flight record")
+	}
+	j.MarkApplied(&lane, r)
+	if r.Phase != PhaseApplied {
+		t.Error("phase not advanced")
+	}
+	j.Commit(&lane, r)
+	if r.Pending() || j.PendingRecord() != nil {
+		t.Error("record still pending after commit")
+	}
+	if lane.Now() == 0 {
+		t.Error("journal operations charged no simulated time")
+	}
+}
+
+func TestBeginWhilePendingPanics(t *testing.T) {
+	j := New(simclock.DefaultCostModel())
+	j.Begin(nil, OpSlabAlloc)
+	defer func() {
+		if recover() == nil {
+			t.Error("nested Begin did not panic")
+		}
+	}()
+	j.Begin(nil, OpSlabFree)
+}
+
+func TestCommitRetiredPanics(t *testing.T) {
+	j := New(simclock.DefaultCostModel())
+	r := j.Begin(nil, OpBuddyFree)
+	j.Commit(nil, r)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Commit did not panic")
+		}
+	}()
+	j.Commit(nil, r)
+}
+
+func TestRetireClearsPending(t *testing.T) {
+	j := New(simclock.DefaultCostModel())
+	r := j.Begin(nil, OpLogTruncate)
+	j.Retire(r)
+	if j.PendingRecord() != nil {
+		t.Error("Retire left record pending")
+	}
+	j.Retire(nil) // must be a no-op
+	// The journal accepts a new record after retirement.
+	r2 := j.Begin(nil, OpCheckpointCommit)
+	if r2.Seq <= r.Seq {
+		t.Error("sequence numbers not monotonic")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	ops := []Op{OpNone, OpBuddyAlloc, OpBuddyFree, OpSlabAlloc, OpSlabFree, OpLogTruncate, OpCheckpointCommit}
+	seen := map[string]bool{}
+	for _, o := range ops {
+		s := o.String()
+		if s == "" || seen[s] {
+			t.Errorf("op %d has bad or duplicate name %q", o, s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestNilLaneAccepted(t *testing.T) {
+	j := New(simclock.DefaultCostModel())
+	r := j.Begin(nil, OpBuddyAlloc, 1)
+	j.MarkApplied(nil, r)
+	j.Commit(nil, r)
+	if j.Records != 1 {
+		t.Errorf("Records = %d", j.Records)
+	}
+}

@@ -1,0 +1,79 @@
+package kernel
+
+import (
+	"fmt"
+
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+)
+
+// bootServices creates the user-space system services of the default system
+// image: process manager, file-system server, network server, block driver
+// and a shell. The object composition is shaped to mirror Table 2's
+// "Default" row (6 cap groups, 27 threads, 9 IPC connections,
+// 7 notifications, 71 PMOs, 6 VM spaces), so that the "no additional
+// workload" checkpoint measurements are comparable to the paper's.
+func (m *Machine) bootServices() {
+	mustProc := func(name string, threads int) *Process {
+		p, err := m.NewProcess(name, threads)
+		if err != nil {
+			panic(fmt.Sprintf("kernel: booting %s: %v", name, err))
+		}
+		return p
+	}
+	procmgr := mustProc("procmgr", 4)
+	fsmgr := mustProc("fsmgr", 8)
+	netd := mustProc("netd", 6)
+	blkdrv := mustProc("blkdrv", 4)
+	shell := mustProc("shell", 5)
+
+	// A spare address-space template kept by the process manager (the
+	// sixth VM space alongside the five service spaces).
+	m.Tree.NewVMSpace(procmgr.Group)
+
+	// Service working sets: cache and buffer PMOs.
+	extra := func(p *Process, n int, pages uint64) {
+		for i := 0; i < n; i++ {
+			if _, _, err := p.Mmap(pages, caps.PMODefault); err != nil {
+				panic(err)
+			}
+		}
+	}
+	extra(procmgr, 4, 2) // shared program templates
+	extra(fsmgr, 16, 4)  // page-cache segments
+	extra(netd, 8, 2)    // packet buffers
+	extra(blkdrv, 4, 4)  // DMA buffers
+	extra(shell, 2, 1)   // history, environment
+
+	// IPC fabric among the services.
+	shell.Connect(procmgr)
+	shell.Connect(fsmgr)
+	shell.Connect(netd)
+	procmgr.Connect(fsmgr)
+	procmgr.Connect(netd)
+	procmgr.Connect(blkdrv)
+	fsmgr.Connect(blkdrv)
+	fsmgr.Connect(netd)
+	netd.Connect(procmgr)
+
+	// Synchronization objects.
+	procmgr.NewNotification()
+	procmgr.NewNotification()
+	fsmgr.NewNotification()
+	fsmgr.NewNotification()
+	netd.NewNotification()
+	netd.NewNotification()
+	blkdrv.NewNotification()
+
+	// Fault in a little of each service's image so the default system has
+	// resident pages (as a freshly booted system would).
+	lane := &m.Cores[0].Lane
+	for _, p := range []*Process{procmgr, fsmgr, netd, blkdrv, shell} {
+		if err := p.AS.Write(lane, userVABase, []byte(p.Name+"-code")); err != nil {
+			panic(err)
+		}
+		if err := p.AS.Write(lane, userVABase+4*mem.PageSize, []byte(p.Name+"-data")); err != nil {
+			panic(err)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package kernel
+
+import (
+	"testing"
+
+	"treesls/internal/caps"
+	"treesls/internal/simclock"
+)
+
+// TestFullRunDeterminism: the lane-based simulation is bit-for-bit
+// reproducible — two machines driven identically agree on every clock,
+// version and statistic (DESIGN.md key decision #1).
+func TestFullRunDeterminism(t *testing.T) {
+	runOnce := func() (simclock.Time, uint64, uint64, uint64, int) {
+		cfg := DefaultConfig()
+		cfg.CheckpointEvery = simclock.Millisecond
+		m := New(cfg)
+		p, err := m.NewProcess("app", 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, _, _ := p.Mmap(64, caps.PMODefault)
+		for i := 0; i < 3000; i++ {
+			key := uint64(i*2654435761) % 64
+			if _, err := m.Run(p, p.Thread(i), func(e *Env) error {
+				e.Charge(2 * simclock.Microsecond)
+				return e.WriteU64(va+key*4096, uint64(i))
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.Crash()
+		if err := m.Restore(); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 500; i++ {
+			p2 := m.Process("app")
+			m.Run(p2, p2.Thread(i), func(e *Env) error {
+				return e.WriteU64(va+uint64(i%64)*4096, uint64(i))
+			})
+		}
+		return m.Now(), m.Ckpt.CommittedVersion(), m.Ckpt.Stats.COWFaults,
+			m.Ckpt.Stats.PagesCopied, m.Alloc.FreeFrames()
+	}
+	n1, v1, f1, c1, fr1 := runOnce()
+	n2, v2, f2, c2, fr2 := runOnce()
+	if n1 != n2 || v1 != v2 || f1 != f2 || c1 != c2 || fr1 != fr2 {
+		t.Errorf("runs diverged:\n  run1: now=%v ver=%d faults=%d copies=%d free=%d\n  run2: now=%v ver=%d faults=%d copies=%d free=%d",
+			n1, v1, f1, c1, fr1, n2, v2, f2, c2, fr2)
+	}
+}

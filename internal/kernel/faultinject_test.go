@@ -1,0 +1,228 @@
+package kernel
+
+import (
+	"fmt"
+	"testing"
+
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/simclock"
+)
+
+// runToInjectedCrash drives fn until the armed fault plan fires, converting
+// the injected panic into a machine crash (what a real power failure at that
+// micro-step would be).
+func runToInjectedCrash(t *testing.T, m *Machine, fn func() error) {
+	t.Helper()
+	crashed := func() (hit bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(alloc.CrashError); !ok {
+					panic(r)
+				}
+				hit = true
+			}
+		}()
+		if err := fn(); err != nil {
+			t.Fatal(err)
+		}
+		return false
+	}
+	for i := 0; i < 100000; i++ {
+		if crashed() {
+			m.Crash()
+			return
+		}
+	}
+	t.Fatal("fault plan never fired")
+}
+
+// checkpointedSum reads the durable counter state of the test workload.
+func checkpointedSum(t *testing.T, m *Machine, va uint64, pages int) []byte {
+	t.Helper()
+	p := m.Process("app")
+	out := make([]byte, pages)
+	if _, err := m.Run(p, p.MainThread(), func(e *Env) error {
+		for i := 0; i < pages; i++ {
+			b := make([]byte, 1)
+			if err := e.Read(va+uint64(i)*4096, b); err != nil {
+				return err
+			}
+			out[i] = b[0]
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestCrashDuringCOWBackupAlloc injects a power failure exactly when the
+// fault handler allocates its backup page: the half-done copy-on-write must
+// not corrupt the committed checkpoint.
+func TestCrashDuringCOWBackupAlloc(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = 0
+	cfg.SkipDefaultServices = true
+	m := New(cfg)
+	p, _ := m.NewProcess("app", 1)
+	va, _, _ := p.Mmap(16, caps.PMODefault)
+	for i := 0; i < 16; i++ {
+		m.Run(p, p.MainThread(), func(e *Env) error {
+			return e.Write(va+uint64(i)*4096, []byte{byte(i + 1)})
+		})
+	}
+	m.TakeCheckpoint()
+	want := checkpointedSum(t, m, va, 16)
+
+	m.Alloc.SetFaultPlan(&alloc.FaultPlan{Point: "buddy-alloc-ckpt:begun"})
+	i := 0
+	runToInjectedCrash(t, m, func() error {
+		i++
+		_, err := m.Run(p, p.MainThread(), func(e *Env) error {
+			return e.Write(va+uint64(i%16)*4096, []byte{0xFF})
+		})
+		return err
+	})
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	got := checkpointedSum(t, m, va, 16)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("page %d = %#x, want %#x (checkpoint corrupted by mid-fault crash)", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCrashDuringSTW injects power failures at allocator activity inside
+// the stop-the-world checkpoint itself (hybrid-copy backup allocation);
+// the in-flight round must be discarded and the previous one restored.
+func TestCrashDuringSTW(t *testing.T) {
+	for countdown := 0; countdown < 4; countdown++ {
+		t.Run(fmt.Sprintf("countdown=%d", countdown), func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.CheckpointEvery = 0
+			cfg.SkipDefaultServices = true
+			cfg.Checkpoint.HotThreshold = 1
+			m := New(cfg)
+			p, _ := m.NewProcess("app", 2)
+			va, _, _ := p.Mmap(16, caps.PMODefault)
+			write := func(v byte) {
+				for i := 0; i < 8; i++ {
+					m.Run(p, p.Thread(i), func(e *Env) error {
+						return e.Write(va+uint64(i)*4096, []byte{v})
+					})
+				}
+			}
+			write(1)
+			m.TakeCheckpoint()
+			write(2) // faults -> pages become hot
+			m.TakeCheckpoint()
+			write(3)
+			committed := m.Ckpt.CommittedVersion()
+
+			// Crash inside the NEXT checkpoint (backup allocations
+			// during hybrid copy / COW of this round).
+			m.Alloc.SetFaultPlan(&alloc.FaultPlan{Point: "buddy-alloc-ckpt:begun", Countdown: countdown})
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						if _, ok := r.(alloc.CrashError); !ok {
+							panic(r)
+						}
+						m.Crash()
+					}
+				}()
+				write(4) // may fault and trip the plan
+				m.TakeCheckpoint()
+			}()
+			m.Alloc.SetFaultPlan(nil)
+			if !m.Crashed() {
+				t.Skip("plan did not fire at this countdown")
+			}
+			if err := m.Restore(); err != nil {
+				t.Fatal(err)
+			}
+			if got := m.Ckpt.CommittedVersion(); got < committed {
+				t.Fatalf("restored to version %d, older than committed %d", got, committed)
+			}
+			// State is exactly some committed round: every page holds
+			// the same round's value (2, 3 or 4 — never a torn mix
+			// beyond per-page rounding to a commit).
+			got := checkpointedSum(t, m, va, 8)
+			for i, v := range got {
+				if v < 2 || v > 4 {
+					t.Errorf("page %d = %d, not a committed value", i, v)
+				}
+			}
+			// The machine continues working.
+			write(9)
+			if _, err := m.Run(p, p.MainThread(), func(e *Env) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestManyRandomCrashPoints sweeps the countdown over allocator activity to
+// crash at many distinct micro-steps; after every restore the machine must
+// pass its own consistency checks and keep running.
+func TestManyRandomCrashPoints(t *testing.T) {
+	// Slab fault points are exercised by the allocator's own unit tests;
+	// at machine level the page-allocation paths are the live ones.
+	points := []string{"buddy-alloc:begun", "buddy-alloc:applied", "buddy-alloc-ckpt:begun"}
+	for _, point := range points {
+		for countdown := 0; countdown < 3; countdown++ {
+			name := fmt.Sprintf("%s/%d", point, countdown)
+			t.Run(name, func(t *testing.T) {
+				cfg := DefaultConfig()
+				cfg.CheckpointEvery = simclock.Millisecond
+				cfg.SkipDefaultServices = true
+				m := New(cfg)
+				p, _ := m.NewProcess("app", 2)
+				va, _, _ := p.Mmap(64, caps.PMODefault)
+				// Establish a first checkpoint.
+				m.Run(p, p.MainThread(), func(e *Env) error { return e.Write(va, []byte{1}) })
+				m.TakeCheckpoint()
+
+				m.Alloc.SetFaultPlan(&alloc.FaultPlan{Point: point, Countdown: countdown})
+				fired := false
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							if _, ok := r.(alloc.CrashError); !ok {
+								panic(r)
+							}
+							fired = true
+							m.Crash()
+						}
+					}()
+					for i := 0; i < 2000; i++ {
+						if _, err := m.Run(p, p.Thread(i), func(e *Env) error {
+							return e.Write(va+uint64(i%64)*4096, []byte{byte(i)})
+						}); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}()
+				m.Alloc.SetFaultPlan(nil)
+				if !fired {
+					t.Skipf("%s never reached", name)
+				}
+				if err := m.Restore(); err != nil {
+					t.Fatal(err)
+				}
+				if err := m.Alloc.CheckInvariants(); err != nil {
+					t.Fatal(err)
+				}
+				// Machine still works.
+				if _, err := m.Run(m.Process("app"), m.Process("app").MainThread(), func(e *Env) error {
+					return e.Write(va, []byte{42})
+				}); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,455 @@
+// Package kernel simulates the TreeSLS microkernel machine: multiple CPU
+// cores (as deterministic simulated-time lanes), processes built from
+// capability-tree objects, a scheduler, IPC, the page-fault path, periodic
+// whole-system checkpointing, and power-failure crash/restore.
+//
+// The execution model is a deterministic multi-lane simulation: each core
+// owns a simclock.Lane; operations (requests, computation slices) are
+// dispatched to cores and charge simulated time for every micro-step
+// (syscalls, page-table walks, faults, memory traffic). Stop-the-world
+// checkpoints rendezvous all lanes exactly like the paper's IPI protocol.
+// Wall-clock time of the machine is the maximum over lanes.
+package kernel
+
+import (
+	"fmt"
+
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/checkpoint"
+	"treesls/internal/journal"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+	"treesls/internal/vm"
+)
+
+// Config describes a machine.
+type Config struct {
+	// Cores is the number of CPU cores (core 0 is the checkpoint leader).
+	Cores int
+	// Mem sizes the NVM and DRAM devices.
+	Mem mem.Config
+	// Checkpoint tunes the checkpoint manager.
+	Checkpoint checkpoint.Config
+	// CheckpointEvery is the checkpoint interval in simulated time;
+	// 0 disables periodic checkpointing (checkpoints can still be taken
+	// manually). The paper's headline configuration is 1 ms.
+	CheckpointEvery simclock.Duration
+	// Seed makes the quiescence jitter deterministic per machine.
+	Seed uint64
+	// AutoEvictBelowFrames, when > 0, evicts cold pages to the swap
+	// device whenever free NVM drops below this threshold (§8 memory
+	// over-commitment: "evict them to secondary storage when the system
+	// is under memory pressure").
+	AutoEvictBelowFrames int
+	// Model overrides the cost model (nil = DefaultCostModel). Used by
+	// sensitivity studies that ablate hardware parameters, e.g. "what if
+	// NVM writes were as fast as DRAM".
+	Model *simclock.CostModel
+	// SkipDefaultServices boots a bare machine without the system
+	// service processes (used by focused tests).
+	SkipDefaultServices bool
+}
+
+// DefaultConfig mirrors the paper's evaluation machine at simulation scale:
+// 8 cores, 1000 Hz checkpointing, hybrid copy on.
+func DefaultConfig() Config {
+	return Config{
+		Cores:           8,
+		Mem:             mem.DefaultConfig(),
+		Checkpoint:      checkpoint.DefaultConfig(),
+		CheckpointEvery: simclock.Millisecond,
+		Seed:            1,
+	}
+}
+
+// Core is one simulated CPU core.
+type Core struct {
+	ID   int
+	Lane simclock.Lane
+}
+
+// Stats counts machine-level activity.
+type Stats struct {
+	Ops         uint64
+	Checkpoints uint64
+	Crashes     uint64
+	Restores    uint64
+}
+
+// Machine is the whole simulated computer.
+type Machine struct {
+	cfg Config
+
+	Model   *simclock.CostModel
+	Memory  *mem.Memory
+	Journal *journal.Journal
+	Alloc   *alloc.Allocator
+	Tree    *caps.Tree
+	Ckpt    *checkpoint.Manager
+	Cores   []*Core
+	Sched   *Scheduler
+
+	procs map[string]*Process
+	// services maps a process name to its registered IPC handler. Keyed
+	// by name (not pointers) so registrations remain valid across
+	// restore, like a service re-binding its endpoint at reboot.
+	services map[string]ServiceHandler
+	// swap is the lazily-created secondary-storage backend (§8 memory
+	// over-commitment). Like NVM, it survives Crash().
+	swap *swapState
+	// threadAvail enforces per-thread program order: a thread's next
+	// operation cannot begin before its previous one completed, even when
+	// an idle core lane lags behind.
+	threadAvail map[*caps.Thread]simclock.Time
+	nextCkpt    simclock.Time
+	crashed     bool
+
+	Stats Stats
+}
+
+// New boots a machine: substrate devices, allocator, the root capability
+// tree, the checkpoint manager, and (unless disabled) the default system
+// services whose object footprint mirrors Table 2's "Default" row.
+func New(cfg Config) *Machine {
+	if cfg.Cores <= 0 {
+		cfg.Cores = 1
+	}
+	if cfg.Mem.NVMFrames == 0 {
+		cfg.Mem = mem.DefaultConfig()
+	}
+	model := cfg.Model
+	if model == nil {
+		model = simclock.DefaultCostModel()
+	}
+	memory := mem.New(cfg.Mem, model)
+	jrnl := journal.New(model)
+	al := alloc.New(memory, jrnl)
+	tree := caps.NewTree()
+
+	m := &Machine{
+		cfg:         cfg,
+		Model:       model,
+		Memory:      memory,
+		Journal:     jrnl,
+		Alloc:       al,
+		Tree:        tree,
+		Sched:       NewScheduler(cfg.Cores),
+		procs:       make(map[string]*Process),
+		services:    make(map[string]ServiceHandler),
+		threadAvail: make(map[*caps.Thread]simclock.Time),
+	}
+	ckptCfg := cfg.Checkpoint
+	ckptCfg.ReleaseSwapSlot = func(slot uint64) {
+		if m.swap != nil {
+			delete(m.swap.data, slot)
+			m.swap.free = append(m.swap.free, slot)
+		}
+	}
+	m.Ckpt = checkpoint.New(ckptCfg, memory, al, tree)
+	for i := 0; i < cfg.Cores; i++ {
+		m.Cores = append(m.Cores, &Core{ID: i})
+	}
+	if cfg.CheckpointEvery > 0 {
+		m.nextCkpt = simclock.Time(cfg.CheckpointEvery)
+	}
+	if !cfg.SkipDefaultServices {
+		m.bootServices()
+	}
+	return m
+}
+
+// Config returns the machine configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// Now returns the machine wall clock: the maximum over core lanes.
+func (m *Machine) Now() simclock.Time {
+	var t simclock.Time
+	for _, c := range m.Cores {
+		if c.Lane.Now() > t {
+			t = c.Lane.Now()
+		}
+	}
+	return t
+}
+
+// Crashed reports whether the machine is powered off after a failure.
+func (m *Machine) Crashed() bool { return m.crashed }
+
+// Process returns the process named name, or nil.
+func (m *Machine) Process(name string) *Process { return m.procs[name] }
+
+// lanes collects the core lanes for the checkpoint manager.
+func (m *Machine) lanes() []*simclock.Lane {
+	ls := make([]*simclock.Lane, len(m.Cores))
+	for i, c := range m.Cores {
+		ls[i] = &c.Lane
+	}
+	return ls
+}
+
+// quiesce models the residual non-interruptible kernel section of a core
+// when the stop IPI arrives: a deterministic pseudo-random value bounded by
+// the cost model, derived from the machine seed and checkpoint count.
+func (m *Machine) quiesce(core int) simclock.Duration {
+	x := m.cfg.Seed*0x9E3779B97F4A7C15 + uint64(core)*0xBF58476D1CE4E5B9 + m.Ckpt.Stats.Checkpoints*0x94D049BB133111EB
+	x ^= x >> 31
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 27
+	frac := x % 1000
+	return simclock.Duration(uint64(m.Model.MaxKernelSection) * frac / 1000 / 4)
+}
+
+// TakeCheckpoint forces a whole-system checkpoint now (Figure 5 ❶-❺).
+func (m *Machine) TakeCheckpoint() checkpoint.Report {
+	if m.crashed {
+		panic("kernel: checkpoint on a crashed machine")
+	}
+	rep := m.Ckpt.TakeCheckpoint(m.lanes(), 0, m.quiesce)
+	m.Stats.Checkpoints++
+	return rep
+}
+
+// runDueCheckpoints fires every periodic checkpoint whose deadline is at or
+// before t.
+func (m *Machine) runDueCheckpoints(t simclock.Time) {
+	if m.cfg.CheckpointEvery <= 0 {
+		return
+	}
+	for m.nextCkpt <= t {
+		// Rendezvous at the deadline: cores that are idle (behind)
+		// catch up to the checkpoint time first.
+		for _, c := range m.Cores {
+			c.Lane.AdvanceTo(m.nextCkpt)
+		}
+		m.TakeCheckpoint()
+		m.nextCkpt = m.nextCkpt.Add(m.cfg.CheckpointEvery)
+	}
+}
+
+// NextCheckpointAt returns the deadline of the next periodic checkpoint
+// (zero if periodic checkpointing is off).
+func (m *Machine) NextCheckpointAt() simclock.Time { return m.nextCkpt }
+
+// SettleTo idles the machine forward to time t, firing any checkpoints due
+// on the way.
+func (m *Machine) SettleTo(t simclock.Time) {
+	m.runDueCheckpoints(t)
+	for _, c := range m.Cores {
+		c.Lane.AdvanceTo(t)
+	}
+}
+
+// pickCore returns the core a thread should run on: its affinity if set,
+// else the least-loaded (earliest-lane) core.
+func (m *Machine) pickCore(t *caps.Thread) *Core {
+	if t != nil && t.Sched.Affinity >= 0 && t.Sched.Affinity < len(m.Cores) {
+		return m.Cores[t.Sched.Affinity]
+	}
+	best := m.Cores[0]
+	for _, c := range m.Cores[1:] {
+		if c.Lane.Now() < best.Lane.Now() {
+			best = c
+		}
+	}
+	return best
+}
+
+// OpResult describes one executed operation.
+type OpResult struct {
+	Core  int
+	Start simclock.Time
+	End   simclock.Time
+}
+
+// Latency returns the operation's simulated service time.
+func (r OpResult) Latency() simclock.Duration { return r.End.Sub(r.Start) }
+
+// Run executes fn as one operation of thread t at the earliest possible
+// time (closed-loop semantics: arrival = now). See RunAt.
+func (m *Machine) Run(p *Process, t *caps.Thread, fn func(e *Env) error) (OpResult, error) {
+	return m.RunAt(0, p, t, fn)
+}
+
+// RunAt executes fn as one operation of thread t arriving at the given time:
+// the op is dispatched to a core, periodic checkpoints due before execution
+// fire first (their pause is visible in the op's latency when it spans the
+// STW window), and the thread is charged a context switch.
+func (m *Machine) RunAt(arrival simclock.Time, p *Process, t *caps.Thread, fn func(e *Env) error) (OpResult, error) {
+	if m.crashed {
+		return OpResult{}, fmt.Errorf("kernel: machine is crashed")
+	}
+	core := m.pickCore(t)
+	if m.cfg.AutoEvictBelowFrames > 0 && m.Alloc.FreeFrames() < m.cfg.AutoEvictBelowFrames && m.Ckpt.HasCheckpoint() {
+		// Memory pressure: the background reclaimer kicks in.
+		if _, err := m.EvictColdPages(64); err != nil {
+			return OpResult{}, err
+		}
+	}
+	if t != nil && m.threadAvail[t] > arrival {
+		arrival = m.threadAvail[t] // program order within a thread
+	}
+	if arrival > core.Lane.Now() {
+		core.Lane.AdvanceTo(arrival)
+	}
+	m.runDueCheckpoints(core.Lane.Now())
+	start := core.Lane.Now()
+	if arrival > 0 && arrival < start {
+		start = arrival // queueing delay counts toward latency
+	}
+	core.Lane.Charge(m.Model.ContextSwitch)
+	if t != nil {
+		t.SetState(caps.ThreadRunning)
+	}
+	env := &Env{M: m, P: p, T: t, Core: core, Lane: &core.Lane}
+	err := fn(env)
+	if t != nil && t.State == caps.ThreadRunning {
+		// The op may have blocked or exited the thread; only a still-
+		// running thread goes back to runnable.
+		t.SetState(caps.ThreadRunnable)
+	}
+	m.Stats.Ops++
+	res := OpResult{Core: core.ID, Start: start, End: core.Lane.Now()}
+	if t != nil {
+		m.threadAvail[t] = res.End
+	}
+	// A periodic checkpoint that came due while the op ran fires now, so
+	// long-running ops cannot starve the checkpointer.
+	m.runDueCheckpoints(core.Lane.Now())
+	return res, err
+}
+
+// ServiceHandler processes one IPC request in the server's context and
+// returns the reply.
+type ServiceHandler func(e *Env, msg []byte) ([]byte, error)
+
+// RegisterService installs the IPC handler for a process. Handlers are code
+// (re-bound by name), not checkpointed state, so a registration survives
+// crash/restore just as a service re-binding its endpoint at boot would.
+func (m *Machine) RegisterService(name string, h ServiceHandler) error {
+	if m.procs[name] == nil {
+		return fmt.Errorf("kernel: no process %q to serve", name)
+	}
+	m.services[name] = h
+	return nil
+}
+
+// procByThread finds the process owning a thread.
+func (m *Machine) procByThread(t *caps.Thread) *Process {
+	if t == nil {
+		return nil
+	}
+	for _, p := range m.procs {
+		for _, th := range p.Threads {
+			if th == t {
+				return p
+			}
+		}
+	}
+	return nil
+}
+
+// ---- vm.FaultOps implementation --------------------------------------------
+
+// MaterializePage services a first-touch fault: it allocates an NVM page,
+// zeroes it (a recycled frame may hold a previous owner's bytes), and
+// installs it into the PMO.
+func (m *Machine) MaterializePage(lane *simclock.Lane, pmo *caps.PMO, idx uint64) (*caps.PageSlot, error) {
+	p, err := m.Alloc.AllocPage(lane)
+	if err != nil {
+		return nil, err
+	}
+	clear(m.Memory.Data(p))
+	lane.Charge(m.Model.NVMWritePage)
+	return pmo.InstallPage(idx, p), nil
+}
+
+// HandleWriteFault services a copy-on-write fault via the checkpoint manager.
+func (m *Machine) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint64, s *caps.PageSlot) error {
+	return m.Ckpt.HandleWriteFault(lane, pmo, idx, s)
+}
+
+// ---- Power failure and recovery --------------------------------------------
+
+// Crash simulates a power failure: DRAM contents and every piece of runtime
+// state (the runtime capability tree, processes, page tables, scheduler
+// queues) are lost; only the persistent world — NVM pages, the checkpoint
+// manager's structures, the allocator metadata and journal — survives.
+func (m *Machine) Crash() {
+	m.Memory.Crash()
+	m.Tree = nil
+	m.procs = make(map[string]*Process)
+	m.threadAvail = make(map[*caps.Thread]simclock.Time)
+	m.Sched = NewScheduler(m.cfg.Cores)
+	m.crashed = true
+	m.Stats.Crashes++
+}
+
+// Restore recovers the machine from the latest committed checkpoint
+// (Figure 5 ❼): allocator recovery, capability-tree revival, process and
+// scheduler reconstruction. Page tables rebuild lazily through faults.
+func (m *Machine) Restore() error {
+	if !m.crashed {
+		return fmt.Errorf("kernel: Restore on a running machine")
+	}
+	lane := &m.Cores[0].Lane
+	tree, _, err := m.Ckpt.Restore(lane)
+	if err != nil {
+		return err
+	}
+	m.Tree = tree
+	m.crashed = false
+
+	// Rebuild derived state: processes, address spaces, run queues.
+	m.rebuildProcesses()
+	m.Sched.RebuildFromTree(tree)
+	lane.Charge(m.Model.ContextSwitch * simclock.Duration(m.Sched.Len()))
+
+	// All lanes resume at the post-recovery instant.
+	for _, c := range m.Cores {
+		c.Lane.AdvanceTo(lane.Now())
+	}
+	if m.cfg.CheckpointEvery > 0 {
+		m.nextCkpt = m.Now().Add(m.cfg.CheckpointEvery)
+	}
+	m.Stats.Restores++
+	return nil
+}
+
+// rebuildProcesses reconstructs the kernel's process table from the restored
+// capability tree: every cap group holding a VM space is a process.
+func (m *Machine) rebuildProcesses() {
+	m.procs = make(map[string]*Process)
+	m.Tree.Root.ForEach(func(_ int, c caps.Capability) {
+		g, ok := c.Obj.(*caps.CapGroup)
+		if !ok {
+			return
+		}
+		vsCap := g.Find(caps.KindVMSpace)
+		if vsCap.Obj == nil {
+			return
+		}
+		vs := vsCap.Obj.(*caps.VMSpace)
+		p := &Process{
+			M:     m,
+			Name:  g.Name,
+			Group: g,
+			VMS:   vs,
+			AS:    vm.NewAddressSpace(vs, m.Memory, m),
+		}
+		g.ForEach(func(_ int, cc caps.Capability) {
+			if th, ok := cc.Obj.(*caps.Thread); ok {
+				p.Threads = append(p.Threads, th)
+			}
+		})
+		vs.ForEachRegion(func(r *caps.VMRegion) {
+			if end := r.End(mem.PageSize); end > p.nextVA {
+				p.nextVA = end
+			}
+		})
+		if p.nextVA == 0 {
+			p.nextVA = userVABase
+		}
+		m.procs[p.Name] = p
+	})
+}

@@ -1,0 +1,87 @@
+package kernel
+
+import (
+	"testing"
+
+	"treesls/internal/caps"
+)
+
+// TestNotificationSyscalls: wait/signal semantics through the syscall layer,
+// with the blocked thread preserved across crash/restore — the paper's
+// Table 1 Notification object is "for synchronization (like semaphores)"
+// and its waiter list is checkpointed state.
+func TestNotificationSyscalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = 0
+	cfg.SkipDefaultServices = true
+	m := New(cfg)
+	p, _ := m.NewProcess("app", 2)
+	noti := p.NewNotification()
+	waiter := p.Threads[1]
+
+	// Thread 1 blocks on the notification.
+	m.Run(p, waiter, func(e *Env) error {
+		if e.Wait(noti) {
+			t.Error("wait with zero count did not block")
+		}
+		return nil
+	})
+	if waiter.State != caps.ThreadBlocked {
+		t.Fatalf("waiter state = %v", waiter.State)
+	}
+
+	m.TakeCheckpoint()
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The blocked state and the waiter list survived the crash.
+	p2 := m.Process("app")
+	waiter2 := p2.Threads[1]
+	if waiter2.State != caps.ThreadBlocked {
+		t.Fatalf("restored waiter state = %v", waiter2.State)
+	}
+	var noti2 *caps.Notification
+	m.Tree.Walk(func(o caps.Object) {
+		if n, ok := o.(*caps.Notification); ok {
+			noti2 = n
+		}
+	})
+	if noti2.NumWaiters() != 1 {
+		t.Fatalf("restored waiters = %d", noti2.NumWaiters())
+	}
+	// Blocked threads are not re-enqueued by the restore path.
+	for _, th := range m.Sched.Queue(0) {
+		if th == waiter2 {
+			t.Error("blocked thread sits in a run queue")
+		}
+	}
+
+	// Signal wakes the restored waiter and re-enqueues it.
+	before := m.Sched.Len()
+	m.Run(p2, p2.MainThread(), func(e *Env) error {
+		e.Signal(noti2)
+		return nil
+	})
+	if waiter2.State != caps.ThreadRunnable {
+		t.Errorf("woken state = %v", waiter2.State)
+	}
+	if m.Sched.Len() != before+1 {
+		t.Errorf("scheduler len = %d, want %d", m.Sched.Len(), before+1)
+	}
+	// A signal with no waiter just banks the count.
+	m.Run(p2, p2.MainThread(), func(e *Env) error {
+		e.Signal(noti2)
+		return nil
+	})
+	if noti2.Count != 1 {
+		t.Errorf("banked count = %d", noti2.Count)
+	}
+	m.Run(p2, p2.MainThread(), func(e *Env) error {
+		if !e.Wait(noti2) {
+			t.Error("wait with banked count blocked")
+		}
+		return nil
+	})
+}

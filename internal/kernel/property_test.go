@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"treesls/internal/caps"
+	"treesls/internal/simclock"
+)
+
+// TestPropertyRestoreEqualsLastCommit is the whole-system correctness
+// property: under a random interleaving of page writes, register updates,
+// process creation, checkpoints, cold-page eviction and crashes, a restore
+// always lands exactly on the model state captured at the last commit —
+// nothing newer survives, nothing older resurfaces.
+func TestPropertyRestoreEqualsLastCommit(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := DefaultConfig()
+			cfg.CheckpointEvery = 0 // explicit checkpoints give a precise model
+			cfg.SkipDefaultServices = true
+			cfg.Checkpoint.HotThreshold = 2
+			cfg.Checkpoint.DemoteAfter = 3
+			m := New(cfg)
+
+			const pages = 48
+			p, err := m.NewProcess("app", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			va, _, err := p.Mmap(pages, caps.PMODefault)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The live model and its snapshot at the last commit.
+			live := make([]uint64, pages)
+			var liveReg uint64
+			committed := make([]uint64, pages)
+			var committedReg uint64
+			extraProcs := 0
+			committedProcs := 0
+
+			verify := func(context string) {
+				t.Helper()
+				pp := m.Process("app")
+				for i := 0; i < pages; i++ {
+					var got uint64
+					if _, err := m.Run(pp, pp.MainThread(), func(e *Env) error {
+						var err error
+						got, err = e.ReadU64(va + uint64(i)*4096)
+						return err
+					}); err != nil {
+						t.Fatalf("%s: read page %d: %v", context, i, err)
+					}
+					if got != committed[i] {
+						t.Fatalf("%s: page %d = %d, committed model %d", context, i, got, committed[i])
+					}
+				}
+				if got := pp.Threads[1].Ctx.R[5]; got != committedReg {
+					t.Fatalf("%s: register = %d, committed %d", context, got, committedReg)
+				}
+				// Extra processes created after the last commit vanish.
+				for n := committedProcs; n < extraProcs; n++ {
+					if m.Process(fmt.Sprintf("extra-%d", n)) != nil {
+						t.Fatalf("%s: uncommitted process extra-%d survived", context, n)
+					}
+				}
+			}
+
+			for step := 0; step < 500; step++ {
+				switch r := rng.Intn(100); {
+				case r < 60: // page write
+					i := rng.Intn(pages)
+					v := rng.Uint64()
+					if _, err := m.Run(p, p.Thread(rng.Intn(4)), func(e *Env) error {
+						return e.WriteU64(va+uint64(i)*4096, v)
+					}); err != nil {
+						t.Fatal(err)
+					}
+					live[i] = v
+				case r < 70: // register update
+					v := rng.Uint64()
+					m.Run(p, p.Threads[1], func(e *Env) error {
+						e.T.Touch(func(c *caps.Context) { c.R[5] = v })
+						return nil
+					})
+					liveReg = v
+				case r < 78: // checkpoint: commit the live model
+					m.TakeCheckpoint()
+					copy(committed, live)
+					committedReg = liveReg
+					committedProcs = extraProcs
+				case r < 84: // new process (rolled back unless committed)
+					if _, err := m.NewProcess(fmt.Sprintf("extra-%d", extraProcs), 1); err != nil {
+						t.Fatal(err)
+					}
+					extraProcs++
+				case r < 90: // cold-page eviction
+					if m.Ckpt.HasCheckpoint() {
+						if _, err := m.EvictColdPages(rng.Intn(8) + 1); err != nil {
+							t.Fatal(err)
+						}
+					}
+				default: // crash + restore
+					if !m.Ckpt.HasCheckpoint() {
+						continue
+					}
+					m.Crash()
+					if err := m.Restore(); err != nil {
+						t.Fatalf("step %d: restore: %v", step, err)
+					}
+					copy(live, committed)
+					liveReg = committedReg
+					extraProcs = committedProcs
+					p = m.Process("app")
+					verify(fmt.Sprintf("step %d", step))
+				}
+			}
+			// Final crash/restore and verification.
+			if m.Ckpt.HasCheckpoint() {
+				m.Crash()
+				if err := m.Restore(); err != nil {
+					t.Fatal(err)
+				}
+				verify("final")
+			}
+			if err := m.Alloc.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPropertyPeriodicCheckpointMonotonicVersions checks that under periodic
+// checkpointing with interleaved crashes, committed versions only move
+// forward and the machine clock never goes backwards.
+func TestPropertyPeriodicCheckpointMonotonicVersions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cfg := DefaultConfig()
+	cfg.SkipDefaultServices = true
+	m := New(cfg)
+	p, _ := m.NewProcess("app", 2)
+	va, _, _ := p.Mmap(16, caps.PMODefault)
+
+	lastVersion := uint64(0)
+	lastNow := simclock.Time(0)
+	for round := 0; round < 30; round++ {
+		for i := 0; i < 200; i++ {
+			m.Run(p, p.Thread(i), func(e *Env) error {
+				e.Charge(5 * simclock.Microsecond)
+				return e.WriteU64(va+uint64(rng.Intn(16))*4096, rng.Uint64())
+			})
+		}
+		if v := m.Ckpt.CommittedVersion(); v < lastVersion {
+			t.Fatalf("version moved backwards: %d -> %d", lastVersion, v)
+		} else {
+			lastVersion = v
+		}
+		if now := m.Now(); now < lastNow {
+			t.Fatalf("clock moved backwards: %v -> %v", lastNow, now)
+		} else {
+			lastNow = now
+		}
+		if rng.Intn(3) == 0 && m.Ckpt.HasCheckpoint() {
+			m.Crash()
+			if err := m.Restore(); err != nil {
+				t.Fatal(err)
+			}
+			p = m.Process("app")
+		}
+	}
+	if lastVersion == 0 {
+		t.Fatal("no checkpoints ever committed")
+	}
+}

@@ -1,0 +1,179 @@
+package kernel
+
+import (
+	"fmt"
+
+	"treesls/internal/baseline/disk"
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// Memory over-commitment (§8 Discussion): "we can add a cold page list to
+// track cold pages and evict them to secondary storage, such as SSDs and
+// disks, when the system is under memory pressure." This file implements
+// that extension.
+//
+// Eviction is only correct for pages whose runtime NVM copy *is* the
+// consistent checkpoint copy (the version-zero-second-backup state of
+// §4.3.3): the content is written to the swap device, the CkptPage records
+// the swap slot (persistently, so restore can find it), and the NVM frame is
+// released. Faults — and the restore path — bring the page back on demand.
+
+// SwapStats counts swap activity.
+type SwapStats struct {
+	Evicted    uint64
+	SwappedIn  uint64
+	SlotsInUse int
+}
+
+// swapState is the machine's swap backend. The device and the slot contents
+// model a persistent SSD: they survive Crash().
+type swapState struct {
+	dev  *disk.Device
+	data map[uint64][]byte
+	next uint64
+	free []uint64
+
+	Stats SwapStats
+}
+
+func newSwapState(model *simclock.CostModel) *swapState {
+	return &swapState{dev: disk.New(disk.NVMe, model), data: make(map[uint64][]byte)}
+}
+
+func (s *swapState) allocSlot() uint64 {
+	if n := len(s.free); n > 0 {
+		id := s.free[n-1]
+		s.free = s.free[:n-1]
+		return id
+	}
+	id := s.next
+	s.next++
+	return id
+}
+
+// ensureSwap lazily creates the swap backend.
+func (m *Machine) ensureSwap() *swapState {
+	if m.swap == nil {
+		m.swap = newSwapState(m.Model)
+	}
+	return m.swap
+}
+
+// SwapStats returns swap activity counters.
+func (m *Machine) SwapStats() SwapStats {
+	if m.swap == nil {
+		return SwapStats{}
+	}
+	st := m.swap.Stats
+	st.SlotsInUse = len(m.swap.data)
+	return st
+}
+
+// EvictColdPages evicts up to max cold pages to the swap device, returning
+// how many it evicted. A page is cold when it is NVM-resident, clean,
+// write-protected (its runtime copy is the consistent checkpoint copy) and
+// not hot-listed. Eviction requires at least one committed checkpoint.
+func (m *Machine) EvictColdPages(max int) (int, error) {
+	if m.crashed {
+		return 0, fmt.Errorf("kernel: EvictColdPages on crashed machine")
+	}
+	if !m.Ckpt.HasCheckpoint() {
+		return 0, fmt.Errorf("kernel: cannot evict before the first checkpoint")
+	}
+	sw := m.ensureSwap()
+	lane := &m.Cores[len(m.Cores)-1].Lane // the "kswapd" core
+	evicted := 0
+	m.Tree.Walk(func(o caps.Object) {
+		if evicted >= max {
+			return
+		}
+		pmo, ok := o.(*caps.PMO)
+		if !ok || pmo.Type == caps.PMOEternal {
+			return
+		}
+		r := pmo.ORoot()
+		if r == nil || r.Backup[0] == nil {
+			return
+		}
+		snap, ok := r.Backup[0].(*caps.PMOSnap)
+		if !ok {
+			return
+		}
+		pmo.ForEachPage(func(idx uint64, s *caps.PageSlot) bool {
+			if evicted >= max {
+				return false
+			}
+			if s.SwappedOut || s.Writable || s.Dirty || s.OnHotList || s.Page.Kind != mem.KindNVM {
+				return true
+			}
+			cp, ok := snap.Pages.Get(idx)
+			if !ok || cp.Page[1] != s.Page || cp.Ver[1] != 0 {
+				// The runtime page is not the consistent copy;
+				// evicting it would break restore.
+				return true
+			}
+			// 1. Persist the content to the swap device.
+			slotID := sw.allocSlot()
+			buf := make([]byte, mem.PageSize)
+			m.Memory.ReadAt(s.Page, 0, buf)
+			sw.data[slotID] = buf
+			sw.dev.WriteSync(lane, mem.PageSize)
+			// 2. Atomically redirect the checkpointed page to swap.
+			cp.Swap = slotID + 1
+			cp.Page[1] = mem.NilPage
+			// 3. Release the NVM frame — deferred to the next
+			// checkpoint commit so recovery's rollback can never
+			// collide with a reused frame.
+			frame := s.Page
+			s.Page = mem.NilPage
+			s.SwappedOut = true
+			m.Ckpt.DeferFreePage(frame)
+			sw.Stats.Evicted++
+			evicted++
+			return true
+		})
+	})
+	return evicted, nil
+}
+
+// SwapIn implements vm.SwapOps: a fault on a swapped-out page reads its
+// content back from the device into a fresh NVM page. The page comes back
+// write-protected — its content still equals the consistent checkpoint copy,
+// and the first store will copy-on-write as usual.
+func (m *Machine) SwapIn(lane *simclock.Lane, pmo *caps.PMO, idx uint64, s *caps.PageSlot) error {
+	if m.swap == nil {
+		return fmt.Errorf("kernel: no swap backend")
+	}
+	r := pmo.ORoot()
+	if r == nil || r.Backup[0] == nil {
+		return fmt.Errorf("kernel: swapped page %d of PMO %d has no checkpoint state", idx, pmo.ID())
+	}
+	snap := r.Backup[0].(*caps.PMOSnap)
+	cp, ok := snap.Pages.Get(idx)
+	if !ok || cp.Swap == 0 {
+		return fmt.Errorf("kernel: page %d of PMO %d marked swapped but has no swap slot", idx, pmo.ID())
+	}
+	data, ok := m.swap.data[cp.Swap-1]
+	if !ok {
+		return fmt.Errorf("kernel: swap slot %d lost", cp.Swap-1)
+	}
+	page, err := m.Alloc.AllocPage(lane)
+	if err != nil {
+		return fmt.Errorf("kernel: swap-in allocation: %w", err)
+	}
+	lane.Charge(simclock.Duration(m.Model.NVMeReadBlock)) // device read
+	lane.Charge(m.Memory.WriteAt(page, 0, data))
+	s.Page = page
+	s.SwappedOut = false
+	s.Writable = false
+	s.Dirty = false
+	// Deliberately do NOT store the fresh frame into cp.Page[1]: it is a
+	// logged allocation that a post-crash rollback reclaims, and a
+	// persistent checkpoint entry must never point at a reclaimable
+	// frame. The swap slot stays the consistent source until the next
+	// checkpoint commit re-syncs the page.
+	m.swap.Stats.SwappedIn++
+	return nil
+}

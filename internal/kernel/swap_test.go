@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"treesls/internal/caps"
+)
+
+func newSwapMachine(t *testing.T) (*Machine, *Process, uint64, *caps.PMO) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.CheckpointEvery = 0
+	cfg.SkipDefaultServices = true
+	m := New(cfg)
+	p, err := m.NewProcess("app", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, pmo, err := p.Mmap(32, caps.PMODefault)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, p, va, pmo
+}
+
+func fillPages(t *testing.T, m *Machine, p *Process, va uint64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := m.Run(p, p.MainThread(), func(e *Env) error {
+			return e.Write(va+uint64(i)*4096, []byte(fmt.Sprintf("page-%02d-content", i)))
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEvictRequiresCheckpoint(t *testing.T) {
+	m, p, va, _ := newSwapMachine(t)
+	fillPages(t, m, p, va, 4)
+	if _, err := m.EvictColdPages(4); err == nil {
+		t.Error("eviction before the first checkpoint succeeded")
+	}
+}
+
+func TestEvictAndFaultBack(t *testing.T) {
+	m, p, va, pmo := newSwapMachine(t)
+	fillPages(t, m, p, va, 8)
+	m.TakeCheckpoint() // pages become clean + write-protected
+
+	free := m.Alloc.FreeFrames()
+	n, err := m.EvictColdPages(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("evicted %d, want 5", n)
+	}
+	// Frame release is deferred to the next checkpoint commit (so the
+	// recovery rollback can never collide with frame reuse).
+	if m.Alloc.FreeFrames() != free {
+		t.Errorf("frames freed before commit: %d", m.Alloc.FreeFrames()-free)
+	}
+	m.TakeCheckpoint()
+	if m.Alloc.FreeFrames() != free+5 {
+		t.Errorf("frames freed after commit = %d, want 5", m.Alloc.FreeFrames()-free)
+	}
+	if got := m.SwapStats(); got.Evicted != 5 || got.SlotsInUse != 5 {
+		t.Errorf("swap stats = %+v", got)
+	}
+	swapped := 0
+	pmo.ForEachPage(func(idx uint64, s *caps.PageSlot) bool {
+		if s.SwappedOut {
+			swapped++
+			if !s.Page.IsNil() {
+				t.Error("swapped page still has a frame")
+			}
+		}
+		return true
+	})
+	if swapped != 5 {
+		t.Errorf("swapped slots = %d", swapped)
+	}
+
+	// Reads fault the content back intact.
+	buf := make([]byte, 15)
+	p2 := m.Process("app")
+	if _, err := m.Run(p2, p2.MainThread(), func(e *Env) error {
+		return e.Read(va, buf)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, []byte("page-00-content")) {
+		t.Errorf("swapped-in content = %q", buf)
+	}
+	if m.SwapStats().SwappedIn != 1 {
+		t.Errorf("swap-in count = %d", m.SwapStats().SwappedIn)
+	}
+	if p2.AS.Stats.SwapFaults != 1 {
+		t.Errorf("vm swap faults = %d", p2.AS.Stats.SwapFaults)
+	}
+}
+
+func TestSwappedPageWritable(t *testing.T) {
+	m, p, va, _ := newSwapMachine(t)
+	fillPages(t, m, p, va, 4)
+	m.TakeCheckpoint()
+	if _, err := m.EvictColdPages(4); err != nil {
+		t.Fatal(err)
+	}
+	// A write to a swapped page swaps in, then copy-on-writes.
+	if _, err := m.Run(p, p.MainThread(), func(e *Env) error {
+		return e.Write(va, []byte("modified-after-swap"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 19)
+	m.Run(p, p.MainThread(), func(e *Env) error { return e.Read(va, buf) })
+	if string(buf) != "modified-after-swap" {
+		t.Errorf("content = %q", buf)
+	}
+	// The pre-modification content was saved: crash must roll back to it.
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	p2 := m.Process("app")
+	buf2 := make([]byte, 15)
+	if _, err := m.Run(p2, p2.MainThread(), func(e *Env) error {
+		return e.Read(va, buf2)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf2) != "page-00-content" {
+		t.Errorf("restored content = %q", buf2)
+	}
+}
+
+func TestSwappedPagesSurviveCrash(t *testing.T) {
+	m, p, va, _ := newSwapMachine(t)
+	fillPages(t, m, p, va, 8)
+	m.TakeCheckpoint()
+	if _, err := m.EvictColdPages(8); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	// All evicted pages come back from the swap device on demand.
+	p2 := m.Process("app")
+	for i := 0; i < 8; i++ {
+		buf := make([]byte, 15)
+		if _, err := m.Run(p2, p2.MainThread(), func(e *Env) error {
+			return e.Read(va+uint64(i)*4096, buf)
+		}); err != nil {
+			t.Fatalf("page %d: %v", i, err)
+		}
+		if string(buf) != fmt.Sprintf("page-%02d-content", i) {
+			t.Errorf("page %d = %q", i, buf)
+		}
+	}
+}
+
+func TestDirtyPagesNotEvicted(t *testing.T) {
+	m, p, va, _ := newSwapMachine(t)
+	fillPages(t, m, p, va, 4)
+	m.TakeCheckpoint()
+	// Dirty one page: it must not be evicted.
+	if _, err := m.Run(p, p.MainThread(), func(e *Env) error {
+		return e.Write(va, []byte("dirty"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := m.EvictColdPages(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("evicted %d, want 3 (the dirty page must stay)", n)
+	}
+}
+
+func TestSwapSlotRecycledAfterCheckpoint(t *testing.T) {
+	m, p, va, _ := newSwapMachine(t)
+	fillPages(t, m, p, va, 2)
+	m.TakeCheckpoint()
+	if _, err := m.EvictColdPages(2); err != nil {
+		t.Fatal(err)
+	}
+	// Swap in by writing, then checkpoint: the round supersedes the swap
+	// content and the slot is recycled.
+	if _, err := m.Run(p, p.MainThread(), func(e *Env) error {
+		return e.Write(va, []byte("new"))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.TakeCheckpoint()
+	if st := m.SwapStats(); st.SlotsInUse != 1 {
+		t.Errorf("slots in use = %d, want 1 (page 0's slot recycled)", st.SlotsInUse)
+	}
+}
+
+func TestEvictionChargesDeviceTime(t *testing.T) {
+	m, p, va, _ := newSwapMachine(t)
+	fillPages(t, m, p, va, 4)
+	m.TakeCheckpoint()
+	lane := &m.Cores[len(m.Cores)-1].Lane
+	before := lane.Now()
+	m.EvictColdPages(4)
+	if lane.Now() == before {
+		t.Error("eviction charged no device time")
+	}
+}

@@ -1,0 +1,65 @@
+package mem
+
+import (
+	"testing"
+
+	"treesls/internal/simclock"
+)
+
+func expectPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+func TestPanicsOnMisuse(t *testing.T) {
+	m := New(Config{NVMFrames: 4, DRAMFrames: 2}, simclock.DefaultCostModel())
+	expectPanic(t, "Data(nil)", func() { m.Data(NilPage) })
+	expectPanic(t, "out-of-range frame", func() { m.Data(PageID{Kind: KindNVM, Frame: 99}) })
+	expectPanic(t, "FreeDRAM of NVM page", func() { m.FreeDRAM(PageID{Kind: KindNVM, Frame: 0}) })
+	expectPanic(t, "negative ReadAt", func() {
+		m.ReadAt(PageID{Kind: KindNVM, Frame: 0}, -1, make([]byte, 1))
+	})
+	expectPanic(t, "ReadAt past page end", func() {
+		m.ReadAt(PageID{Kind: KindNVM, Frame: 0}, PageSize-1, make([]byte, 2))
+	})
+}
+
+func TestKindStrings(t *testing.T) {
+	if KindNVM.String() != "NVM" || KindDRAM.String() != "DRAM" || KindNil.String() != "nil" {
+		t.Error("kind names wrong")
+	}
+}
+
+func TestZeroLengthAccessCharged(t *testing.T) {
+	m := New(Config{NVMFrames: 4, DRAMFrames: 2}, simclock.DefaultCostModel())
+	// A zero-length access still costs at least one cacheline probe.
+	if c := m.ReadAt(PageID{Kind: KindNVM, Frame: 0}, 0, nil); c <= 0 {
+		t.Errorf("zero-length read cost %v", c)
+	}
+}
+
+func TestDRAMExhaustionAndRecycle(t *testing.T) {
+	m := New(Config{NVMFrames: 4, DRAMFrames: 3}, simclock.DefaultCostModel())
+	var got []PageID
+	for {
+		p := m.AllocDRAM()
+		if p.IsNil() {
+			break
+		}
+		got = append(got, p)
+	}
+	if len(got) != 3 {
+		t.Fatalf("allocated %d", len(got))
+	}
+	for _, p := range got {
+		m.FreeDRAM(p)
+	}
+	if m.DRAMFreeFrames() != 3 {
+		t.Errorf("free = %d", m.DRAMFreeFrames())
+	}
+}

@@ -1,0 +1,282 @@
+// Package mem simulates the physical memory of the TreeSLS machine: a
+// non-volatile memory (NVM) device whose contents survive power failures and
+// a DRAM device that is wiped by them.
+//
+// The paper's machine has 256 GiB DRAM and 1 TiB Optane PM; here both devices
+// are arrays of 4 KiB frames with lazily-allocated backing storage. The only
+// properties the TreeSLS algorithms rely on are captured exactly:
+//
+//   - NVM frames keep their bytes across Crash().
+//   - DRAM frames are zeroed by Crash().
+//   - NVM accesses are slower than DRAM accesses (per the cost model).
+//
+// Frame allocation policy is split: NVM frames are owned by the buddy system
+// in internal/alloc (whose metadata is itself crash-consistent); DRAM frames
+// are owned by a simple free list here, because DRAM state is rebuilt from
+// scratch after a failure and needs no crash consistency.
+package mem
+
+import (
+	"fmt"
+
+	"treesls/internal/simclock"
+)
+
+// PageSize is the size of one physical frame in bytes.
+const PageSize = 4096
+
+// Kind identifies which device a page lives on.
+type Kind uint8
+
+const (
+	// KindNil marks the zero PageID (no page).
+	KindNil Kind = iota
+	// KindNVM is persistent memory: contents survive Crash().
+	KindNVM
+	// KindDRAM is volatile memory: contents are zeroed by Crash().
+	KindDRAM
+)
+
+// String returns "nil", "NVM" or "DRAM".
+func (k Kind) String() string {
+	switch k {
+	case KindNVM:
+		return "NVM"
+	case KindDRAM:
+		return "DRAM"
+	default:
+		return "nil"
+	}
+}
+
+// PageID names one physical frame. The zero value is the nil page.
+type PageID struct {
+	Kind  Kind
+	Frame uint32
+}
+
+// NilPage is the absent page.
+var NilPage = PageID{}
+
+// IsNil reports whether p names no page.
+func (p PageID) IsNil() bool { return p.Kind == KindNil }
+
+// String formats a PageID for diagnostics, e.g. "NVM:42".
+func (p PageID) String() string {
+	if p.IsNil() {
+		return "nil-page"
+	}
+	return fmt.Sprintf("%s:%d", p.Kind, p.Frame)
+}
+
+// Device is one physical memory device: a fixed number of frames with
+// lazily-materialized backing bytes.
+type Device struct {
+	kind   Kind
+	frames [][]byte
+}
+
+func newDevice(kind Kind, nFrames int) *Device {
+	return &Device{kind: kind, frames: make([][]byte, nFrames)}
+}
+
+// NumFrames returns the device capacity in frames.
+func (d *Device) NumFrames() int { return len(d.frames) }
+
+// data returns the backing bytes of frame f, materializing them on demand.
+func (d *Device) data(f uint32) []byte {
+	if int(f) >= len(d.frames) {
+		panic(fmt.Sprintf("mem: frame %d out of range on %s device (%d frames)", f, d.kind, len(d.frames)))
+	}
+	if d.frames[f] == nil {
+		d.frames[f] = make([]byte, PageSize)
+	}
+	return d.frames[f]
+}
+
+// Memory bundles the two devices and the cost model. All page data access in
+// the simulator goes through Memory so that device costs are charged
+// uniformly.
+type Memory struct {
+	model *simclock.CostModel
+	nvm   *Device
+	dram  *Device
+
+	dramFree []uint32 // free DRAM frames (LIFO)
+
+	// Stats counts device traffic for the experiment reports.
+	Stats Stats
+}
+
+// Stats counts page-granularity device traffic.
+type Stats struct {
+	NVMPageWrites  uint64
+	NVMPageReads   uint64
+	DRAMPageWrites uint64
+	DRAMPageReads  uint64
+}
+
+// Config sizes the two devices.
+type Config struct {
+	NVMFrames  int
+	DRAMFrames int
+}
+
+// DefaultConfig returns a machine with 64 Ki NVM frames (256 MiB) and
+// 16 Ki DRAM frames (64 MiB) — large enough for every experiment at the
+// default scale while keeping test memory use modest.
+func DefaultConfig() Config {
+	return Config{NVMFrames: 64 * 1024, DRAMFrames: 16 * 1024}
+}
+
+// New creates the simulated physical memory.
+func New(cfg Config, model *simclock.CostModel) *Memory {
+	m := &Memory{
+		model: model,
+		nvm:   newDevice(KindNVM, cfg.NVMFrames),
+		dram:  newDevice(KindDRAM, cfg.DRAMFrames),
+	}
+	m.resetDRAMFreeList()
+	return m
+}
+
+func (m *Memory) resetDRAMFreeList() {
+	m.dramFree = m.dramFree[:0]
+	for f := m.dram.NumFrames() - 1; f >= 0; f-- {
+		m.dramFree = append(m.dramFree, uint32(f))
+	}
+}
+
+// Model returns the machine cost model.
+func (m *Memory) Model() *simclock.CostModel { return m.model }
+
+// NVMFrames returns the NVM device capacity (the buddy allocator manages
+// exactly this range).
+func (m *Memory) NVMFrames() int { return m.nvm.NumFrames() }
+
+// Data returns the live backing bytes of page p. Callers must charge access
+// costs themselves (or use CopyPage / ReadAt / WriteAt which do).
+func (m *Memory) Data(p PageID) []byte {
+	switch p.Kind {
+	case KindNVM:
+		return m.nvm.data(p.Frame)
+	case KindDRAM:
+		return m.dram.data(p.Frame)
+	default:
+		panic("mem: Data on nil page")
+	}
+}
+
+// AllocDRAM takes one DRAM frame from the free list. It returns the nil page
+// when DRAM is exhausted (callers fall back to keeping the page on NVM).
+func (m *Memory) AllocDRAM() PageID {
+	n := len(m.dramFree)
+	if n == 0 {
+		return NilPage
+	}
+	f := m.dramFree[n-1]
+	m.dramFree = m.dramFree[:n-1]
+	// A freshly allocated frame must read as zero even if a previous
+	// owner left data in it.
+	clear(m.dram.data(f))
+	return PageID{Kind: KindDRAM, Frame: f}
+}
+
+// FreeDRAM returns a DRAM frame to the free list.
+func (m *Memory) FreeDRAM(p PageID) {
+	if p.Kind != KindDRAM {
+		panic("mem: FreeDRAM on " + p.String())
+	}
+	m.dramFree = append(m.dramFree, p.Frame)
+}
+
+// DRAMFreeFrames reports how many DRAM frames are currently free.
+func (m *Memory) DRAMFreeFrames() int { return len(m.dramFree) }
+
+// CopyPage copies one full page from src to dst and returns the simulated
+// cost (read of src + write of dst).
+func (m *Memory) CopyPage(dst, src PageID) simclock.Duration {
+	copy(m.Data(dst), m.Data(src))
+	return m.readCost(src) + m.writeCost(dst)
+}
+
+// WriteAt writes data into page p at offset off and returns the simulated
+// cost. Partial-page writes are charged per touched cacheline.
+func (m *Memory) WriteAt(p PageID, off int, data []byte) simclock.Duration {
+	d := m.Data(p)
+	if off < 0 || off+len(data) > PageSize {
+		panic(fmt.Sprintf("mem: WriteAt out of page bounds: off=%d len=%d", off, len(data)))
+	}
+	copy(d[off:], data)
+	return m.smallAccessCost(p, len(data), true)
+}
+
+// ReadAt reads len(buf) bytes from page p at offset off and returns the
+// simulated cost.
+func (m *Memory) ReadAt(p PageID, off int, buf []byte) simclock.Duration {
+	d := m.Data(p)
+	if off < 0 || off+len(buf) > PageSize {
+		panic(fmt.Sprintf("mem: ReadAt out of page bounds: off=%d len=%d", off, len(buf)))
+	}
+	copy(buf, d[off:])
+	return m.smallAccessCost(p, len(buf), false)
+}
+
+func (m *Memory) readCost(p PageID) simclock.Duration {
+	switch p.Kind {
+	case KindNVM:
+		m.Stats.NVMPageReads++
+		return m.model.NVMReadPage
+	default:
+		m.Stats.DRAMPageReads++
+		return m.model.DRAMCopyPage / 2
+	}
+}
+
+func (m *Memory) writeCost(p PageID) simclock.Duration {
+	switch p.Kind {
+	case KindNVM:
+		m.Stats.NVMPageWrites++
+		return m.model.NVMWritePage
+	default:
+		m.Stats.DRAMPageWrites++
+		return m.model.DRAMCopyPage / 2
+	}
+}
+
+func (m *Memory) smallAccessCost(p PageID, n int, write bool) simclock.Duration {
+	lines := simclock.Duration((n + 63) / 64)
+	if lines == 0 {
+		lines = 1
+	}
+	var per simclock.Duration
+	if p.Kind == KindNVM {
+		per = m.model.NVMAccess
+		if write {
+			m.Stats.NVMPageWrites++
+		} else {
+			m.Stats.NVMPageReads++
+		}
+	} else {
+		per = m.model.DRAMAccess
+		if write {
+			m.Stats.DRAMPageWrites++
+		} else {
+			m.Stats.DRAMPageReads++
+		}
+	}
+	return lines * per
+}
+
+// Crash simulates a power failure at the device level: every DRAM frame is
+// zeroed and the DRAM free list is reset (DRAM ownership state is volatile
+// kernel state and is rebuilt during restore). NVM frames are untouched.
+func (m *Memory) Crash() {
+	for f, b := range m.dram.frames {
+		if b != nil {
+			clear(b)
+		}
+		_ = f
+	}
+	m.resetDRAMFreeList()
+}

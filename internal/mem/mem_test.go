@@ -1,0 +1,159 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+
+	"treesls/internal/simclock"
+)
+
+func newTestMemory() *Memory {
+	return New(Config{NVMFrames: 128, DRAMFrames: 32}, simclock.DefaultCostModel())
+}
+
+func TestPageIDString(t *testing.T) {
+	if got := (PageID{}).String(); got != "nil-page" {
+		t.Errorf("nil page String() = %q", got)
+	}
+	if got := (PageID{Kind: KindNVM, Frame: 42}).String(); got != "NVM:42" {
+		t.Errorf("String() = %q", got)
+	}
+	if got := (PageID{Kind: KindDRAM, Frame: 7}).String(); got != "DRAM:7" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestDataRoundTrip(t *testing.T) {
+	m := newTestMemory()
+	p := PageID{Kind: KindNVM, Frame: 3}
+	copy(m.Data(p), []byte("hello"))
+	if !bytes.Equal(m.Data(p)[:5], []byte("hello")) {
+		t.Error("NVM page did not retain data")
+	}
+}
+
+func TestWriteReadAt(t *testing.T) {
+	m := newTestMemory()
+	p := PageID{Kind: KindNVM, Frame: 1}
+	cost := m.WriteAt(p, 100, []byte("treesls"))
+	if cost <= 0 {
+		t.Error("WriteAt charged nothing")
+	}
+	buf := make([]byte, 7)
+	m.ReadAt(p, 100, buf)
+	if string(buf) != "treesls" {
+		t.Errorf("ReadAt = %q", buf)
+	}
+}
+
+func TestWriteAtBounds(t *testing.T) {
+	m := newTestMemory()
+	p := PageID{Kind: KindNVM, Frame: 0}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-bounds WriteAt did not panic")
+		}
+	}()
+	m.WriteAt(p, PageSize-2, []byte("xyz"))
+}
+
+func TestCopyPageCosts(t *testing.T) {
+	m := newTestMemory()
+	src := PageID{Kind: KindDRAM, Frame: 0}
+	dstNVM := PageID{Kind: KindNVM, Frame: 0}
+	dstDRAM := PageID{Kind: KindDRAM, Frame: 1}
+	copy(m.Data(src), []byte("payload"))
+
+	nvmCost := m.CopyPage(dstNVM, src)
+	dramCost := m.CopyPage(dstDRAM, src)
+	if !bytes.Equal(m.Data(dstNVM)[:7], []byte("payload")) {
+		t.Error("CopyPage to NVM lost data")
+	}
+	if nvmCost <= dramCost {
+		t.Errorf("copy to NVM (%v) should cost more than to DRAM (%v)", nvmCost, dramCost)
+	}
+}
+
+func TestDRAMAllocFree(t *testing.T) {
+	m := New(Config{NVMFrames: 8, DRAMFrames: 4}, simclock.DefaultCostModel())
+	seen := map[uint32]bool{}
+	var pages []PageID
+	for i := 0; i < 4; i++ {
+		p := m.AllocDRAM()
+		if p.IsNil() {
+			t.Fatalf("alloc %d failed with frames available", i)
+		}
+		if seen[p.Frame] {
+			t.Fatalf("frame %d allocated twice", p.Frame)
+		}
+		seen[p.Frame] = true
+		pages = append(pages, p)
+	}
+	if p := m.AllocDRAM(); !p.IsNil() {
+		t.Error("allocation past capacity succeeded")
+	}
+	m.FreeDRAM(pages[0])
+	if m.DRAMFreeFrames() != 1 {
+		t.Errorf("free frames = %d, want 1", m.DRAMFreeFrames())
+	}
+	if p := m.AllocDRAM(); p.IsNil() {
+		t.Error("allocation after free failed")
+	}
+}
+
+func TestDRAMAllocZeroed(t *testing.T) {
+	m := newTestMemory()
+	p := m.AllocDRAM()
+	copy(m.Data(p), []byte("dirty"))
+	m.FreeDRAM(p)
+	q := m.AllocDRAM()
+	if q.Frame == p.Frame {
+		for _, b := range m.Data(q)[:5] {
+			if b != 0 {
+				t.Fatal("recycled DRAM frame not zeroed")
+			}
+		}
+	}
+}
+
+func TestCrashSemantics(t *testing.T) {
+	m := newTestMemory()
+	nvm := PageID{Kind: KindNVM, Frame: 5}
+	dram := m.AllocDRAM()
+	copy(m.Data(nvm), []byte("persistent"))
+	copy(m.Data(dram), []byte("volatile"))
+
+	m.Crash()
+
+	if !bytes.Equal(m.Data(nvm)[:10], []byte("persistent")) {
+		t.Error("NVM lost data across crash")
+	}
+	for _, b := range m.Data(dram)[:8] {
+		if b != 0 {
+			t.Fatal("DRAM retained data across crash")
+		}
+	}
+	if m.DRAMFreeFrames() != 32 {
+		t.Errorf("DRAM free list not reset: %d free", m.DRAMFreeFrames())
+	}
+}
+
+func TestSmallAccessCostScalesWithSize(t *testing.T) {
+	m := newTestMemory()
+	p := PageID{Kind: KindNVM, Frame: 2}
+	c1 := m.WriteAt(p, 0, make([]byte, 64))
+	c2 := m.WriteAt(p, 0, make([]byte, 1024))
+	if c2 <= c1 {
+		t.Errorf("1 KiB write (%v) should cost more than 64 B (%v)", c2, c1)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	m := newTestMemory()
+	p := PageID{Kind: KindNVM, Frame: 0}
+	q := m.AllocDRAM()
+	m.CopyPage(p, q)
+	if m.Stats.NVMPageWrites != 1 || m.Stats.DRAMPageReads != 1 {
+		t.Errorf("stats = %+v", m.Stats)
+	}
+}

@@ -1,0 +1,124 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{500, "500ns"},
+		{12_300, "12.30µs"},
+		{3_400_000, "3400.00µs"},
+		{25_000_000, "25.00ms"},
+		{2_000_000_000, "2000.00ms"},
+		{15_000_000_000, "15.00s"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestDurationConversions(t *testing.T) {
+	if got := (1500 * Nanosecond).Micros(); got != 1.5 {
+		t.Errorf("Micros() = %v, want 1.5", got)
+	}
+	if got := (2500 * Microsecond).Millis(); got != 2.5 {
+		t.Errorf("Millis() = %v, want 2.5", got)
+	}
+	if Second != 1_000_000_000*Nanosecond {
+		t.Errorf("Second = %d ns", int64(Second))
+	}
+}
+
+func TestLaneCharge(t *testing.T) {
+	var l Lane
+	if l.Now() != 0 {
+		t.Fatalf("zero lane at %d", l.Now())
+	}
+	l.Charge(100)
+	l.Charge(50)
+	if l.Now() != 150 {
+		t.Errorf("after charges Now() = %d, want 150", l.Now())
+	}
+	l.Charge(-10) // negative charges ignored
+	if l.Now() != 150 {
+		t.Errorf("negative charge moved time: %d", l.Now())
+	}
+}
+
+func TestLaneAdvanceTo(t *testing.T) {
+	var l Lane
+	l.Charge(100)
+	l.AdvanceTo(50) // backwards: no-op
+	if l.Now() != 100 {
+		t.Errorf("AdvanceTo moved lane backwards to %d", l.Now())
+	}
+	l.AdvanceTo(300)
+	if l.Now() != 300 {
+		t.Errorf("AdvanceTo(300) left lane at %d", l.Now())
+	}
+}
+
+func TestLaneReset(t *testing.T) {
+	var l Lane
+	l.Charge(1000)
+	l.Reset(7)
+	if l.Now() != 7 {
+		t.Errorf("Reset(7) left lane at %d", l.Now())
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var base Time = 1000
+	if base.Add(500) != 1500 {
+		t.Errorf("Add: %d", base.Add(500))
+	}
+	if Time(1500).Sub(base) != 500 {
+		t.Errorf("Sub: %d", Time(1500).Sub(base))
+	}
+}
+
+// Property: a lane never moves backwards under any mix of Charge/AdvanceTo.
+func TestLaneMonotonic(t *testing.T) {
+	f := func(ops []int32) bool {
+		var l Lane
+		prev := l.Now()
+		for _, op := range ops {
+			if op%2 == 0 {
+				l.Charge(Duration(op))
+			} else {
+				l.AdvanceTo(Time(op))
+			}
+			if l.Now() < prev {
+				return false
+			}
+			prev = l.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDefaultCostModelSanity(t *testing.T) {
+	m := DefaultCostModel()
+	if m.NVMWritePage <= m.DRAMCopyPage {
+		t.Error("NVM page write should cost more than a DRAM copy")
+	}
+	if m.NVMAccess <= m.DRAMAccess {
+		t.Error("NVM access should cost more than DRAM access")
+	}
+	if m.PageFaultTrap <= 0 || m.IPISend <= 0 || m.CommitCheckpoint <= 0 {
+		t.Error("core costs must be positive")
+	}
+	if m.NVMeWriteBlock <= m.NVMWritePage {
+		t.Error("NVMe block write should cost more than an NVM page write (two-tier penalty)")
+	}
+}

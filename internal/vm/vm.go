@@ -1,0 +1,255 @@
+// Package vm implements the virtual-memory subsystem of the simulated
+// TreeSLS machine: per-address-space page tables (kept in DRAM, never
+// checkpointed) and the page-fault path, including the copy-on-write hook the
+// checkpoint manager uses to implement tree-structured page checkpointing
+// (§4.1 "VM Space and Page Tables", Figure 5 step ❻).
+package vm
+
+import (
+	"fmt"
+
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// FaultOps is implemented by the kernel/checkpoint manager to service the
+// two kinds of page fault the VM layer raises.
+type FaultOps interface {
+	// MaterializePage provides a fresh zero page for PMO index idx (a
+	// first-touch fault on an unbacked page). The implementation
+	// allocates the physical page and installs it into the PMO.
+	MaterializePage(lane *simclock.Lane, pmo *caps.PMO, idx uint64) (*caps.PageSlot, error)
+	// HandleWriteFault runs when a write hits a write-protected page:
+	// the checkpoint manager duplicates the page into the backup tree
+	// (copy-on-write) and re-enables writing.
+	HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint64, s *caps.PageSlot) error
+}
+
+// SwapOps is optionally implemented by a FaultOps when the machine supports
+// memory over-commitment (§8): SwapIn brings an evicted page's content back
+// from secondary storage and re-backs the slot with a physical page.
+type SwapOps interface {
+	SwapIn(lane *simclock.Lane, pmo *caps.PMO, idx uint64, s *caps.PageSlot) error
+}
+
+// Stats counts VM activity for one address space.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	MapFaults   uint64 // first-touch / rebuild-after-restore faults
+	WriteFaults uint64 // copy-on-write faults
+	SwapFaults  uint64 // swapped-out pages brought back in
+}
+
+// AddressSpace binds a VMSpace to a (volatile) page table and provides the
+// memory access path used by simulated user code. All application data in
+// the reproduction flows through Read/Write here, so checkpoint-related page
+// faults happen exactly where they would on real hardware.
+type AddressSpace struct {
+	Space *caps.VMSpace
+
+	memory *mem.Memory
+	model  *simclock.CostModel
+	ops    FaultOps
+
+	pt map[uint64]pte // vpn -> cached translation
+
+	Stats Stats
+}
+
+// pte is one cached translation: the page slot plus the region rights at
+// map time (hardware keeps permission bits in the PTE, so permission checks
+// do not re-walk the region list on every access).
+type pte struct {
+	slot *caps.PageSlot
+	perm caps.Right
+}
+
+// NewAddressSpace creates the address space for space and parks itself in
+// space.PageTable.
+func NewAddressSpace(space *caps.VMSpace, memory *mem.Memory, ops FaultOps) *AddressSpace {
+	as := &AddressSpace{
+		Space:  space,
+		memory: memory,
+		model:  memory.Model(),
+		ops:    ops,
+		pt:     make(map[uint64]pte),
+	}
+	space.PageTable = as
+	return as
+}
+
+// Of returns the AddressSpace parked in space.PageTable, or nil.
+func Of(space *caps.VMSpace) *AddressSpace {
+	as, _ := space.PageTable.(*AddressSpace)
+	return as
+}
+
+// InvalidateAll drops every mapping; subsequent accesses fault and rebuild
+// the table from the (restored) VM space. Called after recovery.
+func (as *AddressSpace) InvalidateAll() {
+	as.pt = make(map[uint64]pte)
+}
+
+// translate returns the page slot for va, faulting as needed.
+func (as *AddressSpace) translate(lane *simclock.Lane, va uint64, forWrite bool) (*caps.PageSlot, error) {
+	vpn := va / mem.PageSize
+	lane.Charge(as.model.PageTableWalk)
+	entry, ok := as.pt[vpn]
+	slot := entry.slot
+	if !ok {
+		// Mapping fault: find the region, materialize the PMO page if
+		// needed, install the mapping.
+		lane.Charge(as.model.PageFaultTrap)
+		as.Stats.MapFaults++
+		r := as.Space.FindRegion(va)
+		if r == nil {
+			return nil, fmt.Errorf("vm: segfault at %#x (no region)", va)
+		}
+		if err := checkPerm(r, va, forWrite); err != nil {
+			return nil, err
+		}
+		idx := r.PMOOffset + (vpn - r.VABase/mem.PageSize)
+		slot = r.PMO.Lookup(idx)
+		if slot == nil {
+			var err error
+			slot, err = as.ops.MaterializePage(lane, r.PMO, idx)
+			if err != nil {
+				return nil, fmt.Errorf("vm: materializing page %d of PMO %d: %w", idx, r.PMO.ID(), err)
+			}
+		}
+		entry = pte{slot: slot, perm: r.Perm}
+		as.pt[vpn] = entry
+		lane.Charge(as.model.PageTableUpdate)
+	} else if entry.perm != 0 {
+		// Permission bits live in the PTE: check on every access.
+		if forWrite && entry.perm&caps.RightWrite == 0 {
+			return nil, fmt.Errorf("vm: write to read-only region at %#x (perm %#x)", va, entry.perm)
+		}
+		if !forWrite && entry.perm&caps.RightRead == 0 {
+			return nil, fmt.Errorf("vm: read from non-readable region at %#x (perm %#x)", va, entry.perm)
+		}
+	}
+	if slot.SwappedOut {
+		// Major fault: the page was evicted to secondary storage.
+		lane.Charge(as.model.PageFaultTrap)
+		as.Stats.SwapFaults++
+		so, ok := as.ops.(SwapOps)
+		if !ok {
+			return nil, fmt.Errorf("vm: page %#x swapped out but the kernel has no swap support", va)
+		}
+		r := as.Space.FindRegion(va)
+		if r == nil {
+			return nil, fmt.Errorf("vm: segfault at %#x (region vanished)", va)
+		}
+		idx := r.PMOOffset + (vpn - r.VABase/mem.PageSize)
+		if err := so.SwapIn(lane, r.PMO, idx, slot); err != nil {
+			return nil, err
+		}
+		if slot.SwappedOut || slot.Page.IsNil() {
+			return nil, fmt.Errorf("vm: swap-in left page %d of PMO %d unbacked", idx, r.PMO.ID())
+		}
+		lane.Charge(as.model.PageTableUpdate)
+	}
+	if forWrite && !slot.Writable {
+		// Copy-on-write fault (Figure 5 step ❻).
+		lane.Charge(as.model.PageFaultTrap)
+		as.Stats.WriteFaults++
+		r := as.Space.FindRegion(va)
+		if r == nil {
+			return nil, fmt.Errorf("vm: segfault at %#x (region vanished)", va)
+		}
+		if err := checkPerm(r, va, true); err != nil {
+			return nil, err
+		}
+		idx := r.PMOOffset + (vpn - r.VABase/mem.PageSize)
+		if err := as.ops.HandleWriteFault(lane, r.PMO, idx, slot); err != nil {
+			return nil, err
+		}
+		if !slot.Writable {
+			return nil, fmt.Errorf("vm: write fault handler left page %d of PMO %d read-only", idx, r.PMO.ID())
+		}
+		lane.Charge(as.model.PageTableUpdate)
+	}
+	return slot, nil
+}
+
+// checkPerm enforces the region's capability rights: reads need RightRead,
+// writes need RightWrite. A region with no rights bits set is treated as
+// fully accessible (kernel-internal mappings).
+func checkPerm(r *caps.VMRegion, va uint64, forWrite bool) error {
+	if r.Perm == 0 {
+		return nil
+	}
+	if forWrite && r.Perm&caps.RightWrite == 0 {
+		return fmt.Errorf("vm: write to read-only region at %#x (perm %#x)", va, r.Perm)
+	}
+	if !forWrite && r.Perm&caps.RightRead == 0 {
+		return fmt.Errorf("vm: read from non-readable region at %#x (perm %#x)", va, r.Perm)
+	}
+	return nil
+}
+
+// Write stores data at virtual address va, spanning pages as needed.
+func (as *AddressSpace) Write(lane *simclock.Lane, va uint64, data []byte) error {
+	as.Stats.Writes++
+	for len(data) > 0 {
+		off := int(va % mem.PageSize)
+		n := mem.PageSize - off
+		if n > len(data) {
+			n = len(data)
+		}
+		slot, err := as.translate(lane, va, true)
+		if err != nil {
+			return err
+		}
+		slot.Dirty = true // hardware dirty bit
+		lane.Charge(as.memory.WriteAt(slot.Page, off, data[:n]))
+		va += uint64(n)
+		data = data[n:]
+	}
+	return nil
+}
+
+// Read loads len(buf) bytes from virtual address va.
+func (as *AddressSpace) Read(lane *simclock.Lane, va uint64, buf []byte) error {
+	as.Stats.Reads++
+	for len(buf) > 0 {
+		off := int(va % mem.PageSize)
+		n := mem.PageSize - off
+		if n > len(buf) {
+			n = len(buf)
+		}
+		slot, err := as.translate(lane, va, false)
+		if err != nil {
+			return err
+		}
+		lane.Charge(as.memory.ReadAt(slot.Page, off, buf[:n]))
+		va += uint64(n)
+		buf = buf[n:]
+	}
+	return nil
+}
+
+// ReadU64/WriteU64 are convenience accessors for word-sized data, used
+// heavily by the user-space heap and application data structures.
+
+// ReadU64 loads a little-endian uint64 at va.
+func (as *AddressSpace) ReadU64(lane *simclock.Lane, va uint64) (uint64, error) {
+	var b [8]byte
+	if err := as.Read(lane, va, b[:]); err != nil {
+		return 0, err
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56, nil
+}
+
+// WriteU64 stores a little-endian uint64 at va.
+func (as *AddressSpace) WriteU64(lane *simclock.Lane, va uint64, v uint64) error {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	return as.Write(lane, va, b[:])
+}

@@ -1,0 +1,309 @@
+// Package workload provides the deterministic request generators behind the
+// paper's evaluation: the YCSB core workloads (A/B/C plus the 100%-update
+// and 100%-insert variants of Figure 13), an approximation of Facebook's
+// Prefix_dist RocksDB workload (Figure 14), and LevelDB dbbench's fillbatch
+// (Table 2). All generators are seeded and reproducible.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// OpType is a request kind.
+type OpType uint8
+
+// Request kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpDelete
+)
+
+// String names the op.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpType(%d)", uint8(o))
+	}
+}
+
+// Op is one generated request.
+type Op struct {
+	Type  OpType
+	Key   []byte
+	Value []byte // nil for reads/deletes
+}
+
+// Generator produces a request stream.
+type Generator interface {
+	Next() Op
+}
+
+// ---- Zipfian ---------------------------------------------------------------
+
+// Zipfian draws integers in [0, n) with the YCSB zipfian distribution
+// (Gray et al.'s rejection-inversion method as used by YCSB's
+// ZipfianGenerator), so a small set of hot keys receives most accesses.
+type Zipfian struct {
+	rng   *rand.Rand
+	n     uint64
+	theta float64
+
+	alpha, zetan, eta, zeta2 float64
+}
+
+// NewZipfian creates a generator over [0, n) with skew theta (YCSB default
+// 0.99).
+func NewZipfian(rng *rand.Rand, n uint64, theta float64) *Zipfian {
+	z := &Zipfian{rng: rng, n: n, theta: theta}
+	z.zeta2 = zetaStatic(2, theta)
+	z.zetan = zetaStatic(n, theta)
+	z.alpha = 1.0 / (1.0 - theta)
+	z.eta = (1 - math.Pow(2.0/float64(n), 1-theta)) / (1 - z.zeta2/z.zetan)
+	return z
+}
+
+func zetaStatic(n uint64, theta float64) float64 {
+	// Exact for small n; the standard approximation for large n keeps
+	// generator setup O(1)-ish.
+	if n <= 10000 {
+		sum := 0.0
+		for i := uint64(1); i <= n; i++ {
+			sum += 1 / math.Pow(float64(i), theta)
+		}
+		return sum
+	}
+	small := zetaStatic(10000, theta)
+	// Integral approximation of the tail.
+	return small + (math.Pow(float64(n), 1-theta)-math.Pow(10000, 1-theta))/(1-theta)
+}
+
+// Next draws one value.
+func (z *Zipfian) Next() uint64 {
+	u := z.rng.Float64()
+	uz := u * z.zetan
+	if uz < 1.0 {
+		return 0
+	}
+	if uz < 1.0+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	v := uint64(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if v >= z.n {
+		v = z.n - 1
+	}
+	return v
+}
+
+// ---- YCSB -------------------------------------------------------------------
+
+// YCSBKind selects one of the evaluated YCSB mixes.
+type YCSBKind uint8
+
+// The five Figure 13 workloads.
+const (
+	YCSBA         YCSBKind = iota // 50% read / 50% update
+	YCSBB                         // 95% read / 5% update
+	YCSBC                         // 100% read
+	YCSBUpdate100                 // 100% update
+	YCSBInsert100                 // 100% insert
+)
+
+// String names the workload as in Figure 13.
+func (k YCSBKind) String() string {
+	switch k {
+	case YCSBA:
+		return "Workload A"
+	case YCSBB:
+		return "Workload B"
+	case YCSBC:
+		return "Workload C"
+	case YCSBUpdate100:
+		return "100% Update"
+	case YCSBInsert100:
+		return "100% Insert"
+	default:
+		return fmt.Sprintf("YCSBKind(%d)", uint8(k))
+	}
+}
+
+// YCSB generates one of the core workloads over a keyspace of Records keys.
+type YCSB struct {
+	kind    YCSBKind
+	rng     *rand.Rand
+	zipf    *Zipfian
+	records uint64
+	valSize int
+	nextIns uint64
+}
+
+// NewYCSB creates a generator. records is the loaded keyspace size; valSize
+// the value payload size.
+func NewYCSB(kind YCSBKind, records uint64, valSize int, seed int64) *YCSB {
+	rng := rand.New(rand.NewSource(seed))
+	return &YCSB{
+		kind:    kind,
+		rng:     rng,
+		zipf:    NewZipfian(rng, records, 0.99),
+		records: records,
+		valSize: valSize,
+		nextIns: records,
+	}
+}
+
+// Key formats key number i as YCSB does ("user<hash>").
+func Key(i uint64) []byte {
+	return []byte(fmt.Sprintf("user%016d", i*2654435761%1_000_000_007))
+}
+
+// LoadOps returns the initial dataset (records inserts).
+func (y *YCSB) LoadOps() []Op {
+	ops := make([]Op, y.records)
+	for i := uint64(0); i < y.records; i++ {
+		ops[i] = Op{Type: OpInsert, Key: Key(i), Value: y.value()}
+	}
+	return ops
+}
+
+func (y *YCSB) value() []byte {
+	v := make([]byte, y.valSize)
+	y.rng.Read(v)
+	return v
+}
+
+// Next draws the next request per the workload mix.
+func (y *YCSB) Next() Op {
+	switch y.kind {
+	case YCSBC:
+		return Op{Type: OpRead, Key: Key(y.zipf.Next())}
+	case YCSBB:
+		if y.rng.Float64() < 0.95 {
+			return Op{Type: OpRead, Key: Key(y.zipf.Next())}
+		}
+		return Op{Type: OpUpdate, Key: Key(y.zipf.Next()), Value: y.value()}
+	case YCSBA:
+		if y.rng.Float64() < 0.5 {
+			return Op{Type: OpRead, Key: Key(y.zipf.Next())}
+		}
+		return Op{Type: OpUpdate, Key: Key(y.zipf.Next()), Value: y.value()}
+	case YCSBUpdate100:
+		return Op{Type: OpUpdate, Key: Key(y.zipf.Next()), Value: y.value()}
+	default: // YCSBInsert100
+		k := y.nextIns
+		y.nextIns++
+		return Op{Type: OpInsert, Key: Key(k), Value: y.value()}
+	}
+}
+
+// ---- Facebook Prefix_dist ----------------------------------------------------
+
+// PrefixDist approximates the Prefix_dist workload of Cao et al. (FAST'20):
+// keys share 4-byte prefixes, prefix popularity is heavily skewed (a few
+// prefixes receive most traffic), and the mix is write-heavy as in the
+// paper's Figure 14 measurement (write latency is what it reports).
+type PrefixDist struct {
+	rng        *rand.Rand
+	prefixZipf *Zipfian
+	keyZipf    *Zipfian
+	valSize    int
+	writeFrac  float64
+}
+
+// NewPrefixDist creates a generator with numPrefixes prefix groups of
+// keysPerPrefix keys each.
+func NewPrefixDist(numPrefixes, keysPerPrefix uint64, valSize int, writeFrac float64, seed int64) *PrefixDist {
+	rng := rand.New(rand.NewSource(seed))
+	return &PrefixDist{
+		rng:        rng,
+		prefixZipf: NewZipfian(rng, numPrefixes, 0.92),
+		keyZipf:    NewZipfian(rng, keysPerPrefix, 0.8),
+		valSize:    valSize,
+		writeFrac:  writeFrac,
+	}
+}
+
+// Next draws one request.
+func (p *PrefixDist) Next() Op {
+	prefix := p.prefixZipf.Next()
+	k := []byte(fmt.Sprintf("%04x:%08d", prefix, p.keyZipf.Next()))
+	if p.rng.Float64() < p.writeFrac {
+		v := make([]byte, p.valSize)
+		p.rng.Read(v)
+		return Op{Type: OpUpdate, Key: k, Value: v}
+	}
+	return Op{Type: OpRead, Key: k}
+}
+
+// ---- dbbench fillbatch --------------------------------------------------------
+
+// FillBatch reproduces LevelDB dbbench's fillbatch: sequential keys written
+// in batches (Table 2's LevelDB workload).
+type FillBatch struct {
+	rng       *rand.Rand
+	next      uint64
+	valSize   int
+	BatchSize int
+}
+
+// NewFillBatch creates the generator.
+func NewFillBatch(valSize int, seed int64) *FillBatch {
+	return &FillBatch{rng: rand.New(rand.NewSource(seed)), valSize: valSize, BatchSize: 1000}
+}
+
+// Next emits the next sequential insert.
+func (f *FillBatch) Next() Op {
+	k := []byte(fmt.Sprintf("%016d", f.next))
+	f.next++
+	v := make([]byte, f.valSize)
+	f.rng.Read(v)
+	return Op{Type: OpInsert, Key: k, Value: v}
+}
+
+// ---- Mixed SQLite-style -------------------------------------------------------
+
+// Mixed generates the SQLite benchmark of §7.3: an even
+// read/insert/update/delete mix over integer row IDs.
+type Mixed struct {
+	rng     *rand.Rand
+	rows    uint64
+	valSize int
+	nextID  uint64
+}
+
+// NewMixed creates the generator.
+func NewMixed(rows uint64, valSize int, seed int64) *Mixed {
+	return &Mixed{rng: rand.New(rand.NewSource(seed)), rows: rows, valSize: valSize, nextID: rows}
+}
+
+// NextID draws (type, row id, payload) — table-store requests use integer
+// keys.
+func (m *Mixed) NextID() (OpType, uint64, []byte) {
+	id := uint64(m.rng.Int63n(int64(m.rows)))
+	switch m.rng.Intn(4) {
+	case 0:
+		return OpRead, id, nil
+	case 1:
+		id = m.nextID
+		m.nextID++
+		v := make([]byte, m.valSize)
+		m.rng.Read(v)
+		return OpInsert, id, v
+	case 2:
+		v := make([]byte, m.valSize)
+		m.rng.Read(v)
+		return OpUpdate, id, v
+	default:
+		return OpDelete, id, nil
+	}
+}

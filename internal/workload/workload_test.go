@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianRangeAndSkew(t *testing.T) {
+	z := NewZipfian(rand.New(rand.NewSource(1)), 1000, 0.99)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		v := z.Next()
+		if v >= 1000 {
+			t.Fatalf("value %d out of range", v)
+		}
+		counts[v]++
+	}
+	// Hot head: the top item must dwarf the median item.
+	if counts[0] < 20*counts[500]+1 {
+		t.Errorf("skew too weak: head %d vs mid %d", counts[0], counts[500])
+	}
+	// Tail items still occur.
+	tail := 0
+	for _, c := range counts[900:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Error("tail never sampled")
+	}
+}
+
+func TestZipfianDeterministic(t *testing.T) {
+	a := NewZipfian(rand.New(rand.NewSource(7)), 500, 0.99)
+	b := NewZipfian(rand.New(rand.NewSource(7)), 500, 0.99)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestYCSBMixes(t *testing.T) {
+	cases := []struct {
+		kind                    YCSBKind
+		reads, updates, inserts bool
+		readFracLo, readFracHi  float64
+	}{
+		{YCSBA, true, true, false, 0.45, 0.55},
+		{YCSBB, true, true, false, 0.92, 0.98},
+		{YCSBC, true, false, false, 1.0, 1.0},
+		{YCSBUpdate100, false, true, false, 0, 0},
+		{YCSBInsert100, false, false, true, 0, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.kind.String(), func(t *testing.T) {
+			y := NewYCSB(c.kind, 1000, 64, 42)
+			var reads, updates, inserts int
+			for i := 0; i < 5000; i++ {
+				op := y.Next()
+				switch op.Type {
+				case OpRead:
+					reads++
+					if op.Value != nil {
+						t.Error("read with value")
+					}
+				case OpUpdate:
+					updates++
+					if len(op.Value) != 64 {
+						t.Errorf("value size %d", len(op.Value))
+					}
+				case OpInsert:
+					inserts++
+				}
+			}
+			if (reads > 0) != c.reads || (updates > 0) != c.updates || (inserts > 0) != c.inserts {
+				t.Errorf("mix: r=%d u=%d i=%d", reads, updates, inserts)
+			}
+			frac := float64(reads) / 5000
+			if frac < c.readFracLo-0.02 || frac > c.readFracHi+0.02 {
+				t.Errorf("read fraction %.3f outside [%.2f,%.2f]", frac, c.readFracLo, c.readFracHi)
+			}
+		})
+	}
+}
+
+func TestYCSBInsertKeysUnique(t *testing.T) {
+	y := NewYCSB(YCSBInsert100, 100, 16, 1)
+	seen := map[string]bool{}
+	for i := 0; i < 1000; i++ {
+		op := y.Next()
+		if seen[string(op.Key)] {
+			t.Fatalf("duplicate insert key %q", op.Key)
+		}
+		seen[string(op.Key)] = true
+	}
+}
+
+func TestYCSBLoadOps(t *testing.T) {
+	y := NewYCSB(YCSBA, 200, 32, 1)
+	load := y.LoadOps()
+	if len(load) != 200 {
+		t.Fatalf("load = %d ops", len(load))
+	}
+	for _, op := range load {
+		if op.Type != OpInsert || len(op.Value) != 32 {
+			t.Fatalf("bad load op %+v", op)
+		}
+	}
+	// Later reads target loaded keys.
+	loaded := map[string]bool{}
+	for _, op := range load {
+		loaded[string(op.Key)] = true
+	}
+	for i := 0; i < 100; i++ {
+		op := y.Next()
+		if op.Type == OpRead && !loaded[string(op.Key)] {
+			t.Fatalf("read of unloaded key %q", op.Key)
+		}
+	}
+}
+
+func TestPrefixDistLocality(t *testing.T) {
+	p := NewPrefixDist(256, 10000, 1024, 0.7, 9)
+	prefixes := map[string]int{}
+	writes := 0
+	for i := 0; i < 10000; i++ {
+		op := p.Next()
+		prefixes[string(op.Key[:4])]++
+		if op.Type == OpUpdate {
+			writes++
+			if len(op.Value) != 1024 {
+				t.Errorf("value size %d", len(op.Value))
+			}
+		}
+	}
+	frac := float64(writes) / 10000
+	if frac < 0.65 || frac > 0.75 {
+		t.Errorf("write fraction %.3f", frac)
+	}
+	// Hot prefixes dominate.
+	max := 0
+	for _, c := range prefixes {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 10000/len(prefixes)*5 {
+		t.Errorf("no prefix locality: max prefix count %d over %d prefixes", max, len(prefixes))
+	}
+}
+
+func TestFillBatchSequential(t *testing.T) {
+	f := NewFillBatch(100, 3)
+	prev := ""
+	for i := 0; i < 100; i++ {
+		op := f.Next()
+		if op.Type != OpInsert {
+			t.Fatal("fillbatch emitted non-insert")
+		}
+		if string(op.Key) <= prev {
+			t.Fatal("keys not ascending")
+		}
+		prev = string(op.Key)
+	}
+	if f.BatchSize != 1000 {
+		t.Errorf("batch size %d", f.BatchSize)
+	}
+}
+
+func TestMixedCoversAllOps(t *testing.T) {
+	m := NewMixed(100, 64, 5)
+	seen := map[OpType]bool{}
+	for i := 0; i < 1000; i++ {
+		typ, id, v := m.NextID()
+		seen[typ] = true
+		if typ == OpInsert && id < 100 {
+			t.Error("insert reused existing id")
+		}
+		if (typ == OpInsert || typ == OpUpdate) && len(v) != 64 {
+			t.Error("missing payload")
+		}
+	}
+	for _, typ := range []OpType{OpRead, OpInsert, OpUpdate, OpDelete} {
+		if !seen[typ] {
+			t.Errorf("op %v never generated", typ)
+		}
+	}
+}
+
+func TestOpTypeStrings(t *testing.T) {
+	for _, o := range []OpType{OpRead, OpUpdate, OpInsert, OpDelete} {
+		if o.String() == "" {
+			t.Error("unnamed op")
+		}
+	}
+	for _, k := range []YCSBKind{YCSBA, YCSBB, YCSBC, YCSBUpdate100, YCSBInsert100} {
+		if k.String() == "" {
+			t.Error("unnamed kind")
+		}
+	}
+}

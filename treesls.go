@@ -1,0 +1,138 @@
+// Package treesls is a from-scratch Go reproduction of "TreeSLS: A
+// Whole-system Persistent Microkernel with Tree-structured State Checkpoint
+// on NVM" (Wu, Dong, Mo, Chen — SOSP 2023).
+//
+// The paper's system is a bare-metal microkernel on Optane persistent
+// memory; this reproduction builds it as a deterministic whole-machine
+// simulation (see DESIGN.md for the substitution argument) and implements
+// every algorithm from the paper:
+//
+//   - the capability tree that captures all system state (internal/caps),
+//   - the failure-resilient checkpoint manager with tree-structured
+//     incremental checkpoints, CP/CPP page versioning, and hybrid copy
+//     (internal/checkpoint),
+//   - the microkernel machine: cores, scheduler, IPC, page faults, periodic
+//     stop-the-world checkpointing, power-failure crash and restore
+//     (internal/kernel),
+//   - transparent external synchrony over eternal-PMO ring buffers
+//     (internal/extsync),
+//   - the baselines the paper compares against — an Aurora-style two-tier
+//     SLS and WAL-based persistence (internal/baseline/...),
+//   - the applications and workloads of the evaluation (internal/apps,
+//     internal/workload), and
+//   - a harness that regenerates every table and figure of §7
+//     (internal/experiments), exposed here and as benchmarks in
+//     bench_test.go.
+//
+// # Quick start
+//
+//	m := treesls.New(treesls.DefaultConfig())     // boot, 1ms checkpoints
+//	p, _ := m.NewProcess("app", 1)
+//	va, _, _ := p.Mmap(8, 0)
+//	m.Run(p, p.MainThread(), func(e *treesls.Env) error {
+//	    return e.Write(va, []byte("durable with no persistence code"))
+//	})
+//	m.TakeCheckpoint()
+//	m.Crash()                                      // power failure
+//	m.Restore()                                    // whole system returns
+//
+// See examples/ for runnable programs.
+package treesls
+
+import (
+	"treesls/internal/caps"
+	"treesls/internal/checkpoint"
+	"treesls/internal/experiments"
+	"treesls/internal/extsync"
+	"treesls/internal/kernel"
+	"treesls/internal/simclock"
+)
+
+// Machine is the simulated TreeSLS computer: NVM+DRAM, cores, the capability
+// tree, the checkpoint manager, and the system services.
+type Machine = kernel.Machine
+
+// Config describes a machine (cores, memory, checkpoint interval/policy).
+type Config = kernel.Config
+
+// Process is a user-space process (a cap-group subtree plus derived state).
+type Process = kernel.Process
+
+// Env is the execution context of one operation on a core.
+type Env = kernel.Env
+
+// OpResult reports an operation's core and simulated start/end times.
+type OpResult = kernel.OpResult
+
+// CheckpointConfig tunes the checkpoint manager (hybrid copy, hot-page
+// thresholds, copy method, eidetic retention, replication).
+type CheckpointConfig = checkpoint.Config
+
+// CheckpointReport describes one stop-the-world checkpoint.
+type CheckpointReport = checkpoint.Report
+
+// ExtSyncDriver is the external-synchrony network driver (§5).
+type ExtSyncDriver = extsync.Driver
+
+// Duration and Time are simulated-time types (nanoseconds).
+type (
+	Duration = simclock.Duration
+	Time     = simclock.Time
+)
+
+// Convenient simulated-time units.
+const (
+	Microsecond = simclock.Microsecond
+	Millisecond = simclock.Millisecond
+)
+
+// Re-exported capability-system surface for inspecting machines.
+type (
+	// Tree is the runtime capability tree.
+	Tree = caps.Tree
+	// Object is any capability-referred kernel object.
+	Object = caps.Object
+	// ObjectKind identifies an object type (Table 1).
+	ObjectKind = caps.ObjectKind
+)
+
+// The seven object kinds of Table 1.
+const (
+	KindCapGroup        = caps.KindCapGroup
+	KindThread          = caps.KindThread
+	KindVMSpace         = caps.KindVMSpace
+	KindPMO             = caps.KindPMO
+	KindIPCConn         = caps.KindIPCConn
+	KindNotification    = caps.KindNotification
+	KindIRQNotification = caps.KindIRQNotification
+)
+
+// PMO types: eternal PMOs are not rolled back by restore (§5).
+const (
+	PMODefault = caps.PMODefault
+	PMOEternal = caps.PMOEternal
+)
+
+// New boots a machine.
+func New(cfg Config) *Machine { return kernel.New(cfg) }
+
+// DefaultConfig mirrors the paper's evaluated configuration: 8 cores, 1 ms
+// checkpoint interval, hybrid copy on.
+func DefaultConfig() Config { return kernel.DefaultConfig() }
+
+// NewExtSyncDriver creates the external-synchrony driver (ring capacity in
+// messages) in the machine's netd service and registers its checkpoint and
+// restore callbacks.
+func NewExtSyncDriver(m *Machine, capacity uint64) (*ExtSyncDriver, error) {
+	return extsync.NewDriver(m, capacity)
+}
+
+// ExperimentScale sizes the evaluation harness workloads.
+type ExperimentScale = experiments.Scale
+
+// QuickScale is the CI-sized experiment configuration; FullScale runs closer
+// to paper proportions.
+func QuickScale() ExperimentScale { return experiments.QuickScale() }
+
+// FullScale returns the larger experiment configuration.
+func FullScale() ExperimentScale { return experiments.FullScale() }
