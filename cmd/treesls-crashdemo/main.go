@@ -13,17 +13,24 @@ import (
 	"treesls/internal/apps/kvstore"
 	"treesls/internal/extsync"
 	"treesls/internal/kernel"
+	"treesls/internal/mem"
 	"treesls/internal/simclock"
 )
 
 func main() {
 	ops := flag.Int("ops", 500, "SET operations before the crash")
 	extsyncOn := flag.Bool("extsync", true, "route responses through the external-synchrony driver")
+	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
+	crashSeed := flag.Uint64("crash-seed", 1, "RNG seed for ADR crash damage (which unflushed lines drop or tear)")
 	flag.Parse()
 
+	mode, err := mem.ParsePersistMode(*persist)
+	check(err)
 	cfg := kernel.DefaultConfig()
+	cfg.Mem.Persist = mode
+	cfg.Mem.CrashSeed = *crashSeed
 	m := kernel.New(cfg)
-	fmt.Println("▸ booted TreeSLS machine: 8 cores, 1 ms whole-system checkpoints")
+	fmt.Printf("▸ booted TreeSLS machine: 8 cores, 1 ms whole-system checkpoints, %s persistency\n", mode)
 
 	var drv *extsync.Driver
 	acked := 0
@@ -63,6 +70,10 @@ func main() {
 
 	fmt.Println("▸ PULLING THE PLUG (DRAM and all runtime state are gone)")
 	m.Crash()
+	if mode == mem.ModeADR {
+		fmt.Printf("▸ ADR damage: %d unflushed lines at risk — %d dropped, %d torn\n",
+			m.Memory.Stats.CrashLinesAtRisk, m.Memory.Stats.CrashLinesDropped, m.Memory.Stats.CrashLinesTorn)
+	}
 
 	check(m.Restore())
 	n2, err := srv.Count()

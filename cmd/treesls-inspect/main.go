@@ -18,10 +18,17 @@ import (
 
 func main() {
 	withKV := flag.Bool("kv", true, "run a sample KV workload before dumping")
+	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
 	flag.Parse()
 
+	mode, err := mem.ParsePersistMode(*persist)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	cfg := kernel.DefaultConfig()
 	cfg.CheckpointEvery = 0
+	cfg.Mem.Persist = mode
 	m := kernel.New(cfg)
 
 	if *withKV {
@@ -60,6 +67,16 @@ func main() {
 		fmt.Printf("  swap        %d evicted, %d swapped in, %d slots live\n",
 			sw.Evicted, sw.SwappedIn, sw.SlotsInUse)
 	}
+
+	cs := m.Ckpt.Stats
+	fmt.Printf("\nRobustness (persist-mode=%s):\n", mode)
+	fmt.Printf("  flushes/fences     %d clwb, %d sfence\n",
+		m.Memory.Stats.Flushes, m.Memory.Stats.Fences)
+	fmt.Printf("  crash damage       %d lines dropped, %d torn (last crash)\n",
+		cs.DroppedLines, cs.TornLines)
+	fmt.Printf("  journal            %d torn records truncated\n", m.Journal.TornRecords)
+	fmt.Printf("  backup integrity   %d replica repairs, %d degraded page restores\n",
+		cs.ReplicaRepair, cs.DegradedRestores)
 }
 
 func dumpGroup(m *kernel.Machine, g *caps.CapGroup, depth int) {

@@ -133,7 +133,7 @@ func (a *Allocator) allocFrames(lane *simclock.Lane, order int) (uint32, error) 
 	rec.Args[0] = uint64(start)
 	a.jrnl.MarkApplied(lane, rec)
 	a.faultPoint("buddy-alloc:applied")
-	a.log = append(a.log, opRec{op: journal.OpBuddyAlloc, a: uint64(start), b: uint64(order)})
+	a.logAppend(lane, opRec{op: journal.OpBuddyAlloc, a: uint64(start), b: uint64(order)})
 	a.jrnl.Commit(lane, rec)
 	if lane != nil {
 		lane.Charge(a.model.BuddyAlloc)
@@ -157,7 +157,7 @@ func (a *Allocator) FreeFramesBlock(lane *simclock.Lane, start uint32, order int
 	a.buddy.Free(start, order)
 	a.jrnl.MarkApplied(lane, rec)
 	a.faultPoint("buddy-free:applied")
-	a.log = append(a.log, opRec{op: journal.OpBuddyFree, a: uint64(start), b: uint64(order)})
+	a.logAppend(lane, opRec{op: journal.OpBuddyFree, a: uint64(start), b: uint64(order)})
 	a.jrnl.Commit(lane, rec)
 	if lane != nil {
 		lane.Charge(a.model.BuddyFree)
@@ -227,7 +227,7 @@ func (a *Allocator) AllocSlot(lane *simclock.Lane, c Class) (Slot, error) {
 	rec.Args[0] = packSlot(sl)
 	a.jrnl.MarkApplied(lane, rec)
 	a.faultPoint("slab-alloc:applied")
-	a.log = append(a.log, opRec{op: journal.OpSlabAlloc, a: packSlot(sl), b: rec.Args[2]})
+	a.logAppend(lane, opRec{op: journal.OpSlabAlloc, a: packSlot(sl), b: rec.Args[2]})
 	a.jrnl.Commit(lane, rec)
 	if lane != nil {
 		lane.Charge(a.model.SlabAlloc)
@@ -245,12 +245,27 @@ func (a *Allocator) FreeSlot(lane *simclock.Lane, sl Slot) {
 	}
 	a.jrnl.MarkApplied(lane, rec)
 	a.faultPoint("slab-free:applied")
-	a.log = append(a.log, opRec{op: journal.OpSlabFree, a: packSlot(sl)})
+	a.logAppend(lane, opRec{op: journal.OpSlabFree, a: packSlot(sl)})
 	a.jrnl.Commit(lane, rec)
 	if lane != nil {
 		lane.Charge(a.model.SlabFree)
 	}
 	a.Stats.SlotFrees++
+}
+
+// logAppend records one rollback entry in the persistent op log. The log
+// lives in the NVM metadata area: the Go append is the (atomic) durable
+// mutation, after which the entry's cache line is written back and fenced
+// under the ADR discipline. The explicit crash point exposes the window in
+// which the op has both applied and reached the log but its journal record
+// is still pending — recovery must then undo it exactly once (see the
+// tail-match guard in Recover).
+func (a *Allocator) logAppend(lane *simclock.Lane, r opRec) {
+	a.log = append(a.log, r)
+	a.memory.CrashPoint()
+	if a.memory.Mode() == mem.ModeADR && lane != nil {
+		lane.Charge(a.model.CLWBLine + a.model.SFence)
+	}
 }
 
 // LiveSlots reports currently-allocated slots of class c (Table 2 rows).
@@ -288,10 +303,18 @@ func (a *Allocator) TruncateLog() { a.log = a.log[:0] }
 func (a *Allocator) Recover() (int, error) {
 	a.rolledBack = make(map[uint32]bool)
 	if rec := a.jrnl.PendingRecord(); rec != nil {
-		if err := a.resolvePending(rec); err != nil {
-			return 0, err
+		if rec.Phase == journal.PhaseApplied && a.tailMatches(rec) {
+			// The op both hit metadata and reached the op log before
+			// power failed (crash between the log append and the
+			// journal commit). The reverse rollback below undoes it;
+			// resolving the record too would undo it twice.
+			a.jrnl.Retire(rec)
+		} else {
+			if err := a.resolvePending(rec); err != nil {
+				return 0, err
+			}
+			a.jrnl.Retire(rec)
 		}
-		a.jrnl.Retire(rec)
 	}
 	n := 0
 	for i := len(a.log) - 1; i >= 0; i-- {
@@ -304,6 +327,30 @@ func (a *Allocator) Recover() (int, error) {
 	a.log = a.log[:0]
 	a.Stats.Rollbacks += uint64(n)
 	return n, nil
+}
+
+// tailMatches reports whether the last op-log entry is the very operation
+// the pending journal record protects. Allocation discipline makes the
+// match unambiguous: every logged mutation of a frame or slot is itself
+// logged, so the same (op, args) can only reappear at the tail with an
+// intervening logged entry in between.
+func (a *Allocator) tailMatches(rec *journal.Record) bool {
+	if len(a.log) == 0 {
+		return false
+	}
+	t := a.log[len(a.log)-1]
+	if t.op != rec.Op {
+		return false
+	}
+	switch rec.Op {
+	case journal.OpBuddyAlloc, journal.OpBuddyFree:
+		return t.a == rec.Args[0] && t.b == rec.Args[1]
+	case journal.OpSlabAlloc:
+		return t.a == rec.Args[0] && t.b == rec.Args[2]
+	case journal.OpSlabFree:
+		return t.a == rec.Args[0]
+	}
+	return false
 }
 
 func (a *Allocator) resolvePending(rec *journal.Record) error {

@@ -12,7 +12,7 @@ import (
 func newTestAllocator() (*Allocator, *simclock.Lane) {
 	model := simclock.DefaultCostModel()
 	m := mem.New(mem.Config{NVMFrames: 1024, DRAMFrames: 64}, model)
-	j := journal.New(model)
+	j := journal.New(model, nil)
 	return New(m, j), &simclock.Lane{}
 }
 

@@ -28,7 +28,7 @@ func newHarness(t *testing.T, cfg Config, nCores int) *harness {
 	t.Helper()
 	model := simclock.DefaultCostModel()
 	m := mem.New(mem.Config{NVMFrames: 4096, DRAMFrames: 256}, model)
-	j := journal.New(model)
+	j := journal.New(model, nil)
 	a := alloc.New(m, j)
 	tree := caps.NewTree()
 	h := &harness{model: model, mem: m, jrnl: j, alloc: a, tree: tree}

@@ -27,6 +27,7 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	}
 	var rep Report
 	round := m.committed + 1
+	m.walkStamp++
 	rep.Version = round
 	rep.Full = !m.HasCheckpoint()
 	rep.FaultsLastEpoch = m.Stats.EpochFaults
@@ -96,13 +97,25 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 
 	// --- Step ❹: atomic commit of the new checkpoint. ------------------
 	othersStart := ll.Now()
+	// Everything the round wrote (backup pages, rule-2 runtime sources,
+	// replicas) was written back line-by-line as it went; one global
+	// fence drains it all to durability before the version is published.
+	m.fence(ll)
+	// The ID counter must be saved before the commit word can possibly
+	// persist: restoring a committed round with a stale counter would let
+	// the revived tree reuse object IDs. (The converse staleness — a
+	// too-new counter with an uncommitted round — only skips IDs.)
+	m.savedNextID = m.tree.NextID()
 	rec := m.jrnl.Begin(ll, journal.OpCheckpointCommit, round)
-	m.committed = round // atomic global-version bump: the commit point
+	// Publishing the version word IS the commit point: an 8-byte word
+	// either persists or is dropped whole under ADR, so a torn commit is
+	// indistinguishable from no commit and recovery rolls back cleanly.
+	m.persistCommitWord(ll, round)
+	m.committed = round
 	m.jrnl.MarkApplied(ll, rec)
 	m.alloc.TruncateLog()
 	m.jrnl.Commit(ll, rec)
 	ll.Charge(m.model.CommitCheckpoint)
-	m.savedNextID = m.tree.NextID()
 
 	// Deferred runtime-frame releases: safe now that the commit has made
 	// the state that stopped referencing them durable.
@@ -116,7 +129,7 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	// Garbage-collect object roots that this (now committed) round could
 	// not reach: their objects were deleted before the checkpoint, so no
 	// restorable state references them anymore.
-	m.sweepUnreachable(ll, round)
+	m.sweepUnreachable(ll, m.walkStamp)
 	m.freedThisRound = nil
 
 	// External-synchrony checkpoint callbacks (§5): run by the leader
@@ -154,10 +167,10 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 // strategies of §4.1.
 func (m *Manager) checkpointObject(lane *simclock.Lane, o caps.Object, round uint64, rep *Report) *caps.ORoot {
 	r := m.resolve(lane, o)
-	if r.SeenInRound(round) {
+	if r.SeenInRound(m.walkStamp) {
 		return r
 	}
-	r.MarkSeen(round)
+	r.MarkSeen(m.walkStamp)
 
 	start := lane.Now()
 	committed := m.committed

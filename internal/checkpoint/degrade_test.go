@@ -1,0 +1,93 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+
+	"treesls/internal/caps"
+	"treesls/internal/mem"
+)
+
+// hotPageWithTwoBackups drives one page through hot-page migration and two
+// dirty rounds so its CkptPage retains two committed backup versions, both
+// replicated: slot Ver=N holds "EEEEEE", slot Ver=N-1 holds "DDDDDD", and the
+// runtime copy is DRAM-cached (it dies with the crash).
+func hotPageWithTwoBackups(t *testing.T) (*harness, *caps.PMO, *caps.CkptPage) {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Replicas = 2
+	cfg.HotThreshold = 2
+	cfg.DemoteAfter = 100
+	h := newHarness(t, cfg, 2)
+	_, pmo, _ := h.buildProc("app", 4)
+	for _, s := range []string{"AAAAAA", "BBBBBB", "CCCCCC", "DDDDDD", "EEEEEE"} {
+		h.writePage(t, pmo, 0, []byte(s))
+		h.checkpoint()
+	}
+	cp, _ := pmo.ORoot().Backup[0].(*caps.PMOSnap).Pages.Get(0)
+	if cp.Ver[0] == 0 || cp.Ver[1] == 0 || cp.Ver[0] == cp.Ver[1] {
+		t.Fatalf("setup did not retain two committed versions: %d/%d", cp.Ver[0], cp.Ver[1])
+	}
+	return h, pmo, cp
+}
+
+// corruptWithReplica smashes a backup page AND its replica so that
+// verifyBackupPage can neither trust nor repair it.
+func corruptWithReplica(t *testing.T, h *harness, p mem.PageID) {
+	t.Helper()
+	rep, ok := h.mgr.replicas[p]
+	if !ok {
+		t.Fatalf("page %v has no replica; corruption would be undetectable", p)
+	}
+	copy(h.mem.Data(p), []byte("CORRUPTED!"))
+	copy(h.mem.Data(rep.copy), []byte("ALSO BAD!!"))
+}
+
+// TestDegradedRestoreFallsBackToOlderVersion corrupts the newest backup of a
+// DRAM-cached page beyond replica repair and checks that restore degrades
+// gracefully: the page comes back one round stale instead of the whole
+// restore failing, and the event is counted.
+func TestDegradedRestoreFallsBackToOlderVersion(t *testing.T) {
+	h, _, cp := hotPageWithTwoBackups(t)
+	newest := 0
+	if cp.Ver[1] > cp.Ver[0] {
+		newest = 1
+	}
+	corruptWithReplica(t, h, cp.Page[newest])
+
+	h.crash()
+	tree := h.restore(t)
+	var pmo2 *caps.PMO
+	tree.Walk(func(o caps.Object) {
+		if p, ok := o.(*caps.PMO); ok {
+			pmo2 = p
+		}
+	})
+	if got := h.readPage(t, pmo2, 0, 6); string(got) != "DDDDDD" {
+		t.Errorf("restored = %q, want the older intact version %q", got, "DDDDDD")
+	}
+	if h.mgr.Stats.DegradedRestores != 1 {
+		t.Errorf("DegradedRestores = %d, want 1", h.mgr.Stats.DegradedRestores)
+	}
+}
+
+// TestRestoreFailsWhenNoIntactVersionRemains corrupts both retained backup
+// versions (and both replicas): with nothing trustworthy left, the restore
+// must fail loudly rather than hand back garbage.
+func TestRestoreFailsWhenNoIntactVersionRemains(t *testing.T) {
+	h, _, cp := hotPageWithTwoBackups(t)
+	corruptWithReplica(t, h, cp.Page[0])
+	corruptWithReplica(t, h, cp.Page[1])
+
+	h.crash()
+	_, _, err := h.mgr.Restore(h.lane())
+	if err == nil {
+		t.Fatal("restore succeeded with every retained version corrupt")
+	}
+	if !strings.Contains(err.Error(), "no intact retained version") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	if h.mgr.Stats.DegradedRestores != 0 {
+		t.Errorf("failed restore counted as degraded: %d", h.mgr.Stats.DegradedRestores)
+	}
+}

@@ -18,9 +18,9 @@ import (
 // backup slot aliases its runtime frame), replicas are dropped and swap
 // slots recycled. Non-PMO snapshots are plain Go objects; removing the root
 // makes them collectible.
-func (m *Manager) sweepUnreachable(lane *simclock.Lane, round uint64) {
+func (m *Manager) sweepUnreachable(lane *simclock.Lane, stamp uint64) {
 	for id, r := range m.roots {
-		if r.SeenInRound(round) {
+		if r.SeenInRound(stamp) {
 			continue
 		}
 		if snap, ok := r.Backup[0].(*caps.PMOSnap); ok {

@@ -20,6 +20,8 @@
 package checkpoint
 
 import (
+	"encoding/binary"
+
 	"treesls/internal/alloc"
 	"treesls/internal/caps"
 	"treesls/internal/journal"
@@ -179,6 +181,15 @@ type Stats struct {
 	PerKind       [caps.NumKinds]ObjTimeStats
 	EpochFaults   int // COW faults in the current epoch (reset per round)
 	ReplicaRepair uint64
+
+	// Robustness counters of the relaxed-persistency (ADR) fault model.
+	// TornLines/DroppedLines mirror the device's cumulative crash-damage
+	// counts as of the last restore; DegradedRestores counts pages whose
+	// newest backup was unrepairable and which fell back to an older
+	// committed version.
+	TornLines        uint64
+	DroppedLines     uint64
+	DegradedRestores uint64
 }
 
 // Callback hooks external-synchrony services (§5) into the checkpoint cycle.
@@ -233,6 +244,13 @@ type Manager struct {
 	// the unreachable-object sweep never double-frees a backup slot that
 	// aliased a runtime frame (the demoted-page case).
 	freedThisRound map[uint32]bool
+	// walkStamp is the id of the current checkpoint tree walk, used for
+	// the ORoot seen-markers. It is bumped per TakeCheckpoint *attempt*
+	// and never reused — the version number ("round") cannot serve here,
+	// because after a crashed round rolls back the retry reuses the same
+	// round number, and markers left by the interrupted walk would make
+	// the retry skip dirty objects and commit their stale snapshots.
+	walkStamp uint64
 
 	// LastReport is the report of the most recent checkpoint.
 	LastReport Report
@@ -380,6 +398,57 @@ func (m *Manager) PurgePMO(pmo *caps.PMO) {
 
 // ActiveListLen reports the length of the active page list.
 func (m *Manager) ActiveListLen() int { return len(m.active) }
+
+// ---- ADR persistence-protocol helpers --------------------------------------
+//
+// All of these are free no-ops under eADR (the mem primitives return zero
+// and touch nothing), so the default configuration's timings and outputs
+// are bit-identical to the seed.
+
+// flushPage issues write-backs for a page the checkpoint protocol just
+// wrote (a backup copy, a rule-2 runtime source, a replica). The matching
+// fence is the round's single pre-commit fence — or an explicit fence()
+// on runtime paths like the write-fault handler.
+func (m *Manager) flushPage(lane *simclock.Lane, p mem.PageID) {
+	d := m.memory.FlushPage(p)
+	if lane != nil {
+		lane.Charge(d)
+	}
+}
+
+// fence drains all outstanding write-backs to durability.
+func (m *Manager) fence(lane *simclock.Lane) {
+	d := m.memory.Fence()
+	if lane != nil {
+		lane.Charge(d)
+	}
+}
+
+// commitWordPage is the NVM location of the global version word.
+func commitWordPage() mem.PageID {
+	return mem.PageID{Kind: mem.KindNVM, Frame: mem.CommitMetaFrame}
+}
+
+// persistCommitWord publishes version v as the committed global version:
+// store, write-back, fence. The word is 8-byte aligned, so under ADR it
+// can be dropped (leaving the previous version committed) but never torn.
+func (m *Manager) persistCommitWord(lane *simclock.Lane, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	p := commitWordPage()
+	m.memory.WriteRaw(p, 0, b[:])
+	d := m.memory.Flush(p, 0, 8) + m.memory.Fence()
+	if lane != nil {
+		lane.Charge(d)
+	}
+}
+
+// readCommitWord returns the durable committed version from NVM.
+func (m *Manager) readCommitWord() uint64 {
+	var b [8]byte
+	m.memory.ReadRaw(commitWordPage(), 0, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
 
 // resolve returns (creating if needed) the ORoot for object o, charging the
 // lookup/creation costs to lane.

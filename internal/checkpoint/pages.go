@@ -41,6 +41,22 @@ func (m *Manager) checkpointPMO(lane *simclock.Lane, pmo *caps.PMO, r *caps.ORoo
 	// Incremental root visit (Table 3: PMO incremental ~0.03 µs).
 	lane.Charge(m.model.RadixVisit)
 
+	// Eternal PMOs are never write-protected, so their dirty pages never
+	// enter Touched: under ADR their in-cache stores must be written back
+	// here or the runtime page (their only restore source) would lose
+	// them at the crash. Eternal state has always-current semantics — no
+	// rollback guarantee — but what restore reads must at least be the
+	// bytes that were durable at the last checkpoint.
+	if pmo.Type == caps.PMOEternal && m.cfg.Method != MethodStopAndCopy && m.memory.Mode() == mem.ModeADR {
+		pmo.ForEachPage(func(idx uint64, s *caps.PageSlot) bool {
+			if s.Dirty && s.Page.Kind == mem.KindNVM {
+				m.flushPage(lane, s.Page)
+				s.Dirty = false
+			}
+			return true
+		})
+	}
+
 	if m.cfg.Method == MethodStopAndCopy {
 		m.stopAndCopyPMO(lane, pmo, snap, round, rep)
 		if grown := snap.Pages.Nodes() - nodesBefore; grown > 0 {
@@ -70,9 +86,12 @@ func (m *Manager) checkpointPMO(lane *simclock.Lane, pmo *caps.PMO, r *caps.ORoo
 		// The runtime NVM page becomes "the second backup with
 		// version zero" (§4.3.3): it is the consistent copy for the
 		// version being committed, because it is write-protected now
-		// and was saved to Page[0] by any fault that modified it.
+		// and was saved to Page[0] by any fault that modified it. Its
+		// epoch's stores may still sit in the CPU caches, so it is
+		// written back here (drained by the round's pre-commit fence).
 		cp.Page[1] = s.Page
 		cp.Ver[1] = 0
+		m.flushPage(lane, s.Page)
 		if cp.Swap != 0 {
 			// This round supersedes the swapped content.
 			if m.cfg.ReleaseSwapSlot != nil {
@@ -140,6 +159,9 @@ func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.
 			}
 			cp.Page[1] = s.Page
 			cp.Ver[1] = 0
+			if s.Page.Kind == mem.KindNVM {
+				m.flushPage(lane, s.Page)
+			}
 			return true
 		})
 		return
@@ -168,6 +190,7 @@ func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.
 			m.Stats.BackupPages++
 		}
 		lane.Charge(m.memory.CopyPage(cp.Page[ws], s.Page))
+		m.flushPage(lane, cp.Page[ws])
 		cp.Ver[ws] = round
 		m.updateReplica(lane, cp.Page[ws])
 		s.Dirty = false
@@ -201,8 +224,15 @@ func (m *Manager) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint6
 		m.Stats.BackupPages++
 	}
 	lane.Charge(m.memory.CopyPage(cp.Page[0], s.Page))
-	cp.Ver[0] = m.committed
+	// The backup immediately satisfies restore rule 1 once its version is
+	// set, so — unlike STW writers, which defer to the round's single
+	// pre-commit fence — the fault handler must make the copy durable
+	// BEFORE publishing the version. A crash inside this window restores
+	// through rule 2 from the still-unmodified runtime page.
+	m.flushPage(lane, cp.Page[0])
 	m.updateReplica(lane, cp.Page[0])
+	m.fence(lane)
+	cp.Ver[0] = m.committed
 
 	s.Writable = true
 	s.Dirty = true
@@ -260,7 +290,9 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 				continue
 			}
 			w.Charge(m.memory.CopyPage(d, s.Page))
-			// The old NVM runtime page becomes the latest backup.
+			// The old NVM runtime page becomes the latest backup; its
+			// epoch's stores must be written back for the commit fence.
+			m.flushPage(w, s.Page)
 			cp.Page[1] = s.Page
 			cp.Ver[1] = round
 			s.Page = d
@@ -288,6 +320,7 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 				m.Stats.BackupPages++
 			}
 			w.Charge(m.memory.CopyPage(cp.Page[ws], s.Page))
+			m.flushPage(w, cp.Page[ws])
 			cp.Ver[ws] = round
 			m.updateReplica(w, cp.Page[ws])
 			s.Dirty = false
@@ -319,6 +352,7 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			}
 			if latest != 1 {
 				w.Charge(m.memory.CopyPage(cp.Page[1], s.Page))
+				m.flushPage(w, cp.Page[1])
 				m.Stats.PagesCopied++
 			}
 			cp.Ver[1] = 0
@@ -396,6 +430,7 @@ func (m *Manager) updateReplica(lane *simclock.Lane, p mem.PageID) {
 		m.replicas[p] = rep
 	}
 	lane.Charge(m.memory.CopyPage(rep.copy, p))
+	m.flushPage(lane, rep.copy)
 	rep.sum = pageChecksum(m.memory.Data(p))
 }
 

@@ -28,6 +28,16 @@ import (
 // to. The caller (the kernel) rebuilds derived state: page tables (lazily,
 // via faults), scheduler queues, and address-space structures.
 func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
+	// The durable truth for the committed version is the commit word in
+	// the global metadata area, not the Go-side mirror: under ADR the
+	// word of an in-flight commit may have been dropped at the power
+	// failure, in which case the whole round is rolled back below.
+	m.committed = m.readCommitWord()
+	// Mirror the device's crash-damage counters into the manager's
+	// robustness stats (surfaced by treesls-inspect).
+	m.Stats.TornLines = m.memory.Stats.CrashLinesTorn
+	m.Stats.DroppedLines = m.memory.Stats.CrashLinesDropped
+
 	// Step 1: allocator recovery.
 	if rec := m.jrnl.PendingRecord(); rec != nil && rec.Op == journal.OpCheckpointCommit {
 		if rec.Args[0] == m.committed {
@@ -71,6 +81,19 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 			return fmt.Errorf("checkpoint: object %d (%v) reachable but has no committed snapshot", r.ObjID, r.Kind)
 		}
 		_ = ver
+		// Drop snapshots the crashed (uncommitted) round captured: their
+		// version tag equals the round the retry will reuse, so leaving
+		// them would alias a stale capture into the next commit — the
+		// retried round skips clean objects, trusting that whatever
+		// carries its version number was captured by it. (Never fires
+		// for PMO roots: their singleton slot keeps its creation round,
+		// which is committed for any reachable root.)
+		for i := range r.Backup {
+			if r.Backup[i] != nil && r.Ver[i] > m.committed {
+				r.Backup[i] = nil
+				r.Ver[i] = 0
+			}
+		}
 		obj := reviveEmpty(r, snap)
 		caps.BindORoot(obj, r)
 		r.Runtime = obj
@@ -134,6 +157,11 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 	}
 	m.tree = caps.RebuildTree(root, m.savedNextID)
 	m.Stats.Restores++
+
+	// Pages copied during the restore (the new version-zero runtime
+	// slots) were written back as they went; drain them so a crash after
+	// this restore finds durable rule-2 sources.
+	m.fence(lane)
 
 	// External-synchrony restore callbacks (§5).
 	for _, cb := range m.callbacks {
@@ -253,14 +281,26 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 		return !m.alloc.WasRolledBack(p.Frame)
 	}
 	var fail error
+	var stillborn []uint64
 	snap.Pages.Walk(func(idx uint64, cp *caps.CkptPage) bool {
 		lane.Charge(m.model.RestorePerPage)
 		if cp.Born > m.committed {
 			// The entry was created inside a round that never
 			// committed: the page does not belong to the restored
-			// state.
+			// state. Remove the entry — if it merely stayed behind,
+			// the retried round would commit it (Born aliases the
+			// reused round number) with slots pointing at frames the
+			// rollback reclaimed and that may since belong to someone
+			// else.
+			stillborn = append(stillborn, idx)
 			return true
 		}
+		// Backup slots written by the crashed round carry its version
+		// tag, which the retried round will reuse — scrub them, or a
+		// later restore would read a stale capture through rule 1. The
+		// frames are returned to the allocator unless the rollback
+		// already reclaimed them.
+		m.scrubUncommittedSlots(lane, cp)
 		src := chooseRestoreSource(cp, m.committed, valid)
 		if src == srcSwap {
 			// Swapped-out page (§8 over-commitment): the
@@ -287,8 +327,23 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 			runtime = cp.Page[1]
 		} else {
 			if !m.verifyBackupPage(lane, cp.Page[src]) {
-				fail = fmt.Errorf("checkpoint: backup page %v of PMO %d page %d is corrupt", cp.Page[src], pmo.ID(), idx)
-				return false
+				// Graceful degradation: the newest backup is
+				// corrupt beyond replica repair. Fall back to
+				// the other slot if it holds an older committed
+				// version that verifies — never to a version-
+				// zero runtime slot, which (under rule 1) holds
+				// post-checkpoint modifications. The restored
+				// page is stale by one or more rounds, which
+				// beats failing the whole restore.
+				alt := 1 - src
+				if valid(cp.Page[alt]) && cp.Ver[alt] != 0 && cp.Ver[alt] <= m.committed &&
+					m.verifyBackupPage(lane, cp.Page[alt]) {
+					src = alt
+					m.Stats.DegradedRestores++
+				} else {
+					fail = fmt.Errorf("checkpoint: backup page %v of PMO %d page %d is corrupt and no intact retained version exists", cp.Page[src], pmo.ID(), idx)
+					return false
+				}
 			}
 			// Copy the consistent backup into the other slot, which
 			// becomes the new runtime page (version zero). A stale
@@ -305,6 +360,7 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 				m.Stats.BackupPages++
 			}
 			lane.Charge(m.memory.CopyPage(cp.Page[other], cp.Page[src]))
+			m.flushPage(lane, cp.Page[other])
 			cp.Ver[other] = 0
 			if other == 0 {
 				// Keep the invariant that slot 1 is the runtime/
@@ -320,10 +376,45 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 		s.Dirty = false
 		return true
 	})
+	for _, idx := range stillborn {
+		if cp, ok := snap.Pages.Get(idx); ok {
+			m.scrubUncommittedSlots(lane, cp)
+			snap.Pages.Delete(idx)
+		}
+	}
 	// InstallPage filled Touched/Removed/dirty bookkeeping; a freshly
 	// restored PMO is clean and fully synced with its snapshot.
 	pmo.Touched = pmo.Touched[:0]
 	pmo.Removed = pmo.Removed[:0]
 	caps.ClearDirty(pmo)
 	return fail
+}
+
+// scrubUncommittedSlots clears every slot of cp whose version tag belongs to
+// a round newer than the committed one — state written by the crashed,
+// never-committed round. Frames the allocator rollback did not reclaim
+// (checkpoint-owned backup allocations, or old runtime frames retagged by a
+// hybrid-copy migration) are freed here; rolled-back frames are only
+// unlinked, since the allocator already owns them again.
+func (m *Manager) scrubUncommittedSlots(lane *simclock.Lane, cp *caps.CkptPage) {
+	slot0 := cp.Page[0]
+	for i := 0; i < 2; i++ {
+		if cp.Ver[i] <= m.committed {
+			continue
+		}
+		p := cp.Page[i]
+		cp.Page[i] = mem.NilPage
+		cp.Ver[i] = 0
+		if p.IsNil() || p.Kind != mem.KindNVM || m.alloc.WasRolledBack(p.Frame) {
+			continue
+		}
+		if i == 1 && slot0 == p {
+			// Aliased slots: slot 0 either already freed the frame
+			// (both stale) or still references it (committed).
+			continue
+		}
+		m.dropReplica(p)
+		m.alloc.FreePageCkpt(lane, p)
+		m.Stats.BackupPages--
+	}
 }

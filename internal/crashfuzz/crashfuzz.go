@@ -1,0 +1,355 @@
+// Package crashfuzz is the systematic crash-injection harness for the
+// TreeSLS persistence protocol. It drives randomized workloads on a full
+// simulated machine, arms power failures at randomized NVM persistence
+// events (every tracked store, write-back, fence, and metadata crash point
+// counts as one event), and after every crash restores the machine and
+// checks the recovered state against a shadow model of the last committed
+// checkpoint.
+//
+// The harness runs under both persistence models: eADR (stores durable on
+// landing) and ADR (unflushed cache lines are dropped or torn at the
+// failure, per mem's seeded damage RNG). Under ADR it exercises exactly
+// the windows the clwb/sfence discipline must close: between a backup-page
+// copy and its flush, between the flush and the fence, between the fence
+// and the version publish, and inside the journal's begin/apply/commit
+// protocol.
+package crashfuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+)
+
+// Config parameterizes one fuzzing campaign.
+type Config struct {
+	// Mode is the persistence model to run under.
+	Mode mem.PersistMode
+	// Seeds are the workload/damage seeds; each seed gets its own machine.
+	Seeds []uint64
+	// CrashesPerSeed is how many crash injections to attempt per seed.
+	CrashesPerSeed int
+	// EventWindow bounds the armed countdown: each injection fires after
+	// 1..EventWindow persistence events (default 96).
+	EventWindow int
+	// StepsPerCrash bounds the workload steps run while waiting for an
+	// armed crash to fire (default 400).
+	StepsPerCrash int
+	// Pages is the size of the fuzzed working set (default 32).
+	Pages int
+	// Threads is the number of app threads issuing writes (default 4).
+	Threads int
+}
+
+func (c *Config) fill() {
+	if c.CrashesPerSeed == 0 {
+		c.CrashesPerSeed = 50
+	}
+	if c.EventWindow == 0 {
+		c.EventWindow = 96
+	}
+	if c.StepsPerCrash == 0 {
+		c.StepsPerCrash = 400
+	}
+	if c.Pages == 0 {
+		c.Pages = 32
+	}
+	if c.Threads == 0 {
+		c.Threads = 4
+	}
+}
+
+// Result aggregates a campaign's outcome across all seeds.
+type Result struct {
+	// CrashesFired is the number of injected power failures that fired
+	// (an armed countdown can expire unfired if the workload window ends
+	// first; those are re-armed, not counted).
+	CrashesFired int
+	// Restores is the number of successful post-crash restores (equals
+	// CrashesFired unless an error aborted the campaign).
+	Restores int
+	// Commits counts checkpoints that committed durably.
+	Commits int
+	// Rollbacks counts crashes that landed inside an in-flight checkpoint
+	// whose version did NOT survive — recovery correctly fell back to the
+	// previous committed version (this includes dropped commit words).
+	Rollbacks int
+	// InFlightCommitted counts crashes inside an in-flight checkpoint
+	// whose commit word DID persist before the failure.
+	InFlightCommitted int
+
+	// Device/manager robustness counters, summed across seeds.
+	LinesAtRisk, LinesDropped, LinesTorn uint64
+	TornRecords                          uint64
+	DegradedRestores                     uint64
+	ReplicaRepairs                       uint64
+}
+
+// fuzzer is the per-seed state: one machine plus the shadow model.
+type fuzzer struct {
+	fuzzerCounters
+	cfg Config
+	rng *rand.Rand
+	m   *kernel.Machine
+	p   *kernel.Process
+	va  uint64
+
+	live      []uint64 // current app state
+	committed []uint64 // app state at the last durable commit
+	liveReg   uint64
+	commReg   uint64
+	commVer   uint64 // version of the last durable commit
+
+	// pending*, set while a TakeCheckpoint is in flight, capture the
+	// state that round would commit; after a crash the restored version
+	// tells which of committed/pending is the right expectation.
+	pendingVer uint64
+	pending    []uint64
+	pendingReg uint64
+
+	// lastOp describes the workload op a crash interrupted, for error
+	// messages.
+	lastOp string
+}
+
+// Run executes the campaign and returns its aggregate result. The first
+// verification failure aborts the campaign with an error describing the
+// divergence.
+func Run(cfg Config) (Result, error) {
+	cfg.fill()
+	var res Result
+	for _, seed := range cfg.Seeds {
+		if err := runSeed(cfg, seed, &res); err != nil {
+			return res, fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return res, nil
+}
+
+func runSeed(cfg Config, seed uint64, res *Result) error {
+	f, err := newFuzzer(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < cfg.CrashesPerSeed; c++ {
+		fired, err := f.oneCrash()
+		if err != nil {
+			return fmt.Errorf("crash %d: %w", c, err)
+		}
+		if fired {
+			res.CrashesFired++
+			res.Restores++
+		}
+	}
+	res.Commits += int(f.m.Ckpt.Stats.Checkpoints)
+	res.Rollbacks += f.rollbacks
+	res.InFlightCommitted += f.inFlightCommitted
+	res.LinesAtRisk += f.m.Memory.Stats.CrashLinesAtRisk
+	res.LinesDropped += f.m.Memory.Stats.CrashLinesDropped
+	res.LinesTorn += f.m.Memory.Stats.CrashLinesTorn
+	res.TornRecords += f.m.Journal.TornRecords
+	res.DegradedRestores += f.m.Ckpt.Stats.DegradedRestores
+	res.ReplicaRepairs += f.m.Ckpt.Stats.ReplicaRepair
+	return f.m.Alloc.CheckInvariants()
+}
+
+// rollbacks / inFlightCommitted live on the fuzzer so runSeed can fold them
+// into the Result after the seed finishes.
+type fuzzerCounters struct {
+	rollbacks         int
+	inFlightCommitted int
+}
+
+func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
+	mcfg := kernel.DefaultConfig()
+	mcfg.CheckpointEvery = 0 // explicit checkpoints give a precise model
+	mcfg.SkipDefaultServices = true
+	mcfg.Seed = seed
+	mcfg.Mem.Persist = cfg.Mode
+	mcfg.Mem.CrashSeed = seed
+	mcfg.Checkpoint.HotThreshold = 2
+	mcfg.Checkpoint.DemoteAfter = 3
+	m := kernel.New(mcfg)
+
+	f := &fuzzer{
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(int64(seed))),
+		m:         m,
+		live:      make([]uint64, cfg.Pages),
+		committed: make([]uint64, cfg.Pages),
+	}
+	p, err := m.NewProcess("app", cfg.Threads)
+	if err != nil {
+		return nil, err
+	}
+	f.p = p
+	va, _, err := p.Mmap(uint64(cfg.Pages), caps.PMODefault)
+	if err != nil {
+		return nil, err
+	}
+	f.va = va
+
+	// Seed every page with a known value and take the baseline checkpoint.
+	for i := 0; i < cfg.Pages; i++ {
+		v := f.rng.Uint64()
+		if err := f.writePage(i, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := f.checkpoint(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *fuzzer) writePage(i int, v uint64) error {
+	_, err := f.m.Run(f.p, f.p.Thread(f.rng.Intn(f.cfg.Threads)), func(e *kernel.Env) error {
+		return e.WriteU64(f.va+uint64(i)*mem.PageSize, v)
+	})
+	if err == nil {
+		f.live[i] = v
+	}
+	return err
+}
+
+// checkpoint takes a checkpoint with the pending-model bracket: if a crash
+// interrupts it, the restored version decides whether the round committed.
+func (f *fuzzer) checkpoint() error {
+	f.pendingVer = f.m.Ckpt.CommittedVersion() + 1
+	f.pending = append(f.pending[:0], f.live...)
+	f.pendingReg = f.liveReg
+	f.m.TakeCheckpoint()
+	// No crash: the round committed.
+	f.commitPending()
+	return nil
+}
+
+func (f *fuzzer) commitPending() {
+	copy(f.committed, f.pending)
+	f.commReg = f.pendingReg
+	f.commVer = f.pendingVer
+	f.pendingVer = 0
+}
+
+// oneCrash arms a random persistence-event countdown, drives the workload
+// until it fires (re-arming with fresh randomness if a window ends quiet),
+// then crash-restores and verifies. Returns whether a crash fired.
+func (f *fuzzer) oneCrash() (bool, error) {
+	k := 1 + f.rng.Intn(f.cfg.EventWindow)
+	f.m.Memory.ArmCrashAfter(uint64(k))
+	fired := false
+	for step := 0; step < f.cfg.StepsPerCrash && !fired; step++ {
+		var err error
+		fired, err = f.step()
+		if err != nil {
+			f.m.Memory.DisarmCrash()
+			return false, err
+		}
+	}
+	f.m.Memory.DisarmCrash()
+	if !fired {
+		return false, nil
+	}
+	f.m.Crash()
+	if err := f.restoreAndVerify(); err != nil {
+		return true, err
+	}
+	return true, nil
+}
+
+// step runs one random workload operation, converting an injected power
+// failure into a clean "fired" signal.
+func (f *fuzzer) step() (fired bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case mem.CrashError, alloc.CrashError:
+				fired = true
+				err = nil
+			default:
+				panic(r)
+			}
+		}
+	}()
+	switch r := f.rng.Intn(100); {
+	case r < 62: // page write
+		i, v := f.rng.Intn(f.cfg.Pages), f.rng.Uint64()
+		f.lastOp = fmt.Sprintf("write page %d = %#x", i, v)
+		return false, f.writePage(i, v)
+	case r < 72: // register update
+		v := f.rng.Uint64()
+		f.lastOp = "register update"
+		_, e := f.m.Run(f.p, f.p.Threads[1], func(e *kernel.Env) error {
+			e.T.Touch(func(c *caps.Context) { c.R[5] = v })
+			return nil
+		})
+		if e == nil {
+			f.liveReg = v
+		}
+		return false, e
+	case r < 78: // cold-page eviction (exercises swap under crash)
+		f.lastOp = "evict"
+		if f.m.Ckpt.HasCheckpoint() {
+			_, e := f.m.EvictColdPages(f.rng.Intn(4) + 1)
+			return false, e
+		}
+		return false, nil
+	default: // checkpoint
+		f.lastOp = fmt.Sprintf("checkpoint v%d", f.m.Ckpt.CommittedVersion()+1)
+		return false, f.checkpoint()
+	}
+}
+
+// restoreAndVerify restores the crashed machine and checks every page and
+// the shadowed register against the model of whichever version survived.
+func (f *fuzzer) restoreAndVerify() error {
+	if err := f.m.Restore(); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	ver := f.m.Ckpt.CommittedVersion()
+	switch {
+	case ver == f.commVer:
+		// The in-flight round (if any) did not survive: rolled back.
+		if f.pendingVer != 0 {
+			f.rollbacks++
+		}
+	case f.pendingVer != 0 && ver == f.pendingVer:
+		// The in-flight round's commit word persisted before power
+		// failed: the round IS the checkpoint.
+		f.inFlightCommitted++
+		f.commitPending()
+	default:
+		return fmt.Errorf("restored version %d, expected %d or in-flight %d", ver, f.commVer, f.pendingVer)
+	}
+	f.pendingVer = 0
+
+	// Resync the live model and process handle to the restored state.
+	copy(f.live, f.committed)
+	f.liveReg = f.commReg
+	f.p = f.m.Process("app")
+	if f.p == nil {
+		return fmt.Errorf("process lost across restore")
+	}
+
+	for i := 0; i < f.cfg.Pages; i++ {
+		var got uint64
+		if _, err := f.m.Run(f.p, f.p.MainThread(), func(e *kernel.Env) error {
+			var err error
+			got, err = e.ReadU64(f.va + uint64(i)*mem.PageSize)
+			return err
+		}); err != nil {
+			return fmt.Errorf("reading page %d: %w", i, err)
+		}
+		if got != f.committed[i] {
+			return fmt.Errorf("page %d = %#x, committed model %#x (version %d, crash during %s)", i, got, f.committed[i], ver, f.lastOp)
+		}
+	}
+	if got := f.p.Threads[1].Ctx.R[5]; got != f.commReg {
+		return fmt.Errorf("register = %#x, committed model %#x (version %d, crash during %s)", got, f.commReg, ver, f.lastOp)
+	}
+	return nil
+}

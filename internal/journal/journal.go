@@ -5,20 +5,39 @@
 // is deliberately *not* captured by the capability-tree checkpoint — that
 // would be a bootstrapping problem. Instead it lives on NVM and every
 // in-flight mutation is bracketed by a journal record: Begin persists the
-// record atomically before the mutation touches metadata, Commit retires it
-// atomically after the mutation is complete. After a power failure the
-// recovery path inspects the (at most one, per journal) pending record and
-// asks its owner to redo or undo the half-applied operation.
+// record before the mutation touches metadata, Commit retires it atomically
+// after the mutation is complete. After a power failure the recovery path
+// inspects the (at most one, per journal) pending record and asks its owner
+// to redo or undo the half-applied operation.
 //
-// In the simulation the journal is part of the persistent world: the Journal
-// object and its records survive machine.Crash(). Begin/Commit are atomic
-// (an 8-byte status flip on real NVM with eADR); torn records cannot occur,
-// which matches the paper's assumption.
+// When constructed with a Memory, the journal's durable truth is a reserved
+// NVM frame (mem.JournalMetaFrame): the serialized record body lives in its
+// own cache line, protected by an FNV-1a checksum, and an 8-byte pending
+// flag in a separate line publishes it. The write discipline follows the
+// clwb/sfence idiom of the relaxed ADR persistence model:
+//
+//	Begin:        write body -> flush -> fence -> write flag=1 -> flush -> fence
+//	MarkApplied:  re-persist body (updated args + phase) atomically
+//	Commit/Retire: flag=0 atomically
+//
+// A power failure can therefore leave (a) no record, (b) a fully persisted
+// pending record, or (c) flag=1 with a damaged body — which the checksum
+// detects, and OnCrash truncates the torn record rather than misreplaying
+// it. MarkApplied and Commit use the atomic-publish primitive because the
+// Go-level metadata mutations they bracket are themselves indivisible in
+// the simulation; giving the phase flip a crash window would manufacture
+// begun-vs-applied disagreements no real execution could exhibit.
+//
+// Constructed with a nil Memory (unit tests), the Journal object itself is
+// the durable truth and Begin/Commit are atomic, which matches the seed's
+// eADR behaviour.
 package journal
 
 import (
+	"encoding/binary"
 	"fmt"
 
+	"treesls/internal/mem"
 	"treesls/internal/simclock"
 )
 
@@ -92,22 +111,110 @@ type Record struct {
 // Pending reports whether the record is still in flight.
 func (r *Record) Pending() bool { return r != nil && r.pending }
 
+// NVM layout of the journal frame (mem.JournalMetaFrame). The pending flag
+// and the record body sit in separate cache lines so a tear of one cannot
+// touch the other.
+const (
+	flagOff    = 0
+	recordOff  = mem.LineSize
+	recordSize = 48
+)
+
 // Journal is a single-writer redo/undo journal on NVM. TreeSLS's kernel runs
 // allocator operations under the kernel lock, so at most one record is in
 // flight at a time; the journal enforces that invariant.
 type Journal struct {
-	model *simclock.CostModel
+	model  *simclock.CostModel
+	memory *mem.Memory // nil: the Go object is the durable truth
+	page   mem.PageID
 
 	seq     uint64
 	current *Record
 
 	// Stats for the experiment reports.
 	Records uint64
+	// TornRecords counts pending records whose body failed its checksum
+	// after a power failure and were truncated instead of replayed.
+	TornRecords uint64
 }
 
-// New creates an empty journal.
-func New(model *simclock.CostModel) *Journal {
-	return &Journal{model: model}
+// New creates an empty journal. memory may be nil (unit tests, baselines
+// without a simulated device); when present the journal serializes its
+// in-flight record to the reserved NVM metadata frame and survives power
+// failures through OnCrash.
+func New(model *simclock.CostModel, memory *mem.Memory) *Journal {
+	j := &Journal{model: model, memory: memory}
+	if memory != nil {
+		j.page = mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
+	}
+	return j
+}
+
+// fnv64a is the FNV-1a hash protecting the record body against tears.
+func fnv64a(b []byte) uint64 {
+	h := uint64(1469598103934665603)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// encode serializes r into a record body: seq, the three args, an op/phase
+// word, and the checksum over everything before it.
+func encode(r *Record) [recordSize]byte {
+	var b [recordSize]byte
+	binary.LittleEndian.PutUint64(b[0:], r.Seq)
+	binary.LittleEndian.PutUint64(b[8:], r.Args[0])
+	binary.LittleEndian.PutUint64(b[16:], r.Args[1])
+	binary.LittleEndian.PutUint64(b[24:], r.Args[2])
+	binary.LittleEndian.PutUint64(b[32:], uint64(r.Op)|uint64(r.Phase)<<8)
+	binary.LittleEndian.PutUint64(b[40:], fnv64a(b[:40]))
+	return b
+}
+
+// decode parses a record body, reporting whether the checksum held.
+func decode(b []byte) (Record, bool) {
+	if binary.LittleEndian.Uint64(b[40:]) != fnv64a(b[:40]) {
+		return Record{}, false
+	}
+	opPhase := binary.LittleEndian.Uint64(b[32:])
+	return Record{
+		Seq:   binary.LittleEndian.Uint64(b[0:]),
+		Op:    Op(opPhase & 0xff),
+		Phase: Phase(opPhase >> 8 & 0xff),
+		Args: [3]uint64{
+			binary.LittleEndian.Uint64(b[8:]),
+			binary.LittleEndian.Uint64(b[16:]),
+			binary.LittleEndian.Uint64(b[24:]),
+		},
+	}, true
+}
+
+// persistBody re-persists the record body atomically (MarkApplied updates
+// args and phase under the same publish).
+func (j *Journal) persistBody(lane *simclock.Lane, r *Record) {
+	if j.memory == nil {
+		return
+	}
+	b := encode(r)
+	d := j.memory.PersistAtomic(j.page, recordOff, b[:])
+	if lane != nil {
+		lane.Charge(d)
+	}
+}
+
+// persistFlag publishes the pending flag atomically.
+func (j *Journal) persistFlag(lane *simclock.Lane, v uint64) {
+	if j.memory == nil {
+		return
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	d := j.memory.PersistAtomic(j.page, flagOff, b[:])
+	if lane != nil {
+		lane.Charge(d)
+	}
 }
 
 // Begin persists a new pending record and returns it. It panics if another
@@ -119,6 +226,23 @@ func (j *Journal) Begin(lane *simclock.Lane, op Op, args ...uint64) *Record {
 	j.seq++
 	r := &Record{Seq: j.seq, Op: op, pending: true}
 	copy(r.Args[:], args)
+	if j.memory != nil {
+		// Body first (own cache line), then the flag that publishes
+		// it. A crash anywhere in this window leaves flag=0 — no
+		// record — and the protected mutation has not run yet.
+		b := encode(r)
+		j.memory.WriteRaw(j.page, recordOff, b[:])
+		d := j.memory.Flush(j.page, recordOff, recordSize)
+		d += j.memory.Fence()
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], 1)
+		j.memory.WriteRaw(j.page, flagOff, fb[:])
+		d += j.memory.Flush(j.page, flagOff, 8)
+		d += j.memory.Fence()
+		if lane != nil {
+			lane.Charge(d)
+		}
+	}
 	j.current = r
 	j.Records++
 	if lane != nil {
@@ -128,18 +252,19 @@ func (j *Journal) Begin(lane *simclock.Lane, op Op, args ...uint64) *Record {
 }
 
 // MarkApplied records that the protected mutation has fully hit metadata.
-// The phase flip is atomic on NVM.
+// The record body (final args + phase) is re-persisted atomically.
 func (j *Journal) MarkApplied(lane *simclock.Lane, r *Record) {
 	if !r.Pending() {
 		panic("journal: MarkApplied on retired record")
 	}
 	r.Phase = PhaseApplied
+	j.persistBody(lane, r)
 	if lane != nil {
 		lane.Charge(j.model.JournalRecord / 2)
 	}
 }
 
-// Commit retires the record. The status flip is atomic on NVM.
+// Commit retires the record. The flag flip is atomic on NVM.
 func (j *Journal) Commit(lane *simclock.Lane, r *Record) {
 	if !r.Pending() {
 		panic("journal: Commit on retired record")
@@ -148,6 +273,7 @@ func (j *Journal) Commit(lane *simclock.Lane, r *Record) {
 	if j.current == r {
 		j.current = nil
 	}
+	j.persistFlag(lane, 0)
 	if lane != nil {
 		lane.Charge(j.model.JournalRecord / 2)
 	}
@@ -171,5 +297,42 @@ func (j *Journal) Retire(r *Record) {
 	r.pending = false
 	if j.current == r {
 		j.current = nil
+	}
+	j.persistFlag(nil, 0)
+}
+
+// OnCrash re-derives the in-flight record from the NVM frame after a power
+// failure. The Go-side mirror may be stale or damaged-relative: under ADR
+// the flag word can have dropped back to its previous value, and (if the
+// frame was corrupted by other means) the body checksum can fail — such a
+// torn record is truncated, not replayed. No-op without a Memory.
+func (j *Journal) OnCrash() {
+	if j.memory == nil {
+		return
+	}
+	if j.current != nil {
+		j.current.pending = false
+		j.current = nil
+	}
+	var fb [8]byte
+	j.memory.ReadRaw(j.page, flagOff, fb[:])
+	if binary.LittleEndian.Uint64(fb[:]) != 1 {
+		return
+	}
+	body := make([]byte, recordSize)
+	j.memory.ReadRaw(j.page, recordOff, body)
+	rec, ok := decode(body)
+	if !ok {
+		// Torn tail: the flag published a body that never became
+		// durable in full. Truncate it — the protected mutation is
+		// repaired by the owner's log rollback (or never happened).
+		j.TornRecords++
+		j.persistFlag(nil, 0)
+		return
+	}
+	r := &Record{Seq: rec.Seq, Op: rec.Op, Phase: rec.Phase, Args: rec.Args, pending: true}
+	j.current = r
+	if r.Seq > j.seq {
+		j.seq = r.Seq
 	}
 }

@@ -3,11 +3,12 @@ package journal
 import (
 	"testing"
 
+	"treesls/internal/mem"
 	"treesls/internal/simclock"
 )
 
 func TestBeginCommitLifecycle(t *testing.T) {
-	j := New(simclock.DefaultCostModel())
+	j := New(simclock.DefaultCostModel(), nil)
 	var lane simclock.Lane
 
 	r := j.Begin(&lane, OpBuddyAlloc, 10, 2)
@@ -34,7 +35,7 @@ func TestBeginCommitLifecycle(t *testing.T) {
 }
 
 func TestBeginWhilePendingPanics(t *testing.T) {
-	j := New(simclock.DefaultCostModel())
+	j := New(simclock.DefaultCostModel(), nil)
 	j.Begin(nil, OpSlabAlloc)
 	defer func() {
 		if recover() == nil {
@@ -45,7 +46,7 @@ func TestBeginWhilePendingPanics(t *testing.T) {
 }
 
 func TestCommitRetiredPanics(t *testing.T) {
-	j := New(simclock.DefaultCostModel())
+	j := New(simclock.DefaultCostModel(), nil)
 	r := j.Begin(nil, OpBuddyFree)
 	j.Commit(nil, r)
 	defer func() {
@@ -57,7 +58,7 @@ func TestCommitRetiredPanics(t *testing.T) {
 }
 
 func TestRetireClearsPending(t *testing.T) {
-	j := New(simclock.DefaultCostModel())
+	j := New(simclock.DefaultCostModel(), nil)
 	r := j.Begin(nil, OpLogTruncate)
 	j.Retire(r)
 	if j.PendingRecord() != nil {
@@ -84,11 +85,106 @@ func TestOpStrings(t *testing.T) {
 }
 
 func TestNilLaneAccepted(t *testing.T) {
-	j := New(simclock.DefaultCostModel())
+	j := New(simclock.DefaultCostModel(), nil)
 	r := j.Begin(nil, OpBuddyAlloc, 1)
 	j.MarkApplied(nil, r)
 	j.Commit(nil, r)
 	if j.Records != 1 {
 		t.Errorf("Records = %d", j.Records)
+	}
+}
+
+// newNVMJournal builds a journal over a real simulated memory, the
+// configuration every kernel machine uses.
+func newNVMJournal(mode mem.PersistMode) (*Journal, *mem.Memory) {
+	m := mem.New(mem.Config{NVMFrames: 64, DRAMFrames: 8, Persist: mode, CrashSeed: 1},
+		simclock.DefaultCostModel())
+	return New(simclock.DefaultCostModel(), m), m
+}
+
+func TestNVMRecordSurvivesCrash(t *testing.T) {
+	j, _ := newNVMJournal(mem.ModeADR)
+	r := j.Begin(nil, OpBuddyAlloc, 3, 1)
+	j.MarkApplied(nil, r)
+	j.OnCrash() // rebuild the Go mirror from the NVM frame
+	got := j.PendingRecord()
+	if got == nil {
+		t.Fatal("pending record lost across crash")
+	}
+	if got.Op != OpBuddyAlloc || got.Phase != PhaseApplied || got.Args[0] != 3 || got.Args[1] != 1 {
+		t.Fatalf("recovered record %+v", got)
+	}
+	if got.Seq != r.Seq {
+		t.Fatalf("recovered seq %d, want %d", got.Seq, r.Seq)
+	}
+	// The sequence counter must not move backwards after recovery.
+	j.Retire(got)
+	if r2 := j.Begin(nil, OpBuddyFree, 3, 1); r2.Seq <= r.Seq {
+		t.Fatalf("seq went backwards: %d after %d", r2.Seq, r.Seq)
+	}
+}
+
+func TestCommittedRecordLeavesNothingPending(t *testing.T) {
+	j, _ := newNVMJournal(mem.ModeADR)
+	r := j.Begin(nil, OpSlabAlloc, 2, 0, 5)
+	j.MarkApplied(nil, r)
+	j.Commit(nil, r)
+	j.OnCrash()
+	if j.PendingRecord() != nil {
+		t.Fatal("committed record resurfaced after crash")
+	}
+	if j.TornRecords != 0 {
+		t.Fatalf("TornRecords = %d", j.TornRecords)
+	}
+}
+
+// TestTornTailTruncatedByteByByte corrupts each of the 48 body bytes in turn
+// (with the pending flag published) and checks that recovery detects the
+// torn record via its checksum and truncates it rather than replaying
+// garbage.
+func TestTornTailTruncatedByteByByte(t *testing.T) {
+	page := mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
+	for off := 0; off < recordSize; off++ {
+		j, m := newNVMJournal(mem.ModeADR)
+		r := j.Begin(nil, OpBuddyAlloc, 7, 2)
+		j.MarkApplied(nil, r)
+		// Flip one bit of one body byte, as a tear inside the record's
+		// cache line would.
+		var b [1]byte
+		m.ReadRaw(page, recordOff+off, b[:])
+		b[0] ^= 0x10
+		m.WriteRaw(page, recordOff+off, b[:])
+		j.OnCrash()
+		if j.PendingRecord() != nil {
+			t.Fatalf("byte %d: corrupt record replayed as pending", off)
+		}
+		if j.TornRecords != 1 {
+			t.Fatalf("byte %d: TornRecords = %d, want 1", off, j.TornRecords)
+		}
+		// Truncation must be durable: a second recovery pass sees a
+		// clean journal, not the same torn record again.
+		j.OnCrash()
+		if j.TornRecords != 1 || j.PendingRecord() != nil {
+			t.Fatalf("byte %d: truncation not durable", off)
+		}
+	}
+}
+
+// TestDroppedFlagMeansNoRecord models the ADR outcome where Begin's body
+// persisted but the flag line was dropped at the crash: recovery must see an
+// empty journal.
+func TestDroppedFlagMeansNoRecord(t *testing.T) {
+	j, m := newNVMJournal(mem.ModeADR)
+	j.Begin(nil, OpBuddyFree, 9, 0)
+	// Simulate the flag line dropping: overwrite it with its pre-Begin
+	// content (zero), as applyCrashDamage would.
+	var zero [8]byte
+	m.WriteRaw(mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}, 0, zero[:])
+	j.OnCrash()
+	if j.PendingRecord() != nil {
+		t.Fatal("record with dropped flag replayed")
+	}
+	if j.TornRecords != 0 {
+		t.Fatalf("dropped flag miscounted as torn body: %d", j.TornRecords)
 	}
 }

@@ -123,7 +123,7 @@ func New(cfg Config) *Machine {
 		model = simclock.DefaultCostModel()
 	}
 	memory := mem.New(cfg.Mem, model)
-	jrnl := journal.New(model)
+	jrnl := journal.New(model, memory)
 	al := alloc.New(memory, jrnl)
 	tree := caps.NewTree()
 
@@ -359,7 +359,7 @@ func (m *Machine) MaterializePage(lane *simclock.Lane, pmo *caps.PMO, idx uint64
 	if err != nil {
 		return nil, err
 	}
-	clear(m.Memory.Data(p))
+	m.Memory.ZeroPage(p)
 	lane.Charge(m.Model.NVMWritePage)
 	return pmo.InstallPage(idx, p), nil
 }
@@ -377,6 +377,9 @@ func (m *Machine) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint6
 // manager's structures, the allocator metadata and journal — survives.
 func (m *Machine) Crash() {
 	m.Memory.Crash()
+	// The journal's durable truth is its NVM frame; re-derive the Go-side
+	// mirror (the pending flag may have dropped, the body may be torn).
+	m.Journal.OnCrash()
 	m.Tree = nil
 	m.procs = make(map[string]*Process)
 	m.threadAvail = make(map[*caps.Thread]simclock.Time)

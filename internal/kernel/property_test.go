@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"treesls/internal/caps"
+	"treesls/internal/mem"
 	"treesls/internal/simclock"
 )
 
@@ -15,6 +16,23 @@ import (
 // always lands exactly on the model state captured at the last commit —
 // nothing newer survives, nothing older resurfaces.
 func TestPropertyRestoreEqualsLastCommit(t *testing.T) {
+	// The property must hold under both persistence models. Under eADR
+	// every store is durable when it lands; under ADR (relaxed
+	// persistency) Crash() drops or tears every cache line that was not
+	// explicitly written back and fenced, so this variant additionally
+	// proves the flush/fence discipline of all NVM writers. Crashes here
+	// strike between operations; internal/crashfuzz aims them inside
+	// operations at individual persistence events.
+	for _, adr := range []bool{false, true} {
+		name := "eadr"
+		if adr {
+			name = "adr"
+		}
+		t.Run(name, func(t *testing.T) { runRestoreProperty(t, adr) })
+	}
+}
+
+func runRestoreProperty(t *testing.T, adr bool) {
 	for seed := int64(1); seed <= 6; seed++ {
 		seed := seed
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
@@ -24,6 +42,10 @@ func TestPropertyRestoreEqualsLastCommit(t *testing.T) {
 			cfg.SkipDefaultServices = true
 			cfg.Checkpoint.HotThreshold = 2
 			cfg.Checkpoint.DemoteAfter = 3
+			if adr {
+				cfg.Mem.Persist = mem.ModeADR
+				cfg.Mem.CrashSeed = uint64(seed)
+			}
 			m := New(cfg)
 
 			const pages = 48

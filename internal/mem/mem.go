@@ -104,22 +104,53 @@ type Memory struct {
 
 	dramFree []uint32 // free DRAM frames (LIFO)
 
+	// Relaxed-persistency state (see persist.go). wb is the per-line
+	// write buffer of unfenced NVM stores; it stays empty under eADR.
+	mode      PersistMode
+	crashSeed uint64
+	crashes   uint64 // power failures so far (varies damage across crashes)
+	wb        map[lineKey]*wbLine
+
+	// Event-granular crash injection.
+	events         uint64
+	crashArmed     bool
+	crashCountdown uint64
+
 	// Stats counts device traffic for the experiment reports.
 	Stats Stats
 }
 
-// Stats counts page-granularity device traffic.
+// Stats counts page-granularity device traffic plus the robustness
+// counters of the relaxed-persistency model.
 type Stats struct {
 	NVMPageWrites  uint64
 	NVMPageReads   uint64
 	DRAMPageWrites uint64
 	DRAMPageReads  uint64
+
+	// ADR persistence-protocol traffic (always 0 under eADR).
+	Flushes uint64
+	Fences  uint64
+
+	// Crash-damage accounting, cumulative across power failures: lines
+	// still in the write buffer when power failed, and how many of
+	// those were dropped whole or torn word-by-word.
+	CrashLinesAtRisk  uint64
+	CrashLinesDropped uint64
+	CrashLinesTorn    uint64
 }
 
-// Config sizes the two devices.
+// Config sizes the two devices and selects the persistence model.
 type Config struct {
 	NVMFrames  int
 	DRAMFrames int
+
+	// Persist selects eADR (default: every store durable on landing) or
+	// ADR (only flushed+fenced lines survive Crash).
+	Persist PersistMode
+	// CrashSeed seeds the deterministic damage RNG used by Crash() in
+	// ADR mode.
+	CrashSeed uint64
 }
 
 // DefaultConfig returns a machine with 64 Ki NVM frames (256 MiB) and
@@ -132,9 +163,14 @@ func DefaultConfig() Config {
 // New creates the simulated physical memory.
 func New(cfg Config, model *simclock.CostModel) *Memory {
 	m := &Memory{
-		model: model,
-		nvm:   newDevice(KindNVM, cfg.NVMFrames),
-		dram:  newDevice(KindDRAM, cfg.DRAMFrames),
+		model:     model,
+		nvm:       newDevice(KindNVM, cfg.NVMFrames),
+		dram:      newDevice(KindDRAM, cfg.DRAMFrames),
+		mode:      cfg.Persist,
+		crashSeed: cfg.CrashSeed,
+	}
+	if m.mode == ModeADR {
+		m.wb = make(map[lineKey]*wbLine)
 	}
 	m.resetDRAMFreeList()
 	return m
@@ -196,7 +232,11 @@ func (m *Memory) DRAMFreeFrames() int { return len(m.dramFree) }
 // CopyPage copies one full page from src to dst and returns the simulated
 // cost (read of src + write of dst).
 func (m *Memory) CopyPage(dst, src PageID) simclock.Duration {
+	m.track(dst, 0, PageSize)
 	copy(m.Data(dst), m.Data(src))
+	if dst.Kind == KindNVM {
+		m.crashEvent()
+	}
 	return m.readCost(src) + m.writeCost(dst)
 }
 
@@ -207,7 +247,11 @@ func (m *Memory) WriteAt(p PageID, off int, data []byte) simclock.Duration {
 	if off < 0 || off+len(data) > PageSize {
 		panic(fmt.Sprintf("mem: WriteAt out of page bounds: off=%d len=%d", off, len(data)))
 	}
+	m.track(p, off, len(data))
 	copy(d[off:], data)
+	if p.Kind == KindNVM {
+		m.crashEvent()
+	}
 	return m.smallAccessCost(p, len(data), true)
 }
 
@@ -270,8 +314,14 @@ func (m *Memory) smallAccessCost(p PageID, n int, write bool) simclock.Duration 
 
 // Crash simulates a power failure at the device level: every DRAM frame is
 // zeroed and the DRAM free list is reset (DRAM ownership state is volatile
-// kernel state and is rebuilt during restore). NVM frames are untouched.
+// kernel state and is rebuilt during restore). Under eADR NVM frames are
+// untouched; under ADR every line still in the write buffer is dropped or
+// torn per the seeded damage RNG (see persist.go).
 func (m *Memory) Crash() {
+	m.DisarmCrash()
+	if m.mode == ModeADR {
+		m.applyCrashDamage()
+	}
 	for f, b := range m.dram.frames {
 		if b != nil {
 			clear(b)

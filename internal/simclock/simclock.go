@@ -72,6 +72,13 @@ type CostModel struct {
 	// for small in-page reads/writes by applications.
 	DRAMAccess Duration
 	NVMAccess  Duration
+	// CLWBLine is the cost of one cache-line write-back instruction (clwb)
+	// issued under the relaxed ADR persistence model; eADR machines never
+	// pay it (the whole cache is flushed by the platform on power loss).
+	CLWBLine Duration
+	// SFence is the cost of the store fence that makes preceding
+	// write-backs durable under ADR.
+	SFence Duration
 
 	// Kernel entry/exit and traps.
 
@@ -197,6 +204,11 @@ func DefaultCostModel() *CostModel {
 		NVMWritePage: 1500,
 		DRAMAccess:   10,
 		NVMAccess:    30,
+		// clwb retires quickly (the write-back proceeds asynchronously);
+		// the sfence pays the drain. Calibrated against the ~100 ns
+		// flush+fence figures reported for Optane persistency studies.
+		CLWBLine: 15,
+		SFence:   100,
 
 		SyscallEntry:    300,
 		PageFaultTrap:   900, // trap + handler dispatch (Fig 10 "+page fault")
