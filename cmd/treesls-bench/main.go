@@ -17,11 +17,13 @@ import (
 	"time"
 
 	"treesls/internal/experiments"
+	"treesls/internal/obs"
 )
 
 func main() {
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
 	var scale experiments.Scale
@@ -34,6 +36,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or full)\n", *scaleFlag)
 		os.Exit(2)
 	}
+	ob := obsOpts.Observer()
+	scale.Obs = ob
+	scale.Audit = obsOpts.Audit
 
 	type experiment struct {
 		name string
@@ -89,6 +94,13 @@ func main() {
 		}
 		fmt.Println(txt)
 		fmt.Printf("  [%s took %.1fs host time]\n\n", e.name, time.Since(start).Seconds())
+	}
+
+	// Many machines share one trace/registry, so the snapshot is stamped
+	// with 0 rather than any single machine's clock.
+	if err := obsOpts.Finish(ob, os.Stdout, 0); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"treesls/internal/extsync"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -22,6 +23,7 @@ func main() {
 	extsyncOn := flag.Bool("extsync", true, "route responses through the external-synchrony driver")
 	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
 	crashSeed := flag.Uint64("crash-seed", 1, "RNG seed for ADR crash damage (which unflushed lines drop or tear)")
+	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
 	mode, err := mem.ParsePersistMode(*persist)
@@ -29,6 +31,9 @@ func main() {
 	cfg := kernel.DefaultConfig()
 	cfg.Mem.Persist = mode
 	cfg.Mem.CrashSeed = *crashSeed
+	ob := obsOpts.Observer()
+	cfg.Obs = ob
+	cfg.Audit = obsOpts.Audit
 	m := kernel.New(cfg)
 	fmt.Printf("▸ booted TreeSLS machine: 8 cores, 1 ms whole-system checkpoints, %s persistency\n", mode)
 
@@ -98,6 +103,12 @@ func main() {
 	_, v, ok, err := srv.Get(0, []byte("post-restore"))
 	check(err)
 	fmt.Printf("▸ server is live after reboot: post-restore=%q (found=%v)\n", v, ok)
+
+	if m.Auditor != nil {
+		fmt.Printf("▸ auditor: %d checks, %d violations (runtime digest %#x)\n",
+			m.Auditor.Checks, m.Auditor.TotalViolations, m.LastAudit.RuntimeDigest)
+	}
+	check(obsOpts.Finish(ob, os.Stdout, m.Now()))
 }
 
 func check(err error) {

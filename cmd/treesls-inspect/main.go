@@ -14,11 +14,13 @@ import (
 	"treesls/internal/caps"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 )
 
 func main() {
 	withKV := flag.Bool("kv", true, "run a sample KV workload before dumping")
 	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
+	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
 	mode, err := mem.ParsePersistMode(*persist)
@@ -29,6 +31,9 @@ func main() {
 	cfg := kernel.DefaultConfig()
 	cfg.CheckpointEvery = 0
 	cfg.Mem.Persist = mode
+	ob := obsOpts.Observer()
+	cfg.Obs = ob
+	cfg.Audit = obsOpts.Audit
 	m := kernel.New(cfg)
 
 	if *withKV {
@@ -77,6 +82,16 @@ func main() {
 	fmt.Printf("  journal            %d torn records truncated\n", m.Journal.TornRecords)
 	fmt.Printf("  backup integrity   %d replica repairs, %d degraded page restores\n",
 		cs.ReplicaRepair, cs.DegradedRestores)
+
+	if m.Auditor != nil {
+		fmt.Printf("\nAudit:\n  %d checks, %d violations\n  runtime digest %#x\n  backup digest  %#x\n",
+			m.Auditor.Checks, m.Auditor.TotalViolations,
+			m.LastAudit.RuntimeDigest, m.LastAudit.BackupDigest)
+	}
+	if err := obsOpts.Finish(ob, os.Stdout, m.Now()); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }
 
 func dumpGroup(m *kernel.Machine, g *caps.CapGroup, depth int) {

@@ -7,6 +7,7 @@ import (
 	"treesls/internal/caps"
 	"treesls/internal/journal"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -73,7 +74,8 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	// --- Step ❷: the leader checkpoints the capability tree. -----------
 	treeStart := ll.Now()
 	m.rootORoot = m.checkpointObject(ll, m.tree.Root, round, &rep)
-	rep.CapTree = ll.Now().Sub(treeStart)
+	treeEnd := ll.Now()
+	rep.CapTree = treeEnd.Sub(treeStart)
 
 	// --- Step ❸: other cores run hybrid copy in parallel. --------------
 	// Each non-leader core walks a stride-partitioned sublist of the
@@ -141,9 +143,10 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 
 	// --- Step ❺: resume. ------------------------------------------------
 	ll.Charge(m.model.IPIResume)
-	rep.Others = ll.Now().Sub(othersStart)
+	leaderEnd := ll.Now()
+	rep.Others = leaderEnd.Sub(othersStart)
 
-	stwEnd := ll.Now()
+	stwEnd := leaderEnd
 	if hybridEnd > stwEnd {
 		stwEnd = hybridEnd
 	}
@@ -155,11 +158,54 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 		rep.HybridCopy = hybridEnd.Sub(hybridStart)
 	}
 	rep.CachedPages = m.cached
-	m.savedWallClock = stwEnd
 
 	m.Stats.Checkpoints++
 	m.LastReport = rep
+
+	if m.traceOn() {
+		tr := m.obs.Trace
+		tid := ll.ID()
+		tr.Span(tid, stwStart, quiescedAt, "checkpoint", "ipi-rendezvous")
+		tr.Span(tid, treeStart, treeEnd, "checkpoint", "captree",
+			obs.I("objects", int64(countObjects(&rep))))
+		if m.cfg.HybridCopy {
+			tr.Span(tid, hybridStart, hybridStart+simclock.Time(rep.HybridCopy), "checkpoint", "hybrid-copy",
+				obs.I("migrated", int64(rep.Migrated)), obs.I("demoted", int64(rep.Demoted)),
+				obs.I("dirty_dram_copied", int64(rep.DirtyDRAMCopied)))
+		}
+		tr.Span(tid, othersStart, leaderEnd, "checkpoint", "commit")
+		tr.Span(tid, stwStart, stwEnd, "checkpoint", "checkpoint",
+			obs.I("version", int64(rep.Version)), obs.I("full", b2i(rep.Full)),
+			obs.I("faults_last_epoch", int64(rep.FaultsLastEpoch)))
+	}
+	m.met.stw.ObserveDur(rep.STWTotal)
+	m.met.ipi.ObserveDur(rep.IPIWait)
+	m.met.capTree.ObserveDur(rep.CapTree)
+	if m.cfg.HybridCopy {
+		m.met.hybrid.ObserveDur(rep.HybridCopy)
+	}
+	m.met.commit.ObserveDur(rep.Others)
+	m.met.dirtySet.Set(int64(rep.FaultsLastEpoch))
+	m.met.cachedPages.Set(int64(rep.CachedPages))
+	m.met.activeList.Set(int64(len(m.active)))
+
 	return rep
+}
+
+// countObjects totals the per-kind object counts of a report.
+func countObjects(rep *Report) int {
+	n := 0
+	for _, c := range rep.PerKindCount {
+		n += c
+	}
+	return n
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 // checkpointObject checkpoints o (if dirty) and recurses into the objects it

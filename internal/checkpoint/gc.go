@@ -3,6 +3,7 @@ package checkpoint
 import (
 	"treesls/internal/caps"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -19,6 +20,7 @@ import (
 // slots recycled. Non-PMO snapshots are plain Go objects; removing the root
 // makes them collectible.
 func (m *Manager) sweepUnreachable(lane *simclock.Lane, stamp uint64) {
+	sweptBefore := m.Stats.RootsSwept
 	for id, r := range m.roots {
 		if r.SeenInRound(stamp) {
 			continue
@@ -51,5 +53,12 @@ func (m *Manager) sweepUnreachable(lane *simclock.Lane, stamp uint64) {
 		}
 		delete(m.roots, id)
 		m.Stats.RootsSwept++
+	}
+	// One summary event after the loop: the map iteration above is
+	// intentionally order-free, so per-root events would make the trace
+	// nondeterministic.
+	if swept := m.Stats.RootsSwept - sweptBefore; swept > 0 && m.traceOn() {
+		m.obs.Trace.Instant(lane.ID(), lane.Now(), "checkpoint", "gc-sweep",
+			obs.I("swept", int64(swept)))
 	}
 }

@@ -21,11 +21,13 @@ package checkpoint
 
 import (
 	"encoding/binary"
+	"sort"
 
 	"treesls/internal/alloc"
 	"treesls/internal/caps"
 	"treesls/internal/journal"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -221,9 +223,6 @@ type Manager struct {
 	roots map[uint64]*caps.ORoot
 	// savedNextID is the tree's ID counter as of the last commit.
 	savedNextID uint64
-	// savedWallClock is the machine time at the last commit, used to
-	// restart lanes after recovery.
-	savedWallClock simclock.Time
 	// replicas: backup-page frame -> replica pages + checksum.
 	replicas map[mem.PageID]*pageReplica
 
@@ -252,11 +251,67 @@ type Manager struct {
 	// the retry skip dirty objects and commit their stale snapshots.
 	walkStamp uint64
 
+	// obs is the observability layer (nil = disabled; all hooks are
+	// zero-cost no-ops then). met holds pre-resolved metric handles so
+	// hot paths never do registry lookups.
+	obs *obs.Observer
+	met ckptMetrics
+
 	// LastReport is the report of the most recent checkpoint.
 	LastReport Report
 	// Stats accumulates across rounds.
 	Stats Stats
 }
+
+// ckptMetrics are the manager's pre-resolved metric handles. Every field is
+// nil when metrics are disabled — the nil-receiver methods make each update
+// a free no-op.
+type ckptMetrics struct {
+	stw, ipi, capTree, hybrid, commit, restore *obs.Histogram
+
+	cowFaults, pagesCopied, stopCopied *obs.Counter
+	migrations, demotions              *obs.Counter
+	restores, degraded                 *obs.Counter
+	dirtySet, cachedPages, activeList  *obs.Gauge
+}
+
+// SetObserver attaches the observability layer. Checkpoint rounds emit
+// per-phase spans and page-level instants on the core lanes; the registry
+// gains the Figure 9/Table 4 quantities as counters, gauges and pause-time
+// histograms.
+func (m *Manager) SetObserver(o *obs.Observer) {
+	m.obs = o
+	if !o.MetricsOn() {
+		return
+	}
+	r := o.Metrics
+	m.met = ckptMetrics{
+		stw:         r.Histogram("checkpoint.stw_ns", nil),
+		ipi:         r.Histogram("checkpoint.ipi_ns", nil),
+		capTree:     r.Histogram("checkpoint.captree_ns", nil),
+		hybrid:      r.Histogram("checkpoint.hybrid_ns", nil),
+		commit:      r.Histogram("checkpoint.commit_ns", nil),
+		restore:     r.Histogram("checkpoint.restore_ns", nil),
+		cowFaults:   r.Counter("checkpoint.cow_faults"),
+		pagesCopied: r.Counter("checkpoint.pages_copied"),
+		stopCopied:  r.Counter("checkpoint.pages_stop_copied"),
+		migrations:  r.Counter("checkpoint.migrations"),
+		demotions:   r.Counter("checkpoint.demotions"),
+		restores:    r.Counter("checkpoint.restores"),
+		degraded:    r.Counter("checkpoint.degraded_restores"),
+		dirtySet:    r.Gauge("checkpoint.dirty_set_pages"),
+		cachedPages: r.Gauge("checkpoint.cached_pages"),
+		activeList:  r.Gauge("checkpoint.active_list_len"),
+	}
+	r.GaugeFunc("checkpoint.committed_version", func() int64 { return int64(m.committed) })
+	r.GaugeFunc("checkpoint.backup_pages", func() int64 { return int64(m.Stats.BackupPages) })
+	r.GaugeFunc("checkpoint.backup_bytes", func() int64 { return int64(m.Stats.BackupBytes) })
+	r.GaugeFunc("checkpoint.roots_swept", func() int64 { return int64(m.Stats.RootsSwept) })
+	r.GaugeFunc("checkpoint.checkpoints", func() int64 { return int64(m.Stats.Checkpoints) })
+}
+
+// traceOn reports whether span/instant recording is enabled.
+func (m *Manager) traceOn() bool { return m.obs.TraceOn() }
 
 // pageRef names one tracked page on the active list.
 type pageRef struct {
@@ -399,6 +454,31 @@ func (m *Manager) PurgePMO(pmo *caps.PMO) {
 // ActiveListLen reports the length of the active page list.
 func (m *Manager) ActiveListLen() int { return len(m.active) }
 
+// ---- Auditor accessors -----------------------------------------------------
+
+// RootORoot returns the ORoot anchoring the backup capability tree (nil
+// before the first checkpoint).
+func (m *Manager) RootORoot() *caps.ORoot { return m.rootORoot }
+
+// ForEachRoot visits every ORoot in the directory in ascending object-ID
+// order — a deterministic iteration for digests and audits over the
+// otherwise unordered directory map.
+func (m *Manager) ForEachRoot(fn func(*caps.ORoot)) {
+	ids := make([]uint64, 0, len(m.roots))
+	for id := range m.roots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		fn(m.roots[id])
+	}
+}
+
+// DurableVersion re-reads the commit word from NVM: the version a crash at
+// this instant would recover to. Invariant: equals CommittedVersion()
+// between operations.
+func (m *Manager) DurableVersion() uint64 { return m.readCommitWord() }
+
 // ---- ADR persistence-protocol helpers --------------------------------------
 //
 // All of these are free no-ops under eADR (the mem primitives return zero
@@ -413,6 +493,12 @@ func (m *Manager) flushPage(lane *simclock.Lane, p mem.PageID) {
 	d := m.memory.FlushPage(p)
 	if lane != nil {
 		lane.Charge(d)
+		// Only meaningful under ADR; under eADR flushes are free no-ops
+		// and tracing them would just be noise.
+		if m.traceOn() && m.memory.Mode() == mem.ModeADR {
+			m.obs.Trace.Instant(lane.ID(), lane.Now(), "persist", "clwb-page",
+				obs.I("frame", int64(p.Frame)), obs.I("kind", int64(p.Kind)))
+		}
 	}
 }
 
@@ -421,6 +507,9 @@ func (m *Manager) fence(lane *simclock.Lane) {
 	d := m.memory.Fence()
 	if lane != nil {
 		lane.Charge(d)
+		if m.traceOn() && m.memory.Mode() == mem.ModeADR {
+			m.obs.Trace.Instant(lane.ID(), lane.Now(), "persist", "sfence")
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"treesls/internal/alloc"
 	"treesls/internal/caps"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -196,6 +197,12 @@ func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.
 		s.Dirty = false
 		rep.PagesStopCopied++
 		m.Stats.PagesCopied++
+		m.met.stopCopied.Inc()
+		m.met.pagesCopied.Inc()
+		if m.traceOn() {
+			m.obs.Trace.Instant(lane.ID(), lane.Now(), "page", "stop-copy",
+				obs.I("pmo", int64(pmo.ID())), obs.I("idx", int64(idx)))
+		}
 		return true
 	})
 }
@@ -251,6 +258,13 @@ func (m *Manager) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint6
 	m.Stats.COWFaults++
 	m.Stats.EpochFaults++
 	m.Stats.PagesCopied++
+	m.met.cowFaults.Inc()
+	m.met.pagesCopied.Inc()
+	if m.traceOn() {
+		m.obs.Trace.Instant(lane.ID(), lane.Now(), "page", "cow-fault",
+			obs.I("pmo", int64(pmo.ID())), obs.I("idx", int64(idx)),
+			obs.I("hotness", int64(s.Hotness)))
+	}
 	return nil
 }
 
@@ -302,6 +316,11 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			m.cached++
 			rep.Migrated++
 			m.Stats.Migrations++
+			m.met.migrations.Inc()
+			if m.traceOn() {
+				m.obs.Trace.Instant(w.ID(), w.Now(), "page", "migrate-to-dram",
+					obs.I("pmo", int64(ref.pmo.ID())), obs.I("idx", int64(ref.idx)))
+			}
 			keep = append(keep, ref)
 
 		case s.Dirty:
@@ -327,6 +346,11 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			s.IdleRounds = 0
 			rep.DirtyDRAMCopied++
 			m.Stats.PagesCopied++
+			m.met.pagesCopied.Inc()
+			if m.traceOn() {
+				m.obs.Trace.Instant(w.ID(), w.Now(), "page", "dirty-dram-copy",
+					obs.I("pmo", int64(ref.pmo.ID())), obs.I("idx", int64(ref.idx)))
+			}
 			keep = append(keep, ref)
 
 		default:
@@ -366,6 +390,11 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			m.cached--
 			rep.Demoted++
 			m.Stats.Demotions++
+			m.met.demotions.Inc()
+			if m.traceOn() {
+				m.obs.Trace.Instant(w.ID(), w.Now(), "page", "demote-to-nvm",
+					obs.I("pmo", int64(ref.pmo.ID())), obs.I("idx", int64(ref.idx)))
+			}
 		}
 	}
 	m.active = keep

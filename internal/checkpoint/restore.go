@@ -6,6 +6,7 @@ import (
 	"treesls/internal/caps"
 	"treesls/internal/journal"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -28,6 +29,7 @@ import (
 // to. The caller (the kernel) rebuilds derived state: page tables (lazily,
 // via faults), scheduler queues, and address-space structures.
 func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
+	restoreStart := lane.Now()
 	// The durable truth for the committed version is the commit word in
 	// the global metadata area, not the Go-side mirror: under ADR the
 	// word of an in-flight commit may have been dropped at the power
@@ -167,6 +169,13 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 	for _, cb := range m.callbacks {
 		lane.Charge(m.model.SyscallEntry)
 		cb.OnRestore(m.committed, lane)
+	}
+
+	m.met.restores.Inc()
+	m.met.restore.ObserveDur(lane.Now().Sub(restoreStart))
+	if m.traceOn() {
+		m.obs.Trace.Span(lane.ID(), restoreStart, lane.Now(), "checkpoint", "restore",
+			obs.I("version", int64(m.committed)), obs.I("objects", int64(len(order))))
 	}
 	return m.tree, m.committed, nil
 }
@@ -340,6 +349,7 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 					m.verifyBackupPage(lane, cp.Page[alt]) {
 					src = alt
 					m.Stats.DegradedRestores++
+					m.met.degraded.Inc()
 				} else {
 					fail = fmt.Errorf("checkpoint: backup page %v of PMO %d page %d is corrupt and no intact retained version exists", cp.Page[src], pmo.ID(), idx)
 					return false

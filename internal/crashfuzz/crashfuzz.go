@@ -23,6 +23,7 @@ import (
 	"treesls/internal/caps"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 )
 
 // Config parameterizes one fuzzing campaign.
@@ -43,6 +44,11 @@ type Config struct {
 	Pages int
 	// Threads is the number of app threads issuing writes (default 4).
 	Threads int
+	// Audit runs the state-digest auditor after every checkpoint and
+	// restore; any invariant violation fails the campaign.
+	Audit bool
+	// Obs attaches an observability layer to the fuzzed machines.
+	Obs *obs.Observer
 }
 
 func (c *Config) fill() {
@@ -87,6 +93,11 @@ type Result struct {
 	TornRecords                          uint64
 	DegradedRestores                     uint64
 	ReplicaRepairs                       uint64
+
+	// AuditChecks counts state-digest audits run (Config.Audit only);
+	// the campaign errors out on the first violation, so a returned
+	// Result always reflects zero violations.
+	AuditChecks uint64
 }
 
 // fuzzer is the per-seed state: one machine plus the shadow model.
@@ -154,6 +165,9 @@ func runSeed(cfg Config, seed uint64, res *Result) error {
 	res.TornRecords += f.m.Journal.TornRecords
 	res.DegradedRestores += f.m.Ckpt.Stats.DegradedRestores
 	res.ReplicaRepairs += f.m.Ckpt.Stats.ReplicaRepair
+	if f.m.Auditor != nil {
+		res.AuditChecks += f.m.Auditor.Checks
+	}
 	return f.m.Alloc.CheckInvariants()
 }
 
@@ -173,6 +187,8 @@ func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
 	mcfg.Mem.CrashSeed = seed
 	mcfg.Checkpoint.HotThreshold = 2
 	mcfg.Checkpoint.DemoteAfter = 3
+	mcfg.Audit = cfg.Audit
+	mcfg.Obs = cfg.Obs
 	m := kernel.New(mcfg)
 
 	f := &fuzzer{
@@ -225,6 +241,18 @@ func (f *fuzzer) checkpoint() error {
 	f.m.TakeCheckpoint()
 	// No crash: the round committed.
 	f.commitPending()
+	return f.checkAudit()
+}
+
+// checkAudit surfaces auditor violations as campaign errors.
+func (f *fuzzer) checkAudit() error {
+	if f.m.Auditor == nil {
+		return nil
+	}
+	if la := f.m.LastAudit; !la.Ok() {
+		return fmt.Errorf("audit at %s: %d violation(s), first: %s",
+			la.Where, len(la.Violations), la.Violations[0])
+	}
 	return nil
 }
 
@@ -310,6 +338,9 @@ func (f *fuzzer) restoreAndVerify() error {
 	if err := f.m.Restore(); err != nil {
 		return fmt.Errorf("restore: %w", err)
 	}
+	if err := f.checkAudit(); err != nil {
+		return err
+	}
 	ver := f.m.Ckpt.CommittedVersion()
 	switch {
 	case ver == f.commVer:
@@ -352,4 +383,44 @@ func (f *fuzzer) restoreAndVerify() error {
 		return fmt.Errorf("register = %#x, committed model %#x (version %d, crash during %s)", got, f.commReg, ver, f.lastOp)
 	}
 	return nil
+}
+
+// OneShot runs a single parameterized crash injection: boot a machine with
+// the given workload seed, arm a power failure eventK persistence events
+// ahead, drive up to steps workload operations, and — if the failure fired —
+// crash, restore, and verify (with the state-digest auditor enabled). It is
+// the entry point of FuzzCrashEvent: the fuzzer owns the parameter space,
+// this function owns the oracle. A run where the countdown never fires is a
+// valid (uninteresting) input, not an error.
+func OneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16) error {
+	cfg := Config{
+		Mode:    mode,
+		Pages:   16, // small working set keeps fuzz iterations fast
+		Threads: 2,
+		Audit:   true,
+	}
+	cfg.fill()
+	f, err := newFuzzer(cfg, seed)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	if err := f.checkAudit(); err != nil {
+		return err
+	}
+	f.m.Memory.ArmCrashAfter(eventK%uint64(cfg.EventWindow) + 1)
+	n := int(steps)%cfg.StepsPerCrash + 1
+	fired := false
+	for step := 0; step < n && !fired; step++ {
+		fired, err = f.step()
+		if err != nil {
+			f.m.Memory.DisarmCrash()
+			return err
+		}
+	}
+	f.m.Memory.DisarmCrash()
+	if !fired {
+		return nil
+	}
+	f.m.Crash()
+	return f.restoreAndVerify()
 }

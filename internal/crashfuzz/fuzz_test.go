@@ -1,0 +1,61 @@
+package crashfuzz
+
+import (
+	"testing"
+
+	"treesls/internal/mem"
+)
+
+// FuzzCrashEvent lets the fuzzer pick the crash point: persistence mode,
+// machine seed, the event index at which power fails, and how many workload
+// steps run before the crash window. Whatever it picks, recovery must
+// succeed and the state-digest auditor must find zero violations.
+func FuzzCrashEvent(f *testing.F) {
+	// Representative corners: both persistence modes, early and late
+	// crash events, short and long pre-crash workloads. Seeds 1-6 are
+	// the smoke seeds the repo's crash-fuzz suite always runs.
+	f.Add(false, uint64(1), uint64(0), uint16(0))
+	f.Add(true, uint64(1), uint64(0), uint16(0))
+	f.Add(true, uint64(2), uint64(17), uint16(5))
+	f.Add(true, uint64(3), uint64(999), uint16(200))
+	f.Add(false, uint64(4), uint64(63), uint16(31))
+	f.Add(true, uint64(42), uint64(7), uint16(90))
+
+	f.Fuzz(func(t *testing.T, adr bool, seed, eventK uint64, steps uint16) {
+		mode := mem.ModeEADR
+		if adr {
+			mode = mem.ModeADR
+		}
+		if err := OneShot(mode, seed, eventK, steps); err != nil {
+			t.Fatalf("mode=%v seed=%d eventK=%d steps=%d: %v", mode, seed, eventK, steps, err)
+		}
+	})
+}
+
+// TestCrashFuzzAuditClean is the acceptance gate: the auditor reports zero
+// violations across the crash-fuzz smoke seeds in both persistence modes.
+func TestCrashFuzzAuditClean(t *testing.T) {
+	seeds := []uint64{1, 2, 3, 4, 5, 6}
+	crashes := 20
+	if testing.Short() {
+		seeds = seeds[:3]
+		crashes = 8
+	}
+	for _, mode := range []mem.PersistMode{mem.ModeEADR, mem.ModeADR} {
+		cfg := Config{
+			Mode:           mode,
+			Seeds:          seeds,
+			CrashesPerSeed: crashes,
+			Audit:          true,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if res.AuditChecks == 0 {
+			t.Fatalf("mode %v: auditor never ran", mode)
+		}
+		t.Logf("mode %v: %d crashes fired, %d audit checks, zero violations",
+			mode, res.CrashesFired, res.AuditChecks)
+	}
+}

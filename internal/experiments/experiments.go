@@ -17,6 +17,8 @@ import (
 	"sort"
 	"strings"
 
+	"treesls/internal/kernel"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -31,6 +33,22 @@ type Scale struct {
 	Clients   int    // logical client threads
 	DataKiB   int    // phoenix dataset size
 	RunMillis int    // duration for time-driven measurements
+
+	// Obs, when non-nil, attaches the observability layer to every
+	// machine an experiment boots: per-phase STW spans and checkpoint
+	// metrics (e.g. checkpoint.stw_ns) land in one shared trace/registry
+	// across the whole run. Audit additionally runs the state-digest
+	// auditor after every checkpoint and restore. Both are free in
+	// simulated time, so measured shapes are unchanged.
+	Obs   *obs.Observer
+	Audit bool
+}
+
+// applyObs attaches the scale's observability settings to a kernel config.
+func (s Scale) applyObs(cfg kernel.Config) kernel.Config {
+	cfg.Obs = s.Obs
+	cfg.Audit = s.Audit
+	return cfg
 }
 
 // QuickScale is the CI-sized configuration.

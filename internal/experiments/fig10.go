@@ -24,7 +24,7 @@ type Fig10Row struct {
 // PCA) with the given interval and hybrid-copy setting.
 func buildFig10Rigs(interval simclock.Duration, hybrid bool, s Scale) ([]*rig, error) {
 	cfg := kernelConfigFor(interval, hybrid)
-	mk := withConfig(cfg)
+	mk := withConfig(cfg, s)
 	mc, err := rigMemcached(mk, s)
 	if err != nil {
 		return nil, err

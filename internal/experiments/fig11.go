@@ -27,7 +27,7 @@ func Figure11(s Scale) ([]Fig11Row, string, error) {
 	intervals := []int{0, 1, 5, 10, 50}
 	var rows []Fig11Row
 	for _, ms := range intervals {
-		m := withInterval(simclock.Duration(ms) * simclock.Millisecond)()
+		m := withInterval(simclock.Duration(ms)*simclock.Millisecond, s)()
 		rtt := m.Model.NetRTT
 		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
 			Name:         "memcached",

@@ -41,7 +41,7 @@ func Figure12(s Scale) ([]Fig12Row, string, error) {
 
 	var rows []Fig12Row
 	for _, c := range cfgs {
-		m := withInterval(c.interval)()
+		m := withInterval(c.interval, s)()
 		var drv *extsync.Driver
 		var err error
 		if c.ext {

@@ -46,7 +46,7 @@ func Figure13(s Scale) ([]Fig13Row, string, error) {
 			case "Linux-base", "Linux-WAL":
 				perOp = 2200 * simclock.Nanosecond // glibc, native syscalls
 			}
-			m := withInterval(interval)()
+			m := withInterval(interval, s)()
 			rtt := m.Model.NetRTT
 			if cfgName == "Linux-WAL" {
 				// Redis AOF with appendfsync=always on Ext4-DAX

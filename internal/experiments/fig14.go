@@ -42,7 +42,7 @@ func Figure14(s Scale) ([]Fig14Row, string, error) {
 		case "Aurora-base", "Aurora-5ms", "Aurora-API", "Aurora-base-WAL":
 			perOp = perOpAurora
 		}
-		m := withInterval(interval)()
+		m := withInterval(interval, s)()
 
 		var aur *aurora.Simulator
 		dbCfg := lsm.Config{

@@ -37,17 +37,17 @@ func (r *rig) runUntil(deadline simclock.Time) error {
 type mkMachine func() *kernel.Machine
 
 // withInterval returns a factory for a default machine at the given
-// checkpoint interval.
-func withInterval(interval simclock.Duration) mkMachine {
-	return func() *kernel.Machine {
-		cfg := kernel.DefaultConfig()
-		cfg.CheckpointEvery = interval
-		return kernel.New(cfg)
-	}
+// checkpoint interval, with the scale's observability settings attached.
+func withInterval(interval simclock.Duration, s Scale) mkMachine {
+	cfg := kernel.DefaultConfig()
+	cfg.CheckpointEvery = interval
+	return withConfig(cfg, s)
 }
 
-// withConfig returns a factory for an explicit kernel config.
-func withConfig(cfg kernel.Config) mkMachine {
+// withConfig returns a factory for an explicit kernel config, with the
+// scale's observability settings attached.
+func withConfig(cfg kernel.Config, s Scale) mkMachine {
+	cfg = s.applyObs(cfg)
 	return func() *kernel.Machine { return kernel.New(cfg) }
 }
 
@@ -243,7 +243,7 @@ func rigMemcached(mk mkMachine, s Scale) (*kvRig, error) {
 // allTable2Rigs builds the seven workloads of Table 2 / Figure 9 in paper
 // order.
 func allTable2Rigs(interval simclock.Duration, s Scale) ([]*rig, error) {
-	mk := withInterval(interval)
+	mk := withInterval(interval, s)
 	var rigs []*rig
 	rigs = append(rigs, rigDefault(mk))
 	sq, err := rigSQLite(mk, s)

@@ -38,6 +38,7 @@ import (
 	"fmt"
 
 	"treesls/internal/mem"
+	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
 
@@ -120,6 +121,27 @@ const (
 	recordSize = 48
 )
 
+// Exported layout constants for tooling and fuzzers that poke the journal
+// frame directly.
+const (
+	// FlagOffset is the byte offset of the 8-byte pending flag.
+	FlagOffset = flagOff
+	// RecordOffset is the byte offset of the serialized record body.
+	RecordOffset = recordOff
+	// RecordSize is the serialized record body size in bytes.
+	RecordSize = recordSize
+)
+
+// DecodeRecord parses a serialized record body (the bytes at RecordOffset of
+// the journal frame), reporting whether its checksum held. Exported for
+// inspection tooling and the journal-replay fuzzer's oracle.
+func DecodeRecord(b []byte) (Record, bool) {
+	if len(b) < recordSize {
+		return Record{}, false
+	}
+	return decode(b[:recordSize])
+}
+
 // Journal is a single-writer redo/undo journal on NVM. TreeSLS's kernel runs
 // allocator operations under the kernel lock, so at most one record is in
 // flight at a time; the journal enforces that invariant.
@@ -130,6 +152,7 @@ type Journal struct {
 
 	seq     uint64
 	current *Record
+	obs     *obs.Observer
 
 	// Stats for the experiment reports.
 	Records uint64
@@ -148,6 +171,27 @@ func New(model *simclock.CostModel, memory *mem.Memory) *Journal {
 		j.page = mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
 	}
 	return j
+}
+
+// SetObserver attaches the observability layer: record lifecycle events
+// (begin/applied/commit) become trace instants on the issuing core's lane,
+// and the journal counters become snapshot-time metrics.
+func (j *Journal) SetObserver(o *obs.Observer) {
+	j.obs = o
+	if o.MetricsOn() {
+		r := o.Metrics
+		r.GaugeFunc("journal.records", func() int64 { return int64(j.Records) })
+		r.GaugeFunc("journal.torn_records", func() int64 { return int64(j.TornRecords) })
+	}
+}
+
+// traceEvent records one record-lifecycle instant when tracing is on.
+func (j *Journal) traceEvent(lane *simclock.Lane, name string, r *Record) {
+	if !j.obs.TraceOn() || lane == nil {
+		return
+	}
+	j.obs.Trace.Instant(lane.ID(), lane.Now(), "journal", name,
+		obs.I("seq", int64(r.Seq)), obs.S("op", r.Op.String()))
 }
 
 // fnv64a is the FNV-1a hash protecting the record body against tears.
@@ -248,6 +292,7 @@ func (j *Journal) Begin(lane *simclock.Lane, op Op, args ...uint64) *Record {
 	if lane != nil {
 		lane.Charge(j.model.JournalRecord)
 	}
+	j.traceEvent(lane, "begin", r)
 	return r
 }
 
@@ -262,6 +307,7 @@ func (j *Journal) MarkApplied(lane *simclock.Lane, r *Record) {
 	if lane != nil {
 		lane.Charge(j.model.JournalRecord / 2)
 	}
+	j.traceEvent(lane, "applied", r)
 }
 
 // Commit retires the record. The flag flip is atomic on NVM.
@@ -277,6 +323,7 @@ func (j *Journal) Commit(lane *simclock.Lane, r *Record) {
 	if lane != nil {
 		lane.Charge(j.model.JournalRecord / 2)
 	}
+	j.traceEvent(lane, "commit", r)
 }
 
 // PendingRecord returns the in-flight record, or nil. Recovery calls this

@@ -19,6 +19,8 @@ import (
 	"treesls/internal/checkpoint"
 	"treesls/internal/journal"
 	"treesls/internal/mem"
+	"treesls/internal/obs"
+	"treesls/internal/obs/audit"
 	"treesls/internal/simclock"
 	"treesls/internal/vm"
 )
@@ -49,6 +51,12 @@ type Config struct {
 	// SkipDefaultServices boots a bare machine without the system
 	// service processes (used by focused tests).
 	SkipDefaultServices bool
+	// Obs attaches the observability layer (nil = disabled; every hook in
+	// the machine and its subsystems is then a zero-cost no-op).
+	Obs *obs.Observer
+	// Audit runs the state-digest auditor after every checkpoint and
+	// restore, recording invariant violations in Machine.LastAudit.
+	Audit bool
 }
 
 // DefaultConfig mirrors the paper's evaluation machine at simulation scale:
@@ -105,6 +113,13 @@ type Machine struct {
 	nextCkpt    simclock.Time
 	crashed     bool
 
+	// Obs is the attached observability layer (nil when disabled).
+	Obs *obs.Observer
+	// Auditor is the state-digest auditor (nil unless Config.Audit).
+	Auditor *audit.Auditor
+	// LastAudit is the most recent audit result.
+	LastAudit audit.Result
+
 	Stats Stats
 }
 
@@ -148,15 +163,68 @@ func New(cfg Config) *Machine {
 	}
 	m.Ckpt = checkpoint.New(ckptCfg, memory, al, tree)
 	for i := 0; i < cfg.Cores; i++ {
-		m.Cores = append(m.Cores, &Core{ID: i})
+		c := &Core{ID: i}
+		c.Lane.SetID(i)
+		m.Cores = append(m.Cores, c)
 	}
 	if cfg.CheckpointEvery > 0 {
 		m.nextCkpt = simclock.Time(cfg.CheckpointEvery)
+	}
+	if cfg.Obs != nil {
+		m.Obs = cfg.Obs
+		m.Ckpt.SetObserver(cfg.Obs)
+		memory.SetObserver(cfg.Obs)
+		jrnl.SetObserver(cfg.Obs)
+		m.registerMetrics()
+	}
+	if cfg.Audit {
+		m.Auditor = &audit.Auditor{Mem: memory, Alloc: al, Jrnl: jrnl, Ckpt: m.Ckpt}
+		if m.Obs.MetricsOn() {
+			r := m.Obs.Metrics
+			r.GaugeFunc("audit.checks", func() int64 { return int64(m.Auditor.Checks) })
+			r.GaugeFunc("audit.violations", func() int64 { return int64(m.Auditor.TotalViolations) })
+		}
 	}
 	if !cfg.SkipDefaultServices {
 		m.bootServices()
 	}
 	return m
+}
+
+// registerMetrics surfaces machine-level quantities through snapshot-time
+// callbacks: the wall clock and the per-lane idle time (how long each core
+// spent waiting at rendezvous barriers or between operations).
+func (m *Machine) registerMetrics() {
+	if !m.Obs.MetricsOn() {
+		return
+	}
+	r := m.Obs.Metrics
+	r.GaugeFunc("kernel.now_ns", func() int64 { return int64(m.Now()) })
+	r.GaugeFunc("kernel.ops", func() int64 { return int64(m.Stats.Ops) })
+	r.GaugeFunc("kernel.crashes", func() int64 { return int64(m.Stats.Crashes) })
+	r.GaugeFunc("kernel.restores", func() int64 { return int64(m.Stats.Restores) })
+	for _, c := range m.Cores {
+		lane := &c.Lane
+		r.GaugeFunc(fmt.Sprintf("kernel.lane%d.idle_ns", c.ID), func() int64 {
+			return int64(lane.IdleTime())
+		})
+	}
+}
+
+// auditNow runs the state-digest auditor (if enabled) at a protocol
+// boundary, storing the result in LastAudit.
+func (m *Machine) auditNow(where string) {
+	if m.Auditor == nil {
+		return
+	}
+	m.LastAudit = m.Auditor.Check(m.Tree, where)
+	if m.Obs.TraceOn() {
+		lane := &m.Cores[0].Lane
+		m.Obs.Trace.Instant(lane.ID(), lane.Now(), "audit", where,
+			obs.I("runtime_digest", int64(m.LastAudit.RuntimeDigest)),
+			obs.I("backup_digest", int64(m.LastAudit.BackupDigest)),
+			obs.I("violations", int64(len(m.LastAudit.Violations))))
+	}
 }
 
 // Config returns the machine configuration.
@@ -207,6 +275,7 @@ func (m *Machine) TakeCheckpoint() checkpoint.Report {
 	}
 	rep := m.Ckpt.TakeCheckpoint(m.lanes(), 0, m.quiesce)
 	m.Stats.Checkpoints++
+	m.auditNow("checkpoint")
 	return rep
 }
 
@@ -396,6 +465,11 @@ func (m *Machine) Restore() error {
 		return fmt.Errorf("kernel: Restore on a running machine")
 	}
 	lane := &m.Cores[0].Lane
+	// Recovery begins at the machine wall clock (the crash instant), not
+	// wherever core 0's lane happened to lag: without this rendezvous the
+	// restore cost would be charged into core 0's idle gap and vanish from
+	// the machine's observable recovery time.
+	lane.AdvanceTo(m.Now())
 	tree, _, err := m.Ckpt.Restore(lane)
 	if err != nil {
 		return err
@@ -416,6 +490,7 @@ func (m *Machine) Restore() error {
 		m.nextCkpt = m.Now().Add(m.cfg.CheckpointEvery)
 	}
 	m.Stats.Restores++
+	m.auditNow("restore")
 	return nil
 }
 

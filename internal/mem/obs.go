@@ -1,0 +1,28 @@
+package mem
+
+import "treesls/internal/obs"
+
+// SetObserver surfaces the device's traffic and persistence-protocol
+// counters (clwb flushes, sfences, crash-damage tallies) through the
+// metrics registry. The instruments are snapshot-time callbacks over the
+// existing Stats fields, so the device hot paths — stores, flushes, fences
+// — pay nothing, observed or not. Trace events for individual clwb/sfence
+// operations are emitted by the checkpoint manager, which knows the issuing
+// core lane.
+func (m *Memory) SetObserver(o *obs.Observer) {
+	if !o.MetricsOn() {
+		return
+	}
+	r := o.Metrics
+	r.GaugeFunc("mem.nvm_page_writes", func() int64 { return int64(m.Stats.NVMPageWrites) })
+	r.GaugeFunc("mem.nvm_page_reads", func() int64 { return int64(m.Stats.NVMPageReads) })
+	r.GaugeFunc("mem.dram_page_writes", func() int64 { return int64(m.Stats.DRAMPageWrites) })
+	r.GaugeFunc("mem.dram_page_reads", func() int64 { return int64(m.Stats.DRAMPageReads) })
+	r.GaugeFunc("mem.clwb_flushes", func() int64 { return int64(m.Stats.Flushes) })
+	r.GaugeFunc("mem.sfences", func() int64 { return int64(m.Stats.Fences) })
+	r.GaugeFunc("mem.unflushed_lines", func() int64 { return int64(m.UnflushedLines()) })
+	r.GaugeFunc("mem.crash_lines_at_risk", func() int64 { return int64(m.Stats.CrashLinesAtRisk) })
+	r.GaugeFunc("mem.crash_lines_dropped", func() int64 { return int64(m.Stats.CrashLinesDropped) })
+	r.GaugeFunc("mem.crash_lines_torn", func() int64 { return int64(m.Stats.CrashLinesTorn) })
+	r.GaugeFunc("mem.dram_free_frames", func() int64 { return int64(m.DRAMFreeFrames()) })
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"treesls/internal/simclock"
+)
+
+// Counter is a monotonically increasing metric. The nil Counter is a valid
+// disabled handle: instrumented code holds the handle unconditionally and
+// Inc/Add on nil are free no-ops, so a disabled registry costs nothing on
+// the hot path.
+type Counter struct {
+	name string
+	v    uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Gauge is a set-to-current-value metric.
+type Gauge struct {
+	name string
+	v    int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v = v
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v
+}
+
+// Histogram accumulates observations into fixed buckets (upper bounds,
+// ascending; an implicit +Inf bucket catches the rest).
+type Histogram struct {
+	name   string
+	bounds []int64
+	counts []uint64
+	sum    int64
+	n      uint64
+	min    int64
+	max    int64
+}
+
+// TimeBuckets is the default bucket layout for simulated-duration
+// histograms: exponential from 1 µs to ~33 ms.
+var TimeBuckets = []int64{
+	1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 125_000,
+	250_000, 500_000, 1_000_000, 2_000_000, 4_000_000, 8_000_000,
+	16_000_000, 33_000_000,
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	if h.n == 0 || v < h.min {
+		h.min = v
+	}
+	if h.n == 0 || v > h.max {
+		h.max = v
+	}
+	h.n++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// ObserveDur records a simulated duration.
+func (h *Histogram) ObserveDur(d simclock.Duration) { h.Observe(int64(d)) }
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sum of observations (0 on nil).
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Registry is the metrics registry: a flat namespace of counters, gauges,
+// histograms, and gauge callbacks. Construction is idempotent per name, so
+// layers can (re)register their instruments without coordination. The
+// simulation is single-threaded; the registry is not locked.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the counter named name, creating it on first use. Returns
+// nil (a valid disabled handle) on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{name: name}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge named name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{name: name}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram named name, creating it with the given
+// bucket bounds on first use (TimeBuckets when bounds is nil).
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	if bounds == nil {
+		bounds = TimeBuckets
+	}
+	h := &Histogram{name: name, bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// GaugeFunc registers a callback evaluated at snapshot time — the cheap way
+// to surface an existing stats field without touching the hot path at all.
+// Re-registering a name replaces the callback (a machine rebuilt over the
+// same registry keeps the freshest view).
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.funcs[name] = fn
+}
+
+// Snapshot renders every metric at simulated instant now as deterministic
+// text: one line per metric, sorted by name.
+func (r *Registry) Snapshot(now simclock.Time) string {
+	if r == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "# metrics snapshot @ %dns\n", int64(now))
+	lines := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("%s counter %d", name, c.v))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("%s gauge %d", name, g.v))
+	}
+	for name, fn := range r.funcs {
+		lines = append(lines, fmt.Sprintf("%s gauge %d", name, fn()))
+	}
+	for name, h := range r.hists {
+		var hb strings.Builder
+		fmt.Fprintf(&hb, "%s histogram count=%d sum=%d", name, h.n, h.sum)
+		if h.n > 0 {
+			fmt.Fprintf(&hb, " min=%d max=%d buckets=", h.min, h.max)
+			first := true
+			for i, c := range h.counts {
+				if c == 0 {
+					continue
+				}
+				if !first {
+					hb.WriteByte(',')
+				}
+				first = false
+				if i < len(h.bounds) {
+					fmt.Fprintf(&hb, "le%d:%d", h.bounds[i], c)
+				} else {
+					fmt.Fprintf(&hb, "inf:%d", c)
+				}
+			}
+		}
+		lines = append(lines, hb.String())
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

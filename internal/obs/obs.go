@@ -1,0 +1,139 @@
+// Package obs is the deterministic observability layer of the TreeSLS
+// reproduction: a structured event tracer and a metrics registry, both
+// operating purely in simulated time.
+//
+// Design rules:
+//
+//   - Zero allocation when disabled. Every handle (Observer, Tracer,
+//     Registry, Counter, Gauge, Histogram) is nil-safe: calling a method on
+//     a nil receiver is a no-op. Hot paths additionally guard argument
+//     construction behind TraceOn()/MetricsOn() so that a disabled observer
+//     costs a nil check and nothing else. The determinism of the simulation
+//     is untouched either way, because observation never charges lanes —
+//     recording an event is free in simulated time.
+//
+//   - Deterministic output. Same seed ⇒ byte-identical trace export and
+//     metrics snapshot. Nothing here reads wall-clock time, iterates a map
+//     during export, or formats floating point from non-deterministic
+//     sources.
+//
+// The cross-layer state-digest auditor built on top of this package lives in
+// the obs/audit subpackage (it needs to see caps/mem/checkpoint types, which
+// this package must not import — they import obs).
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"treesls/internal/simclock"
+)
+
+// Observer bundles the tracer and the metrics registry handed to the
+// instrumented layers. A nil Observer (or nil fields) disables the
+// corresponding instrument at zero cost.
+type Observer struct {
+	Trace   *Tracer
+	Metrics *Registry
+}
+
+// New returns an Observer with both tracing and metrics enabled.
+func New() *Observer {
+	return &Observer{Trace: NewTracer(), Metrics: NewRegistry()}
+}
+
+// TraceOn reports whether span/instant recording is enabled. Hot call sites
+// use it to skip argument construction entirely when tracing is off.
+func (o *Observer) TraceOn() bool { return o != nil && o.Trace != nil }
+
+// MetricsOn reports whether the metrics registry is enabled.
+func (o *Observer) MetricsOn() bool { return o != nil && o.Metrics != nil }
+
+// Options is the shared command-line flag set of the treesls CLIs
+// (-trace/-metrics/-audit).
+type Options struct {
+	// TracePath, when non-empty, enables the tracer and writes a
+	// Chrome-trace JSON file there at the end of the run ("-" = stdout).
+	TracePath string
+	// TraceJSONL optionally mirrors the trace as JSON-lines.
+	TraceJSONL string
+	// Metrics enables the registry and prints a snapshot at the end.
+	Metrics bool
+	// Audit enables the state-digest auditor after every checkpoint and
+	// restore.
+	Audit bool
+}
+
+// AddFlags registers the shared observability flags on fs (the default
+// flag.CommandLine when fs is nil).
+func AddFlags(fs *flag.FlagSet) *Options {
+	if fs == nil {
+		fs = flag.CommandLine
+	}
+	o := &Options{}
+	fs.StringVar(&o.TracePath, "trace", "", "write a Chrome-trace JSON of the run to this file (\"-\" = stdout)")
+	fs.StringVar(&o.TraceJSONL, "trace-jsonl", "", "also write the trace as JSON lines to this file")
+	fs.BoolVar(&o.Metrics, "metrics", false, "print a metrics snapshot at the end of the run")
+	fs.BoolVar(&o.Audit, "audit", false, "run the state-digest auditor after every checkpoint and restore")
+	return o
+}
+
+// Enabled reports whether any instrument was requested.
+func (o *Options) Enabled() bool {
+	return o.TracePath != "" || o.TraceJSONL != "" || o.Metrics || o.Audit
+}
+
+// Observer builds the Observer the options ask for (nil when nothing that
+// needs one was requested).
+func (o *Options) Observer() *Observer {
+	if !o.Enabled() {
+		return nil
+	}
+	obs := &Observer{}
+	if o.TracePath != "" || o.TraceJSONL != "" {
+		obs.Trace = NewTracer()
+	}
+	if o.Metrics || o.Audit {
+		obs.Metrics = NewRegistry()
+	}
+	return obs
+}
+
+// Finish writes the requested outputs: the trace files and (to w) the
+// metrics snapshot taken at simulated instant now.
+func (o *Options) Finish(obs *Observer, w io.Writer, now simclock.Time) error {
+	if obs == nil {
+		return nil
+	}
+	if o.TracePath != "" {
+		if err := writeTo(o.TracePath, obs.Trace.WriteChromeTrace); err != nil {
+			return fmt.Errorf("obs: writing trace: %w", err)
+		}
+	}
+	if o.TraceJSONL != "" {
+		if err := writeTo(o.TraceJSONL, obs.Trace.WriteJSONL); err != nil {
+			return fmt.Errorf("obs: writing trace jsonl: %w", err)
+		}
+	}
+	if o.Metrics && obs.Metrics != nil {
+		fmt.Fprint(w, obs.Metrics.Snapshot(now))
+	}
+	return nil
+}
+
+func writeTo(path string, write func(io.Writer) error) error {
+	if path == "-" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

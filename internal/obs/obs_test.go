@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"flag"
+	"strings"
+	"testing"
+
+	"treesls/internal/simclock"
+)
+
+// The tentpole promise: a disabled observer costs nothing on the hot path.
+// Every handle must be nil-safe AND allocation-free.
+func TestDisabledObserverZeroAlloc(t *testing.T) {
+	var o *Observer
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		if o.TraceOn() || o.MetricsOn() {
+			t.Fatal("nil observer reports enabled")
+		}
+		c.Inc()
+		c.Add(3)
+		g.Set(42)
+		h.Observe(100)
+		h.ObserveDur(100)
+		_ = r.Counter("x")
+		_ = r.Gauge("y")
+		_ = r.Histogram("z", nil)
+		r.GaugeFunc("f", func() int64 { return 0 })
+	})
+	if allocs != 0 {
+		t.Errorf("disabled observer allocated %.1f times per op, want 0", allocs)
+	}
+
+	var tr *Tracer
+	allocs = testing.AllocsPerRun(1000, func() {
+		// The nil tracer must also drop events without allocating.
+		// (Instrumented code normally guards the variadic call behind
+		// TraceOn, so even the arg slice is never built.)
+		tr.Instant(0, 10, "cat", "name")
+		tr.Span(0, 10, 20, "cat", "name")
+		if tr.Len() != 0 || tr.Events() != nil {
+			t.Fatal("nil tracer recorded something")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil tracer allocated %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("ops")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	if r.Counter("ops") != c {
+		t.Error("Counter not idempotent per name")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(-7)
+	if g.Value() != -7 {
+		t.Errorf("gauge = %d, want -7", g.Value())
+	}
+
+	h := r.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{5, 50, 500, 7} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 562 {
+		t.Errorf("histogram count=%d sum=%d, want 4/562", h.Count(), h.Sum())
+	}
+	if h.min != 5 || h.max != 500 {
+		t.Errorf("histogram min=%d max=%d, want 5/500", h.min, h.max)
+	}
+	if h.counts[0] != 2 || h.counts[1] != 1 || h.counts[2] != 1 {
+		t.Errorf("bucket counts = %v", h.counts)
+	}
+}
+
+func TestSnapshotDeterministicAndSorted(t *testing.T) {
+	build := func() string {
+		r := NewRegistry()
+		r.Counter("z.count").Add(3)
+		r.Gauge("a.gauge").Set(1)
+		r.Histogram("m.hist", []int64{10}).Observe(7)
+		r.GaugeFunc("b.func", func() int64 { return 9 })
+		return r.Snapshot(12345)
+	}
+	s1, s2 := build(), build()
+	if s1 != s2 {
+		t.Fatalf("snapshot not deterministic:\n%s\nvs\n%s", s1, s2)
+	}
+	lines := strings.Split(strings.TrimSpace(s1), "\n")
+	if lines[0] != "# metrics snapshot @ 12345ns" {
+		t.Errorf("header = %q", lines[0])
+	}
+	body := lines[1:]
+	for i := 1; i < len(body); i++ {
+		if body[i-1] >= body[i] {
+			t.Errorf("snapshot lines not sorted: %q >= %q", body[i-1], body[i])
+		}
+	}
+	want := "m.hist histogram count=1 sum=7 min=7 max=7 buckets=le10:1"
+	if !strings.Contains(s1, want) {
+		t.Errorf("snapshot missing %q:\n%s", want, s1)
+	}
+}
+
+func TestChromeTraceFormat(t *testing.T) {
+	tr := NewTracer()
+	tr.Span(0, 1000, 3500, "checkpoint", "stw", I("version", 3))
+	tr.Instant(2, 2500, "page", "cow-fault", S("op", `quote"me`))
+	tr.Span(1, 100, 50, "x", "inverted") // clamped to zero duration
+
+	var b bytes.Buffer
+	if err := tr.WriteChromeTrace(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	for _, want := range []string{
+		`{"displayTimeUnit":"ns","traceEvents":[`,
+		`{"name":"stw","cat":"checkpoint","ph":"X","pid":0,"tid":0,"ts":1.000,"dur":2.500,"args":{"version":3}}`,
+		`{"name":"cow-fault","cat":"page","ph":"i","pid":0,"tid":2,"ts":2.500,"s":"t","args":{"op":"quote\"me"}}`,
+		`"dur":0.000`,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trace missing %q:\n%s", want, got)
+		}
+	}
+
+	b.Reset()
+	if err := tr.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	jl := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(jl) != 3 {
+		t.Fatalf("JSONL lines = %d, want 3", len(jl))
+	}
+	if jl[0] != `{"ts":1000,"tid":0,"ph":"X","cat":"checkpoint","name":"stw","dur":2500,"args":{"version":3}}` {
+		t.Errorf("JSONL line = %q", jl[0])
+	}
+}
+
+func TestTraceExportDeterministic(t *testing.T) {
+	build := func() []byte {
+		tr := NewTracer()
+		for i := 0; i < 50; i++ {
+			ts := simclock.Time(i * 100)
+			tr.Span(i%4, ts, ts+37, "c", "span", I("i", int64(i)))
+			tr.Instant(i%4, ts+5, "c", "inst")
+		}
+		var b bytes.Buffer
+		tr.WriteChromeTrace(&b)
+		return b.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical event sequences exported different bytes")
+	}
+}
+
+func TestWriteMicrosFixedPoint(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want string
+	}{
+		{0, "0.000"},
+		{1, "0.001"},
+		{999, "0.999"},
+		{1000, "1.000"},
+		{1234567, "1234.567"},
+		{-1500, "-1.500"},
+	}
+	for _, c := range cases {
+		var b bytes.Buffer
+		w := bufio.NewWriter(&b)
+		writeMicros(w, c.ns)
+		w.Flush()
+		if b.String() != c.want {
+			t.Errorf("writeMicros(%d) = %q, want %q", c.ns, b.String(), c.want)
+		}
+	}
+}
+
+func TestOptionsObserver(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	o := AddFlags(fs)
+	if err := fs.Parse([]string{"-metrics", "-trace", "out.json"}); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Enabled() {
+		t.Fatal("options not enabled")
+	}
+	ob := o.Observer()
+	if !ob.TraceOn() || !ob.MetricsOn() {
+		t.Errorf("TraceOn=%v MetricsOn=%v, want both", ob.TraceOn(), ob.MetricsOn())
+	}
+
+	var none Options
+	if none.Enabled() || none.Observer() != nil {
+		t.Error("empty options produced an observer")
+	}
+
+	audit := Options{Audit: true}
+	ob = audit.Observer()
+	if ob.TraceOn() || !ob.MetricsOn() {
+		t.Error("-audit alone should enable metrics only")
+	}
+}
+
+func TestOptionsFinishWritesSnapshot(t *testing.T) {
+	o := &Options{Metrics: true}
+	ob := o.Observer()
+	ob.Metrics.Counter("x").Inc()
+	var b bytes.Buffer
+	if err := o.Finish(ob, &b, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x counter 1") {
+		t.Errorf("Finish output = %q", b.String())
+	}
+	if err := o.Finish(nil, &b, 0); err != nil {
+		t.Errorf("Finish(nil) = %v", err)
+	}
+}

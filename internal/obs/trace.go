@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"treesls/internal/simclock"
+)
+
+// Arg is one key/value annotation on a trace event. Values are either
+// integers or strings; keeping the representation closed keeps the export
+// byte-deterministic (no reflection, no float formatting).
+type Arg struct {
+	Key   string
+	Str   string
+	Int   int64
+	IsStr bool
+}
+
+// I makes an integer argument.
+func I(key string, v int64) Arg { return Arg{Key: key, Int: v} }
+
+// S makes a string argument.
+func S(key, v string) Arg { return Arg{Key: key, Str: v, IsStr: true} }
+
+// Event is one recorded trace event. Phase follows the Chrome trace-event
+// format: 'X' is a complete span (TS..TS+Dur), 'i' an instant.
+type Event struct {
+	Name  string
+	Cat   string
+	Phase byte
+	TID   int
+	TS    simclock.Time
+	Dur   simclock.Duration
+	Args  []Arg
+}
+
+// Tracer records events in order. It is single-writer, like the simulation
+// itself; events are appended in execution order, which is deterministic for
+// a seeded machine.
+type Tracer struct {
+	events []Event
+}
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// Instant records a point event at simulated time ts on lane tid.
+func (t *Tracer) Instant(tid int, ts simclock.Time, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	t.events = append(t.events, Event{Name: name, Cat: cat, Phase: 'i', TID: tid, TS: ts, Args: args})
+}
+
+// Span records a complete span [start, end] on lane tid. Inverted spans are
+// clamped to zero duration.
+func (t *Tracer) Span(tid int, start, end simclock.Time, cat, name string, args ...Arg) {
+	if t == nil {
+		return
+	}
+	d := end.Sub(start)
+	if d < 0 {
+		d = 0
+	}
+	t.events = append(t.events, Event{Name: name, Cat: cat, Phase: 'X', TID: tid, TS: start, Dur: d, Args: args})
+}
+
+// Len returns the number of recorded events.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.events)
+}
+
+// Events exposes the recorded events (read-only use).
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	return t.events
+}
+
+// writeMicros writes a nanosecond quantity as fixed-point microseconds
+// ("12.345"), the unit Chrome's trace viewer expects. Fixed-point integer
+// formatting keeps the output byte-deterministic.
+func writeMicros(w *bufio.Writer, ns int64) {
+	neg := ns < 0
+	if neg {
+		w.WriteByte('-')
+		ns = -ns
+	}
+	w.WriteString(strconv.FormatInt(ns/1000, 10))
+	w.WriteByte('.')
+	frac := ns % 1000
+	if frac < 100 {
+		w.WriteByte('0')
+	}
+	if frac < 10 {
+		w.WriteByte('0')
+	}
+	w.WriteString(strconv.FormatInt(frac, 10))
+}
+
+func writeArgs(w *bufio.Writer, args []Arg) {
+	w.WriteString(`,"args":{`)
+	for i, a := range args {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(strconv.Quote(a.Key))
+		w.WriteByte(':')
+		if a.IsStr {
+			w.WriteString(strconv.Quote(a.Str))
+		} else {
+			w.WriteString(strconv.FormatInt(a.Int, 10))
+		}
+	}
+	w.WriteByte('}')
+}
+
+// WriteChromeTrace serializes the trace in the Chrome trace-event JSON
+// format (load in chrome://tracing or https://ui.perfetto.dev). Timestamps
+// are simulated microseconds; the "thread" of an event is its core lane.
+func (t *Tracer) WriteChromeTrace(out io.Writer) error {
+	w := bufio.NewWriter(out)
+	w.WriteString(`{"displayTimeUnit":"ns","traceEvents":[`)
+	if t != nil {
+		for i, e := range t.events {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`{"name":`)
+			w.WriteString(strconv.Quote(e.Name))
+			w.WriteString(`,"cat":`)
+			w.WriteString(strconv.Quote(e.Cat))
+			w.WriteString(`,"ph":"`)
+			w.WriteByte(e.Phase)
+			w.WriteString(`","pid":0,"tid":`)
+			w.WriteString(strconv.Itoa(e.TID))
+			w.WriteString(`,"ts":`)
+			writeMicros(w, int64(e.TS))
+			if e.Phase == 'X' {
+				w.WriteString(`,"dur":`)
+				writeMicros(w, int64(e.Dur))
+			}
+			if e.Phase == 'i' {
+				w.WriteString(`,"s":"t"`)
+			}
+			if len(e.Args) > 0 {
+				writeArgs(w, e.Args)
+			}
+			w.WriteByte('}')
+		}
+	}
+	w.WriteString("]}\n")
+	return w.Flush()
+}
+
+// WriteJSONL serializes the trace as one JSON object per line, timestamps in
+// simulated nanoseconds — the machine-friendly export.
+func (t *Tracer) WriteJSONL(out io.Writer) error {
+	w := bufio.NewWriter(out)
+	if t != nil {
+		for _, e := range t.events {
+			w.WriteString(`{"ts":`)
+			w.WriteString(strconv.FormatInt(int64(e.TS), 10))
+			w.WriteString(`,"tid":`)
+			w.WriteString(strconv.Itoa(e.TID))
+			w.WriteString(`,"ph":"`)
+			w.WriteByte(e.Phase)
+			w.WriteString(`","cat":`)
+			w.WriteString(strconv.Quote(e.Cat))
+			w.WriteString(`,"name":`)
+			w.WriteString(strconv.Quote(e.Name))
+			if e.Phase == 'X' {
+				w.WriteString(`,"dur":`)
+				w.WriteString(strconv.FormatInt(int64(e.Dur), 10))
+			}
+			if len(e.Args) > 0 {
+				writeArgs(w, e.Args)
+			}
+			w.WriteString("}\n")
+		}
+	}
+	return w.Flush()
+}

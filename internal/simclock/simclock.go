@@ -263,10 +263,25 @@ func DefaultCostModel() *CostModel {
 }
 
 // Lane is the simulated clock of one CPU core. Lanes only move forward.
-// The zero value is a lane at time 0.
+// The zero value is a lane at time 0 with ID 0.
+//
+// A lane distinguishes two ways of moving forward: Charge (the core did
+// work) and AdvanceTo (the core idled until a global event — a checkpoint
+// rendezvous, the end of a stop-the-world pause, a settle deadline). The
+// idle portion is accumulated separately so per-lane idle time can be
+// surfaced as a metric; it never affects Now().
 type Lane struct {
-	now Time
+	id   int
+	now  Time
+	idle Duration
 }
+
+// SetID labels the lane with its core number (used as the thread ID in
+// trace exports).
+func (l *Lane) SetID(id int) { l.id = id }
+
+// ID returns the lane's core number.
+func (l *Lane) ID() int { return l.id }
 
 // Now returns the lane's current simulated time.
 func (l *Lane) Now() Time { return l.now }
@@ -281,13 +296,15 @@ func (l *Lane) Charge(d Duration) Time {
 }
 
 // AdvanceTo moves the lane forward to at least t (used when a core idles
-// until a global event such as the end of a stop-the-world pause).
+// until a global event such as the end of a stop-the-world pause). The
+// skipped span is accounted as idle time.
 func (l *Lane) AdvanceTo(t Time) {
 	if t > l.now {
+		l.idle += t.Sub(l.now)
 		l.now = t
 	}
 }
 
-// Reset rewinds the lane to time t. Only the machine's restore path uses
-// this, when rebuilding the world after a simulated power failure.
-func (l *Lane) Reset(t Time) { l.now = t }
+// IdleTime returns the total simulated time this lane has spent idle
+// (advanced by AdvanceTo rather than charged as work) since boot.
+func (l *Lane) IdleTime() Duration { return l.idle }

@@ -65,12 +65,35 @@ func TestLaneAdvanceTo(t *testing.T) {
 	}
 }
 
-func TestLaneReset(t *testing.T) {
+func TestLaneID(t *testing.T) {
 	var l Lane
-	l.Charge(1000)
-	l.Reset(7)
-	if l.Now() != 7 {
-		t.Errorf("Reset(7) left lane at %d", l.Now())
+	if l.ID() != 0 {
+		t.Errorf("zero lane ID = %d", l.ID())
+	}
+	l.SetID(3)
+	if l.ID() != 3 {
+		t.Errorf("ID() = %d, want 3", l.ID())
+	}
+}
+
+func TestLaneIdleTime(t *testing.T) {
+	var l Lane
+	l.Charge(100) // working: no idle
+	if l.IdleTime() != 0 {
+		t.Errorf("idle after Charge = %d", int64(l.IdleTime()))
+	}
+	l.AdvanceTo(300) // waiting: 200ns idle
+	if l.IdleTime() != 200 {
+		t.Errorf("idle after AdvanceTo(300) = %d, want 200", int64(l.IdleTime()))
+	}
+	l.AdvanceTo(250) // backwards: no-op, no idle
+	l.Charge(50)
+	l.AdvanceTo(400) // 50 more idle
+	if l.IdleTime() != 250 {
+		t.Errorf("accumulated idle = %d, want 250", int64(l.IdleTime()))
+	}
+	if l.Now() != 400 {
+		t.Errorf("Now() = %d, want 400", l.Now())
 	}
 }
 
