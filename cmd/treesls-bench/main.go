@@ -6,7 +6,8 @@
 //	treesls-bench [-scale quick|full] [-only table2,fig9a,...]
 //
 // Experiment names: functional, table2, fig9a, fig9b, table3, fig10,
-// table4, fig11, fig12, fig13, fig14, ablation, restoretime.
+// table4, fig11, fig12, fig13, fig14, ablation, restoretime, sensitivity,
+// scaling.
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 func main() {
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment subset (default: all)")
+	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
@@ -39,6 +41,7 @@ func main() {
 	ob := obsOpts.Observer()
 	scale.Obs = ob
 	scale.Audit = obsOpts.Audit
+	scale.SerialWalk = !*parallelWalk
 
 	type experiment struct {
 		name string
@@ -62,6 +65,7 @@ func main() {
 		}},
 		{"restoretime", func(s experiments.Scale) (string, error) { _, t, err := experiments.RestoreTime(s); return t, err }},
 		{"sensitivity", func(s experiments.Scale) (string, error) { _, t, err := experiments.SensitivityNVM(s); return t, err }},
+		{"scaling", func(s experiments.Scale) (string, error) { _, t, err := experiments.WalkScaling(s); return t, err }},
 	}
 
 	selected := all

@@ -23,6 +23,7 @@ func main() {
 	extsyncOn := flag.Bool("extsync", true, "route responses through the external-synchrony driver")
 	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
 	crashSeed := flag.Uint64("crash-seed", 1, "RNG seed for ADR crash damage (which unflushed lines drop or tear)")
+	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
@@ -31,6 +32,7 @@ func main() {
 	cfg := kernel.DefaultConfig()
 	cfg.Mem.Persist = mode
 	cfg.Mem.CrashSeed = *crashSeed
+	cfg.Checkpoint.ParallelWalk = *parallelWalk
 	ob := obsOpts.Observer()
 	cfg.Obs = ob
 	cfg.Audit = obsOpts.Audit

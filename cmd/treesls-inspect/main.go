@@ -20,6 +20,7 @@ import (
 func main() {
 	withKV := flag.Bool("kv", true, "run a sample KV workload before dumping")
 	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
+	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
@@ -31,6 +32,7 @@ func main() {
 	cfg := kernel.DefaultConfig()
 	cfg.CheckpointEvery = 0
 	cfg.Mem.Persist = mode
+	cfg.Checkpoint.ParallelWalk = *parallelWalk
 	ob := obsOpts.Observer()
 	cfg.Obs = ob
 	cfg.Audit = obsOpts.Audit

@@ -71,11 +71,23 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	}
 	rep.IPIWait = quiescedAt.Sub(stwStart)
 
-	// --- Step ❷: the leader checkpoints the capability tree. -----------
+	// --- Step ❷: checkpoint the capability tree. -----------------------
+	// Parallel mode (the default on multi-core machines) partitions the
+	// tree into subtree work units claimed by every lane through the
+	// deterministic work queue (walk.go); the serial reference walk runs
+	// entirely on the leader.
+	parallel := m.cfg.ParallelWalk && len(lanes) > 1
 	treeStart := ll.Now()
-	m.rootORoot = m.checkpointObject(ll, m.tree.Root, round, &rep)
+	if parallel {
+		m.parallelWalk(lanes, leader, round, &rep)
+	} else {
+		m.rootORoot = m.checkpointObject(ll, m.tree.Root, round, &rep)
+	}
 	treeEnd := ll.Now()
 	rep.CapTree = treeEnd.Sub(treeStart)
+	if !parallel {
+		rep.WalkWork = rep.CapTree
+	}
 
 	// --- Step ❸: other cores run hybrid copy in parallel. --------------
 	// Each non-leader core walks a stride-partitioned sublist of the
@@ -93,6 +105,18 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 		if len(workers) == 0 {
 			workers = append(workers, ll)
 			serial = true
+		} else if parallel {
+			// The copy overlaps the tail of the parallel walk: each
+			// worker starts as soon as its own share of the walk is
+			// done, so the earliest worker finish time opens the copy
+			// window. (With the serial walk the workers never left the
+			// quiescence barrier and this equals quiescedAt.)
+			hybridStart = workers[0].Now()
+			for _, w := range workers[1:] {
+				if w.Now() < hybridStart {
+					hybridStart = w.Now()
+				}
+			}
 		}
 		hybridEnd = m.runHybridCopy(workers, hybridStart, round, serial, &rep)
 	}
@@ -181,6 +205,9 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	m.met.stw.ObserveDur(rep.STWTotal)
 	m.met.ipi.ObserveDur(rep.IPIWait)
 	m.met.capTree.ObserveDur(rep.CapTree)
+	m.met.walkWork.ObserveDur(rep.WalkWork)
+	m.met.walkUnits.Add(uint64(rep.WalkUnits))
+	m.met.walkSteals.Add(uint64(rep.WalkSteals))
 	if m.cfg.HybridCopy {
 		m.met.hybrid.ObserveDur(rep.HybridCopy)
 	}
@@ -209,13 +236,26 @@ func b2i(b bool) int64 {
 }
 
 // checkpointObject checkpoints o (if dirty) and recurses into the objects it
-// references, charging the leader lane. It implements the per-kind
-// strategies of §4.1.
+// references, charging lane. It implements the per-kind strategies of §4.1.
 func (m *Manager) checkpointObject(lane *simclock.Lane, o caps.Object, round uint64, rep *Report) *caps.ORoot {
 	r := m.resolve(lane, o)
 	if r.SeenInRound(m.walkStamp) {
 		return r
 	}
+	children := m.visitResolved(lane, o, r, round, rep)
+	for _, c := range children {
+		if c != nil {
+			m.checkpointObject(lane, c, round, rep)
+		}
+	}
+	return r
+}
+
+// visitResolved checkpoints the single object o (whose root r is already
+// resolved and not yet seen this round) without descending, and returns the
+// children a full walk would recurse into. Both checkpointObject and the
+// parallel walk's shallow units are built on it.
+func (m *Manager) visitResolved(lane *simclock.Lane, o caps.Object, r *caps.ORoot, round uint64, rep *Report) []caps.Object {
 	r.MarkSeen(m.walkStamp)
 
 	start := lane.Now()
@@ -338,13 +378,7 @@ func (m *Manager) checkpointObject(lane *simclock.Lane, o caps.Object, round uin
 			ts.addIncr(elapsed)
 		}
 	}
-
-	for _, c := range children {
-		if c != nil {
-			m.checkpointObject(lane, c, round, rep)
-		}
-	}
-	return r
+	return children
 }
 
 // snapshotSlot prepares backup slot ws of root r for a snapshot at version

@@ -1,6 +1,8 @@
 package checkpoint
 
 import (
+	"sort"
+
 	"treesls/internal/caps"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
@@ -21,7 +23,17 @@ import (
 // makes them collectible.
 func (m *Manager) sweepUnreachable(lane *simclock.Lane, stamp uint64) {
 	sweptBefore := m.Stats.RootsSwept
-	for id, r := range m.roots {
+	// Sweep in ascending object-ID order: frame frees feed the allocator's
+	// free list, so the order must be a pure function of the tree state —
+	// not of Go's per-run map iteration order — for runs to stay
+	// byte-identical regardless of how many lanes walked the tree.
+	ids := make([]uint64, 0, len(m.roots))
+	for id := range m.roots {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		r := m.roots[id]
 		if r.SeenInRound(stamp) {
 			continue
 		}
@@ -54,9 +66,7 @@ func (m *Manager) sweepUnreachable(lane *simclock.Lane, stamp uint64) {
 		delete(m.roots, id)
 		m.Stats.RootsSwept++
 	}
-	// One summary event after the loop: the map iteration above is
-	// intentionally order-free, so per-root events would make the trace
-	// nondeterministic.
+	// One summary event after the loop keeps the trace compact.
 	if swept := m.Stats.RootsSwept - sweptBefore; swept > 0 && m.traceOn() {
 		m.obs.Trace.Instant(lane.ID(), lane.Now(), "checkpoint", "gc-sweep",
 			obs.I("swept", int64(swept)))

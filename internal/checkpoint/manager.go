@@ -83,6 +83,11 @@ type Config struct {
 	// checkpoint round supersedes a swapped page's content, so the swap
 	// backend can recycle the slot (§8 memory over-commitment).
 	ReleaseSwapSlot func(slot uint64)
+	// ParallelWalk partitions the capability-tree walk of step ❷ into
+	// subtree work units claimed by every core lane through a
+	// deterministic work queue (walk.go). With it off — or on a
+	// single-core machine — the leader runs the serial reference walk.
+	ParallelWalk bool
 }
 
 // DefaultConfig mirrors the paper's evaluated configuration.
@@ -92,6 +97,7 @@ func DefaultConfig() Config {
 		HotThreshold:   3,
 		DemoteAfter:    8,
 		MaxCachedPages: 4096,
+		ParallelWalk:   true,
 	}
 }
 
@@ -119,6 +125,16 @@ type Report struct {
 	HybridCopy simclock.Duration
 	// STWTotal is the full pause experienced by application cores.
 	STWTotal simclock.Duration
+
+	// Parallel-walk accounting. WalkWork is the total charged walk time
+	// summed over all lanes, net of barrier waits — for the serial walk
+	// it equals CapTree, for the parallel walk it exceeds the serial
+	// figure by exactly the modeled queue overhead
+	// (units·(WQPublish+WQClaim) + steals·WQSteal). WalkUnits and
+	// WalkSteals are zero when the serial reference walk ran.
+	WalkWork   simclock.Duration
+	WalkUnits  int // subtree work units the partitioner produced
+	WalkSteals int // units claimed by a lane other than their home lane
 
 	// Page accounting for Table 4.
 	PagesStopCopied int // pages copied in-pause under MethodStopAndCopy
@@ -268,10 +284,12 @@ type Manager struct {
 // a free no-op.
 type ckptMetrics struct {
 	stw, ipi, capTree, hybrid, commit, restore *obs.Histogram
+	walkWork                                   *obs.Histogram
 
 	cowFaults, pagesCopied, stopCopied *obs.Counter
 	migrations, demotions              *obs.Counter
 	restores, degraded                 *obs.Counter
+	walkUnits, walkSteals              *obs.Counter
 	dirtySet, cachedPages, activeList  *obs.Gauge
 }
 
@@ -289,6 +307,7 @@ func (m *Manager) SetObserver(o *obs.Observer) {
 		stw:         r.Histogram("checkpoint.stw_ns", nil),
 		ipi:         r.Histogram("checkpoint.ipi_ns", nil),
 		capTree:     r.Histogram("checkpoint.captree_ns", nil),
+		walkWork:    r.Histogram("checkpoint.walk_work_ns", nil),
 		hybrid:      r.Histogram("checkpoint.hybrid_ns", nil),
 		commit:      r.Histogram("checkpoint.commit_ns", nil),
 		restore:     r.Histogram("checkpoint.restore_ns", nil),
@@ -299,6 +318,8 @@ func (m *Manager) SetObserver(o *obs.Observer) {
 		demotions:   r.Counter("checkpoint.demotions"),
 		restores:    r.Counter("checkpoint.restores"),
 		degraded:    r.Counter("checkpoint.degraded_restores"),
+		walkUnits:   r.Counter("checkpoint.walk_units"),
+		walkSteals:  r.Counter("checkpoint.walk_steals"),
 		dirtySet:    r.Gauge("checkpoint.dirty_set_pages"),
 		cachedPages: r.Gauge("checkpoint.cached_pages"),
 		activeList:  r.Gauge("checkpoint.active_list_len"),

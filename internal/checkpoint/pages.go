@@ -272,9 +272,15 @@ func (m *Manager) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint6
 // stride-partitioned sublists of the dual-function active page list,
 // stop-and-copying dirty DRAM-cached pages, migrating newly-hot pages to
 // DRAM, and demoting pages that stayed clean too long back to NVM.
-// It returns the latest finishing time across the worker lanes.
+// It returns the latest finishing time across the worker lanes that did
+// copy work; workers whose clocks advanced only during the parallel walk
+// do not extend the copy window.
 func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, round uint64, serial bool, rep *Report) simclock.Time {
 	_ = serial
+	entered := make([]simclock.Time, len(workers))
+	for i, w := range workers {
+		entered[i] = w.Now()
+	}
 	keep := m.active[:0]
 	for i, ref := range m.active {
 		w := workers[i%len(workers)]
@@ -400,8 +406,8 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 	m.active = keep
 
 	end := start
-	for _, w := range workers {
-		if w.Now() > end {
+	for i, w := range workers {
+		if w.Now() > entered[i] && w.Now() > end {
 			end = w.Now()
 		}
 	}

@@ -47,6 +47,11 @@ type Config struct {
 	// Audit runs the state-digest auditor after every checkpoint and
 	// restore; any invariant violation fails the campaign.
 	Audit bool
+	// SerialWalk forces the serial reference capability-tree walk. The
+	// default (false) fuzzes the parallel work-queue walk, whose claim
+	// and subtree-commit boundaries are persistence events — so armed
+	// crashes land mid-steal and between subtree commits.
+	SerialWalk bool
 	// Obs attaches an observability layer to the fuzzed machines.
 	Obs *obs.Observer
 }
@@ -187,6 +192,7 @@ func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
 	mcfg.Mem.CrashSeed = seed
 	mcfg.Checkpoint.HotThreshold = 2
 	mcfg.Checkpoint.DemoteAfter = 3
+	mcfg.Checkpoint.ParallelWalk = !cfg.SerialWalk
 	mcfg.Audit = cfg.Audit
 	mcfg.Obs = cfg.Obs
 	m := kernel.New(mcfg)
@@ -391,13 +397,17 @@ func (f *fuzzer) restoreAndVerify() error {
 // crash, restore, and verify (with the state-digest auditor enabled). It is
 // the entry point of FuzzCrashEvent: the fuzzer owns the parameter space,
 // this function owns the oracle. A run where the countdown never fires is a
-// valid (uninteresting) input, not an error.
-func OneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16) error {
+// valid (uninteresting) input, not an error. serial selects the reference
+// walk; the default parallel walk adds a persistence event at every
+// work-queue claim and subtree commit, putting those boundaries inside the
+// fuzzed crash window.
+func OneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16, serial bool) error {
 	cfg := Config{
-		Mode:    mode,
-		Pages:   16, // small working set keeps fuzz iterations fast
-		Threads: 2,
-		Audit:   true,
+		Mode:       mode,
+		Pages:      16, // small working set keeps fuzz iterations fast
+		Threads:    2,
+		Audit:      true,
+		SerialWalk: serial,
 	}
 	cfg.fill()
 	f, err := newFuzzer(cfg, seed)

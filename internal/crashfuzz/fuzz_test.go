@@ -7,29 +7,59 @@ import (
 )
 
 // FuzzCrashEvent lets the fuzzer pick the crash point: persistence mode,
-// machine seed, the event index at which power fails, and how many workload
-// steps run before the crash window. Whatever it picks, recovery must
-// succeed and the state-digest auditor must find zero violations.
+// machine seed, the event index at which power fails, how many workload
+// steps run before the crash window, and which walk (serial reference or
+// parallel work-queue) checkpoints the capability tree. Whatever it picks,
+// recovery must succeed and the state-digest auditor must find zero
+// violations.
 func FuzzCrashEvent(f *testing.F) {
-	// Representative corners: both persistence modes, early and late
-	// crash events, short and long pre-crash workloads. Seeds 1-6 are
-	// the smoke seeds the repo's crash-fuzz suite always runs.
-	f.Add(false, uint64(1), uint64(0), uint16(0))
-	f.Add(true, uint64(1), uint64(0), uint16(0))
-	f.Add(true, uint64(2), uint64(17), uint16(5))
-	f.Add(true, uint64(3), uint64(999), uint16(200))
-	f.Add(false, uint64(4), uint64(63), uint16(31))
-	f.Add(true, uint64(42), uint64(7), uint16(90))
+	// Representative corners: both persistence modes, both walks, early
+	// and late crash events, short and long pre-crash workloads. Seeds
+	// 1-6 are the smoke seeds the repo's crash-fuzz suite always runs.
+	f.Add(false, uint64(1), uint64(0), uint16(0), false)
+	f.Add(true, uint64(1), uint64(0), uint16(0), true)
+	f.Add(true, uint64(2), uint64(17), uint16(5), false)
+	f.Add(true, uint64(3), uint64(999), uint16(200), true)
+	f.Add(false, uint64(4), uint64(63), uint16(31), false)
+	f.Add(true, uint64(42), uint64(7), uint16(90), false)
 
-	f.Fuzz(func(t *testing.T, adr bool, seed, eventK uint64, steps uint16) {
+	f.Fuzz(func(t *testing.T, adr bool, seed, eventK uint64, steps uint16, serial bool) {
 		mode := mem.ModeEADR
 		if adr {
 			mode = mem.ModeADR
 		}
-		if err := OneShot(mode, seed, eventK, steps); err != nil {
-			t.Fatalf("mode=%v seed=%d eventK=%d steps=%d: %v", mode, seed, eventK, steps, err)
+		if err := OneShot(mode, seed, eventK, steps, serial); err != nil {
+			t.Fatalf("mode=%v seed=%d eventK=%d steps=%d serial=%v: %v", mode, seed, eventK, steps, serial, err)
 		}
 	})
+}
+
+// TestCrashFuzzBothWalks runs matched short campaigns with the serial and
+// the parallel walk: both must survive with zero audit violations, and the
+// parallel campaign must actually have fired crashes (its claim/subtree
+// boundaries add persistence events, so the event streams differ).
+func TestCrashFuzzBothWalks(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		cfg := Config{
+			Mode:           mem.ModeADR,
+			Seeds:          []uint64{11, 12},
+			CrashesPerSeed: 15,
+			Audit:          true,
+			SerialWalk:     serial,
+		}
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("serial=%v: %v", serial, err)
+		}
+		if res.CrashesFired == 0 {
+			t.Fatalf("serial=%v: no crashes fired", serial)
+		}
+		if res.AuditChecks == 0 {
+			t.Fatalf("serial=%v: auditor never ran", serial)
+		}
+		t.Logf("serial=%v: fired=%d restores=%d rollbacks=%d inFlight=%d audits=%d",
+			serial, res.CrashesFired, res.Restores, res.Rollbacks, res.InFlightCommitted, res.AuditChecks)
+	}
 }
 
 // TestCrashFuzzAuditClean is the acceptance gate: the auditor reports zero

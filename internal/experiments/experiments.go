@@ -42,12 +42,19 @@ type Scale struct {
 	// simulated time, so measured shapes are unchanged.
 	Obs   *obs.Observer
 	Audit bool
+
+	// SerialWalk forces the serial reference capability-tree walk on
+	// every machine an experiment boots (the -parallel-walk=false CLI
+	// flag); the default is the parallel work-queue walk.
+	SerialWalk bool
 }
 
-// applyObs attaches the scale's observability settings to a kernel config.
+// applyObs attaches the scale's observability and walk settings to a kernel
+// config.
 func (s Scale) applyObs(cfg kernel.Config) kernel.Config {
 	cfg.Obs = s.Obs
 	cfg.Audit = s.Audit
+	cfg.Checkpoint.ParallelWalk = !s.SerialWalk
 	return cfg
 }
 

@@ -1,0 +1,156 @@
+package audit_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"treesls/internal/kernel"
+	"treesls/internal/obs"
+	"treesls/internal/obs/audit"
+)
+
+// newWalkMachine is newMachine with explicit core count and walk mode.
+func newWalkMachine(wc workloadConfig, seed uint64, cores int, parallelWalk bool, o *obs.Observer) *kernel.Machine {
+	cfg := kernel.DefaultConfig()
+	cfg.Cores = cores
+	cfg.CheckpointEvery = 0
+	cfg.SkipDefaultServices = true
+	cfg.Seed = seed
+	cfg.Mem.Persist = wc.mode
+	cfg.Mem.CrashSeed = seed
+	cfg.Checkpoint.Method = wc.method
+	cfg.Checkpoint.HybridCopy = wc.hybrid
+	cfg.Checkpoint.HotThreshold = 2
+	cfg.Checkpoint.DemoteAfter = 3
+	cfg.Checkpoint.ParallelWalk = parallelWalk
+	cfg.Audit = true
+	cfg.Obs = o
+	return kernel.New(cfg)
+}
+
+// TestSerialParallelDifferential is the serial-vs-parallel differential
+// satellite: the same seeded workload must produce identical audit digests —
+// runtime and backup before the crash, runtime after restore — whether the
+// capability tree was checkpointed by the serial reference walk or the
+// parallel work-queue walk, across every copy method × persistence mode ×
+// lane count.
+func TestSerialParallelDifferential(t *testing.T) {
+	const seed = 17
+	for _, wc := range diffMatrix {
+		for _, cores := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/cores=%d", wc.name, cores), func(t *testing.T) {
+				type result struct {
+					refRuntime, refBackup, postRuntime uint64
+				}
+				runOne := func(parallel bool) result {
+					m := newWalkMachine(wc, seed, cores, parallel, nil)
+					driveWorkload(t, m, seed, 180)
+					r := result{
+						refRuntime: audit.StateDigest(m.Tree, m.Memory),
+						refBackup:  audit.BackupDigest(m.Ckpt, m.Memory),
+					}
+					m.Crash()
+					if err := m.Restore(); err != nil {
+						t.Fatalf("restore (parallel=%v): %v", parallel, err)
+					}
+					if !m.LastAudit.Ok() {
+						t.Fatalf("audit violations after restore (parallel=%v): %v",
+							parallel, m.LastAudit.Violations)
+					}
+					r.postRuntime = audit.StateDigest(m.Tree, m.Memory)
+					return r
+				}
+				s, p := runOne(false), runOne(true)
+				if s.refRuntime != p.refRuntime {
+					t.Errorf("pre-crash runtime digest: serial %#x parallel %#x", s.refRuntime, p.refRuntime)
+				}
+				if s.refBackup != p.refBackup {
+					t.Errorf("pre-crash backup digest: serial %#x parallel %#x", s.refBackup, p.refBackup)
+				}
+				if s.postRuntime != p.postRuntime {
+					t.Errorf("post-restore digest: serial %#x parallel %#x", s.postRuntime, p.postRuntime)
+				}
+				if s.postRuntime != s.refRuntime {
+					t.Errorf("restore changed state: pre %#x post %#x", s.refRuntime, s.postRuntime)
+				}
+			})
+		}
+	}
+}
+
+// runObservedWalk mirrors runObserved with an explicit core count and walk
+// mode, returning every observable artifact plus the machine clock.
+func runObservedWalk(t *testing.T, seed uint64, cores int, parallel bool) (chrome, jsonl []byte, snapshot string, runtimeDig, backupDig uint64, now int64) {
+	t.Helper()
+	o := obs.New()
+	wc := diffMatrix[3] // cow+hybrid/adr — the most machinery at once
+	m := newWalkMachine(wc, seed, cores, parallel, o)
+	driveWorkload(t, m, seed, 150)
+	m.Crash()
+	if err := m.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	m.TakeCheckpoint()
+	if !m.LastAudit.Ok() {
+		t.Fatalf("audit violations: %v", m.LastAudit.Violations)
+	}
+	var cb, jb bytes.Buffer
+	if err := o.Trace.WriteChromeTrace(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Trace.WriteJSONL(&jb); err != nil {
+		t.Fatal(err)
+	}
+	return cb.Bytes(), jb.Bytes(), o.Metrics.Snapshot(m.Now()),
+		audit.StateDigest(m.Tree, m.Memory), audit.BackupDigest(m.Ckpt, m.Memory),
+		int64(m.Now())
+}
+
+// TestParallelWalkDeterminism is the determinism satellite: two identical
+// parallel-walk runs must be byte-identical in every observable — Chrome
+// trace, JSONL trace, metrics snapshot, digests. CI runs this under -race.
+func TestParallelWalkDeterminism(t *testing.T) {
+	c1, j1, s1, r1, b1, n1 := runObservedWalk(t, 23, 8, true)
+	c2, j2, s2, r2, b2, n2 := runObservedWalk(t, 23, 8, true)
+	if !bytes.Equal(c1, c2) {
+		t.Errorf("Chrome trace not byte-identical (%d vs %d bytes)", len(c1), len(c2))
+	}
+	if !bytes.Equal(j1, j2) {
+		t.Errorf("JSONL trace not byte-identical")
+	}
+	if s1 != s2 {
+		t.Errorf("metrics snapshot not identical:\n--- run1\n%s\n--- run2\n%s", s1, s2)
+	}
+	if r1 != r2 || b1 != b2 || n1 != n2 {
+		t.Errorf("state diverged: runtime %#x/%#x backup %#x/%#x now %d/%d", r1, r2, b1, b2, n1, n2)
+	}
+	// The trace must actually contain per-lane walk spans and the metrics
+	// must report work units — otherwise the parallel path did not run.
+	if !bytes.Contains(c1, []byte("captree-lane")) {
+		t.Error("no captree-lane spans in the parallel trace")
+	}
+	if !bytes.Contains([]byte(s1), []byte("checkpoint.walk_units")) {
+		t.Error("no walk_units metric in the snapshot")
+	}
+}
+
+// TestOneLaneParallelMatchesSerialMachine: on a 1-core machine the parallel
+// configuration must be bit-identical to the serial reference — traces,
+// metrics, digests and the final clock.
+func TestOneLaneParallelMatchesSerialMachine(t *testing.T) {
+	cs, js, ss, rs, bs, ns := runObservedWalk(t, 29, 1, false)
+	cp, jp, sp, rp, bp, np := runObservedWalk(t, 29, 1, true)
+	if !bytes.Equal(cs, cp) {
+		t.Errorf("1-core Chrome traces differ (%d vs %d bytes)", len(cs), len(cp))
+	}
+	if !bytes.Equal(js, jp) {
+		t.Errorf("1-core JSONL traces differ")
+	}
+	if ss != sp {
+		t.Errorf("1-core metrics snapshots differ:\n--- serial\n%s\n--- parallel\n%s", ss, sp)
+	}
+	if rs != rp || bs != bp || ns != np {
+		t.Errorf("1-core state diverged: runtime %#x/%#x backup %#x/%#x now %d/%d", rs, rp, bs, bp, ns, np)
+	}
+}

@@ -157,6 +157,18 @@ type CostModel struct {
 	// during the parallel stop-and-copy phase.
 	HotListVisit Duration
 
+	// Parallel-walk work-queue machinery (see simclock.WorkQueue).
+
+	// WQPublish is the leader's per-unit cost of enqueueing one subtree
+	// work unit while partitioning the capability tree.
+	WQPublish Duration
+	// WQClaim is the per-unit cost of popping the shared queue (one CAS
+	// on the queue head plus the local bookkeeping).
+	WQClaim Duration
+	// WQSteal is the extra cost of claiming a unit homed on another
+	// lane's partition: the deque slot's cache line transfers cross-core.
+	WQSteal Duration
+
 	// IPC and scheduling.
 
 	// IPCCall is the one-way cost of an IPC message through the kernel
@@ -248,6 +260,13 @@ func DefaultCostModel() *CostModel {
 
 		HotListAppend: 70,
 		HotListVisit:  35,
+
+		// A queue push/pop is a store or CAS on an M-line already in
+		// cache (~tens of ns); a steal pays one cross-core cache-line
+		// transfer on top (~60-100 ns on a two-socket Xeon).
+		WQPublish: 30,
+		WQClaim:   40,
+		WQSteal:   80,
 
 		IPCCall:       1400,
 		ContextSwitch: 800,
