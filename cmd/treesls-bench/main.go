@@ -7,7 +7,7 @@
 //
 // Experiment names: functional, table2, fig9a, fig9b, table3, fig10,
 // table4, fig11, fig12, fig13, fig14, ablation, restoretime, sensitivity,
-// scaling.
+// scaling, net.
 package main
 
 import (
@@ -66,6 +66,7 @@ func main() {
 		{"restoretime", func(s experiments.Scale) (string, error) { _, t, err := experiments.RestoreTime(s); return t, err }},
 		{"sensitivity", func(s experiments.Scale) (string, error) { _, t, err := experiments.SensitivityNVM(s); return t, err }},
 		{"scaling", func(s experiments.Scale) (string, error) { _, t, err := experiments.WalkScaling(s); return t, err }},
+		{"net", func(s experiments.Scale) (string, error) { _, t, err := experiments.NetLatency(s); return t, err }},
 	}
 
 	selected := all

@@ -27,6 +27,11 @@ type ServerConfig struct {
 	// driver (§5): acknowledgements reach clients only after the next
 	// checkpoint.
 	Ext *extsync.Driver
+	// EchoValue makes SET respond with the written value (RESP-style
+	// echo) instead of "+OK", so a response identifies the request that
+	// produced it — internal/net's clients match acknowledgements to
+	// requests by the echoed payload.
+	EchoValue bool
 	// PerOpCompute adds fixed per-request CPU work (request parsing,
 	// protocol handling); it is how Redis-vs-Memcached and libc
 	// differences are modelled.
@@ -124,8 +129,12 @@ func (s *Server) SetAt(arrival simclock.Time, tid int, key, val []byte) (kernel.
 			s.cfg.WAL.Append(e.Lane, len(key)+len(val))
 		}
 		if s.cfg.Ext != nil {
+			resp := []byte("+OK")
+			if s.cfg.EchoValue {
+				resp = val
+			}
 			var err error
-			seq, err = s.cfg.Ext.Send(e.Lane, []byte("+OK"))
+			seq, err = s.cfg.Ext.Send(e.Lane, resp)
 			return err
 		}
 		return nil
@@ -192,6 +201,25 @@ func (s *Server) Delete(tid int, key []byte) (kernel.OpResult, bool, error) {
 		s.Dels++
 	}
 	return res, ok, err
+}
+
+// Peek reads a key on the server's main thread without touching the
+// response path (no external-synchrony send, no WAL, no stats): an
+// inspection read used by crash harnesses to ask what the restored state
+// can justify, without generating new client-visible traffic.
+func (s *Server) Peek(key []byte) ([]byte, bool, error) {
+	p, err := s.proc()
+	if err != nil {
+		return nil, false, err
+	}
+	var val []byte
+	var ok bool
+	_, err = s.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		var err error
+		val, ok, err = s.store().Get(e, key)
+		return err
+	})
+	return val, ok, err
 }
 
 // Count returns the number of stored keys.

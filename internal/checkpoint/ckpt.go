@@ -159,10 +159,18 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	m.freedThisRound = nil
 
 	// External-synchrony checkpoint callbacks (§5): run by the leader
-	// right after commit, before cores resume.
+	// right after commit, before cores resume. This is the
+	// release-on-commit hook: everything a driver buffered before this
+	// round is now backed by persistent state and may leave the machine.
+	releaseStart := ll.Now()
 	for _, cb := range m.callbacks {
 		ll.Charge(m.model.SyscallEntry)
 		cb.OnCheckpoint(round, ll)
+	}
+	rep.Release = ll.Now().Sub(releaseStart)
+	if m.traceOn() && len(m.callbacks) > 0 {
+		m.obs.Trace.Span(ll.ID(), releaseStart, ll.Now(), "checkpoint", "release",
+			obs.I("version", int64(round)), obs.I("callbacks", int64(len(m.callbacks))))
 	}
 
 	// --- Step ❺: resume. ------------------------------------------------

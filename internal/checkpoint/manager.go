@@ -120,6 +120,11 @@ type Report struct {
 	PerKindCount [caps.NumKinds]int
 	// Others covers commit, allocator-log truncation, callbacks (❹).
 	Others simclock.Duration
+	// Release is the portion of Others spent in the registered
+	// external-synchrony callbacks (§5): the release-on-commit hook that
+	// hands buffered responses to the NIC once this version's commit
+	// covers the state that produced them.
+	Release simclock.Duration
 	// HybridCopy is the maximum per-core time spent in parallel
 	// stop-and-copy/migration (❸; the right-hand bars of Figure 9a).
 	HybridCopy simclock.Duration

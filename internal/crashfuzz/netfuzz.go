@@ -1,0 +1,306 @@
+package crashfuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/alloc"
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+	"treesls/internal/net"
+	"treesls/internal/simclock"
+)
+
+// NetConfig parameterizes a network-in-flight crash campaign: a client
+// fleet runs against a gated kvstore server through the simulated network
+// while power failures are armed at randomized NVM persistence events. The
+// armed countdown lands crashes on every boundary of the response path —
+// mid-request (the SET's stores), response-buffered (the extsync ring
+// append), and mid-release (between a checkpoint's commit and the ring's
+// visible/reader pointer updates) — and after every restore the oracle is
+// the external-synchrony invariant itself: no client may hold an
+// acknowledgement the restored state cannot justify.
+type NetConfig struct {
+	// Mode is the persistence model to run under.
+	Mode mem.PersistMode
+	// Seeds are the machine/damage seeds; each seed gets its own machine.
+	Seeds []uint64
+	// CrashesPerSeed is how many crash injections to attempt per seed
+	// (default 40).
+	CrashesPerSeed int
+	// EventWindow bounds the armed countdown (default 64).
+	EventWindow int
+	// StepsPerCrash bounds the fleet micro-steps run while waiting for an
+	// armed crash to fire (default 600).
+	StepsPerCrash int
+	// Clients and Window shape the fleet (defaults 3 and 2).
+	Clients int
+	Window  int
+	// IntervalUs is the periodic checkpoint interval in simulated
+	// microseconds (default 200: short intervals put many release
+	// boundaries inside the crash window).
+	IntervalUs int
+	// ProgressSteps is how many un-armed micro-steps run after each
+	// restore (default 150) so the fleet reaches checkpoints and the gate
+	// releases responses between injections — later crashes then land
+	// after releases, not only before the first one.
+	ProgressSteps int
+}
+
+func (c *NetConfig) fill() {
+	if c.CrashesPerSeed == 0 {
+		c.CrashesPerSeed = 40
+	}
+	if c.EventWindow == 0 {
+		c.EventWindow = 64
+	}
+	if c.StepsPerCrash == 0 {
+		c.StepsPerCrash = 600
+	}
+	if c.Clients == 0 {
+		c.Clients = 3
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+	if c.IntervalUs == 0 {
+		c.IntervalUs = 200
+	}
+	if c.ProgressSteps == 0 {
+		c.ProgressSteps = 150
+	}
+}
+
+// NetResult aggregates a network crash campaign across all seeds. A
+// returned result always reflects zero invariant violations — the first
+// violation aborts the campaign with an error.
+type NetResult struct {
+	// CrashesFired / Restores count injected power failures and the
+	// successful restores that followed.
+	CrashesFired int
+	Restores     int
+	// Acked is the total client-acknowledged requests across seeds.
+	Acked uint64
+	// Retransmits counts requests clients re-sent after a crash dropped
+	// their frame or un-released response (mid-request boundary hits).
+	Retransmits uint64
+	// DroppedRequests / DroppedResponses count crash-destroyed frames and
+	// buffered-but-unreleased responses (response-buffered boundary hits).
+	DroppedRequests  uint64
+	DroppedResponses uint64
+	// Released counts responses that went through the gate.
+	Released uint64
+	// Checkpoints and AuditChecks across all seeds.
+	Checkpoints uint64
+	AuditChecks uint64
+}
+
+// netFuzzer is the per-seed state: one gated machine plus its fleet.
+type netFuzzer struct {
+	cfg   NetConfig
+	rng   *rand.Rand
+	m     *kernel.Machine
+	nw    *net.Network
+	fleet *net.Fleet
+}
+
+// RunNet executes the campaign. The oracle after every restore: the fleet's
+// acknowledged prefixes are justified by the restored per-connection
+// counters, client-observed FIFO order never broke, and the state-digest
+// auditor stayed clean.
+func RunNet(cfg NetConfig) (NetResult, error) {
+	cfg.fill()
+	var res NetResult
+	for _, seed := range cfg.Seeds {
+		if err := runNetSeed(cfg, seed, &res); err != nil {
+			return res, fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return res, nil
+}
+
+func runNetSeed(cfg NetConfig, seed uint64, res *NetResult) error {
+	f, err := newNetFuzzer(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < cfg.CrashesPerSeed; c++ {
+		fired, err := f.oneCrash()
+		if err != nil {
+			return fmt.Errorf("crash %d: %w", c, err)
+		}
+		if fired {
+			res.CrashesFired++
+			res.Restores++
+		}
+	}
+	res.Acked += f.fleet.TotalAcked()
+	res.Retransmits += f.fleet.Retransmits
+	res.DroppedRequests += f.nw.Stats.DroppedRequests
+	res.DroppedResponses += f.nw.Stats.DroppedResponses
+	res.Released += f.nw.Driver.Stats.Delivered
+	res.Checkpoints += f.m.Ckpt.Stats.Checkpoints
+	if f.m.Auditor != nil {
+		res.AuditChecks += f.m.Auditor.Checks
+	}
+	return f.m.Alloc.CheckInvariants()
+}
+
+func newNetFuzzer(cfg NetConfig, seed uint64) (*netFuzzer, error) {
+	mcfg := kernel.DefaultConfig()
+	mcfg.Cores = 4
+	mcfg.CheckpointEvery = simclock.Duration(cfg.IntervalUs) * simclock.Microsecond
+	mcfg.Seed = seed
+	mcfg.Mem.Persist = cfg.Mode
+	mcfg.Mem.CrashSeed = seed
+	mcfg.Audit = true
+	m := kernel.New(mcfg)
+
+	nw, err := net.New(m, net.Config{Gated: true, RingSlots: 512})
+	if err != nil {
+		return nil, err
+	}
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+		Name:      "redis",
+		Threads:   4,
+		HeapPages: 256,
+		Buckets:   64,
+		Ext:       nw.Driver,
+		EchoValue: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := net.NewFleet(nw, srv, net.FleetConfig{
+		Clients:    cfg.Clients,
+		Requests:   0, // unbounded: the campaign, not the fleet, decides when to stop
+		Window:     cfg.Window,
+		ValueBytes: 32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.TakeCheckpoint() // base state: a crash at any event has somewhere to restore to
+	f := &netFuzzer{cfg: cfg, rng: rand.New(rand.NewSource(int64(seed))), m: m, nw: nw, fleet: fleet}
+	return f, f.checkAudit()
+}
+
+func (f *netFuzzer) checkAudit() error {
+	if f.m.Auditor == nil {
+		return nil
+	}
+	if la := f.m.LastAudit; !la.Ok() {
+		return fmt.Errorf("audit at %s: %d violation(s), first: %s",
+			la.Where, len(la.Violations), la.Violations[0])
+	}
+	return nil
+}
+
+// oneCrash arms a random persistence-event countdown, drives fleet
+// micro-steps until it fires, then crash-restores and verifies.
+func (f *netFuzzer) oneCrash() (bool, error) {
+	k := 1 + f.rng.Intn(f.cfg.EventWindow)
+	f.m.Memory.ArmCrashAfter(uint64(k))
+	fired := false
+	for step := 0; step < f.cfg.StepsPerCrash && !fired; step++ {
+		var err error
+		fired, err = f.step()
+		if err != nil {
+			f.m.Memory.DisarmCrash()
+			return false, err
+		}
+	}
+	f.m.Memory.DisarmCrash()
+	if !fired {
+		return false, nil
+	}
+	f.m.Crash()
+	if err := f.restoreAndVerify(); err != nil {
+		return true, err
+	}
+	// Un-armed progress: let the fleet reach checkpoints so the gate
+	// releases acknowledgements before the next injection.
+	for step := 0; step < f.cfg.ProgressSteps; step++ {
+		if _, err := f.fleet.Step(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// step runs one fleet micro-step, converting an injected power failure into
+// a clean "fired" signal. The micro-step scheduler means the failure lands
+// wherever the traffic put persistence events: inside a SET's stores, the
+// ring append, a checkpoint walk, or the post-commit release.
+func (f *netFuzzer) step() (fired bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case mem.CrashError, alloc.CrashError:
+				fired = true
+				err = nil
+			default:
+				panic(r)
+			}
+		}
+	}()
+	_, err = f.fleet.Step()
+	return false, err
+}
+
+// restoreAndVerify restores the crashed machine and applies the oracle.
+func (f *netFuzzer) restoreAndVerify() error {
+	if err := f.m.Restore(); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	if err := f.checkAudit(); err != nil {
+		return err
+	}
+	f.fleet.ResyncAfterRestore()
+	bad, err := f.fleet.CheckJustified()
+	if err != nil {
+		return err
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("released-but-unpersisted response: %s", bad[0])
+	}
+	if n := len(f.fleet.Violations); n > 0 {
+		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
+	}
+	if f.fleet.DupAcks > 0 {
+		return fmt.Errorf("%d duplicate acknowledgements after restore", f.fleet.DupAcks)
+	}
+	return nil
+}
+
+// NetOneShot runs a single parameterized network crash injection — the
+// entry point of FuzzNetCrashEvent. Boot a gated machine+fleet with the
+// given seed, arm a power failure eventK persistence events ahead, drive up
+// to steps fleet micro-steps, and if the failure fired, crash, restore, and
+// apply the external-synchrony oracle. A run where the countdown never
+// fires is a valid (uninteresting) input, not an error.
+func NetOneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16) error {
+	cfg := NetConfig{Mode: mode, Clients: 2, Window: 2, StepsPerCrash: 200}
+	cfg.fill()
+	f, err := newNetFuzzer(cfg, seed)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	f.m.Memory.ArmCrashAfter(eventK%uint64(cfg.EventWindow) + 1)
+	n := int(steps)%cfg.StepsPerCrash + 1
+	fired := false
+	for step := 0; step < n && !fired; step++ {
+		fired, err = f.step()
+		if err != nil {
+			f.m.Memory.DisarmCrash()
+			return err
+		}
+	}
+	f.m.Memory.DisarmCrash()
+	if !fired {
+		return nil
+	}
+	f.m.Crash()
+	return f.restoreAndVerify()
+}

@@ -179,6 +179,41 @@ func (d *Driver) writeU64(lane *simclock.Lane, off uint64, v uint64) {
 	d.ringWrite(lane, off, b[:])
 }
 
+// persistU64 publishes a ring pointer with the ntstore+sfence idiom: an
+// aligned 8-byte store is atomic on real NVM, so the pointer can never
+// tear, and it is durable the moment the call returns (free under eADR).
+func (d *Driver) persistU64(lane *simclock.Lane, off uint64, v uint64) {
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(v >> (8 * i))
+	}
+	s := d.pmo().Lookup(off / mem.PageSize)
+	if s == nil {
+		panic("extsync: ring header page not materialized")
+	}
+	lane.Charge(d.m.Memory.PersistAtomic(s.Page, int(off%mem.PageSize), b[:]))
+}
+
+// ringFlush write-backs (clwb) bytes [off, off+n) of the ring so a
+// following Fence makes them durable under ADR. Free under eADR.
+func (d *Driver) ringFlush(lane *simclock.Lane, off uint64, n int) {
+	pmo := d.pmo()
+	for n > 0 {
+		idx, po := off/mem.PageSize, int(off%mem.PageSize)
+		c := mem.PageSize - po
+		if c > n {
+			c = n
+		}
+		s := pmo.Lookup(idx)
+		if s == nil {
+			panic(fmt.Sprintf("extsync: ring page %d not materialized", idx))
+		}
+		lane.Charge(d.m.Memory.Flush(s.Page, po, c))
+		off += uint64(c)
+		n -= c
+	}
+}
+
 func slotOff(seq, capacity uint64) uint64 {
 	return uint64(headerSize) + (seq%capacity)*SlotSize
 }
@@ -204,7 +239,12 @@ func (d *Driver) Send(lane *simclock.Lane, payload []byte) (uint64, error) {
 	}
 	d.ringWrite(lane, off, hdr[:])
 	d.ringWrite(lane, off+8, payload)
-	d.writeU64(lane, offWriter, writer+1)
+	// ADR discipline: the slot's bytes must be durable before the writer
+	// advance publishes them, or a crash could expose a torn slot behind a
+	// durable pointer (clwb the slot, sfence, then ntstore the pointer).
+	d.ringFlush(lane, off, 8+len(payload))
+	lane.Charge(d.m.Memory.Fence())
+	d.persistU64(lane, offWriter, writer+1)
 	d.Stats.Sent++
 	return writer, nil
 }
@@ -220,6 +260,16 @@ func (d *Driver) Pending(lane *simclock.Lane) uint64 {
 func (d *Driver) OnCheckpoint(version uint64, lane *simclock.Lane) {
 	writer := d.readU64(lane, offWriter)
 	visible := d.readU64(lane, offVisible)
+	if writer == visible {
+		return
+	}
+	// The advance is durable BEFORE the NIC sees a byte: if the pointer
+	// updates could be lost to a power failure after delivery, a later
+	// OnCheckpoint would re-release packets clients already received.
+	// (The slots being "freed" by the reader advance are not reused until
+	// the writer laps the ring, so delivering from them below is safe.)
+	d.persistU64(lane, offVisible, writer)
+	d.persistU64(lane, offReader, writer)
 	for seq := visible; seq < writer; seq++ {
 		off := slotOff(seq, d.capacity)
 		var hdr [8]byte
@@ -230,15 +280,14 @@ func (d *Driver) OnCheckpoint(version uint64, lane *simclock.Lane) {
 		}
 		payload := make([]byte, n)
 		d.ringRead(lane, off+8, payload)
-		lane.Charge(d.m.Model.NetTxPacket)
+		// Doorbell plus serialization: the released response occupies the
+		// wire for its size (internal/net's bandwidth model).
+		lane.Charge(d.m.Model.NetTxPacket + simclock.Duration(len(payload))*d.m.Model.NetWireByte)
 		if d.deliver != nil {
 			d.deliver(seq, payload, lane.Now())
 		}
 		d.Stats.Delivered++
 	}
-	d.writeU64(lane, offVisible, writer)
-	// The packets were handed to the hardware; their slots are free.
-	d.writeU64(lane, offReader, writer)
 }
 
 // OnRestore implements checkpoint.Callback (Figure 8d): messages appended
@@ -251,6 +300,6 @@ func (d *Driver) OnRestore(version uint64, lane *simclock.Lane) {
 	visible := d.readU64(lane, offVisible)
 	if writer > visible {
 		d.Stats.Discarded += writer - visible
-		d.writeU64(lane, offWriter, visible)
+		d.persistU64(lane, offWriter, visible)
 	}
 }

@@ -186,6 +186,32 @@ func (e *Env) AckIRQ(irq *caps.IRQNotification) bool {
 	return irq.Ack()
 }
 
+// NetRxInterrupt models one frame arriving on a NIC receive queue steered to
+// core (RSS-style static steering): the bound IRQ line is raised, the driver
+// thread takes the interrupt, acknowledges it via a syscall, and copies the
+// frame out of the RX ring at wire-byte cost. It returns the time at which
+// the frame is in the driver's hands, ready to be IPC'd to the serving
+// application. The IRQ pending count lives in a checkpointed kernel object,
+// so interrupts in flight at a power failure are restored with the tree.
+func (m *Machine) NetRxInterrupt(irq *caps.IRQNotification, core int, bytes int) simclock.Time {
+	if core < 0 || core >= len(m.Cores) {
+		core = 0
+	}
+	m.RaiseIRQ(irq)
+	lane := &m.Cores[core].Lane
+	lane.Charge(m.Model.NetRxIRQ + simclock.Duration(bytes)*m.Model.NetWireByte)
+	lane.Charge(m.Model.SyscallEntry) // the handler's ack syscall
+	irq.Ack()
+	return lane.Now()
+}
+
+// NetTx models the driver handing one outbound frame of the given size to
+// the NIC from lane: the per-packet doorbell plus the serialization cost.
+func (m *Machine) NetTx(lane *simclock.Lane, bytes int) simclock.Time {
+	lane.Charge(m.Model.NetTxPacket + simclock.Duration(bytes)*m.Model.NetWireByte)
+	return lane.Now()
+}
+
 // NewNotification creates a notification owned by the process.
 func (p *Process) NewNotification() *caps.Notification {
 	return p.M.Tree.NewNotification(p.Group)

@@ -1,0 +1,233 @@
+// Package scenario is the deterministic whole-machine scenario harness for
+// the simulated network: table-driven scripts boot a persistent machine,
+// run a client fleet against a kvstore server through internal/net, crash
+// the machine at scripted network-event indices, restore, and assert after
+// every crash that the responses clients have seen are exactly a prefix of
+// what the restored state can justify.
+//
+// Every script is bit-identical across runs (the determinism regression
+// hashes the full acknowledgement/crash event log and compares digests),
+// including under -race: the whole machine is single-threaded simulated
+// time.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/kernel"
+	"treesls/internal/net"
+	"treesls/internal/simclock"
+)
+
+// Script is one whole-machine scenario.
+type Script struct {
+	// Name labels the scenario in test output.
+	Name string
+	// Seed feeds the machine's deterministic jitter (quiescence delays).
+	Seed uint64
+	// Cores is the machine size (default 4).
+	Cores int
+	// Clients, Requests, Window shape the fleet (defaults 3, 8, 2).
+	Clients  int
+	Requests int
+	Window   int
+	// ValueBytes is the SET value size (default 64).
+	ValueBytes int
+	// IntervalUs is the checkpoint interval in simulated microseconds
+	// (default 1000 = 1 ms). Negative runs without periodic checkpoints;
+	// the fleet then forces one whenever it is gate-blocked.
+	IntervalUs int
+	// Gated routes responses through the external-synchrony gate. An
+	// ungated script is the crash-unsafe baseline the harness must be
+	// able to convict.
+	Gated bool
+	// CrashAtEvents lists network-event indices (see Network.Events) at
+	// which power fails: the run crashes at the first step boundary
+	// where the event counter reaches each value, in order.
+	CrashAtEvents []uint64
+}
+
+// Result is what a scenario run produced.
+type Result struct {
+	// Acked is the total acknowledged requests (== Clients*Requests on a
+	// completed run).
+	Acked uint64
+	// Crashes is how many scripted crashes actually fired.
+	Crashes int
+	// Retransmits, DupAcks mirror the fleet's counters.
+	Retransmits uint64
+	DupAcks     uint64
+	// DroppedRequests / DroppedResponses mirror the network's crash-loss
+	// counters.
+	DroppedRequests  uint64
+	DroppedResponses uint64
+	// Released is how many responses went through the gate (gated runs).
+	Released uint64
+	// Checkpoints taken over the run.
+	Checkpoints uint64
+	// Unjustified collects external-synchrony violations: after some
+	// restore, a client held an acknowledgement the restored state could
+	// not justify. Gated runs must produce none; ungated runs exist to
+	// produce some.
+	Unjustified []string
+	// OrderViolations collects per-connection FIFO breaches seen by
+	// clients. Must always be empty.
+	OrderViolations []string
+	// AuditViolations counts state-digest auditor breaches.
+	AuditViolations uint64
+	// FinalTime is the machine wall clock when the run completed.
+	FinalTime simclock.Time
+	// Events is the final network-event counter (the coordinate space
+	// for crash-at-every-K sweeps).
+	Events uint64
+	// Digest is an FNV-1a hash over the full ordered event log
+	// (acknowledgements, crashes, final counters): two runs of the same
+	// script must produce equal digests.
+	Digest uint64
+}
+
+// Run executes one scenario script.
+func Run(sc Script) (Result, error) {
+	if sc.Cores <= 0 {
+		sc.Cores = 4
+	}
+	if sc.Clients <= 0 {
+		sc.Clients = 3
+	}
+	if sc.Requests <= 0 {
+		sc.Requests = 8
+	}
+	if sc.Window <= 0 {
+		sc.Window = 2
+	}
+	if sc.ValueBytes <= 0 {
+		sc.ValueBytes = 64
+	}
+	interval := sc.IntervalUs
+	if interval == 0 {
+		interval = 1000
+	}
+	if interval < 0 {
+		interval = 0
+	}
+
+	cfg := kernel.DefaultConfig()
+	cfg.Cores = sc.Cores
+	cfg.CheckpointEvery = simclock.Duration(interval) * simclock.Microsecond
+	cfg.Seed = sc.Seed
+	cfg.Audit = true
+	m := kernel.New(cfg)
+
+	nw, err := net.New(m, net.Config{Gated: sc.Gated, RingSlots: 1024})
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: net: %w", sc.Name, err)
+	}
+	scfg := kvstore.ServerConfig{
+		Name:      "redis",
+		Threads:   sc.Cores,
+		HeapPages: 512,
+		Buckets:   128,
+		EchoValue: true,
+	}
+	if sc.Gated {
+		scfg.Ext = nw.Driver
+	}
+	srv, err := kvstore.NewServer(m, scfg)
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: server: %w", sc.Name, err)
+	}
+	fleet, err := net.NewFleet(nw, srv, net.FleetConfig{
+		Clients:    sc.Clients,
+		Requests:   sc.Requests,
+		Window:     sc.Window,
+		ValueBytes: sc.ValueBytes,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: fleet: %w", sc.Name, err)
+	}
+
+	// Base checkpoint: boot state (processes, heap, empty store, ring) is
+	// persistent before the first request, so a crash at any event index
+	// has a committed state to restore.
+	m.TakeCheckpoint()
+
+	h := fnv.New64a()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+	}
+	fleet.OnAck = func(conn int, req uint64, recv simclock.Time) {
+		logf("ack %d %d %d\n", conn, req, recv)
+	}
+
+	var res Result
+	next := 0
+	limit := sc.Clients*sc.Requests*256 + 65536
+	for step := 0; ; step++ {
+		if step > limit {
+			return res, fmt.Errorf("scenario %s: no progress after %d steps (%d/%d acked)",
+				sc.Name, limit, fleet.TotalAcked(), sc.Clients*sc.Requests)
+		}
+		if next < len(sc.CrashAtEvents) && nw.Events() >= sc.CrashAtEvents[next] {
+			logf("crash at events=%d time=%d\n", nw.Events(), m.Now())
+			m.Crash()
+			if err := m.Restore(); err != nil {
+				return res, fmt.Errorf("scenario %s: restore after crash %d: %w", sc.Name, next, err)
+			}
+			fleet.ResyncAfterRestore()
+			bad, err := fleet.CheckJustified()
+			if err != nil {
+				return res, fmt.Errorf("scenario %s: justification check: %w", sc.Name, err)
+			}
+			for _, b := range bad {
+				res.Unjustified = append(res.Unjustified, fmt.Sprintf("crash %d: %s", next, b))
+			}
+			logf("restored version=%d unjustified=%d\n", m.Ckpt.CommittedVersion(), len(bad))
+			res.Crashes++
+			next++
+			continue
+		}
+		done, err := fleet.Step()
+		if err != nil {
+			return res, fmt.Errorf("scenario %s: step: %w", sc.Name, err)
+		}
+		if done {
+			break
+		}
+	}
+
+	res.Acked = fleet.TotalAcked()
+	res.Retransmits = fleet.Retransmits
+	res.DupAcks = fleet.DupAcks
+	res.OrderViolations = append(res.OrderViolations, fleet.Violations...)
+	res.DroppedRequests = nw.Stats.DroppedRequests
+	res.DroppedResponses = nw.Stats.DroppedResponses
+	if nw.Driver != nil {
+		res.Released = nw.Driver.Stats.Delivered
+	}
+	res.Checkpoints = m.Stats.Checkpoints
+	if m.Auditor != nil {
+		res.AuditViolations = m.Auditor.TotalViolations
+	}
+	res.FinalTime = m.Now()
+	res.Events = nw.Events()
+	logf("final acked=%d retrans=%d dupacks=%d dropreq=%d dropresp=%d released=%d ckpts=%d time=%d\n",
+		res.Acked, res.Retransmits, res.DupAcks, res.DroppedRequests, res.DroppedResponses,
+		res.Released, res.Checkpoints, res.FinalTime)
+	res.Digest = h.Sum64()
+	return res, nil
+}
+
+// EventCount runs the script without crashes and reports how many network
+// events the clean run generates — the coordinate space for
+// crash-at-every-K sweeps.
+func EventCount(sc Script) (uint64, error) {
+	sc.CrashAtEvents = nil
+	sc.Name = sc.Name + "/count"
+	r, err := Run(sc)
+	if err != nil {
+		return 0, err
+	}
+	return r.Events, nil
+}

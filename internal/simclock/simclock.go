@@ -182,6 +182,22 @@ type CostModel struct {
 	// messages (§5).
 	NetTxPacket Duration
 
+	// Simulated network device (internal/net). The link is modelled as a
+	// fixed propagation delay plus a per-byte serialization cost; the
+	// receive side pays an interrupt-dispatch cost per frame.
+
+	// NetWireByte is the per-byte serialization cost of the link
+	// (bandwidth model: 1 ns/B ~= a 1 GB/s NIC).
+	NetWireByte Duration
+	// NetPropagation is the one-way propagation delay between a client
+	// and the server NIC (NetRTT covers a full round trip including
+	// processing; propagation is its per-direction wire component).
+	NetPropagation Duration
+	// NetRxIRQ is the cost of taking the NIC receive interrupt and
+	// dispatching the frame to the driver (netd) before the IPC to the
+	// server application.
+	NetRxIRQ Duration
+
 	// Storage devices for the baselines (per 4 KiB block unless noted).
 
 	// NVMeWriteBlock / NVMeReadBlock model a fast NVMe SSD.
@@ -271,6 +287,14 @@ func DefaultCostModel() *CostModel {
 		IPCCall:       1400,
 		ContextSwitch: 800,
 		NetTxPacket:   600,
+
+		// ~1 GB/s wire, 5 µs one-way propagation: a 64 B frame crosses in
+		// ~5 µs each way, consistent with NetRTT's 14 µs "µs-scale"
+		// machine-local round trip once RX dispatch and the server IPC
+		// are added.
+		NetWireByte:    1,
+		NetPropagation: 5000,
+		NetRxIRQ:       1500,
 
 		NVMeWriteBlock: 9000,
 		NVMeReadBlock:  7000,
