@@ -7,7 +7,7 @@
 //
 // Experiment names: functional, table2, fig9a, fig9b, table3, fig10,
 // table4, fig11, fig12, fig13, fig14, ablation, restoretime, sensitivity,
-// scaling, net.
+// scaling, net, scrub, media.
 package main
 
 import (
@@ -17,7 +17,9 @@ import (
 	"strings"
 	"time"
 
+	"treesls/internal/crashfuzz"
 	"treesls/internal/experiments"
+	"treesls/internal/mem"
 	"treesls/internal/obs"
 )
 
@@ -25,6 +27,8 @@ func main() {
 	scaleFlag := flag.String("scale", "quick", "workload scale: quick or full")
 	onlyFlag := flag.String("only", "", "comma-separated experiment subset (default: all)")
 	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
+	mediaFaults := flag.Int("media-faults", 2, "media experiment: random NVM lines poisoned at each power failure")
+	scrubInterval := flag.Int("scrub-interval", 1, "media experiment: scrub every N crash rounds (0 disables scrubbing)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
@@ -67,6 +71,10 @@ func main() {
 		{"sensitivity", func(s experiments.Scale) (string, error) { _, t, err := experiments.SensitivityNVM(s); return t, err }},
 		{"scaling", func(s experiments.Scale) (string, error) { _, t, err := experiments.WalkScaling(s); return t, err }},
 		{"net", func(s experiments.Scale) (string, error) { _, t, err := experiments.NetLatency(s); return t, err }},
+		{"scrub", func(s experiments.Scale) (string, error) { _, t, err := experiments.ScrubOverhead(s); return t, err }},
+		{"media", func(s experiments.Scale) (string, error) {
+			return mediaCampaign(s, *mediaFaults, *scrubInterval)
+		}},
 	}
 
 	selected := all
@@ -107,6 +115,46 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// mediaCampaign runs the media-fault robustness campaign (the crashfuzz
+// media oracle) at CLI scale and renders its counters: with checksums on,
+// zero silent corruptions is the pass condition; the checksum-disabled
+// baseline row shows what the machinery prevents.
+func mediaCampaign(s experiments.Scale, crashFaults, scrubEvery int) (string, error) {
+	seeds := []uint64{1, 2, 3}
+	injections := 40
+	if s.Name == "full" {
+		seeds = []uint64{1, 2, 3, 4, 5, 6}
+		injections = 80
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Media-fault campaign (extension; §8 'Data Reliability'): %d seeds × %d injections, crash-faults=%d, scrub every %d rounds\n",
+		len(seeds), injections, crashFaults, scrubEvery)
+	for _, row := range []struct {
+		name     string
+		disabled bool
+	}{{"checksums on", false}, {"checksums OFF (baseline)", true}} {
+		res, err := crashfuzz.RunMedia(crashfuzz.MediaConfig{
+			Mode:               mem.ModeADR,
+			Seeds:              seeds,
+			InjectionsPerSeed:  injections,
+			CrashFaults:        crashFaults,
+			CrashDuringRestore: true,
+			ScrubEveryN:        scrubEvery,
+			DisableChecksums:   row.disabled,
+		})
+		if err != nil {
+			return "", fmt.Errorf("media (%s): %w", row.name, err)
+		}
+		fmt.Fprintf(&b, "  %-24s injections=%d crashes=%d restoreCrashes=%d verified=%d degraded=%d lost=%d commitLost=%d metaRepairs=%d scrubRepairs=%d SILENT=%d\n",
+			row.name, res.Injections, res.Crashes, res.RestoreCrashes, res.PagesVerified,
+			res.Degraded, res.Lost, res.CommitLost, res.MetaRepairs, res.ScrubRepairs, res.SilentCorruptions)
+		if !row.disabled && res.SilentCorruptions != 0 {
+			return "", fmt.Errorf("media: %d silent corruptions with checksums enabled", res.SilentCorruptions)
+		}
+	}
+	return b.String(), nil
 }
 
 func keys(m map[string]bool) []string {

@@ -23,6 +23,8 @@ func main() {
 	extsyncOn := flag.Bool("extsync", true, "route responses through the external-synchrony driver")
 	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
 	crashSeed := flag.Uint64("crash-seed", 1, "RNG seed for ADR crash damage (which unflushed lines drop or tear)")
+	mediaFaults := flag.Int("media-faults", 0, "random NVM lines poisoned at each power failure (seeded by -crash-seed)")
+	scrubInterval := flag.Duration("scrub-interval", 0, "background media-scrub period in simulated time (0 disables), e.g. 2ms")
 	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
@@ -32,6 +34,8 @@ func main() {
 	cfg := kernel.DefaultConfig()
 	cfg.Mem.Persist = mode
 	cfg.Mem.CrashSeed = *crashSeed
+	cfg.Mem.Media = mem.MediaFaultConfig{CrashFaults: *mediaFaults, Seed: *crashSeed}
+	cfg.ScrubEvery = simclock.Duration(scrubInterval.Nanoseconds())
 	cfg.Checkpoint.ParallelWalk = *parallelWalk
 	ob := obsOpts.Observer()
 	cfg.Obs = ob
@@ -81,12 +85,20 @@ func main() {
 		fmt.Printf("▸ ADR damage: %d unflushed lines at risk — %d dropped, %d torn\n",
 			m.Memory.Stats.CrashLinesAtRisk, m.Memory.Stats.CrashLinesDropped, m.Memory.Stats.CrashLinesTorn)
 	}
+	if *mediaFaults > 0 {
+		fmt.Printf("▸ media damage: %d NVM lines poisoned by the power failure\n",
+			m.Memory.Stats.PoisonedLines)
+	}
 
 	check(m.Restore())
 	n2, err := srv.Count()
 	check(err)
 	fmt.Printf("▸ rebooted from checkpoint version %d: %d keys survived\n",
 		m.Ckpt.CommittedVersion(), n2)
+	if man := m.Ckpt.Manifest(); man != nil && !man.Clean() {
+		fmt.Printf("▸ restore manifest: %d pages degraded to an older version, %d lost (rebuilt as zeros) — named, never silent\n",
+			len(man.Degraded), len(man.Lost))
+	}
 
 	lost := int(n) - int(n2)
 	if lost < 0 {
@@ -106,6 +118,15 @@ func main() {
 	check(err)
 	fmt.Printf("▸ server is live after reboot: post-restore=%q (found=%v)\n", v, ok)
 
+	cs := m.Ckpt.Stats
+	if *mediaFaults > 0 || *scrubInterval > 0 || cs.ReplicaRepair+cs.MetaRepairs+cs.DegradedRestores+cs.LostPages > 0 {
+		fmt.Printf("▸ robustness: %d poisoned reads detected, %d replica repairs, %d meta repairs, %d degraded, %d lost\n",
+			m.Memory.Stats.PoisonedReads, cs.ReplicaRepair, cs.MetaRepairs, cs.DegradedRestores, cs.LostPages)
+		if *scrubInterval > 0 {
+			fmt.Printf("▸ scrubber: %d passes, %d pages checked, %d repaired, %d quarantined, %d unrepairable\n",
+				cs.ScrubScans, cs.ScrubPagesChecked, cs.ScrubRepairs, cs.ScrubQuarantined, cs.ScrubUnrepairable)
+		}
+	}
 	if m.Auditor != nil {
 		fmt.Printf("▸ auditor: %d checks, %d violations (runtime digest %#x)\n",
 			m.Auditor.Checks, m.Auditor.TotalViolations, m.LastAudit.RuntimeDigest)

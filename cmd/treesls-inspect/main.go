@@ -15,11 +15,14 @@ import (
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
+	"treesls/internal/simclock"
 )
 
 func main() {
 	withKV := flag.Bool("kv", true, "run a sample KV workload before dumping")
 	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
+	mediaFaults := flag.Int("media-faults", 0, "inject silent bit-rot into this many committed backup pages after the checkpoint, then scrub")
+	scrubInterval := flag.Duration("scrub-interval", 0, "if non-zero, run one media-scrub pass after the checkpoint and report it (the value also becomes the machine's background scrub period)")
 	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
@@ -32,6 +35,7 @@ func main() {
 	cfg := kernel.DefaultConfig()
 	cfg.CheckpointEvery = 0
 	cfg.Mem.Persist = mode
+	cfg.ScrubEvery = simclock.Duration(scrubInterval.Nanoseconds())
 	cfg.Checkpoint.ParallelWalk = *parallelWalk
 	ob := obsOpts.Observer()
 	cfg.Obs = ob
@@ -75,15 +79,35 @@ func main() {
 			sw.Evicted, sw.SwappedIn, sw.SlotsInUse)
 	}
 
+	if *mediaFaults > 0 {
+		injected := injectBackupRot(m, *mediaFaults)
+		fmt.Printf("\nInjected silent bit-rot into %d committed backup pages\n", injected)
+	}
+	if *mediaFaults > 0 || *scrubInterval > 0 {
+		sr := m.Scrub()
+		fmt.Printf("\nMedia scrub pass:\n")
+		fmt.Printf("  checked     %d pages, %d object records\n", sr.PagesChecked, sr.RecordsChecked)
+		fmt.Printf("  repaired    %d in place, %d meta copies resynced\n", sr.Repaired, sr.MetaRepairs)
+		fmt.Printf("  quarantined %d corrupt fallback slots\n", sr.Quarantined)
+		fmt.Printf("  unrepairable %d (left for restore to degrade explicitly)\n", sr.Unrepairable)
+	}
+
 	cs := m.Ckpt.Stats
 	fmt.Printf("\nRobustness (persist-mode=%s):\n", mode)
 	fmt.Printf("  flushes/fences     %d clwb, %d sfence\n",
 		m.Memory.Stats.Flushes, m.Memory.Stats.Fences)
 	fmt.Printf("  crash damage       %d lines dropped, %d torn (last crash)\n",
 		cs.DroppedLines, cs.TornLines)
-	fmt.Printf("  journal            %d torn records truncated\n", m.Journal.TornRecords)
-	fmt.Printf("  backup integrity   %d replica repairs, %d degraded page restores\n",
-		cs.ReplicaRepair, cs.DegradedRestores)
+	fmt.Printf("  journal            %d torn records truncated, %d mirror repairs\n",
+		m.Journal.TornRecords, m.Journal.MirrorRepairs)
+	fmt.Printf("  commit record      durable version %d (dual-copy, 16-byte checked record)\n",
+		m.Ckpt.DurableVersion())
+	fmt.Printf("  media faults       %d lines poisoned, %d rotted; %d poisoned reads detected\n",
+		m.Memory.Stats.PoisonedLines, m.Memory.Stats.RottedLines, m.Memory.Stats.PoisonedReads)
+	fmt.Printf("  backup integrity   %d replica repairs, %d meta repairs, %d degraded page restores, %d lost pages\n",
+		cs.ReplicaRepair, cs.MetaRepairs, cs.DegradedRestores, cs.LostPages)
+	fmt.Printf("  scrubber           %d passes, %d pages checked, %d repaired, %d quarantined, %d unrepairable\n",
+		cs.ScrubScans, cs.ScrubPagesChecked, cs.ScrubRepairs, cs.ScrubQuarantined, cs.ScrubUnrepairable)
 
 	if m.Auditor != nil {
 		fmt.Printf("\nAudit:\n  %d checks, %d violations\n  runtime digest %#x\n  backup digest  %#x\n",
@@ -94,6 +118,32 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// injectBackupRot plants deterministic silent bit-rot in up to n distinct
+// committed backup pages — the damage the next scrub pass must detect.
+func injectBackupRot(m *kernel.Machine, n int) int {
+	injected := 0
+	seen := map[mem.PageID]bool{}
+	m.Ckpt.ForEachRoot(func(r *caps.ORoot) {
+		snap, ok := r.Backup[0].(*caps.PMOSnap)
+		if !ok || snap.Type == caps.PMOEternal {
+			return
+		}
+		snap.Pages.Walk(func(_ uint64, cp *caps.CkptPage) bool {
+			for i := 0; i < 2 && injected < n; i++ {
+				p := cp.Page[i]
+				if p.IsNil() || p.Kind != mem.KindNVM || seen[p] {
+					continue
+				}
+				seen[p] = true
+				m.Memory.InjectRot(p, 128, 64, uint64(injected)+1)
+				injected++
+			}
+			return injected < n
+		})
+	})
+	return injected
 }
 
 func dumpGroup(m *kernel.Machine, g *caps.CapGroup, depth int) {

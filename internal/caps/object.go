@@ -137,9 +137,12 @@ type ORoot struct {
 	Runtime Object
 
 	// Backup holds up to two snapshots; Ver gives each snapshot's
-	// checkpoint version (0 = empty).
+	// checkpoint version (0 = empty). Sum is the checkpoint manager's
+	// content digest over each snapshot record, verified before a restore
+	// trusts the record (media-fault tolerance; zero = no digest).
 	Backup [2]Snapshot
 	Ver    [2]uint64
+	Sum    [2]uint64
 
 	// seenInRound is the checkpoint round that last visited this root
 	// (guards against double work when an object is referenced by

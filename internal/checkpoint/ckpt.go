@@ -148,6 +148,7 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	m.freedThisRound = make(map[uint32]bool)
 	for _, p := range m.deferredFrees {
 		m.alloc.FreePageCkpt(ll, p)
+		m.dropSum(p)
 		m.freedThisRound[p.Frame] = true
 	}
 	m.deferredFrees = m.deferredFrees[:0]
@@ -372,6 +373,17 @@ func (m *Manager) visitResolved(lane *simclock.Lane, o caps.Object, r *caps.ORoo
 		panic(fmt.Sprintf("checkpoint: unknown object kind %T", o))
 	}
 
+	if needSnap && o.Kind() != caps.KindPMO && !m.cfg.DisableChecksums {
+		// Digest the record just written (the slot tagged with this
+		// round). PMO roots are excluded: their singleton snapshot is a
+		// skeleton whose content is guarded by the per-page checksums.
+		for i := 0; i < 2; i++ {
+			if r.Ver[i] == round && r.Backup[i] != nil {
+				r.Sum[i] = recordSum(r.Backup[i])
+				lane.Charge(m.model.ChecksumRecord)
+			}
+		}
+	}
 	if needSnap {
 		caps.ClearDirty(o)
 	}

@@ -1,7 +1,6 @@
 package checkpoint
 
 import (
-	"strings"
 	"testing"
 
 	"treesls/internal/caps"
@@ -32,7 +31,7 @@ func hotPageWithTwoBackups(t *testing.T) (*harness, *caps.PMO, *caps.CkptPage) {
 }
 
 // corruptWithReplica smashes a backup page AND its replica so that
-// verifyBackupPage can neither trust nor repair it.
+// verifySource can neither trust nor repair it.
 func corruptWithReplica(t *testing.T, h *harness, p mem.PageID) {
 	t.Helper()
 	rep, ok := h.mgr.replicas[p]
@@ -69,25 +68,56 @@ func TestDegradedRestoreFallsBackToOlderVersion(t *testing.T) {
 	if h.mgr.Stats.DegradedRestores != 1 {
 		t.Errorf("DegradedRestores = %d, want 1", h.mgr.Stats.DegradedRestores)
 	}
+	man := h.mgr.Manifest()
+	if man == nil || len(man.Degraded) != 1 || len(man.Lost) != 0 {
+		t.Fatalf("manifest = %+v, want exactly one degraded entry", man)
+	}
+	if man.Degraded[0].GotVersion >= man.Degraded[0].WantVersion {
+		t.Errorf("degraded entry not older than target: %+v", man.Degraded[0])
+	}
 }
 
-// TestRestoreFailsWhenNoIntactVersionRemains corrupts both retained backup
+// TestLostPageRestoredAsZerosWithManifest corrupts both retained backup
 // versions (and both replicas): with nothing trustworthy left, the restore
-// must fail loudly rather than hand back garbage.
-func TestRestoreFailsWhenNoIntactVersionRemains(t *testing.T) {
-	h, _, cp := hotPageWithTwoBackups(t)
+// must still complete — the page comes back as deterministic zeros and is
+// named in the restore manifest. It must never hand back garbage and never
+// abort the whole-system restore over one dead page.
+func TestLostPageRestoredAsZerosWithManifest(t *testing.T) {
+	h, pmo, cp := hotPageWithTwoBackups(t)
 	corruptWithReplica(t, h, cp.Page[0])
 	corruptWithReplica(t, h, cp.Page[1])
 
 	h.crash()
-	_, _, err := h.mgr.Restore(h.lane())
-	if err == nil {
-		t.Fatal("restore succeeded with every retained version corrupt")
+	tree := h.restore(t)
+	var pmo2 *caps.PMO
+	tree.Walk(func(o caps.Object) {
+		if p, ok := o.(*caps.PMO); ok {
+			pmo2 = p
+		}
+	})
+	for _, b := range h.readPage(t, pmo2, 0, 32) {
+		if b != 0 {
+			t.Fatal("lost page restored with non-zero (garbage) content")
+		}
 	}
-	if !strings.Contains(err.Error(), "no intact retained version") {
-		t.Fatalf("unexpected error: %v", err)
+	man := h.mgr.Manifest()
+	if man == nil || len(man.Lost) != 1 || man.Clean() {
+		t.Fatalf("manifest = %+v, want exactly one lost entry", man)
+	}
+	if man.Lost[0].PMO != pmo.ID() || man.Lost[0].Index != 0 {
+		t.Errorf("lost entry = %+v, want PMO %d page 0", man.Lost[0], pmo.ID())
+	}
+	if h.mgr.Stats.LostPages != 1 {
+		t.Errorf("LostPages = %d, want 1", h.mgr.Stats.LostPages)
 	}
 	if h.mgr.Stats.DegradedRestores != 0 {
-		t.Errorf("failed restore counted as degraded: %d", h.mgr.Stats.DegradedRestores)
+		t.Errorf("lost page double-counted as degraded: %d", h.mgr.Stats.DegradedRestores)
+	}
+	// The replacement zero page must be a durable rule-2 source: a second
+	// crash+restore reproduces the zeros without a fresh manifest entry.
+	h.crash()
+	h.restore(t)
+	if got := h.mgr.Manifest(); !got.Clean() {
+		t.Errorf("second restore not clean: %+v", got)
 	}
 }

@@ -53,6 +53,7 @@ func (m *Manager) sweepUnreachable(lane *simclock.Lane, stamp uint64) {
 						continue
 					}
 					m.dropReplica(p)
+					m.dropSum(p)
 					m.alloc.FreePageCkpt(lane, p)
 					m.freedThisRound[p.Frame] = true
 					m.Stats.BackupPages--

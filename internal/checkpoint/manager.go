@@ -88,6 +88,12 @@ type Config struct {
 	// deterministic work queue (walk.go). With it off — or on a
 	// single-core machine — the leader runs the serial reference walk.
 	ParallelWalk bool
+	// DisableChecksums turns off the per-page and per-record backup
+	// digests that restore and the scrubber verify. It exists ONLY as the
+	// ablation baseline for the media-fault campaign (to demonstrate that
+	// without checksums, silent NVM rot reaches restored state
+	// undetected); production configurations keep checksums on.
+	DisableChecksums bool
 }
 
 // DefaultConfig mirrors the paper's evaluated configuration.
@@ -213,6 +219,24 @@ type Stats struct {
 	TornLines        uint64
 	DroppedLines     uint64
 	DegradedRestores uint64
+
+	// Media-fault tolerance counters. LostPages counts pages restored as
+	// zero-filled frames because no retained version survived (each is
+	// named in the restore manifest); DegradedObjects counts object
+	// records whose digest failed and whose restore fell back to the
+	// older snapshot slot; MetaRepairs counts commit-record and journal
+	// regions rebuilt from their mirror copy. The Scrub* family tracks
+	// the between-checkpoint scrubber: scans run, backup pages verified,
+	// pages repaired in place, corrupt fallback slots retired, and
+	// corruptions scrub could only report (restore resolves them).
+	LostPages         uint64
+	DegradedObjects   uint64
+	MetaRepairs       uint64
+	ScrubScans        uint64
+	ScrubPagesChecked uint64
+	ScrubRepairs      uint64
+	ScrubQuarantined  uint64
+	ScrubUnrepairable uint64
 }
 
 // Callback hooks external-synchrony services (§5) into the checkpoint cycle.
@@ -246,6 +270,13 @@ type Manager struct {
 	savedNextID uint64
 	// replicas: backup-page frame -> replica pages + checksum.
 	replicas map[mem.PageID]*pageReplica
+	// sums: restore-source page -> content digest, written whenever the
+	// checkpoint protocol (re)establishes a page as a restore source and
+	// verified on every restore read and scrub pass. It models per-page
+	// checksums stored beside the CkptPage metadata in NVM (metadata is
+	// Go-modeled and therefore atomic, like the rest of the backup tree's
+	// bookkeeping). Empty when cfg.DisableChecksums.
+	sums map[mem.PageID]uint64
 
 	// ---- Runtime world (rebuilt on restore) ----
 
@@ -280,6 +311,16 @@ type Manager struct {
 
 	// LastReport is the report of the most recent checkpoint.
 	LastReport Report
+	// LastManifest describes the outcome of the most recent restore:
+	// every page that could not be rebuilt bit-identically is listed as
+	// degraded or lost. Nil until the first restore.
+	LastManifest *RestoreManifest
+	// restoreInFlight marks a restore that began but has not completed:
+	// if the next restore finds it still set (the attempt was itself
+	// crashed), the manifest is carried over instead of reset, so entries
+	// recorded by the interrupted attempt — whose slot rewrites may
+	// already be durable — are not forgotten.
+	restoreInFlight bool
 	// Stats accumulates across rounds.
 	Stats Stats
 }
@@ -293,7 +334,7 @@ type ckptMetrics struct {
 
 	cowFaults, pagesCopied, stopCopied *obs.Counter
 	migrations, demotions              *obs.Counter
-	restores, degraded                 *obs.Counter
+	restores, degraded, lostPages      *obs.Counter
 	walkUnits, walkSteals              *obs.Counter
 	dirtySet, cachedPages, activeList  *obs.Gauge
 }
@@ -323,6 +364,7 @@ func (m *Manager) SetObserver(o *obs.Observer) {
 		demotions:   r.Counter("checkpoint.demotions"),
 		restores:    r.Counter("checkpoint.restores"),
 		degraded:    r.Counter("checkpoint.degraded_restores"),
+		lostPages:   r.Counter("checkpoint.lost_pages"),
 		walkUnits:   r.Counter("checkpoint.walk_units"),
 		walkSteals:  r.Counter("checkpoint.walk_steals"),
 		dirtySet:    r.Gauge("checkpoint.dirty_set_pages"),
@@ -334,6 +376,12 @@ func (m *Manager) SetObserver(o *obs.Observer) {
 	r.GaugeFunc("checkpoint.backup_bytes", func() int64 { return int64(m.Stats.BackupBytes) })
 	r.GaugeFunc("checkpoint.roots_swept", func() int64 { return int64(m.Stats.RootsSwept) })
 	r.GaugeFunc("checkpoint.checkpoints", func() int64 { return int64(m.Stats.Checkpoints) })
+	r.GaugeFunc("checkpoint.degraded_objects", func() int64 { return int64(m.Stats.DegradedObjects) })
+	r.GaugeFunc("checkpoint.meta_repairs", func() int64 { return int64(m.Stats.MetaRepairs) })
+	r.GaugeFunc("checkpoint.scrub_scans", func() int64 { return int64(m.Stats.ScrubScans) })
+	r.GaugeFunc("checkpoint.scrub_pages_checked", func() int64 { return int64(m.Stats.ScrubPagesChecked) })
+	r.GaugeFunc("checkpoint.scrub_repairs", func() int64 { return int64(m.Stats.ScrubRepairs) })
+	r.GaugeFunc("checkpoint.scrub_quarantined", func() int64 { return int64(m.Stats.ScrubQuarantined) })
 }
 
 // traceOn reports whether span/instant recording is enabled.
@@ -370,6 +418,7 @@ func New(cfg Config, memory *mem.Memory, al *alloc.Allocator, tree *caps.Tree) *
 		jrnl:     al.Journal(),
 		roots:    make(map[uint64]*caps.ORoot),
 		replicas: make(map[mem.PageID]*pageReplica),
+		sums:     make(map[mem.PageID]uint64),
 		tree:     tree,
 	}
 }
@@ -539,30 +588,108 @@ func (m *Manager) fence(lane *simclock.Lane) {
 	}
 }
 
-// commitWordPage is the NVM location of the global version word.
+// commitWordPage is the NVM location of the global version record.
 func commitWordPage() mem.PageID {
 	return mem.PageID{Kind: mem.KindNVM, Frame: mem.CommitMetaFrame}
 }
 
-// persistCommitWord publishes version v as the committed global version:
-// store, write-back, fence. The word is 8-byte aligned, so under ADR it
-// can be dropped (leaving the previous version committed) but never torn.
-func (m *Manager) persistCommitWord(lane *simclock.Lane, v uint64) {
+// The commit record is 16 bytes — the version word plus a check word — kept
+// twice on the commit metadata frame: the primary at offset 0 and a mirror
+// one cache line over. The check word turns any torn, rotten or stale-mixed
+// record into a *detected* failure instead of a bogus version; the mirror
+// turns a detected primary failure into a recoverable one.
+const (
+	commitRecSize   = 16
+	commitMirrorOff = mem.LineSize
+)
+
+// commitCheck derives the check word guarding commit-record value v.
+func commitCheck(v uint64) uint64 {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
+	return pageChecksum(b[:])
+}
+
+// persistCommitWord publishes version v as the committed global version.
+// The primary record is written with plain store + write-back + fence —
+// under ADR its line can still be dropped at a crash (rolling the round
+// back, the protocol's legal outcome) or torn (caught by the check word).
+// The mirror is written strictly AFTER the primary's fence: it may lag the
+// primary (the scrubber re-syncs it) but never lead it, so falling back to
+// the mirror can only ever re-commit an older version — never invent a
+// newer one.
+func (m *Manager) persistCommitWord(lane *simclock.Lane, v uint64) {
+	var b [commitRecSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], v)
+	binary.LittleEndian.PutUint64(b[8:16], commitCheck(v))
 	p := commitWordPage()
 	m.memory.WriteRaw(p, 0, b[:])
-	d := m.memory.Flush(p, 0, 8) + m.memory.Fence()
+	d := m.memory.Flush(p, 0, commitRecSize) + m.memory.Fence()
+	d += m.memory.PersistAtomic(p, commitMirrorOff, b[:])
 	if lane != nil {
 		lane.Charge(d)
 	}
 }
 
-// readCommitWord returns the durable committed version from NVM.
+// readCommitSlot reads and validates one copy of the commit record. A
+// poisoned line or a failed check word returns ok=false.
+func (m *Manager) readCommitSlot(off int) (uint64, bool) {
+	p := commitWordPage()
+	if m.memory.CheckRead(p, off, commitRecSize) != nil {
+		return 0, false
+	}
+	var b [commitRecSize]byte
+	m.memory.ReadRaw(p, off, b[:])
+	v := binary.LittleEndian.Uint64(b[0:8])
+	if binary.LittleEndian.Uint64(b[8:16]) != commitCheck(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+// rewriteCommitSlot rebuilds one copy of the commit record in place,
+// clearing any poison on its line.
+func (m *Manager) rewriteCommitSlot(off int, v uint64) {
+	var b [commitRecSize]byte
+	binary.LittleEndian.PutUint64(b[0:8], v)
+	binary.LittleEndian.PutUint64(b[8:16], commitCheck(v))
+	p := commitWordPage()
+	m.memory.PersistAtomic(p, off, b[:])
+	m.memory.ClearPoison(p, off, commitRecSize)
+}
+
+// readCommitWord returns the durable committed version from NVM: the
+// primary record when it validates, else the mirror (repairing the primary
+// from it), else zero — an unreadable commit record fails closed to "no
+// checkpoint" rather than guessing a version.
 func (m *Manager) readCommitWord() uint64 {
-	var b [8]byte
-	m.memory.ReadRaw(commitWordPage(), 0, b[:])
-	return binary.LittleEndian.Uint64(b[:])
+	if v, ok := m.readCommitSlot(0); ok {
+		return v
+	}
+	if v, ok := m.readCommitSlot(commitMirrorOff); ok {
+		m.rewriteCommitSlot(0, v)
+		m.Stats.MetaRepairs++
+		return v
+	}
+	return 0
+}
+
+// scrubCommitRecord re-establishes the commit record's dual-copy
+// redundancy: a dead or lagging copy is rebuilt from its intact twin. The
+// primary wins a divergence (the mirror may lag, never lead). Returns the
+// number of copies rewritten.
+func (m *Manager) scrubCommitRecord() int {
+	pv, pok := m.readCommitSlot(0)
+	mv, mok := m.readCommitSlot(commitMirrorOff)
+	switch {
+	case pok && (!mok || mv != pv):
+		m.rewriteCommitSlot(commitMirrorOff, pv)
+		return 1
+	case !pok && mok:
+		m.rewriteCommitSlot(0, mv)
+		return 1
+	}
+	return 0
 }
 
 // resolve returns (creating if needed) the ORoot for object o, charging the

@@ -93,6 +93,17 @@ func (m *Manager) checkpointPMO(lane *simclock.Lane, pmo *caps.PMO, r *caps.ORoo
 		cp.Page[1] = s.Page
 		cp.Ver[1] = 0
 		m.flushPage(lane, s.Page)
+		if pmo.Type != caps.PMOEternal {
+			// This commit re-establishes the page as a rule-2 restore
+			// source; re-digest it here (it is write-protected until
+			// the next fault, so the digest stays true). Eternal pages
+			// keep always-current semantics — they are written without
+			// faults, so a digest would go stale; they get the poison
+			// check only.
+			m.checksumPage(lane, s.Page)
+		} else {
+			m.dropSum(s.Page)
+		}
 		if cp.Swap != 0 {
 			// This round supersedes the swapped content.
 			if m.cfg.ReleaseSwapSlot != nil {
@@ -127,6 +138,7 @@ func (m *Manager) checkpointPMO(lane *simclock.Lane, pmo *caps.PMO, r *caps.ORoo
 				m.Stats.BackupPages--
 			}
 			m.dropReplica(cp.Page[0])
+			m.dropSum(cp.Page[0])
 			snap.Pages.Delete(idx)
 			lane.Charge(m.model.RadixVisit)
 		}
@@ -163,6 +175,7 @@ func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.
 			if s.Page.Kind == mem.KindNVM {
 				m.flushPage(lane, s.Page)
 			}
+			m.dropSum(s.Page) // eternal: always-current, never digested
 			return true
 		})
 		return
@@ -192,6 +205,7 @@ func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.
 		}
 		lane.Charge(m.memory.CopyPage(cp.Page[ws], s.Page))
 		m.flushPage(lane, cp.Page[ws])
+		m.checksumPage(lane, cp.Page[ws])
 		cp.Ver[ws] = round
 		m.updateReplica(lane, cp.Page[ws])
 		s.Dirty = false
@@ -237,6 +251,7 @@ func (m *Manager) HandleWriteFault(lane *simclock.Lane, pmo *caps.PMO, idx uint6
 	// BEFORE publishing the version. A crash inside this window restores
 	// through rule 2 from the still-unmodified runtime page.
 	m.flushPage(lane, cp.Page[0])
+	m.checksumPage(lane, cp.Page[0])
 	m.updateReplica(lane, cp.Page[0])
 	m.fence(lane)
 	cp.Ver[0] = m.committed
@@ -313,6 +328,7 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			// The old NVM runtime page becomes the latest backup; its
 			// epoch's stores must be written back for the commit fence.
 			m.flushPage(w, s.Page)
+			m.checksumPage(w, s.Page)
 			cp.Page[1] = s.Page
 			cp.Ver[1] = round
 			s.Page = d
@@ -346,6 +362,7 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			}
 			w.Charge(m.memory.CopyPage(cp.Page[ws], s.Page))
 			m.flushPage(w, cp.Page[ws])
+			m.checksumPage(w, cp.Page[ws])
 			cp.Ver[ws] = round
 			m.updateReplica(w, cp.Page[ws])
 			s.Dirty = false
@@ -383,6 +400,7 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			if latest != 1 {
 				w.Charge(m.memory.CopyPage(cp.Page[1], s.Page))
 				m.flushPage(w, cp.Page[1])
+				m.checksumPage(w, cp.Page[1])
 				m.Stats.PagesCopied++
 			}
 			cp.Ver[1] = 0
@@ -477,25 +495,6 @@ func (m *Manager) dropReplica(p mem.PageID) {
 	}
 }
 
-// verifyBackupPage checks a backup page against its checksum before it is
-// used for recovery, repairing it from the replica on corruption. Returns
-// false if the page is corrupt and unrepairable.
-func (m *Manager) verifyBackupPage(lane *simclock.Lane, p mem.PageID) bool {
-	if m.cfg.Replicas <= 1 {
-		return true
-	}
-	rep, ok := m.replicas[p]
-	if !ok {
-		return true
-	}
-	lane.Charge(m.model.NVMReadPage)
-	if pageChecksum(m.memory.Data(p)) == rep.sum {
-		return true
-	}
-	if pageChecksum(m.memory.Data(rep.copy)) != rep.sum {
-		return false // both copies corrupt
-	}
-	lane.Charge(m.memory.CopyPage(p, rep.copy))
-	m.Stats.ReplicaRepair++
-	return true
-}
+// Backup-page verification lives in sums.go (verifySource): the poison
+// check and the always-on page digest subsume the replica-only checksum
+// this file used to carry, and the replica remains the first repair tier.

@@ -1,6 +1,7 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 
 	"treesls/internal/caps"
@@ -9,6 +10,13 @@ import (
 	"treesls/internal/obs"
 	"treesls/internal/simclock"
 )
+
+// ErrNoCheckpoint reports a restore attempted with no recoverable commit
+// record: either no checkpoint was ever committed, or both copies of the
+// commit record failed validation. Fail-closed — a loud, attributable halt —
+// is the designed response to total commit-record loss; guessing a version
+// would turn media damage into silent corruption.
+var ErrNoCheckpoint = errors.New("checkpoint: no committed checkpoint to restore")
 
 // Restore rebuilds the whole system from the persistent world after a power
 // failure (Figure 5, step ❼):
@@ -52,12 +60,33 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 	if _, err := m.alloc.Recover(); err != nil {
 		return nil, 0, fmt.Errorf("checkpoint: allocator recovery: %w", err)
 	}
+	// Sever every backup-tree reference into a frame the rollback just
+	// reclaimed, before anything can allocate (and so recycle) those
+	// frames. The rolled-back set itself is volatile and the op log is
+	// already truncated: if this restore crashes mid-walk, the re-entered
+	// restore's own Recover finds an empty log and would trust any pointer
+	// still standing — while the allocator hands the same frame to someone
+	// else. This pass performs no persistence events, so no crash can
+	// strand it half-done.
+	m.severRolledBack()
 	if !m.HasCheckpoint() {
-		return nil, 0, fmt.Errorf("checkpoint: no committed checkpoint to restore")
+		return nil, 0, ErrNoCheckpoint
 	}
 	if m.rootORoot == nil {
 		return nil, 0, fmt.Errorf("checkpoint: missing backup root")
 	}
+	// The manifest covers the whole recovery episode, not one attempt: a
+	// restore that degrades a page, publishes the replacement slot, and then
+	// crashes has permanently changed what this version restores to — the
+	// re-entered restore finds an intact rule-2 slot and records nothing.
+	// Keeping the interrupted attempt's entries is the only way the final
+	// manifest still names every page that is not bit-identical to its
+	// original commit. (Re-derived entries may duplicate; readers treat the
+	// manifest as a set.)
+	if !m.restoreInFlight || m.LastManifest == nil || m.LastManifest.Version != m.committed {
+		m.LastManifest = &RestoreManifest{Version: m.committed}
+	}
+	m.restoreInFlight = true
 
 	// Runtime bookkeeping is volatile: reset it. Deferred frees are
 	// dropped rather than processed — the rollback may have revived the
@@ -78,11 +107,6 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 			return nil
 		}
 		seen[r] = true
-		snap, ver := r.LatestCommitted(m.committed)
-		if snap == nil {
-			return fmt.Errorf("checkpoint: object %d (%v) reachable but has no committed snapshot", r.ObjID, r.Kind)
-		}
-		_ = ver
 		// Drop snapshots the crashed (uncommitted) round captured: their
 		// version tag equals the round the retry will reuse, so leaving
 		// them would alias a stale capture into the next commit — the
@@ -94,7 +118,41 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 			if r.Backup[i] != nil && r.Ver[i] > m.committed {
 				r.Backup[i] = nil
 				r.Ver[i] = 0
+				r.Sum[i] = 0
 			}
+		}
+		// Verify the record digest of the snapshot the restore would use;
+		// a corrupt record degrades to the older committed slot, exactly
+		// like a corrupt backup page degrades to an older version. (PMO
+		// skeletons carry no digest — their content is page-checksummed.)
+		if r.Kind != caps.KindPMO && !m.cfg.DisableChecksums {
+			for {
+				s2, v2 := r.LatestCommitted(m.committed)
+				if s2 == nil {
+					break
+				}
+				slot := -1
+				for i := range r.Backup {
+					if r.Backup[i] == s2 && r.Ver[i] == v2 {
+						slot = i
+					}
+				}
+				if slot < 0 {
+					break
+				}
+				lane.Charge(m.model.ChecksumRecord)
+				if recordSum(s2) == r.Sum[slot] {
+					break
+				}
+				r.Backup[slot] = nil
+				r.Ver[slot] = 0
+				r.Sum[slot] = 0
+				m.Stats.DegradedObjects++
+			}
+		}
+		snap, _ := r.LatestCommitted(m.committed)
+		if snap == nil {
+			return fmt.Errorf("checkpoint: object %d (%v) reachable but has no intact committed snapshot", r.ObjID, r.Kind)
 		}
 		obj := reviveEmpty(r, snap)
 		caps.BindORoot(obj, r)
@@ -171,6 +229,7 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 		cb.OnRestore(m.committed, lane)
 	}
 
+	m.restoreInFlight = false
 	m.met.restores.Inc()
 	m.met.restore.ObserveDur(lane.Now().Sub(restoreStart))
 	if m.traceOn() {
@@ -324,9 +383,58 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 			return true
 		}
 		if src == srcNone {
-			// No recoverable source: the page's only copies were
-			// made inside the uncommitted round.
+			// The committed state names this page (stillborn entries
+			// and swapped-out pages were already handled) yet no slot
+			// survived — e.g. a crashed lostPage cleared the corrupt
+			// slots but died before publishing its replacement, or
+			// every copy was media-damaged and scrub-quarantined.
+			// Skipping would leave reads returning demand-zeros with
+			// nothing in the manifest: silent loss. Rebuild the page
+			// as explicit zeros and name it.
+			if err := m.lostPage(lane, pmo, idx, cp, valid); err != nil {
+				fail = err
+				return false
+			}
+			s := pmo.InstallPage(idx, cp.Page[1])
+			s.Writable = pmo.Type == caps.PMOEternal
+			s.Dirty = false
 			return true
+		}
+
+		// Every restore read is verified — poison check always, digest
+		// check unless disabled — regardless of which rule chose the
+		// source. A corrupt chosen source degrades to the other slot's
+		// older committed version; with no intact version left anywhere,
+		// the page is rebuilt as a zero-filled frame and named in the
+		// restore manifest. The restore itself never aborts on media
+		// damage and never installs unverified bytes.
+		if !m.verifySource(lane, cp.Page[src]) {
+			alt := 1 - src
+			if valid(cp.Page[alt]) && cp.Ver[alt] != 0 && cp.Ver[alt] <= m.committed &&
+				m.verifySource(lane, cp.Page[alt]) {
+				// Graceful degradation: fall back to the older
+				// committed version — never to a version-zero
+				// runtime slot, which (under rule 1) holds
+				// post-checkpoint modifications. The restored page
+				// is stale by one or more rounds, which beats
+				// failing the whole restore.
+				m.LastManifest.Degraded = append(m.LastManifest.Degraded, DegradedPage{
+					PMO: pmo.ID(), Index: idx,
+					WantVersion: m.committed, GotVersion: cp.Ver[alt],
+				})
+				src = alt
+				m.Stats.DegradedRestores++
+				m.met.degraded.Inc()
+			} else {
+				if err := m.lostPage(lane, pmo, idx, cp, valid); err != nil {
+					fail = err
+					return false
+				}
+				s := pmo.InstallPage(idx, cp.Page[1])
+				s.Writable = pmo.Type == caps.PMOEternal
+				s.Dirty = false
+				return true
+			}
 		}
 
 		var runtime mem.PageID
@@ -335,48 +443,46 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 			// it directly, no copying.
 			runtime = cp.Page[1]
 		} else {
-			if !m.verifyBackupPage(lane, cp.Page[src]) {
-				// Graceful degradation: the newest backup is
-				// corrupt beyond replica repair. Fall back to
-				// the other slot if it holds an older committed
-				// version that verifies — never to a version-
-				// zero runtime slot, which (under rule 1) holds
-				// post-checkpoint modifications. The restored
-				// page is stale by one or more rounds, which
-				// beats failing the whole restore.
-				alt := 1 - src
-				if valid(cp.Page[alt]) && cp.Ver[alt] != 0 && cp.Ver[alt] <= m.committed &&
-					m.verifyBackupPage(lane, cp.Page[alt]) {
-					src = alt
-					m.Stats.DegradedRestores++
-					m.met.degraded.Inc()
-				} else {
-					fail = fmt.Errorf("checkpoint: backup page %v of PMO %d page %d is corrupt and no intact retained version exists", cp.Page[src], pmo.ID(), idx)
-					return false
-				}
-			}
 			// Copy the consistent backup into the other slot, which
 			// becomes the new runtime page (version zero). A stale
 			// (rolled-back) other slot is replaced with a fresh
 			// frame.
 			other := 1 - src
-			if !valid(cp.Page[other]) {
+			dst := cp.Page[other]
+			fresh := false
+			if !valid(dst) {
 				p, err := m.alloc.AllocPageCkpt(lane)
 				if err != nil {
 					fail = fmt.Errorf("checkpoint: allocating restore page: %w", err)
 					return false
 				}
-				cp.Page[other] = p
+				dst, fresh = p, true
+			}
+			lane.Charge(m.memory.CopyPage(dst, cp.Page[src]))
+			m.flushPage(lane, dst)
+			// Publish only once the copy is durable. A version-zero
+			// slot is exactly what the next restore's rule 2 trusts
+			// as committed content; under ADR a crash before the
+			// fence reverts the frame to its pre-copy bytes, so
+			// publishing early would hand that restore stale data
+			// behind a trusted tag. A crash between the allocation
+			// and this point merely leaks the orphaned frame.
+			m.fence(lane)
+			cp.Page[other] = dst
+			cp.Ver[other] = 0
+			if fresh {
 				m.Stats.BackupPages++
 			}
-			lane.Charge(m.memory.CopyPage(cp.Page[other], cp.Page[src]))
-			m.flushPage(lane, cp.Page[other])
-			cp.Ver[other] = 0
 			if other == 0 {
 				// Keep the invariant that slot 1 is the runtime/
 				// version-zero slot by swapping the slots.
 				cp.Page[0], cp.Page[1] = cp.Page[1], cp.Page[0]
 				cp.Ver[0], cp.Ver[1] = cp.Ver[1], cp.Ver[0]
+			}
+			// The fresh version-zero runtime slot is a restore source
+			// for the next crash; digest it now.
+			if pmo.Type != caps.PMOEternal {
+				m.checksumPage(lane, cp.Page[1])
 			}
 			runtime = cp.Page[1]
 		}
@@ -398,6 +504,34 @@ func (m *Manager) restorePMOPages(lane *simclock.Lane, pmo *caps.PMO, snap *caps
 	pmo.Removed = pmo.Removed[:0]
 	caps.ClearDirty(pmo)
 	return fail
+}
+
+// severRolledBack unlinks every checkpoint-page slot that points into a
+// frame reclaimed by the allocator rollback. The frames are already free —
+// only the stale pointers are cleared, never the frames themselves. Pure
+// metadata mutation: no journal, flush, or fence, hence no crash window.
+func (m *Manager) severRolledBack() {
+	for _, r := range m.roots {
+		for bi := range r.Backup {
+			snap, ok := r.Backup[bi].(*caps.PMOSnap)
+			if !ok {
+				continue
+			}
+			snap.Pages.Walk(func(_ uint64, cp *caps.CkptPage) bool {
+				for i := 0; i < 2; i++ {
+					p := cp.Page[i]
+					if p.IsNil() || p.Kind != mem.KindNVM || !m.alloc.WasRolledBack(p.Frame) {
+						continue
+					}
+					m.dropReplica(p)
+					m.dropSum(p)
+					cp.Page[i] = mem.NilPage
+					cp.Ver[i] = 0
+				}
+				return true
+			})
+		}
+	}
 }
 
 // scrubUncommittedSlots clears every slot of cp whose version tag belongs to
@@ -424,7 +558,98 @@ func (m *Manager) scrubUncommittedSlots(lane *simclock.Lane, cp *caps.CkptPage) 
 			continue
 		}
 		m.dropReplica(p)
+		m.dropSum(p)
 		m.alloc.FreePageCkpt(lane, p)
 		m.Stats.BackupPages--
 	}
+}
+
+// ---- Restore manifest (media-fault tolerance) ------------------------------
+
+// RestoreManifest is the explicit account of everything the last restore
+// could NOT rebuild bit-identically. It is the "never silently corrupt"
+// contract: every restored page is either exactly the committed content, or
+// listed here — degraded (an older committed version was installed) or lost
+// (no intact version survived; the page was restored as deterministic
+// zeros). Entries appear in backup-tree walk order, so identical damage
+// yields an identical manifest.
+type RestoreManifest struct {
+	// Version is the checkpoint version the restore targeted.
+	Version  uint64
+	Degraded []DegradedPage
+	Lost     []LostPage
+}
+
+// Clean reports whether the restore reproduced every page bit-identically.
+func (r *RestoreManifest) Clean() bool {
+	return r == nil || (len(r.Degraded) == 0 && len(r.Lost) == 0)
+}
+
+// DegradedPage names one page restored from an older committed version
+// because its newest copy was corrupt beyond repair.
+type DegradedPage struct {
+	PMO, Index  uint64
+	WantVersion uint64 // the version the page should carry
+	GotVersion  uint64 // the older committed version actually installed
+}
+
+// LostPage names one page with no intact retained version: it was restored
+// as a zero-filled frame.
+type LostPage struct {
+	PMO, Index uint64
+}
+
+// Manifest returns the manifest of the most recent restore (nil before the
+// first restore).
+func (m *Manager) Manifest() *RestoreManifest { return m.LastManifest }
+
+// lostPage rebuilds a page whose every retained copy is poisoned or fails
+// its digest: the corrupt slots are released (their frames healed on the
+// way back to the pool, modeling page retirement + re-ECC), and a fresh
+// zero-filled frame is installed as the version-zero runtime slot. The
+// restored system reads deterministic zeros — never garbage — and the page
+// is named in the restore manifest.
+func (m *Manager) lostPage(lane *simclock.Lane, pmo *caps.PMO, idx uint64, cp *caps.CkptPage, valid func(mem.PageID) bool) error {
+	slot0 := cp.Page[0]
+	for i := 0; i < 2; i++ {
+		p := cp.Page[i]
+		cp.Page[i] = mem.NilPage
+		cp.Ver[i] = 0
+		if !valid(p) {
+			continue
+		}
+		if i == 1 && p == slot0 {
+			continue // aliased slots: freed once via slot 0
+		}
+		m.dropReplica(p)
+		m.dropSum(p)
+		m.memory.ClearPoison(p, 0, mem.PageSize)
+		m.alloc.FreePageCkpt(lane, p)
+		m.Stats.BackupPages--
+	}
+	p, err := m.alloc.AllocPageCkpt(lane)
+	if err != nil {
+		return fmt.Errorf("checkpoint: allocating replacement for lost page: %w", err)
+	}
+	m.memory.ZeroPage(p)
+	lane.Charge(m.model.NVMWritePage)
+	m.flushPage(lane, p)
+	// As in the restore copy path: fence before publishing the
+	// version-zero slot, so a crash can only leak the fresh frame, never
+	// expose reverted bytes behind a rule-2-trusted tag.
+	m.fence(lane)
+	cp.Page[1] = p
+	cp.Ver[1] = 0
+	if pmo.Type != caps.PMOEternal {
+		m.checksumPage(lane, p)
+	}
+	m.Stats.BackupPages++
+	m.Stats.LostPages++
+	m.met.lostPages.Inc()
+	m.LastManifest.Lost = append(m.LastManifest.Lost, LostPage{PMO: pmo.ID(), Index: idx})
+	if m.traceOn() {
+		m.obs.Trace.Instant(lane.ID(), lane.Now(), "checkpoint", "lost-page",
+			obs.I("pmo", int64(pmo.ID())), obs.I("idx", int64(idx)))
+	}
+	return nil
 }

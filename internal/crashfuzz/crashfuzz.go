@@ -83,6 +83,10 @@ type Result struct {
 	// Restores is the number of successful post-crash restores (equals
 	// CrashesFired unless an error aborted the campaign).
 	Restores int
+	// RestoreCrashes counts power failures injected *during* a restore:
+	// the half-finished recovery was crashed again and recovery restarted
+	// from scratch (restore must be idempotent and re-crashable).
+	RestoreCrashes int
 	// Commits counts checkpoints that committed durably.
 	Commits int
 	// Rollbacks counts crashes that landed inside an in-flight checkpoint
@@ -164,6 +168,7 @@ func runSeed(cfg Config, seed uint64, res *Result) error {
 	res.Commits += int(f.m.Ckpt.Stats.Checkpoints)
 	res.Rollbacks += f.rollbacks
 	res.InFlightCommitted += f.inFlightCommitted
+	res.RestoreCrashes += f.restoreCrashes
 	res.LinesAtRisk += f.m.Memory.Stats.CrashLinesAtRisk
 	res.LinesDropped += f.m.Memory.Stats.CrashLinesDropped
 	res.LinesTorn += f.m.Memory.Stats.CrashLinesTorn
@@ -181,6 +186,7 @@ func runSeed(cfg Config, seed uint64, res *Result) error {
 type fuzzerCounters struct {
 	rollbacks         int
 	inFlightCommitted int
+	restoreCrashes    int
 }
 
 func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
@@ -289,10 +295,64 @@ func (f *fuzzer) oneCrash() (bool, error) {
 		return false, nil
 	}
 	f.m.Crash()
+	// One crash in four also arms a failure over the restore itself: the
+	// recovery path's own persistence events (backup copies, flushes,
+	// journaled frees) are crash points too, and a half-finished restore
+	// must be restartable without losing the never-silently-corrupt
+	// guarantee.
+	if f.rng.Intn(4) == 0 {
+		fired, err := f.crashDuringRestore()
+		if err != nil {
+			return true, err
+		}
+		if fired {
+			f.restoreCrashes++
+			if err := f.restoreAndVerify(); err != nil {
+				return true, fmt.Errorf("after crash-during-restore: %w", err)
+			}
+			return true, nil
+		}
+		// The countdown outlived the restore: the machine is already up,
+		// only verification remains.
+		if err := f.verifyRestored(); err != nil {
+			return true, err
+		}
+		return true, nil
+	}
 	if err := f.restoreAndVerify(); err != nil {
 		return true, err
 	}
 	return true, nil
+}
+
+// crashDuringRestore attempts a restore with an armed power-failure
+// countdown. It reports whether the failure fired mid-restore (leaving the
+// machine crashed again); if the restore completed first, the machine is
+// running and verified state is the caller's next step.
+func (f *fuzzer) crashDuringRestore() (fired bool, err error) {
+	f.m.Memory.ArmCrashAfter(uint64(1 + f.rng.Intn(f.cfg.EventWindow)))
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				switch r.(type) {
+				case mem.CrashError, alloc.CrashError:
+					fired = true
+				default:
+					panic(r)
+				}
+			}
+		}()
+		err = f.m.Restore()
+	}()
+	f.m.Memory.DisarmCrash()
+	if fired {
+		f.m.Crash()
+		return true, nil
+	}
+	if err != nil {
+		return false, fmt.Errorf("restore (armed): %w", err)
+	}
+	return false, nil
 }
 
 // step runs one random workload operation, converting an injected power
@@ -344,6 +404,11 @@ func (f *fuzzer) restoreAndVerify() error {
 	if err := f.m.Restore(); err != nil {
 		return fmt.Errorf("restore: %w", err)
 	}
+	return f.verifyRestored()
+}
+
+// verifyRestored checks an already-restored machine against the shadow model.
+func (f *fuzzer) verifyRestored() error {
 	if err := f.checkAudit(); err != nil {
 		return err
 	}
@@ -382,7 +447,8 @@ func (f *fuzzer) restoreAndVerify() error {
 			return fmt.Errorf("reading page %d: %w", i, err)
 		}
 		if got != f.committed[i] {
-			return fmt.Errorf("page %d = %#x, committed model %#x (version %d, crash during %s)", i, got, f.committed[i], ver, f.lastOp)
+			return fmt.Errorf("page %d = %#x, committed model %#x (version %d, crash during %s)",
+				i, got, f.committed[i], ver, f.lastOp)
 		}
 	}
 	if got := f.p.Threads[1].Ctx.R[5]; got != f.commReg {

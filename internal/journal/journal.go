@@ -114,11 +114,17 @@ func (r *Record) Pending() bool { return r != nil && r.pending }
 
 // NVM layout of the journal frame (mem.JournalMetaFrame). The pending flag
 // and the record body sit in separate cache lines so a tear of one cannot
-// touch the other.
+// touch the other. A full second copy (the mirror) lives two lines further
+// up: hot checkpoint metadata is too small to protect with dual-version
+// page redundancy, so it is mirrored instead, and OnCrash/Scrub repair
+// whichever copy a media fault destroyed. The mirror is always written
+// after the primary is durable, so it can lag but never lead.
 const (
-	flagOff    = 0
-	recordOff  = mem.LineSize
-	recordSize = 48
+	flagOff       = 0
+	recordOff     = mem.LineSize
+	recordSize    = 48
+	mirrorFlagOff = 2 * mem.LineSize
+	mirrorBodyOff = 3 * mem.LineSize
 )
 
 // Exported layout constants for tooling and fuzzers that poke the journal
@@ -130,6 +136,9 @@ const (
 	RecordOffset = recordOff
 	// RecordSize is the serialized record body size in bytes.
 	RecordSize = recordSize
+	// MirrorFlagOffset / MirrorRecordOffset locate the mirrored copy.
+	MirrorFlagOffset   = mirrorFlagOff
+	MirrorRecordOffset = mirrorBodyOff
 )
 
 // DecodeRecord parses a serialized record body (the bytes at RecordOffset of
@@ -159,6 +168,9 @@ type Journal struct {
 	// TornRecords counts pending records whose body failed its checksum
 	// after a power failure and were truncated instead of replayed.
 	TornRecords uint64
+	// MirrorRepairs counts journal-frame regions rebuilt from their
+	// mirror (or re-synced onto a lagging mirror) after a media fault.
+	MirrorRepairs uint64
 }
 
 // New creates an empty journal. memory may be nil (unit tests, baselines
@@ -182,6 +194,7 @@ func (j *Journal) SetObserver(o *obs.Observer) {
 		r := o.Metrics
 		r.GaugeFunc("journal.records", func() int64 { return int64(j.Records) })
 		r.GaugeFunc("journal.torn_records", func() int64 { return int64(j.TornRecords) })
+		r.GaugeFunc("journal.mirror_repairs", func() int64 { return int64(j.MirrorRepairs) })
 	}
 }
 
@@ -243,12 +256,14 @@ func (j *Journal) persistBody(lane *simclock.Lane, r *Record) {
 	}
 	b := encode(r)
 	d := j.memory.PersistAtomic(j.page, recordOff, b[:])
+	d += j.memory.PersistAtomic(j.page, mirrorBodyOff, b[:])
 	if lane != nil {
 		lane.Charge(d)
 	}
 }
 
-// persistFlag publishes the pending flag atomically.
+// persistFlag publishes the pending flag atomically, primary first so the
+// mirror can only lag.
 func (j *Journal) persistFlag(lane *simclock.Lane, v uint64) {
 	if j.memory == nil {
 		return
@@ -256,6 +271,7 @@ func (j *Journal) persistFlag(lane *simclock.Lane, v uint64) {
 	var b [8]byte
 	binary.LittleEndian.PutUint64(b[:], v)
 	d := j.memory.PersistAtomic(j.page, flagOff, b[:])
+	d += j.memory.PersistAtomic(j.page, mirrorFlagOff, b[:])
 	if lane != nil {
 		lane.Charge(d)
 	}
@@ -283,6 +299,11 @@ func (j *Journal) Begin(lane *simclock.Lane, op Op, args ...uint64) *Record {
 		j.memory.WriteRaw(j.page, flagOff, fb[:])
 		d += j.memory.Flush(j.page, flagOff, 8)
 		d += j.memory.Fence()
+		// The primary is durable; now lay down the mirror. A crash in
+		// this window leaves the mirror stale, which OnCrash tolerates
+		// (the primary always wins when readable).
+		d += j.memory.PersistAtomic(j.page, mirrorBodyOff, b[:])
+		d += j.memory.PersistAtomic(j.page, mirrorFlagOff, fb[:])
 		if lane != nil {
 			lane.Charge(d)
 		}
@@ -348,11 +369,45 @@ func (j *Journal) Retire(r *Record) {
 	j.persistFlag(nil, 0)
 }
 
+// readFlag loads the 8-byte flag at off; ok is false when the line is
+// poisoned (machine check) — the value is then meaningless.
+func (j *Journal) readFlag(off int) (v uint64, ok bool) {
+	if j.memory.CheckRead(j.page, off, 8) != nil {
+		return 0, false
+	}
+	var fb [8]byte
+	j.memory.ReadRaw(j.page, off, fb[:])
+	return binary.LittleEndian.Uint64(fb[:]), true
+}
+
+// readBody loads and validates the record body at off; ok requires both a
+// clean (unpoisoned) read and an intact checksum.
+func (j *Journal) readBody(off int) (rec Record, raw [recordSize]byte, ok bool) {
+	if j.memory.CheckRead(j.page, off, recordSize) != nil {
+		return Record{}, raw, false
+	}
+	j.memory.ReadRaw(j.page, off, raw[:])
+	rec, ok = decode(raw[:])
+	return rec, raw, ok
+}
+
+// rewriteRegion repairs one journal-frame region: the bytes are rewritten
+// atomically and any poison on the covering lines is cleared (the repair
+// write re-establishes ECC for the full region).
+func (j *Journal) rewriteRegion(off int, b []byte) {
+	j.memory.PersistAtomic(j.page, off, b)
+	j.memory.ClearPoison(j.page, off, mem.LineSize)
+}
+
 // OnCrash re-derives the in-flight record from the NVM frame after a power
 // failure. The Go-side mirror may be stale or damaged-relative: under ADR
-// the flag word can have dropped back to its previous value, and (if the
-// frame was corrupted by other means) the body checksum can fail — such a
-// torn record is truncated, not replayed. No-op without a Memory.
+// the flag word can have dropped back to its previous value, the body
+// checksum can fail, and a media fault can have poisoned any of the four
+// regions. Resolution order: a readable primary always wins (it is written
+// first, so it is never staler than the mirror); a poisoned or torn primary
+// falls back to the mirror and repairs the primary from it; when both
+// copies of the body are gone the record is truncated, not replayed — the
+// owner's op-log rollback covers a Begun mutation. No-op without a Memory.
 func (j *Journal) OnCrash() {
 	if j.memory == nil {
 		return
@@ -361,25 +416,117 @@ func (j *Journal) OnCrash() {
 		j.current.pending = false
 		j.current = nil
 	}
-	var fb [8]byte
-	j.memory.ReadRaw(j.page, flagOff, fb[:])
-	if binary.LittleEndian.Uint64(fb[:]) != 1 {
+	flag, flagOK := j.readFlag(flagOff)
+	if !flagOK {
+		// Primary flag poisoned: the mirror decides, and the primary
+		// flag is rebuilt from it.
+		mf, mfOK := j.readFlag(mirrorFlagOff)
+		if !mfOK {
+			mf = 0 // both flags dead: fail closed, truncate
+			j.TornRecords++
+		}
+		var fb [8]byte
+		binary.LittleEndian.PutUint64(fb[:], mf)
+		j.rewriteRegion(flagOff, fb[:])
+		j.MirrorRepairs++
+		flag = mf
+	}
+	if flag != 1 {
 		return
 	}
-	body := make([]byte, recordSize)
-	j.memory.ReadRaw(j.page, recordOff, body)
-	rec, ok := decode(body)
+	rec, raw, ok := j.readBody(recordOff)
 	if !ok {
-		// Torn tail: the flag published a body that never became
-		// durable in full. Truncate it — the protected mutation is
-		// repaired by the owner's log rollback (or never happened).
+		// Primary body torn or poisoned: adopt the mirror if it holds
+		// a valid record for the same publish, and heal the primary.
+		if mf, mfOK := j.readFlag(mirrorFlagOff); mfOK && mf == 1 {
+			if mrec, mraw, mok := j.readBody(mirrorBodyOff); mok {
+				j.rewriteRegion(recordOff, mraw[:])
+				j.MirrorRepairs++
+				j.adopt(mrec)
+				return
+			}
+		}
+		// No intact copy: truncate. The flag flip also repairs any
+		// poison on the flag lines.
 		j.TornRecords++
-		j.persistFlag(nil, 0)
+		var fb [8]byte
+		j.rewriteRegion(flagOff, fb[:])
+		j.rewriteRegion(mirrorFlagOff, fb[:])
 		return
 	}
+	_ = raw
+	j.adopt(rec)
+}
+
+// adopt installs a recovered record as the in-flight one.
+func (j *Journal) adopt(rec Record) {
 	r := &Record{Seq: rec.Seq, Op: rec.Op, Phase: rec.Phase, Args: rec.Args, pending: true}
 	j.current = r
 	if r.Seq > j.seq {
 		j.seq = r.Seq
 	}
+}
+
+// Scrub verifies the four journal-frame regions between checkpoints and
+// repairs media damage early, while redundancy still exists: a poisoned
+// copy is rebuilt from its intact twin, a lagging mirror is re-synced from
+// the primary, and when both copies of a region are dead it is rebuilt
+// from the in-run Go-side truth (the journal object is authoritative while
+// the machine is up). Returns the number of repairs performed.
+func (j *Journal) Scrub() int {
+	if j.memory == nil {
+		return 0
+	}
+	repairs := 0
+	fix := func(primary, mirror, size int, truth []byte) {
+		pBad := j.memory.Poisoned(j.page, primary, size)
+		mBad := j.memory.Poisoned(j.page, mirror, size)
+		buf := make([]byte, size)
+		switch {
+		case pBad && !mBad:
+			j.memory.ReadRaw(j.page, mirror, buf)
+			j.rewriteRegion(primary, buf)
+			repairs++
+		case mBad && !pBad:
+			j.memory.ReadRaw(j.page, primary, buf)
+			j.rewriteRegion(mirror, buf)
+			repairs++
+		case pBad && mBad:
+			j.rewriteRegion(primary, truth)
+			j.rewriteRegion(mirror, truth)
+			repairs += 2
+		default:
+			// Both readable: re-sync a mirror that lags the primary
+			// (a crash can strand it one publish behind).
+			j.memory.ReadRaw(j.page, primary, buf)
+			mbuf := make([]byte, size)
+			j.memory.ReadRaw(j.page, mirror, mbuf)
+			if !bytesEqual(buf, mbuf) {
+				j.rewriteRegion(mirror, buf)
+				repairs++
+			}
+		}
+	}
+	var flagTruth [8]byte
+	var bodyTruth [recordSize]byte
+	if j.current.Pending() {
+		binary.LittleEndian.PutUint64(flagTruth[:], 1)
+		bodyTruth = encode(j.current)
+	}
+	fix(flagOff, mirrorFlagOff, 8, flagTruth[:])
+	fix(recordOff, mirrorBodyOff, recordSize, bodyTruth[:])
+	j.MirrorRepairs += uint64(repairs)
+	return repairs
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

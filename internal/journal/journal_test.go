@@ -138,11 +138,11 @@ func TestCommittedRecordLeavesNothingPending(t *testing.T) {
 	}
 }
 
-// TestTornTailTruncatedByteByByte corrupts each of the 48 body bytes in turn
-// (with the pending flag published) and checks that recovery detects the
-// torn record via its checksum and truncates it rather than replaying
-// garbage.
-func TestTornTailTruncatedByteByByte(t *testing.T) {
+// TestTornTailHealedFromMirrorByteByByte corrupts each of the 48 primary
+// body bytes in turn (with the pending flag published) and checks that
+// recovery detects the damage via the checksum, rebuilds the record from
+// the mirror copy, and never replays garbage.
+func TestTornTailHealedFromMirrorByteByByte(t *testing.T) {
 	page := mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
 	for off := 0; off < recordSize; off++ {
 		j, m := newNVMJournal(mem.ModeADR)
@@ -155,18 +155,97 @@ func TestTornTailTruncatedByteByByte(t *testing.T) {
 		b[0] ^= 0x10
 		m.WriteRaw(page, recordOff+off, b[:])
 		j.OnCrash()
-		if j.PendingRecord() != nil {
-			t.Fatalf("byte %d: corrupt record replayed as pending", off)
+		got := j.PendingRecord()
+		if got == nil || got.Seq != r.Seq || got.Op != OpBuddyAlloc || got.Args != r.Args {
+			t.Fatalf("byte %d: record not healed from mirror: %+v", off, got)
 		}
-		if j.TornRecords != 1 {
-			t.Fatalf("byte %d: TornRecords = %d, want 1", off, j.TornRecords)
+		if j.MirrorRepairs != 1 || j.TornRecords != 0 {
+			t.Fatalf("byte %d: repairs=%d torn=%d, want 1/0", off, j.MirrorRepairs, j.TornRecords)
 		}
-		// Truncation must be durable: a second recovery pass sees a
-		// clean journal, not the same torn record again.
+		// The repair must be durable: a second recovery pass reads a
+		// clean primary.
 		j.OnCrash()
-		if j.TornRecords != 1 || j.PendingRecord() != nil {
-			t.Fatalf("byte %d: truncation not durable", off)
+		if j.MirrorRepairs != 1 || j.PendingRecord() == nil {
+			t.Fatalf("byte %d: mirror repair not durable", off)
 		}
+	}
+}
+
+// TestTornTailBothCopiesDeadTruncates destroys the primary body *and* the
+// mirror body: with no intact copy left, recovery must truncate the record
+// (never replay garbage), and the truncation must be durable.
+func TestTornTailBothCopiesDeadTruncates(t *testing.T) {
+	page := mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
+	j, m := newNVMJournal(mem.ModeADR)
+	j.Begin(nil, OpBuddyAlloc, 7, 2)
+	var b [1]byte
+	for _, off := range []int{recordOff, mirrorBodyOff} {
+		m.ReadRaw(page, off, b[:])
+		b[0] ^= 0x10
+		m.WriteRaw(page, off, b[:])
+	}
+	j.OnCrash()
+	if j.PendingRecord() != nil {
+		t.Fatal("record with both bodies corrupt replayed as pending")
+	}
+	if j.TornRecords != 1 {
+		t.Fatalf("TornRecords = %d, want 1", j.TornRecords)
+	}
+	j.OnCrash()
+	if j.TornRecords != 1 || j.PendingRecord() != nil {
+		t.Fatal("truncation not durable")
+	}
+}
+
+// TestPoisonedPrimaryHealedFromMirror poisons the primary flag and body
+// lines (a machine-check read, not just scrambled bytes): recovery must
+// rebuild both from the mirror and recover the pending record.
+func TestPoisonedPrimaryHealedFromMirror(t *testing.T) {
+	page := mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
+	j, m := newNVMJournal(mem.ModeADR)
+	r := j.Begin(nil, OpSlabAlloc, 4, 1)
+	m.InjectPoison(page, flagOff, 8, 11)
+	m.InjectPoison(page, recordOff, recordSize, 12)
+	j.OnCrash()
+	got := j.PendingRecord()
+	if got == nil || got.Seq != r.Seq || got.Op != OpSlabAlloc {
+		t.Fatalf("poisoned primary not healed from mirror: %+v", got)
+	}
+	if m.PoisonedLineCount() != 0 {
+		t.Fatalf("%d poisoned lines left after repair", m.PoisonedLineCount())
+	}
+	if j.MirrorRepairs == 0 {
+		t.Fatal("MirrorRepairs not counted")
+	}
+}
+
+// TestScrubRepairsPoisonedMirror verifies the between-checkpoint scrub path:
+// a poisoned mirror region is rebuilt from the intact primary without
+// touching the logical journal state.
+func TestScrubRepairsPoisonedMirror(t *testing.T) {
+	page := mem.PageID{Kind: mem.KindNVM, Frame: mem.JournalMetaFrame}
+	j, m := newNVMJournal(mem.ModeADR)
+	r := j.Begin(nil, OpBuddyFree, 3, 0)
+	j.Commit(nil, r)
+	m.InjectPoison(page, mirrorBodyOff, recordSize, 5)
+	if n := j.Scrub(); n != 1 {
+		t.Fatalf("Scrub repaired %d regions, want 1", n)
+	}
+	if m.PoisonedLineCount() != 0 {
+		t.Fatal("scrub left poison behind")
+	}
+	if j.Scrub() != 0 {
+		t.Fatal("second scrub found more damage on a clean frame")
+	}
+	// Both copies of a region dead: scrub rebuilds from Go-side truth.
+	m.InjectPoison(page, flagOff, 8, 6)
+	m.InjectPoison(page, mirrorFlagOff, 8, 7)
+	if n := j.Scrub(); n != 2 {
+		t.Fatalf("Scrub repaired %d regions, want 2", n)
+	}
+	j.OnCrash()
+	if j.PendingRecord() != nil {
+		t.Fatal("scrub resurrected a committed record")
 	}
 }
 

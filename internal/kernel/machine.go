@@ -39,6 +39,12 @@ type Config struct {
 	CheckpointEvery simclock.Duration
 	// Seed makes the quiescence jitter deterministic per machine.
 	Seed uint64
+	// ScrubEvery is the background media-scrub interval in simulated time;
+	// 0 disables periodic scrubbing (Scrub can still be called manually).
+	// Scrubbing verifies the checksummed persistent world between
+	// checkpoints and repairs latent media damage from the remaining
+	// redundancy while it still exists.
+	ScrubEvery simclock.Duration
 	// AutoEvictBelowFrames, when > 0, evicts cold pages to the swap
 	// device whenever free NVM drops below this threshold (§8 memory
 	// over-commitment: "evict them to secondary storage when the system
@@ -111,7 +117,11 @@ type Machine struct {
 	// an idle core lane lags behind.
 	threadAvail map[*caps.Thread]simclock.Time
 	nextCkpt    simclock.Time
+	nextScrub   simclock.Time
 	crashed     bool
+
+	// LastScrub is the report of the most recent media scrub.
+	LastScrub checkpoint.ScrubReport
 
 	// Obs is the attached observability layer (nil when disabled).
 	Obs *obs.Observer
@@ -138,6 +148,11 @@ func New(cfg Config) *Machine {
 		model = simclock.DefaultCostModel()
 	}
 	memory := mem.New(cfg.Mem, model)
+	// Crash-time media faults never land on the reserved metadata area
+	// (commit record, journal frame, allocator bitmaps): those structures
+	// carry their own mirrored redundancy and are exercised by targeted
+	// injection instead of the random fault sweep.
+	memory.SetProtectedFrames(alloc.ReservedMetaFrames)
 	jrnl := journal.New(model, memory)
 	al := alloc.New(memory, jrnl)
 	tree := caps.NewTree()
@@ -169,6 +184,9 @@ func New(cfg Config) *Machine {
 	}
 	if cfg.CheckpointEvery > 0 {
 		m.nextCkpt = simclock.Time(cfg.CheckpointEvery)
+	}
+	if cfg.ScrubEvery > 0 {
+		m.nextScrub = simclock.Time(cfg.ScrubEvery)
 	}
 	if cfg.Obs != nil {
 		m.Obs = cfg.Obs
@@ -300,10 +318,37 @@ func (m *Machine) runDueCheckpoints(t simclock.Time) {
 // (zero if periodic checkpointing is off).
 func (m *Machine) NextCheckpointAt() simclock.Time { return m.nextCkpt }
 
-// SettleTo idles the machine forward to time t, firing any checkpoints due
-// on the way.
+// Scrub runs one media-scrub pass on core 0 now (see checkpoint.Scrub).
+func (m *Machine) Scrub() checkpoint.ScrubReport {
+	if m.crashed {
+		panic("kernel: scrub on a crashed machine")
+	}
+	lane := &m.Cores[0].Lane
+	m.LastScrub = m.Ckpt.Scrub(lane)
+	return m.LastScrub
+}
+
+// runDueScrubs fires every periodic media scrub whose deadline is at or
+// before t. Scrubbing rides on core 0 only — unlike a checkpoint it needs no
+// stop-the-world rendezvous, it merely reads (and occasionally repairs) the
+// persistent world.
+func (m *Machine) runDueScrubs(t simclock.Time) {
+	if m.cfg.ScrubEvery <= 0 {
+		return
+	}
+	for m.nextScrub <= t {
+		lane := &m.Cores[0].Lane
+		lane.AdvanceTo(m.nextScrub)
+		m.LastScrub = m.Ckpt.Scrub(lane)
+		m.nextScrub = m.nextScrub.Add(m.cfg.ScrubEvery)
+	}
+}
+
+// SettleTo idles the machine forward to time t, firing any checkpoints and
+// scrubs due on the way.
 func (m *Machine) SettleTo(t simclock.Time) {
 	m.runDueCheckpoints(t)
+	m.runDueScrubs(t)
 	for _, c := range m.Cores {
 		c.Lane.AdvanceTo(t)
 	}
@@ -362,6 +407,7 @@ func (m *Machine) RunAt(arrival simclock.Time, p *Process, t *caps.Thread, fn fu
 		core.Lane.AdvanceTo(arrival)
 	}
 	m.runDueCheckpoints(core.Lane.Now())
+	m.runDueScrubs(core.Lane.Now())
 	start := core.Lane.Now()
 	if arrival > 0 && arrival < start {
 		start = arrival // queueing delay counts toward latency
@@ -488,6 +534,9 @@ func (m *Machine) Restore() error {
 	}
 	if m.cfg.CheckpointEvery > 0 {
 		m.nextCkpt = m.Now().Add(m.cfg.CheckpointEvery)
+	}
+	if m.cfg.ScrubEvery > 0 {
+		m.nextScrub = m.Now().Add(m.cfg.ScrubEvery)
 	}
 	m.Stats.Restores++
 	m.auditNow("restore")

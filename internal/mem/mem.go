@@ -116,6 +116,13 @@ type Memory struct {
 	crashArmed     bool
 	crashCountdown uint64
 
+	// Media-fault state (see media.go): poisoned (uncorrectable) NVM
+	// lines, the injector config, and the metadata region exempt from
+	// random crash-time injection.
+	media        MediaFaultConfig
+	mediaProtect uint32
+	poison       map[lineKey]struct{}
+
 	// Stats counts device traffic for the experiment reports.
 	Stats Stats
 }
@@ -138,6 +145,14 @@ type Stats struct {
 	CrashLinesAtRisk  uint64
 	CrashLinesDropped uint64
 	CrashLinesTorn    uint64
+
+	// Media-fault accounting (see media.go): lines poisoned (flagged
+	// uncorrectable), lines silently rotted, machine-check reads of
+	// poisoned spans, and poison flags cleared by full-line rewrites.
+	PoisonedLines uint64
+	RottedLines   uint64
+	PoisonedReads uint64
+	PoisonClears  uint64
 }
 
 // Config sizes the two devices and selects the persistence model.
@@ -151,6 +166,10 @@ type Config struct {
 	// CrashSeed seeds the deterministic damage RNG used by Crash() in
 	// ADR mode.
 	CrashSeed uint64
+
+	// Media configures the NVM media-fault injector (media.go). The zero
+	// value injects nothing.
+	Media MediaFaultConfig
 }
 
 // DefaultConfig returns a machine with 64 Ki NVM frames (256 MiB) and
@@ -168,6 +187,7 @@ func New(cfg Config, model *simclock.CostModel) *Memory {
 		dram:      newDevice(KindDRAM, cfg.DRAMFrames),
 		mode:      cfg.Persist,
 		crashSeed: cfg.CrashSeed,
+		media:     cfg.Media,
 	}
 	if m.mode == ModeADR {
 		m.wb = make(map[lineKey]*wbLine)
@@ -232,6 +252,7 @@ func (m *Memory) DRAMFreeFrames() int { return len(m.dramFree) }
 // CopyPage copies one full page from src to dst and returns the simulated
 // cost (read of src + write of dst).
 func (m *Memory) CopyPage(dst, src PageID) simclock.Duration {
+	m.preWrite(dst, 0, PageSize)
 	m.track(dst, 0, PageSize)
 	copy(m.Data(dst), m.Data(src))
 	if dst.Kind == KindNVM {
@@ -247,6 +268,7 @@ func (m *Memory) WriteAt(p PageID, off int, data []byte) simclock.Duration {
 	if off < 0 || off+len(data) > PageSize {
 		panic(fmt.Sprintf("mem: WriteAt out of page bounds: off=%d len=%d", off, len(data)))
 	}
+	m.preWrite(p, off, len(data))
 	m.track(p, off, len(data))
 	copy(d[off:], data)
 	if p.Kind == KindNVM {
@@ -321,7 +343,10 @@ func (m *Memory) Crash() {
 	m.DisarmCrash()
 	if m.mode == ModeADR {
 		m.applyCrashDamage()
+	} else {
+		m.crashes++ // vary media damage across crashes under eADR too
 	}
+	m.injectCrashFaults()
 	for f, b := range m.dram.frames {
 		if b != nil {
 			clear(b)

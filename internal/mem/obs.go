@@ -25,4 +25,9 @@ func (m *Memory) SetObserver(o *obs.Observer) {
 	r.GaugeFunc("mem.crash_lines_dropped", func() int64 { return int64(m.Stats.CrashLinesDropped) })
 	r.GaugeFunc("mem.crash_lines_torn", func() int64 { return int64(m.Stats.CrashLinesTorn) })
 	r.GaugeFunc("mem.dram_free_frames", func() int64 { return int64(m.DRAMFreeFrames()) })
+	r.GaugeFunc("mem.poisoned_lines", func() int64 { return int64(m.Stats.PoisonedLines) })
+	r.GaugeFunc("mem.poisoned_lines_live", func() int64 { return int64(m.PoisonedLineCount()) })
+	r.GaugeFunc("mem.rotted_lines", func() int64 { return int64(m.Stats.RottedLines) })
+	r.GaugeFunc("mem.poisoned_reads", func() int64 { return int64(m.Stats.PoisonedReads) })
+	r.GaugeFunc("mem.poison_clears", func() int64 { return int64(m.Stats.PoisonClears) })
 }

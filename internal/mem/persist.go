@@ -241,6 +241,7 @@ func (m *Memory) WriteRaw(p PageID, off int, data []byte) {
 	if off < 0 || off+len(data) > PageSize {
 		panic(fmt.Sprintf("mem: WriteRaw out of page bounds: off=%d len=%d", off, len(data)))
 	}
+	m.preWrite(p, off, len(data))
 	m.track(p, off, len(data))
 	copy(m.Data(p)[off:], data)
 	if p.Kind == KindNVM {
@@ -261,6 +262,7 @@ func (m *Memory) ReadRaw(p PageID, off int, buf []byte) {
 // bare clear(Data(p)) idiom so first-touch page materialization
 // participates in the persistence model.
 func (m *Memory) ZeroPage(p PageID) {
+	m.preWrite(p, 0, PageSize)
 	m.track(p, 0, PageSize)
 	clear(m.Data(p))
 	if p.Kind == KindNVM {
@@ -280,6 +282,7 @@ func (m *Memory) PersistAtomic(p PageID, off int, data []byte) simclock.Duration
 	if off < 0 || off+len(data) > PageSize {
 		panic(fmt.Sprintf("mem: PersistAtomic out of page bounds: off=%d len=%d", off, len(data)))
 	}
+	m.preWrite(p, off, len(data))
 	d := m.Data(p)
 	copy(d[off:], data)
 	if m.mode != ModeADR || p.Kind != KindNVM {

@@ -524,6 +524,14 @@ func (a *Auditor) checkRuntimePages(res *Result, where string, tree *caps.Tree) 
 				bad("%s: PMO %d page %d mapped but holds no frame", where, pmo.ID(), idx)
 				return true
 			}
+			// Media invariant: a live runtime page must never carry poison
+			// past a protocol boundary. Restore either verifies an adopted
+			// source or rewrites the frame whole (which clears poison), so
+			// poison here means a machine-check would fire on normal access.
+			if a.Mem.Poisoned(s.Page, 0, mem.PageSize) {
+				bad("%s: PMO %d page %d live runtime frame %v is poisoned",
+					where, pmo.ID(), idx, s.Page)
+			}
 			if prev, dup := owners[s.Page]; dup {
 				bad("%s: frame %v aliased by PMO %d page %d and object %d",
 					where, s.Page, pmo.ID(), idx, prev)
