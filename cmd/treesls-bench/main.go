@@ -7,7 +7,7 @@
 //
 // Experiment names: functional, table2, fig9a, fig9b, table3, fig10,
 // table4, fig11, fig12, fig13, fig14, ablation, restoretime, sensitivity,
-// scaling, net, scrub, media.
+// scaling, net, repl, scrub, media.
 package main
 
 import (
@@ -71,6 +71,7 @@ func main() {
 		{"sensitivity", func(s experiments.Scale) (string, error) { _, t, err := experiments.SensitivityNVM(s); return t, err }},
 		{"scaling", func(s experiments.Scale) (string, error) { _, t, err := experiments.WalkScaling(s); return t, err }},
 		{"net", func(s experiments.Scale) (string, error) { _, t, err := experiments.NetLatency(s); return t, err }},
+		{"repl", func(s experiments.Scale) (string, error) { _, t, err := experiments.ReplLag(s); return t, err }},
 		{"scrub", func(s experiments.Scale) (string, error) { _, t, err := experiments.ScrubOverhead(s); return t, err }},
 		{"media", func(s experiments.Scale) (string, error) {
 			return mediaCampaign(s, *mediaFaults, *scrubInterval)

@@ -15,6 +15,7 @@ import (
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
+	"treesls/internal/repl"
 	"treesls/internal/simclock"
 )
 
@@ -26,10 +27,14 @@ func main() {
 	mediaFaults := flag.Int("media-faults", 0, "random NVM lines poisoned at each power failure (seeded by -crash-seed)")
 	scrubInterval := flag.Duration("scrub-interval", 0, "background media-scrub period in simulated time (0 disables), e.g. 2ms")
 	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
+	replicate := flag.Bool("replicate", false, "stream checkpoint deltas to a hot standby and promote it at the crash")
+	replMode := flag.String("repl-mode", "local", "replication durability contract: local (async standby) or remote (responses wait for the standby ack)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
 	mode, err := mem.ParsePersistMode(*persist)
+	check(err)
+	rmode, err := repl.ParseMode(*replMode)
 	check(err)
 	cfg := kernel.DefaultConfig()
 	cfg.Mem.Persist = mode
@@ -53,6 +58,12 @@ func main() {
 			acked++
 		})
 		fmt.Println("▸ external synchrony on: clients see an ack only after a checkpoint")
+	}
+
+	var rep *repl.Replicator
+	if *replicate {
+		rep = repl.Attach(m, drv, repl.Config{Mode: rmode})
+		fmt.Printf("▸ replication on (%s mode): every checkpoint streams a delta to the hot standby\n", rmode)
 	}
 
 	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
@@ -80,6 +91,7 @@ func main() {
 		n, m.Now().Sub(0), m.Stats.Checkpoints)
 
 	fmt.Println("▸ PULLING THE PLUG (DRAM and all runtime state are gone)")
+	crashAt := m.Now()
 	m.Crash()
 	if mode == mem.ModeADR {
 		fmt.Printf("▸ ADR damage: %d unflushed lines at risk — %d dropped, %d torn\n",
@@ -88,6 +100,19 @@ func main() {
 	if *mediaFaults > 0 {
 		fmt.Printf("▸ media damage: %d NVM lines poisoned by the power failure\n",
 			m.Memory.Stats.PoisonedLines)
+	}
+
+	if rep != nil {
+		st := rep.Stats
+		fmt.Printf("▸ replication at the crash: %d deltas shipped (%d full syncs), %d bytes, %d acks\n",
+			st.Deltas, st.FullSyncs, st.BytesSent, st.Acks)
+		if fo, err := rep.FailoverAt(crashAt); err != nil {
+			fmt.Printf("▸ standby promotion would refuse: %v\n", err)
+		} else {
+			fmt.Printf("▸ had the whole primary been lost, the standby promotes at checkpoint v%d (acked v%d at the crash instant): %d folded deltas, digest match=%v\n",
+				fo.Version, rep.AckedVersion(crashAt), fo.FoldedDeltas, fo.Digest == fo.ExpectedDigest)
+		}
+		fmt.Println("▸ the primary's NVM survived, so we restore locally instead")
 	}
 
 	check(m.Restore())

@@ -1,12 +1,14 @@
 // Command treesls-inspect boots a machine (optionally with a sample
 // workload), takes a checkpoint, and dumps the capability tree plus the
 // checkpoint manager's statistics — a window into the structures of
-// Figure 4 and Table 2.
+// Figure 4 and Table 2. With -replicate it also attaches the hot-standby
+// replicator, reports the delta stream, and probes a failover.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -15,22 +17,40 @@ import (
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
+	"treesls/internal/repl"
 	"treesls/internal/simclock"
 )
 
 func main() {
-	withKV := flag.Bool("kv", true, "run a sample KV workload before dumping")
-	persist := flag.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
-	mediaFaults := flag.Int("media-faults", 0, "inject silent bit-rot into this many committed backup pages after the checkpoint, then scrub")
-	scrubInterval := flag.Duration("scrub-interval", 0, "if non-zero, run one media-scrub pass after the checkpoint and report it (the value also becomes the machine's background scrub period)")
-	parallelWalk := flag.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
-	obsOpts := obs.AddFlags(nil)
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run is the whole program against an explicit flag list and output stream,
+// so the golden-file regression test can drive it byte-for-byte.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("treesls-inspect", flag.ContinueOnError)
+	withKV := fs.Bool("kv", true, "run a sample KV workload before dumping")
+	persist := fs.String("persist-mode", "eadr", "persistence model: eadr (stores durable on landing) or adr (explicit flush+fence required)")
+	mediaFaults := fs.Int("media-faults", 0, "inject silent bit-rot into this many committed backup pages after the checkpoint, then scrub")
+	scrubInterval := fs.Duration("scrub-interval", 0, "if non-zero, run one media-scrub pass after the checkpoint and report it (the value also becomes the machine's background scrub period)")
+	parallelWalk := fs.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
+	replicate := fs.Bool("replicate", false, "stream checkpoint deltas to a hot standby and probe a failover")
+	replMode := fs.String("repl-mode", "local", "replication durability contract: local (async standby) or remote (responses wait for the standby ack)")
+	obsOpts := obs.AddFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	mode, err := mem.ParsePersistMode(*persist)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return err
+	}
+	rmode, err := repl.ParseMode(*replMode)
+	if err != nil {
+		return err
 	}
 	cfg := kernel.DefaultConfig()
 	cfg.CheckpointEvery = 0
@@ -42,82 +62,97 @@ func main() {
 	cfg.Audit = obsOpts.Audit
 	m := kernel.New(cfg)
 
+	var rep *repl.Replicator
+	if *replicate {
+		rep = repl.Attach(m, nil, repl.Config{Mode: rmode})
+	}
 	if *withKV {
 		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{Name: "kv", Threads: 2})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		for i := 0; i < 200; i++ {
 			srv.Set(i, []byte(fmt.Sprintf("k%d", i)), []byte("value"))
 		}
 	}
-	rep := m.TakeCheckpoint()
+	rp := m.TakeCheckpoint()
 
-	fmt.Println("Capability tree (Figure 4):")
-	dumpGroup(m, m.Tree.Root, 0)
+	fmt.Fprintln(stdout, "Capability tree (Figure 4):")
+	dumpGroup(stdout, m.Tree.Root, 0)
 
 	counts := m.Tree.Counts()
-	fmt.Println("\nObject composition (Table 2 style):")
+	fmt.Fprintln(stdout, "\nObject composition (Table 2 style):")
 	for k := caps.ObjectKind(0); int(k) < caps.NumKinds; k++ {
-		fmt.Printf("  %-16s %d\n", k.String(), counts[k])
+		fmt.Fprintf(stdout, "  %-16s %d\n", k.String(), counts[k])
 	}
-	fmt.Printf("  resident pages   %d (%.1f MiB)\n", m.Tree.TotalPMOPages(),
+	fmt.Fprintf(stdout, "  resident pages   %d (%.1f MiB)\n", m.Tree.TotalPMOPages(),
 		float64(m.Tree.TotalPMOPages())*mem.PageSize/(1<<20))
 
-	fmt.Println("\nLast checkpoint:")
-	fmt.Printf("  version     %d\n", rep.Version)
-	fmt.Printf("  STW total   %v (IPI %v, cap tree %v, others %v, hybrid %v)\n",
-		rep.STWTotal, rep.IPIWait, rep.CapTree, rep.Others, rep.HybridCopy)
-	fmt.Printf("  pages RO'd  %d\n", rep.PagesMarkedRO)
-	fmt.Printf("  backup use  %d pages + %d bytes of structures\n",
+	fmt.Fprintln(stdout, "\nLast checkpoint:")
+	fmt.Fprintf(stdout, "  version     %d\n", rp.Version)
+	fmt.Fprintf(stdout, "  STW total   %v (IPI %v, cap tree %v, others %v, hybrid %v)\n",
+		rp.STWTotal, rp.IPIWait, rp.CapTree, rp.Others, rp.HybridCopy)
+	fmt.Fprintf(stdout, "  pages RO'd  %d\n", rp.PagesMarkedRO)
+	fmt.Fprintf(stdout, "  backup use  %d pages + %d bytes of structures\n",
 		m.Ckpt.Stats.BackupPages, m.Ckpt.Stats.BackupBytes)
-	fmt.Printf("  DRAM cache  %d hot pages, active list %d\n",
+	fmt.Fprintf(stdout, "  DRAM cache  %d hot pages, active list %d\n",
 		m.Ckpt.CachedPages(), m.Ckpt.ActiveListLen())
 	if sw := m.SwapStats(); sw.Evicted > 0 {
-		fmt.Printf("  swap        %d evicted, %d swapped in, %d slots live\n",
+		fmt.Fprintf(stdout, "  swap        %d evicted, %d swapped in, %d slots live\n",
 			sw.Evicted, sw.SwappedIn, sw.SlotsInUse)
+	}
+
+	if rep != nil {
+		st := rep.Stats
+		fmt.Fprintf(stdout, "\nReplication (mode=%s):\n", rep.Config().Mode)
+		fmt.Fprintf(stdout, "  deltas      %d shipped (%d full syncs), %d bytes on the wire\n",
+			st.Deltas, st.FullSyncs, st.BytesSent)
+		fmt.Fprintf(stdout, "  acks        %d received, last at +%.1fµs; ledger retains %d rounds (%d GCed)\n",
+			st.Acks, rep.LastAckAt().Sub(0).Micros(), len(rep.Ledger()), st.GCedDeltas)
+		fo, err := rep.FailoverAt(rep.LastAckAt())
+		if err != nil {
+			return fmt.Errorf("failover probe: %w", err)
+		}
+		fmt.Fprintf(stdout, "  failover    standby promotes at v%d from %d folded deltas, digest match=%v\n",
+			fo.Version, fo.FoldedDeltas, fo.Digest == fo.ExpectedDigest)
 	}
 
 	if *mediaFaults > 0 {
 		injected := injectBackupRot(m, *mediaFaults)
-		fmt.Printf("\nInjected silent bit-rot into %d committed backup pages\n", injected)
+		fmt.Fprintf(stdout, "\nInjected silent bit-rot into %d committed backup pages\n", injected)
 	}
 	if *mediaFaults > 0 || *scrubInterval > 0 {
 		sr := m.Scrub()
-		fmt.Printf("\nMedia scrub pass:\n")
-		fmt.Printf("  checked     %d pages, %d object records\n", sr.PagesChecked, sr.RecordsChecked)
-		fmt.Printf("  repaired    %d in place, %d meta copies resynced\n", sr.Repaired, sr.MetaRepairs)
-		fmt.Printf("  quarantined %d corrupt fallback slots\n", sr.Quarantined)
-		fmt.Printf("  unrepairable %d (left for restore to degrade explicitly)\n", sr.Unrepairable)
+		fmt.Fprintf(stdout, "\nMedia scrub pass:\n")
+		fmt.Fprintf(stdout, "  checked     %d pages, %d object records\n", sr.PagesChecked, sr.RecordsChecked)
+		fmt.Fprintf(stdout, "  repaired    %d in place, %d meta copies resynced\n", sr.Repaired, sr.MetaRepairs)
+		fmt.Fprintf(stdout, "  quarantined %d corrupt fallback slots\n", sr.Quarantined)
+		fmt.Fprintf(stdout, "  unrepairable %d (left for restore to degrade explicitly)\n", sr.Unrepairable)
 	}
 
 	cs := m.Ckpt.Stats
-	fmt.Printf("\nRobustness (persist-mode=%s):\n", mode)
-	fmt.Printf("  flushes/fences     %d clwb, %d sfence\n",
+	fmt.Fprintf(stdout, "\nRobustness (persist-mode=%s):\n", mode)
+	fmt.Fprintf(stdout, "  flushes/fences     %d clwb, %d sfence\n",
 		m.Memory.Stats.Flushes, m.Memory.Stats.Fences)
-	fmt.Printf("  crash damage       %d lines dropped, %d torn (last crash)\n",
+	fmt.Fprintf(stdout, "  crash damage       %d lines dropped, %d torn (last crash)\n",
 		cs.DroppedLines, cs.TornLines)
-	fmt.Printf("  journal            %d torn records truncated, %d mirror repairs\n",
+	fmt.Fprintf(stdout, "  journal            %d torn records truncated, %d mirror repairs\n",
 		m.Journal.TornRecords, m.Journal.MirrorRepairs)
-	fmt.Printf("  commit record      durable version %d (dual-copy, 16-byte checked record)\n",
+	fmt.Fprintf(stdout, "  commit record      durable version %d (dual-copy, 16-byte checked record)\n",
 		m.Ckpt.DurableVersion())
-	fmt.Printf("  media faults       %d lines poisoned, %d rotted; %d poisoned reads detected\n",
+	fmt.Fprintf(stdout, "  media faults       %d lines poisoned, %d rotted; %d poisoned reads detected\n",
 		m.Memory.Stats.PoisonedLines, m.Memory.Stats.RottedLines, m.Memory.Stats.PoisonedReads)
-	fmt.Printf("  backup integrity   %d replica repairs, %d meta repairs, %d degraded page restores, %d lost pages\n",
+	fmt.Fprintf(stdout, "  backup integrity   %d replica repairs, %d meta repairs, %d degraded page restores, %d lost pages\n",
 		cs.ReplicaRepair, cs.MetaRepairs, cs.DegradedRestores, cs.LostPages)
-	fmt.Printf("  scrubber           %d passes, %d pages checked, %d repaired, %d quarantined, %d unrepairable\n",
+	fmt.Fprintf(stdout, "  scrubber           %d passes, %d pages checked, %d repaired, %d quarantined, %d unrepairable\n",
 		cs.ScrubScans, cs.ScrubPagesChecked, cs.ScrubRepairs, cs.ScrubQuarantined, cs.ScrubUnrepairable)
 
 	if m.Auditor != nil {
-		fmt.Printf("\nAudit:\n  %d checks, %d violations\n  runtime digest %#x\n  backup digest  %#x\n",
+		fmt.Fprintf(stdout, "\nAudit:\n  %d checks, %d violations\n  runtime digest %#x\n  backup digest  %#x\n",
 			m.Auditor.Checks, m.Auditor.TotalViolations,
 			m.LastAudit.RuntimeDigest, m.LastAudit.BackupDigest)
 	}
-	if err := obsOpts.Finish(ob, os.Stdout, m.Now()); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
+	return obsOpts.Finish(ob, stdout, m.Now())
 }
 
 // injectBackupRot plants deterministic silent bit-rot in up to n distinct
@@ -146,25 +181,25 @@ func injectBackupRot(m *kernel.Machine, n int) int {
 	return injected
 }
 
-func dumpGroup(m *kernel.Machine, g *caps.CapGroup, depth int) {
+func dumpGroup(w io.Writer, g *caps.CapGroup, depth int) {
 	indent := strings.Repeat("  ", depth)
-	fmt.Printf("%s▸ CapGroup %q (id %d)\n", indent, g.Name, g.ID())
+	fmt.Fprintf(w, "%s▸ CapGroup %q (id %d)\n", indent, g.Name, g.ID())
 	g.ForEach(func(slot int, c caps.Capability) {
 		switch o := c.Obj.(type) {
 		case *caps.CapGroup:
-			dumpGroup(m, o, depth+1)
+			dumpGroup(w, o, depth+1)
 		case *caps.PMO:
-			fmt.Printf("%s  - PMO id %d (%s, %d/%d pages)\n", indent, o.ID(), o.Type, o.NumPages(), o.SizePages)
+			fmt.Fprintf(w, "%s  - PMO id %d (%s, %d/%d pages)\n", indent, o.ID(), o.Type, o.NumPages(), o.SizePages)
 		case *caps.VMSpace:
-			fmt.Printf("%s  - VMSpace id %d (%d regions)\n", indent, o.ID(), o.NumRegions())
+			fmt.Fprintf(w, "%s  - VMSpace id %d (%d regions)\n", indent, o.ID(), o.NumRegions())
 		case *caps.Thread:
-			fmt.Printf("%s  - Thread id %d (%s, pc=%#x)\n", indent, o.ID(), o.State, o.Ctx.PC)
+			fmt.Fprintf(w, "%s  - Thread id %d (%s, pc=%#x)\n", indent, o.ID(), o.State, o.Ctx.PC)
 		case *caps.IPCConn:
-			fmt.Printf("%s  - IPCConn id %d (seq %d)\n", indent, o.ID(), o.Seq)
+			fmt.Fprintf(w, "%s  - IPCConn id %d (seq %d)\n", indent, o.ID(), o.Seq)
 		case *caps.Notification:
-			fmt.Printf("%s  - Notification id %d (count %d, waiters %d)\n", indent, o.ID(), o.Count, o.NumWaiters())
+			fmt.Fprintf(w, "%s  - Notification id %d (count %d, waiters %d)\n", indent, o.ID(), o.Count, o.NumWaiters())
 		case *caps.IRQNotification:
-			fmt.Printf("%s  - IRQNotification id %d (line %d)\n", indent, o.ID(), o.Line)
+			fmt.Fprintf(w, "%s  - IRQNotification id %d (line %d)\n", indent, o.ID(), o.Line)
 		}
 	})
 }

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files instead of comparing")
+
+// TestInspectGolden locks the inspector's full output on a fixed-seed
+// machine: simulated time makes every timestamp, statistic, and digest a
+// pure function of the build, so any drift in checkpoint physics, tree
+// layout, replication accounting, or formatting shows up as a byte diff.
+// Regenerate intentionally with: go test ./cmd/treesls-inspect -update
+func TestInspectGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"kv", nil},
+		{"kv-adr", []string{"-persist-mode", "adr"}},
+		{"kv-replicate-remote", []string{"-replicate", "-repl-mode", "remote"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatalf("run(%v): %v", tc.args, err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Errorf("output drifted from %s:\n%s", golden, firstDiff(want, buf.Bytes()))
+			}
+		})
+	}
+}
+
+// firstDiff renders the first differing line for a readable failure.
+func firstDiff(want, got []byte) string {
+	wl := bytes.Split(want, []byte("\n"))
+	gl := bytes.Split(got, []byte("\n"))
+	n := len(wl)
+	if len(gl) < n {
+		n = len(gl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wl[i], gl[i]) {
+			return fmt.Sprintf("line %d:\n  want: %s\n  got:  %s", i+1, wl[i], gl[i])
+		}
+	}
+	return fmt.Sprintf("line count: want %d, got %d", len(wl), len(gl))
+}

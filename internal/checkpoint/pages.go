@@ -195,6 +195,20 @@ func (m *Manager) stopAndCopyPMO(lane *simclock.Lane, pmo *caps.PMO, snap *caps.
 			lane.Charge(m.model.RadixVisit)
 		}
 		ws := m.backupWriteSlot(cp)
+		if cp.Page[ws] == s.Page {
+			// A restore adopted this backup frame as the runtime page
+			// (the version-zero slot doubles as the runtime frame after
+			// recovery). That aliasing is sound under COW — the page is
+			// write-protected, and a fault copies the content out before
+			// the first store lands — but stop-and-copy pages stay
+			// writable, so tagging the shared frame as this round's
+			// backup would let post-commit stores mutate a committed
+			// backup behind its digest. Drop the alias (the frame stays
+			// owned by the runtime slot) and copy into a fresh frame.
+			cp.Page[ws] = mem.NilPage
+			cp.Ver[ws] = 0
+			m.dropSum(s.Page)
+		}
 		if cp.Page[ws].IsNil() {
 			p, err := m.alloc.AllocPageCkpt(lane)
 			if err != nil {

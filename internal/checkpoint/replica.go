@@ -1,0 +1,704 @@
+package checkpoint
+
+// Checkpoint replication (the off-box extension of §8 "Data Reliability"):
+// the backup capability tree — the state a crash at this instant would
+// restore — is serialized into a *replication image*, a flat map from stable
+// keys (object ID, page index) to canonical byte records. Images from
+// consecutive committed rounds diff into deltas whose size is proportional
+// to the round's write set (the same property the tree-structured
+// incremental walk gives local checkpoints), and a delta stream folds back
+// into an image that InstallImage materializes as a standby machine's
+// backup tree. The digest contract: a standby built from a folded image
+// restores to exactly the primary's audit BackupDigest at the image's
+// version.
+//
+// The walk order, the restore-source rules, and the per-kind field sets
+// mirror obs/audit.BackupDigest — anything the digest covers, the image
+// carries, so digest equality across primary and standby is meaningful.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"treesls/internal/alloc"
+	"treesls/internal/caps"
+	"treesls/internal/journal"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// Replication-entry kinds (ReplKey.Kind).
+const (
+	// ReplObject is one object's canonical snapshot record.
+	ReplObject byte = iota
+	// ReplPage is the content of one backup page (4 KiB).
+	ReplPage
+	// ReplSwap is the content of one swapped-out page's swap slot.
+	ReplSwap
+)
+
+// Page-state markers inside a PMO object record.
+const (
+	replMarkContent  = 0 // a ReplPage entry carries the bytes
+	replMarkSwapped  = 1 // a ReplSwap entry carries the bytes; slot follows
+	replMarkNoSource = 3 // no recoverable source (mirrors the audit marker)
+)
+
+// ReplKey addresses one replication-image entry by stable identity: frame
+// numbers and other placement details never appear, so primary and standby
+// agree on keys even though their allocators differ.
+type ReplKey struct {
+	ObjID uint64
+	Page  uint64 // page index for ReplPage/ReplSwap; 0 for ReplObject
+	Kind  byte
+}
+
+// ReplRecord is one keyed entry of a delta.
+type ReplRecord struct {
+	Key  ReplKey
+	Data []byte
+}
+
+// ReplImage is the flat serialized form of the backup tree at one committed
+// version.
+type ReplImage struct {
+	// Version is the committed checkpoint version the image captures.
+	Version uint64
+	// NextID is the tree's saved ID counter at that commit.
+	NextID uint64
+	// RootID is the object ID of the backup root cap group.
+	RootID uint64
+	// Entries maps stable keys to canonical records.
+	Entries map[ReplKey][]byte
+}
+
+// Delta is the difference between two replication images: the records that
+// changed or appeared (Puts) and the keys that vanished (Dels). A Full delta
+// diffs against the empty image — the periodic full-tree sync that
+// bootstraps or heals a standby.
+type Delta struct {
+	// Version is the image version this delta produces.
+	Version uint64
+	// From is the image version this delta applies on top of (0 for Full).
+	From uint64
+	// Full marks a full-tree sync.
+	Full   bool
+	NextID uint64
+	RootID uint64
+	Puts   []ReplRecord
+	Dels   []ReplKey
+}
+
+// replKeyLess orders keys deterministically: (ObjID, Kind, Page).
+func replKeyLess(a, b ReplKey) bool {
+	if a.ObjID != b.ObjID {
+		return a.ObjID < b.ObjID
+	}
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	return a.Page < b.Page
+}
+
+// replSource applies the restore version rules to one checkpointed page the
+// way the audit digest does (no allocator-rollback check: capture runs on a
+// healthy committed tree). Returns the slot index, or -1 (swapped) / -2 (no
+// source).
+func replSource(cp *caps.CkptPage, committed uint64) int {
+	valid := func(p mem.PageID) bool { return !p.IsNil() && p.Kind == mem.KindNVM }
+	for i := 0; i < 2; i++ {
+		if valid(cp.Page[i]) && cp.Ver[i] == committed && cp.Ver[i] != 0 {
+			return i
+		}
+	}
+	if cp.Swap != 0 {
+		return -1
+	}
+	if valid(cp.Page[1]) && cp.Ver[1] == 0 {
+		return 1
+	}
+	src, best := -2, uint64(0)
+	for i := 0; i < 2; i++ {
+		if valid(cp.Page[i]) && cp.Ver[i] != 0 && cp.Ver[i] <= committed && cp.Ver[i] > best {
+			src, best = i, cp.Ver[i]
+		}
+	}
+	return src
+}
+
+// recEncoder builds one canonical object record: little-endian u64 fields
+// with length prefixes, object references reduced to IDs (0 = nil).
+type recEncoder struct{ buf []byte }
+
+func (e *recEncoder) u64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *recEncoder) byte(b byte)        { e.buf = append(e.buf, b) }
+func (e *recEncoder) bytes(b []byte)     { e.u64(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *recEncoder) root(r *caps.ORoot) {
+	if r == nil {
+		e.u64(0)
+		return
+	}
+	e.u64(r.ObjID)
+}
+
+// recDecoder parses a canonical object record.
+type recDecoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *recDecoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *recDecoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("checkpoint: truncated replication record")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.buf[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *recDecoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail("checkpoint: truncated replication record")
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+func (d *recDecoder) bytes() []byte {
+	n := d.u64()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("checkpoint: replication record length %d overruns buffer", n)
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, d.buf[d.off:])
+	d.off += int(n)
+	return b
+}
+
+// replPageMeta is one page's entry in a decoded PMO skeleton record.
+type replPageMeta struct {
+	Idx    uint64
+	Marker byte
+	Slot   uint64 // swap slot, for replMarkSwapped
+}
+
+// CaptureReplImage serializes the backup tree at the current committed
+// version. swapRead supplies swapped-out page content by slot (the audit
+// digest only marks swapped pages, but a standby must hold the bytes); it
+// may be nil when the machine never swaps. Capture is pure Go-side work —
+// simulated cost is charged by the caller per *delta* entry, matching the
+// incremental-walk philosophy (unchanged state costs a tree visit, not a
+// copy).
+func (m *Manager) CaptureReplImage(swapRead func(slot uint64) []byte) *ReplImage {
+	img := &ReplImage{
+		Version: m.committed,
+		NextID:  m.savedNextID,
+		Entries: make(map[ReplKey][]byte),
+	}
+	if m.rootORoot == nil || m.committed == 0 {
+		return img
+	}
+	img.RootID = m.rootORoot.ObjID
+	seen := make(map[uint64]bool)
+	var visit func(r *caps.ORoot)
+	visit = func(r *caps.ORoot) {
+		if r == nil || seen[r.ObjID] {
+			return
+		}
+		seen[r.ObjID] = true
+		snap, _ := r.LatestCommitted(m.committed)
+		if snap == nil {
+			return // unrestorable root; the digest marks it, nothing to ship
+		}
+		var e recEncoder
+		e.byte(byte(r.Kind))
+		switch s := snap.(type) {
+		case *caps.CapGroupSnap:
+			e.bytes([]byte(s.Name))
+			e.u64(uint64(len(s.Slots)))
+			for _, bc := range s.Slots {
+				e.root(bc.Root)
+				e.byte(byte(bc.Rights))
+			}
+			defer func() {
+				for _, bc := range s.Slots {
+					visit(bc.Root)
+				}
+			}()
+		case *caps.ThreadSnap:
+			e.u64(s.Ctx.PC)
+			e.u64(s.Ctx.SP)
+			for _, reg := range s.Ctx.R {
+				e.u64(reg)
+			}
+			e.u64(uint64(int64(s.Sched.Priority)))
+			e.u64(uint64(int64(s.Sched.Affinity)))
+			e.u64(uint64(s.Sched.TimeSlice))
+			e.byte(byte(s.State))
+		case *caps.VMSpaceSnap:
+			e.u64(uint64(len(s.Regions)))
+			for i := range s.Regions {
+				rs := &s.Regions[i]
+				e.u64(rs.VABase)
+				e.u64(rs.NumPages)
+				e.root(rs.PMORoot)
+				e.u64(rs.PMOOffset)
+				e.byte(byte(rs.Perm))
+			}
+			defer func() {
+				for i := range s.Regions {
+					visit(s.Regions[i].PMORoot)
+				}
+			}()
+		case *caps.PMOSnap:
+			e.byte(byte(s.Type))
+			e.u64(s.SizePages)
+			var metas []replPageMeta
+			s.Pages.Walk(func(idx uint64, cp *caps.CkptPage) bool {
+				if cp.Born > m.committed {
+					return true // stillborn: not part of restorable state
+				}
+				switch src := replSource(cp, m.committed); src {
+				case -1:
+					slot := cp.Swap - 1
+					metas = append(metas, replPageMeta{Idx: idx, Marker: replMarkSwapped, Slot: slot})
+					var content []byte
+					if swapRead != nil {
+						content = swapRead(slot)
+					}
+					img.Entries[ReplKey{ObjID: r.ObjID, Page: idx, Kind: ReplSwap}] = content
+				case -2:
+					metas = append(metas, replPageMeta{Idx: idx, Marker: replMarkNoSource})
+				default:
+					metas = append(metas, replPageMeta{Idx: idx, Marker: replMarkContent})
+					content := make([]byte, mem.PageSize)
+					copy(content, m.memory.Data(cp.Page[src]))
+					img.Entries[ReplKey{ObjID: r.ObjID, Page: idx, Kind: ReplPage}] = content
+				}
+				return true
+			})
+			e.u64(uint64(len(metas)))
+			for _, pm := range metas {
+				e.u64(pm.Idx)
+				e.byte(pm.Marker)
+				if pm.Marker == replMarkSwapped {
+					e.u64(pm.Slot)
+				}
+			}
+		case *caps.IPCConnSnap:
+			e.root(s.ClientRoot)
+			e.root(s.ServerRoot)
+			e.bytes(s.Buf)
+			e.u64(s.Seq)
+			defer func() {
+				visit(s.ClientRoot)
+				visit(s.ServerRoot)
+			}()
+		case *caps.NotificationSnap:
+			e.u64(uint64(int64(s.Count)))
+			e.u64(uint64(len(s.Waiters)))
+			for _, w := range s.Waiters {
+				e.root(w)
+			}
+			defer func() {
+				for _, w := range s.Waiters {
+					visit(w)
+				}
+			}()
+		case *caps.IRQNotificationSnap:
+			e.u64(uint64(int64(s.Line)))
+			e.u64(uint64(s.Pending))
+			e.root(s.HandlerRoot)
+			defer func() { visit(s.HandlerRoot) }()
+		}
+		img.Entries[ReplKey{ObjID: r.ObjID, Kind: ReplObject}] = e.buf
+	}
+	visit(m.rootORoot)
+	return img
+}
+
+// DiffImages computes the delta turning prev into cur. prev == nil (or an
+// empty image) yields a Full delta. Puts and Dels are in deterministic key
+// order.
+func DiffImages(prev, cur *ReplImage) *Delta {
+	d := &Delta{Version: cur.Version, NextID: cur.NextID, RootID: cur.RootID}
+	if prev == nil || len(prev.Entries) == 0 {
+		d.Full = true
+	} else {
+		d.From = prev.Version
+	}
+	for k, v := range cur.Entries {
+		if !d.Full {
+			if old, ok := prev.Entries[k]; ok && bytes.Equal(old, v) {
+				continue
+			}
+		}
+		d.Puts = append(d.Puts, ReplRecord{Key: k, Data: v})
+	}
+	if !d.Full {
+		for k := range prev.Entries {
+			if _, ok := cur.Entries[k]; !ok {
+				d.Dels = append(d.Dels, k)
+			}
+		}
+	}
+	sort.Slice(d.Puts, func(i, j int) bool { return replKeyLess(d.Puts[i].Key, d.Puts[j].Key) })
+	sort.Slice(d.Dels, func(i, j int) bool { return replKeyLess(d.Dels[i], d.Dels[j]) })
+	return d
+}
+
+// FoldDelta applies d to img in place (creating the entry map if needed) and
+// returns img. Applying the deltas of rounds F+1..N in order to the full-sync
+// image of round F reproduces round N's image exactly — the property the
+// replication property test verifies against the audit digest.
+func FoldDelta(img *ReplImage, d *Delta) *ReplImage {
+	if img == nil {
+		img = &ReplImage{}
+	}
+	if img.Entries == nil || d.Full {
+		img.Entries = make(map[ReplKey][]byte, len(d.Puts))
+	}
+	for _, p := range d.Puts {
+		img.Entries[p.Key] = p.Data
+	}
+	for _, k := range d.Dels {
+		delete(img.Entries, k)
+	}
+	img.Version = d.Version
+	img.NextID = d.NextID
+	img.RootID = d.RootID
+	return img
+}
+
+// PayloadBytes is the delta's wire payload size (what EncodeDelta produces).
+func (d *Delta) PayloadBytes() int {
+	n := 8*4 + 1 + 4 + 4
+	for _, p := range d.Puts {
+		n += 17 + 4 + len(p.Data)
+	}
+	n += 17 * len(d.Dels)
+	return n
+}
+
+// EncodeDelta serializes d into its wire form.
+func EncodeDelta(d *Delta) []byte {
+	buf := make([]byte, 0, d.PayloadBytes())
+	var b8 [8]byte
+	w64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(b8[:], v)
+		buf = append(buf, b8[:]...)
+	}
+	w32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(b8[:4], v)
+		buf = append(buf, b8[:4]...)
+	}
+	wkey := func(k ReplKey) {
+		w64(k.ObjID)
+		w64(k.Page)
+		buf = append(buf, k.Kind)
+	}
+	w64(d.Version)
+	w64(d.From)
+	w64(d.NextID)
+	w64(d.RootID)
+	if d.Full {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	w32(uint32(len(d.Puts)))
+	w32(uint32(len(d.Dels)))
+	for _, p := range d.Puts {
+		wkey(p.Key)
+		w32(uint32(len(p.Data)))
+		buf = append(buf, p.Data...)
+	}
+	for _, k := range d.Dels {
+		wkey(k)
+	}
+	return buf
+}
+
+// DecodeDelta parses a wire-form delta.
+func DecodeDelta(buf []byte) (*Delta, error) {
+	d := &recDecoder{buf: buf}
+	out := &Delta{}
+	out.Version = d.u64()
+	out.From = d.u64()
+	out.NextID = d.u64()
+	out.RootID = d.u64()
+	out.Full = d.byte() != 0
+	r32 := func() uint32 {
+		if d.err != nil {
+			return 0
+		}
+		if d.off+4 > len(d.buf) {
+			d.fail("checkpoint: truncated delta")
+			return 0
+		}
+		v := binary.LittleEndian.Uint32(d.buf[d.off:])
+		d.off += 4
+		return v
+	}
+	rkey := func() ReplKey {
+		return ReplKey{ObjID: d.u64(), Page: d.u64(), Kind: d.byte()}
+	}
+	nPuts, nDels := r32(), r32()
+	for i := uint32(0); i < nPuts && d.err == nil; i++ {
+		k := rkey()
+		n := r32()
+		if d.err != nil {
+			break
+		}
+		if uint64(n) > uint64(len(d.buf)-d.off) {
+			d.fail("checkpoint: delta record overruns buffer")
+			break
+		}
+		data := make([]byte, n)
+		copy(data, d.buf[d.off:])
+		d.off += int(n)
+		out.Puts = append(out.Puts, ReplRecord{Key: k, Data: data})
+	}
+	for i := uint32(0); i < nDels && d.err == nil; i++ {
+		out.Dels = append(out.Dels, rkey())
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return out, nil
+}
+
+// decodeObjectRecord parses one canonical object record into a snapshot,
+// resolving referenced object IDs through root. PMO records return the
+// skeleton snapshot plus the per-page metadata (the caller materializes
+// pages). root must return a non-nil ORoot for every non-zero ID.
+func decodeObjectRecord(rec []byte, root func(uint64) (*caps.ORoot, error)) (caps.Snapshot, []replPageMeta, error) {
+	d := &recDecoder{buf: rec}
+	kind := caps.ObjectKind(d.byte())
+	ref := func() *caps.ORoot {
+		id := d.u64()
+		if id == 0 || d.err != nil {
+			return nil
+		}
+		r, err := root(id)
+		if err != nil {
+			d.fail("%v", err)
+			return nil
+		}
+		return r
+	}
+	var snap caps.Snapshot
+	var metas []replPageMeta
+	switch kind {
+	case caps.KindCapGroup:
+		s := &caps.CapGroupSnap{Name: string(d.bytes())}
+		n := d.u64()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			s.Slots = append(s.Slots, caps.BackupCapability{Root: ref(), Rights: caps.Right(d.byte())})
+		}
+		snap = s
+	case caps.KindThread:
+		s := &caps.ThreadSnap{}
+		s.Ctx.PC = d.u64()
+		s.Ctx.SP = d.u64()
+		for i := range s.Ctx.R {
+			s.Ctx.R[i] = d.u64()
+		}
+		s.Sched.Priority = int(int64(d.u64()))
+		s.Sched.Affinity = int(int64(d.u64()))
+		s.Sched.TimeSlice = uint32(d.u64())
+		s.State = caps.ThreadState(d.byte())
+		snap = s
+	case caps.KindVMSpace:
+		s := &caps.VMSpaceSnap{}
+		n := d.u64()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			s.Regions = append(s.Regions, caps.VMRegionSnap{
+				VABase:    d.u64(),
+				NumPages:  d.u64(),
+				PMORoot:   ref(),
+				PMOOffset: d.u64(),
+				Perm:      caps.Right(d.byte()),
+			})
+		}
+		snap = s
+	case caps.KindPMO:
+		s := &caps.PMOSnap{Type: caps.PMOType(d.byte()), SizePages: d.u64()}
+		n := d.u64()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			pm := replPageMeta{Idx: d.u64(), Marker: d.byte()}
+			if pm.Marker == replMarkSwapped {
+				pm.Slot = d.u64()
+			}
+			metas = append(metas, pm)
+		}
+		snap = s
+	case caps.KindIPCConn:
+		s := &caps.IPCConnSnap{ClientRoot: ref(), ServerRoot: ref()}
+		s.Buf = d.bytes()
+		s.Seq = d.u64()
+		snap = s
+	case caps.KindNotification:
+		s := &caps.NotificationSnap{Count: int(int64(d.u64()))}
+		n := d.u64()
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			s.Waiters = append(s.Waiters, ref())
+		}
+		snap = s
+	case caps.KindIRQNotification:
+		s := &caps.IRQNotificationSnap{Line: int(int64(d.u64())), Pending: uint32(d.u64())}
+		s.HandlerRoot = ref()
+		snap = s
+	default:
+		return nil, nil, fmt.Errorf("checkpoint: unknown object kind %d in replication record", kind)
+	}
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	return snap, metas, nil
+}
+
+// InstallImage materializes a replication image as this manager's backup
+// tree and commits it, exactly as if the machine had taken (and committed) a
+// local checkpoint at the image's version. The manager must be fresh (no
+// committed checkpoint, empty root directory) — failover always installs
+// into a newly booted standby, which keeps the operation trivially
+// idempotent: a crash mid-install leaves no commit word, and the retry
+// starts over on another fresh machine.
+//
+// swapWrite persists swapped-out page content into the standby's swap
+// backend by slot; nil is allowed when the image holds no swapped pages.
+func (m *Manager) InstallImage(lane *simclock.Lane, img *ReplImage, swapWrite func(slot uint64, data []byte)) error {
+	if img == nil || img.Version == 0 || img.RootID == 0 {
+		return fmt.Errorf("checkpoint: InstallImage with empty image")
+	}
+	if m.committed != 0 || len(m.roots) != 0 {
+		return fmt.Errorf("checkpoint: InstallImage on a non-fresh manager (committed v%d, %d roots)",
+			m.committed, len(m.roots))
+	}
+	// Pass 1: create every ORoot so records can reference each other
+	// regardless of graph shape.
+	type objRec struct {
+		id  uint64
+		rec []byte
+	}
+	var objs []objRec
+	for k, rec := range img.Entries {
+		if k.Kind != ReplObject {
+			continue
+		}
+		if len(rec) == 0 {
+			return fmt.Errorf("checkpoint: empty object record for %d", k.ObjID)
+		}
+		objs = append(objs, objRec{id: k.ObjID, rec: rec})
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].id < objs[j].id })
+	for _, o := range objs {
+		lane.Charge(m.model.ORootTouch + m.model.SlabAlloc)
+		m.roots[o.id] = &caps.ORoot{ObjID: o.id, Kind: caps.ObjectKind(o.rec[0])}
+		m.Stats.BackupBytes += alloc.ClassORoot.Size()
+	}
+	root := func(id uint64) (*caps.ORoot, error) {
+		r := m.roots[id]
+		if r == nil {
+			return nil, fmt.Errorf("checkpoint: replication record references unknown object %d", id)
+		}
+		return r, nil
+	}
+	if _, err := root(img.RootID); err != nil {
+		return fmt.Errorf("checkpoint: image root: %w", err)
+	}
+	// Pass 2: decode records into snapshots and materialize pages.
+	v := img.Version
+	for _, o := range objs {
+		r := m.roots[o.id]
+		snap, metas, err := decodeObjectRecord(o.rec, root)
+		if err != nil {
+			return fmt.Errorf("checkpoint: object %d: %w", o.id, err)
+		}
+		lane.Charge(m.model.ChecksumRecord)
+		r.Backup[0] = snap
+		r.Ver[0] = v
+		if ps, ok := snap.(*caps.PMOSnap); ok {
+			for _, pm := range metas {
+				cp := &caps.CkptPage{Born: v}
+				switch pm.Marker {
+				case replMarkContent:
+					data := img.Entries[ReplKey{ObjID: o.id, Page: pm.Idx, Kind: ReplPage}]
+					if len(data) != mem.PageSize {
+						return fmt.Errorf("checkpoint: PMO %d page %d: missing or short content entry", o.id, pm.Idx)
+					}
+					p, err := m.alloc.AllocPageCkpt(lane)
+					if err != nil {
+						return fmt.Errorf("checkpoint: PMO %d page %d: %w", o.id, pm.Idx, err)
+					}
+					lane.Charge(m.memory.WriteAt(p, 0, data))
+					m.flushPage(lane, p)
+					cp.Page[0] = p
+					cp.Ver[0] = v
+					if ps.Type != caps.PMOEternal {
+						m.checksumPage(lane, p)
+					}
+					m.Stats.BackupPages++
+				case replMarkSwapped:
+					data := img.Entries[ReplKey{ObjID: o.id, Page: pm.Idx, Kind: ReplSwap}]
+					if data == nil || swapWrite == nil {
+						return fmt.Errorf("checkpoint: PMO %d page %d: swapped page without content or backend", o.id, pm.Idx)
+					}
+					swapWrite(pm.Slot, data)
+					cp.Swap = pm.Slot + 1
+				case replMarkNoSource:
+					// Deliberately empty: the entry exists but no copy
+					// survived on the primary either.
+				default:
+					return fmt.Errorf("checkpoint: PMO %d page %d: unknown marker %d", o.id, pm.Idx, pm.Marker)
+				}
+				ps.Pages.Set(pm.Idx, cp)
+			}
+			m.Stats.BackupBytes += 64 * ps.Pages.Nodes()
+		} else if !m.cfg.DisableChecksums {
+			// Non-PMO records carry the digest a restore will demand.
+			r.Sum[0] = recordSum(snap)
+		}
+	}
+	m.rootORoot = m.roots[img.RootID]
+	m.savedNextID = img.NextID
+	// Commit, mirroring TakeCheckpoint step ❹: drain the written pages,
+	// journal the commit, publish the version word.
+	m.fence(lane)
+	rec := m.jrnl.Begin(lane, journal.OpCheckpointCommit, v)
+	m.persistCommitWord(lane, v)
+	m.committed = v
+	m.jrnl.MarkApplied(lane, rec)
+	m.alloc.TruncateLog()
+	m.jrnl.Commit(lane, rec)
+	lane.Charge(m.model.CommitCheckpoint)
+	return nil
+}

@@ -1,0 +1,206 @@
+package checkpoint
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"treesls/internal/caps"
+)
+
+// buildReplicaWorld populates a harness tree with one of every object kind
+// so the replication codec's every arm is exercised.
+func buildReplicaWorld(t *testing.T, h *harness) *caps.PMO {
+	t.Helper()
+	g := h.tree.NewCapGroup(h.tree.Root, "proc")
+	vs := h.tree.NewVMSpace(g)
+	pmo := h.tree.NewPMO(g, 8, caps.PMODefault)
+	_ = vs.Map(&caps.VMRegion{VABase: 0x10000, NumPages: 8, PMO: pmo, Perm: caps.RightRead | caps.RightWrite})
+	th := h.tree.NewThread(g)
+	th.Touch(func(c *caps.Context) { c.PC = 0x1000; c.SP = 0x2000; c.R[3] = 77 })
+	th2 := h.tree.NewThread(g)
+	h.tree.NewIPCConn(g, th, th2)
+	h.tree.NewNotification(g)
+	h.tree.NewIRQNotification(g, 5)
+	for i := uint64(0); i < 3; i++ {
+		h.writePage(t, pmo, i, bytes.Repeat([]byte{byte(i + 1)}, 64))
+	}
+	return pmo
+}
+
+func TestCaptureDiffFoldRoundTrip(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 1)
+	pmo := buildReplicaWorld(t, h)
+	h.checkpoint()
+	img1 := h.mgr.CaptureReplImage(nil)
+	if img1.Version != 1 || img1.RootID == 0 || len(img1.Entries) == 0 {
+		t.Fatalf("capture: v%d root %d, %d entries", img1.Version, img1.RootID, len(img1.Entries))
+	}
+	// Dirty one existing page and add a fresh one, then round 2.
+	h.writePage(t, pmo, 0, []byte("changed"))
+	h.writePage(t, pmo, 5, []byte("new page"))
+	h.checkpoint()
+	img2 := h.mgr.CaptureReplImage(nil)
+
+	full := DiffImages(nil, img2)
+	if !full.Full || len(full.Dels) != 0 || len(full.Puts) != len(img2.Entries) {
+		t.Fatalf("full diff: full=%v %d puts %d dels", full.Full, len(full.Puts), len(full.Dels))
+	}
+	inc := DiffImages(img1, img2)
+	if inc.Full || inc.From != img1.Version || inc.Version != img2.Version {
+		t.Fatalf("incremental diff header: %+v", inc)
+	}
+	if len(inc.Puts) == 0 || len(inc.Puts) >= len(img2.Entries) {
+		t.Fatalf("incremental diff shipped %d of %d entries — not incremental", len(inc.Puts), len(img2.Entries))
+	}
+	folded := FoldDelta(cloneImage(img1), inc)
+	if !reflect.DeepEqual(folded.Entries, img2.Entries) || folded.Version != img2.Version {
+		t.Fatalf("fold(img1, diff(img1,img2)) != img2")
+	}
+	// Wire round trip.
+	enc := EncodeDelta(inc)
+	if len(enc) != inc.PayloadBytes() {
+		t.Fatalf("PayloadBytes %d, encoded %d", inc.PayloadBytes(), len(enc))
+	}
+	dec, err := DecodeDelta(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(dec, inc) {
+		t.Fatalf("decode(encode(d)) != d")
+	}
+}
+
+func TestDiffTombstones(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 1)
+	pmo := buildReplicaWorld(t, h)
+	h.checkpoint()
+	img1 := h.mgr.CaptureReplImage(nil)
+	// Dropping a page makes its content key vanish from the next image.
+	if s := pmo.RemovePage(2); s != nil {
+		h.mgr.DeferFreePage(s.Page)
+	}
+	h.checkpoint()
+	img2 := h.mgr.CaptureReplImage(nil)
+	inc := DiffImages(img1, img2)
+	if len(inc.Dels) == 0 {
+		t.Fatalf("removed page produced no tombstones")
+	}
+	folded := FoldDelta(cloneImage(img1), inc)
+	if !reflect.DeepEqual(folded.Entries, img2.Entries) {
+		t.Fatalf("fold with tombstones diverged")
+	}
+}
+
+func cloneImage(img *ReplImage) *ReplImage {
+	out := &ReplImage{Version: img.Version, NextID: img.NextID, RootID: img.RootID,
+		Entries: make(map[ReplKey][]byte, len(img.Entries))}
+	for k, v := range img.Entries {
+		out.Entries[k] = v
+	}
+	return out
+}
+
+func TestDecodeDeltaErrors(t *testing.T) {
+	if _, err := DecodeDelta(nil); err == nil {
+		t.Fatalf("decoding an empty buffer must fail")
+	}
+	d := &Delta{Version: 3, Full: true, Puts: []ReplRecord{{
+		Key: ReplKey{ObjID: 1, Kind: ReplObject}, Data: []byte{byte(caps.KindThread), 1, 2},
+	}}}
+	enc := EncodeDelta(d)
+	for _, cut := range []int{1, 9, len(enc) - 1} {
+		if _, err := DecodeDelta(enc[:cut]); err == nil {
+			t.Fatalf("decoding a %d-byte prefix must fail", cut)
+		}
+	}
+}
+
+func TestInstallImageGuards(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 1)
+	buildReplicaWorld(t, h)
+	h.checkpoint()
+	img := h.mgr.CaptureReplImage(nil)
+	// Non-fresh manager: the primary itself refuses an install.
+	if err := h.mgr.InstallImage(h.lane(), img, nil); err == nil {
+		t.Fatalf("InstallImage on a non-fresh manager must fail")
+	}
+	// Empty image.
+	h2 := newHarness(t, DefaultConfig(), 1)
+	if err := h2.mgr.InstallImage(h2.lane(), &ReplImage{}, nil); err == nil {
+		t.Fatalf("InstallImage with an empty image must fail")
+	}
+	// Dangling object reference: drop every non-root object record.
+	h3 := newHarness(t, DefaultConfig(), 1)
+	bad := cloneImage(img)
+	for k := range bad.Entries {
+		if k.Kind == ReplObject && k.ObjID != img.RootID {
+			delete(bad.Entries, k)
+		}
+	}
+	if err := h3.mgr.InstallImage(h3.lane(), bad, nil); err == nil {
+		t.Fatalf("InstallImage with dangling references must fail")
+	}
+	// Missing page content.
+	h4 := newHarness(t, DefaultConfig(), 1)
+	bad2 := cloneImage(img)
+	for k := range bad2.Entries {
+		if k.Kind == ReplPage {
+			delete(bad2.Entries, k)
+		}
+	}
+	if err := h4.mgr.InstallImage(h4.lane(), bad2, nil); err == nil {
+		t.Fatalf("InstallImage with missing page content must fail")
+	}
+}
+
+func TestInstallImageRoundTrip(t *testing.T) {
+	h := newHarness(t, DefaultConfig(), 1)
+	buildReplicaWorld(t, h)
+	h.checkpoint()
+	img := h.mgr.CaptureReplImage(nil)
+
+	h2 := newHarness(t, DefaultConfig(), 1)
+	if err := h2.mgr.InstallImage(h2.lane(), img, nil); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	if h2.mgr.CommittedVersion() != img.Version {
+		t.Fatalf("installed manager committed v%d, want v%d", h2.mgr.CommittedVersion(), img.Version)
+	}
+	// The installed backup tree captures back to the identical image.
+	img2 := h2.mgr.CaptureReplImage(nil)
+	if !reflect.DeepEqual(img.Entries, img2.Entries) {
+		t.Fatalf("capture(install(img)) != img (%d vs %d entries)", len(img.Entries), len(img2.Entries))
+	}
+	// And it restores: the ordinary local recovery path accepts the
+	// replicated state as its own.
+	tree, _, err := h2.mgr.Restore(h2.lane())
+	if err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	found := false
+	var pmo *caps.PMO
+	tree.Walk(func(o caps.Object) {
+		if th, ok := o.(*caps.Thread); ok && th.Ctx.PC == 0x1000 && th.Ctx.R[3] == 77 {
+			found = true
+		}
+		if p, ok := o.(*caps.PMO); ok && p.Type == caps.PMODefault {
+			pmo = p
+		}
+	})
+	if !found {
+		t.Fatalf("restored standby tree lost the thread context")
+	}
+	if pmo == nil {
+		t.Fatalf("restored tree has no PMO")
+	}
+	s := pmo.Lookup(1)
+	if s == nil || s.Page.IsNil() {
+		t.Fatalf("restored PMO page 1 missing")
+	}
+	got := make([]byte, 8)
+	h2.mem.ReadAt(s.Page, 0, got)
+	if !bytes.Equal(got, bytes.Repeat([]byte{2}, 8)) {
+		t.Fatalf("restored page content %x", got)
+	}
+}

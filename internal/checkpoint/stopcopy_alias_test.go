@@ -1,0 +1,76 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+
+	"treesls/internal/caps"
+)
+
+func findOnlyPMO(t *testing.T, tree *caps.Tree) *caps.PMO {
+	t.Helper()
+	var pmo *caps.PMO
+	tree.Walk(func(o caps.Object) {
+		if p, ok := o.(*caps.PMO); ok {
+			pmo = p
+		}
+	})
+	if pmo == nil {
+		t.Fatalf("tree has no PMO")
+	}
+	return pmo
+}
+
+func ckptEntry(t *testing.T, pmo *caps.PMO, idx uint64) *caps.CkptPage {
+	t.Helper()
+	r := pmo.ORoot()
+	if r == nil || r.Backup[0] == nil {
+		t.Fatalf("pmo has no committed snapshot")
+	}
+	cp, ok := r.Backup[0].(*caps.PMOSnap).Pages.Get(idx)
+	if !ok {
+		t.Fatalf("no checkpoint entry for page %d", idx)
+	}
+	return cp
+}
+
+// Regression test: after a restore, stop-and-copy used to adopt the
+// version-zero backup slot's frame as the runtime page and then — because
+// stop-and-copy pages stay writable, unlike COW's write-protected ones —
+// the next walk would copy that frame onto itself and tag it as the round's
+// committed backup. Post-commit stores kept mutating the shared frame, so
+// the recorded digest went stale and the following restore rejected the
+// newest checkpoint, silently degrading to an older version (or rebuilding
+// the page as zeros once the alternate slot had been recycled).
+func TestStopAndCopyRestoreDoesNotAliasBackups(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Method = MethodStopAndCopy
+	h := newHarness(t, cfg, 1)
+	_, pmo, _ := h.buildProc("app", 4)
+	h.writePage(t, pmo, 0, []byte("gen1"))
+	h.checkpoint() // v1
+
+	h.crash()
+	pmo = findOnlyPMO(t, h.restore(t)) // runtime frame adopted from a slot
+
+	h.writePage(t, pmo, 0, []byte("gen2"))
+	h.checkpoint() // v2: must not tag the writable runtime frame as backup
+
+	s := pmo.Lookup(0)
+	cp := ckptEntry(t, pmo, 0)
+	for i := 0; i < 2; i++ {
+		if !cp.Page[i].IsNil() && cp.Page[i] == s.Page {
+			t.Fatalf("slot %d (v%d) aliases the writable runtime frame %v",
+				i, cp.Ver[i], s.Page)
+		}
+	}
+
+	// Post-commit stores land on the runtime page only; the committed v2
+	// backup must survive them bit-exact.
+	h.writePage(t, pmo, 0, []byte("XXXX-uncommitted"))
+	h.crash()
+	pmo = findOnlyPMO(t, h.restore(t))
+	if got := h.readPage(t, pmo, 0, 4); !bytes.Equal(got, []byte("gen2")) {
+		t.Fatalf("restored page content %q, want committed %q", got, "gen2")
+	}
+}

@@ -1,0 +1,358 @@
+package crashfuzz
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/alloc"
+	"treesls/internal/apps/kvstore"
+	"treesls/internal/checkpoint"
+	"treesls/internal/kernel"
+	"treesls/internal/mem"
+	"treesls/internal/repl"
+	"treesls/internal/simclock"
+)
+
+// ReplConfig parameterizes a crash-during-replication campaign: a primary
+// machine runs kvstore traffic with a replicator streaming each checkpoint
+// delta to a hot standby, and power failures are armed at randomized NVM
+// persistence events. Every injected crash is followed by a failover probe
+// at the crash instant plus probes deliberately placed on the replication
+// boundaries (mid-delta-send, delta-applied-but-unacknowledged, and a
+// repeated mid-failover retry), and the oracle is the replication contract
+// itself: an acknowledged checkpoint is never lost, and an unacknowledged
+// one is never promoted.
+type ReplConfig struct {
+	// Mode is the persistence model of the primary.
+	Mode mem.PersistMode
+	// Method and Hybrid select the checkpoint copy variant.
+	Method checkpoint.CopyMethod
+	Hybrid bool
+	// Seeds are the machine/damage seeds; each seed gets its own machine.
+	Seeds []uint64
+	// CrashesPerSeed is how many crash injections to attempt per seed
+	// (default 8).
+	CrashesPerSeed int
+	// EventWindow bounds the armed countdown (default 96).
+	EventWindow int
+	// StepsPerCrash bounds the write+checkpoint rounds run while waiting
+	// for an armed crash to fire (default 40).
+	StepsPerCrash int
+	// WritesPerRound is how many kvstore SETs precede each checkpoint
+	// (default 6).
+	WritesPerRound int
+	// FullSyncEvery is the replicator's full-tree sync period (default 4,
+	// short so campaigns cross full-sync generations).
+	FullSyncEvery int
+}
+
+func (c *ReplConfig) fill() {
+	if c.CrashesPerSeed == 0 {
+		c.CrashesPerSeed = 8
+	}
+	if c.EventWindow == 0 {
+		c.EventWindow = 96
+	}
+	if c.StepsPerCrash == 0 {
+		c.StepsPerCrash = 40
+	}
+	if c.WritesPerRound == 0 {
+		c.WritesPerRound = 6
+	}
+	if c.FullSyncEvery == 0 {
+		c.FullSyncEvery = 4
+	}
+}
+
+// ReplResult aggregates a replication crash campaign. A returned result
+// always reflects zero contract violations — the first violation aborts the
+// campaign with an error.
+type ReplResult struct {
+	// CrashesFired / Restores count injected power failures on the primary
+	// and the successful restores that followed.
+	CrashesFired int
+	Restores     int
+	// Failovers counts standby promotions probed (each is built twice to
+	// model a crash-and-retry mid-failover).
+	Failovers int
+	// Boundary coverage: probes that landed with the newest delta still on
+	// the wire (mid-send), applied on the standby but with its ack still in
+	// flight (unacked), and probes at instants with no acknowledged
+	// checkpoint at all.
+	MidSendProbes  int
+	UnackedProbes  int
+	NoAckedAtProbe int
+	// Deltas / FullSyncs / BytesSent aggregate replicator traffic.
+	Deltas    uint64
+	FullSyncs uint64
+	BytesSent uint64
+	// Checkpoints across all seeds.
+	Checkpoints uint64
+}
+
+type replFuzzer struct {
+	cfg   ReplConfig
+	rng   *rand.Rand
+	m     *kernel.Machine
+	srv   *kvstore.Server
+	rep   *repl.Replicator
+	round int
+}
+
+// RunRepl executes the campaign. The oracle after every crash: every
+// checkpoint whose acknowledgement had arrived by the probe instant is
+// promotable on the standby with the exact audit digest the primary
+// recorded for it, the promotion is deterministic under retry, and the
+// restored primary is never behind the acknowledged replica.
+func RunRepl(cfg ReplConfig) (ReplResult, error) {
+	cfg.fill()
+	var res ReplResult
+	for _, seed := range cfg.Seeds {
+		if err := runReplSeed(cfg, seed, &res); err != nil {
+			return res, fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return res, nil
+}
+
+func runReplSeed(cfg ReplConfig, seed uint64, res *ReplResult) error {
+	f, err := newReplFuzzer(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < cfg.CrashesPerSeed; c++ {
+		fired, err := f.oneCrash(res)
+		if err != nil {
+			return fmt.Errorf("crash %d: %w", c, err)
+		}
+		if fired {
+			res.CrashesFired++
+			res.Restores++
+		}
+	}
+	res.Deltas += f.rep.Stats.Deltas
+	res.FullSyncs += f.rep.Stats.FullSyncs
+	res.BytesSent += f.rep.Stats.BytesSent
+	res.Checkpoints += f.m.Ckpt.Stats.Checkpoints
+	return f.m.Alloc.CheckInvariants()
+}
+
+func newReplFuzzer(cfg ReplConfig, seed uint64) (*replFuzzer, error) {
+	mcfg := kernel.DefaultConfig()
+	mcfg.Cores = 2
+	mcfg.CheckpointEvery = 0 // rounds checkpoint explicitly
+	mcfg.Seed = seed
+	mcfg.Mem.Persist = cfg.Mode
+	mcfg.Mem.CrashSeed = seed
+	mcfg.Audit = true
+	mcfg.Checkpoint.Method = cfg.Method
+	mcfg.Checkpoint.HybridCopy = cfg.Hybrid
+	m := kernel.New(mcfg)
+
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+		Name:      "kv",
+		Threads:   2,
+		HeapPages: 64,
+		Buckets:   32,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep := repl.Attach(m, nil, repl.Config{FullSyncEvery: uint64(cfg.FullSyncEvery)})
+	f := &replFuzzer{cfg: cfg, rng: rand.New(rand.NewSource(int64(seed))), m: m, srv: srv, rep: rep}
+	f.m.TakeCheckpoint() // base state: replicated as the first full sync
+	return f, nil
+}
+
+// step runs one traffic round — a handful of SETs then a checkpoint (which
+// replicates its delta) — converting an injected power failure into a clean
+// "fired" signal. The armed countdown lands the failure inside a SET's
+// stores, the checkpoint walk, or the commit sequence.
+func (f *replFuzzer) step() (fired bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			switch r.(type) {
+			case mem.CrashError, alloc.CrashError:
+				fired = true
+				err = nil
+			default:
+				panic(r)
+			}
+		}
+	}()
+	f.round++
+	for i := 0; i < f.cfg.WritesPerRound; i++ {
+		key := fmt.Sprintf("k%d", f.rng.Intn(24))
+		val := fmt.Sprintf("r%d-%d", f.round, i)
+		if _, _, err := f.srv.Set(f.rng.Intn(2), []byte(key), []byte(val)); err != nil {
+			return false, err
+		}
+	}
+	f.m.TakeCheckpoint()
+	return false, nil
+}
+
+// oneCrash arms a random persistence-event countdown, runs rounds until it
+// fires, then crashes the primary, probes failover on the replication
+// boundaries, restores, and verifies.
+func (f *replFuzzer) oneCrash(res *ReplResult) (bool, error) {
+	k := 1 + f.rng.Intn(f.cfg.EventWindow)
+	f.m.Memory.ArmCrashAfter(uint64(k))
+	fired := false
+	for step := 0; step < f.cfg.StepsPerCrash && !fired; step++ {
+		var err error
+		fired, err = f.step()
+		if err != nil {
+			f.m.Memory.DisarmCrash()
+			return false, err
+		}
+	}
+	f.m.Memory.DisarmCrash()
+	if !fired {
+		return false, nil
+	}
+	f.m.Crash()
+
+	// Probe failover at the crash instant and on each replication boundary
+	// of a randomly chosen ledger entry. The ledger is the standby's view;
+	// it survives the primary's power failure.
+	ackedAtCrash, err := f.probeFailovers(res)
+	if err != nil {
+		return true, err
+	}
+	if err := f.m.Restore(); err != nil {
+		return true, fmt.Errorf("restore: %w", err)
+	}
+	if la := f.m.LastAudit; f.m.Auditor != nil && !la.Ok() {
+		return true, fmt.Errorf("audit at %s: %s", la.Where, la.Violations[0])
+	}
+	// The primary commits locally before the standby can acknowledge, so a
+	// restored primary behind the acknowledged replica would mean the local
+	// persistence layer lost a checkpoint the world already saw.
+	if got := f.m.Ckpt.CommittedVersion(); got < ackedAtCrash {
+		return true, fmt.Errorf("restored primary at v%d behind acknowledged replica v%d", got, ackedAtCrash)
+	}
+	// Un-armed progress: new rounds re-establish replication (the restore
+	// forces the next delta to be a full sync) before the next injection.
+	for step := 0; step < 3; step++ {
+		if _, err := f.step(); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// probeFailovers applies the replication oracle at several instants around
+// the crash. Returns the acknowledged version at the crash instant.
+func (f *replFuzzer) probeFailovers(res *ReplResult) (uint64, error) {
+	now := f.m.Now()
+	probes := []simclock.Time{now}
+	if lg := f.rep.Ledger(); len(lg) > 0 {
+		e := lg[f.rng.Intn(len(lg))]
+		// Mid-delta-send: the frame departed but has not fully arrived.
+		if e.Arrive > e.Depart {
+			probes = append(probes, e.Depart.Add(simclock.Duration(f.rng.Int63n(int64(e.Arrive-e.Depart)))))
+			res.MidSendProbes++
+		}
+		// Delta applied on the standby, acknowledgement still in flight.
+		if e.AckArrive > e.Arrive {
+			probes = append(probes, e.Arrive.Add(simclock.Duration(f.rng.Int63n(int64(e.AckArrive-e.Arrive)))))
+			res.UnackedProbes++
+		}
+		probes = append(probes, e.AckArrive)
+	}
+	ackedAtCrash := f.rep.AckedVersion(now)
+	for _, t := range probes {
+		if err := f.probeOne(t, res); err != nil {
+			return ackedAtCrash, fmt.Errorf("probe t=%d: %w", t, err)
+		}
+	}
+	return ackedAtCrash, nil
+}
+
+// probeOne checks one failover instant: no acknowledged checkpoint means
+// promotion must refuse, an acknowledged one must promote to exactly the
+// digest the primary recorded, and a retried promotion (the mid-failover
+// crash boundary: the first standby build is abandoned and rebuilt from the
+// same durable ledger) must land bit-identically.
+func (f *replFuzzer) probeOne(t simclock.Time, res *ReplResult) error {
+	acked := f.rep.AckedVersion(t)
+	if acked == 0 {
+		res.NoAckedAtProbe++
+		if _, err := f.rep.FailoverAt(t); err == nil {
+			return fmt.Errorf("promoted a standby with no acknowledged checkpoint")
+		}
+		return nil
+	}
+	fo, err := f.rep.FailoverAt(t)
+	if err != nil {
+		return fmt.Errorf("acknowledged checkpoint v%d lost: %w", acked, err)
+	}
+	if fo.Version != acked {
+		return fmt.Errorf("promoted v%d, acknowledged v%d", fo.Version, acked)
+	}
+	if fo.Digest != fo.ExpectedDigest {
+		return fmt.Errorf("standby digest %016x != primary digest %016x at v%d",
+			fo.Digest, fo.ExpectedDigest, fo.Version)
+	}
+	retry, err := f.rep.FailoverAt(t)
+	if err != nil {
+		return fmt.Errorf("failover retry: %w", err)
+	}
+	if retry.Version != fo.Version || retry.Digest != fo.Digest {
+		return fmt.Errorf("failover retry diverged: v%d/%016x then v%d/%016x",
+			fo.Version, fo.Digest, retry.Version, retry.Digest)
+	}
+	res.Failovers++
+	return nil
+}
+
+// ReplOneShot runs a single parameterized replication crash injection — the
+// entry point of FuzzReplCrashEvent. Boot a replicated machine with the
+// given seed and copy variant, arm a power failure eventK persistence events
+// ahead, run up to steps traffic rounds, and if the failure fired, probe the
+// replication boundaries and restore. A run where the countdown never fires
+// is a valid (uninteresting) input, not an error.
+func ReplOneShot(mode mem.PersistMode, variant uint8, seed, eventK uint64, steps uint16) error {
+	cfg := ReplConfig{Mode: mode, StepsPerCrash: 24}
+	switch variant % 3 {
+	case 0:
+		cfg.Method = checkpoint.MethodCOW
+	case 1:
+		cfg.Method = checkpoint.MethodStopAndCopy
+	case 2:
+		cfg.Method, cfg.Hybrid = checkpoint.MethodCOW, true
+	}
+	cfg.fill()
+	f, err := newReplFuzzer(cfg, seed)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	f.m.Memory.ArmCrashAfter(eventK%uint64(cfg.EventWindow) + 1)
+	n := int(steps)%cfg.StepsPerCrash + 1
+	fired := false
+	for step := 0; step < n && !fired; step++ {
+		fired, err = f.step()
+		if err != nil {
+			f.m.Memory.DisarmCrash()
+			return err
+		}
+	}
+	f.m.Memory.DisarmCrash()
+	if !fired {
+		return nil
+	}
+	f.m.Crash()
+	var res ReplResult
+	ackedAtCrash, err := f.probeFailovers(&res)
+	if err != nil {
+		return err
+	}
+	if err := f.m.Restore(); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	if got := f.m.Ckpt.CommittedVersion(); got < ackedAtCrash {
+		return fmt.Errorf("restored primary at v%d behind acknowledged replica v%d", got, ackedAtCrash)
+	}
+	return nil
+}

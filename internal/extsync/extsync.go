@@ -72,7 +72,27 @@ type Driver struct {
 
 	deliver DeliverFunc
 
+	// deferred switches release from "at commit" to "at ReleaseUpTo":
+	// the commit callback only records how far the ring had been written,
+	// and an external condition (replication ack) triggers the actual
+	// delivery. This is the repl-mode=remote durability knob — a response
+	// reaches the wire only after the covering commit is BOTH locally
+	// persistent and standby-acknowledged.
+	deferred bool
+	// pending records, per commit version, the writer position that the
+	// commit covers. Volatile by design: a crash discards it, and
+	// OnRestore rolls the un-released slots back for the applications to
+	// re-send — deferred release never re-delivers across a crash.
+	pending []pendingRange
+
 	Stats Stats
+}
+
+// pendingRange marks that commit `version` covers ring slots up to (but not
+// including) `writer`.
+type pendingRange struct {
+	version uint64
+	writer  uint64
 }
 
 // NewDriver creates the ring (capacity slots) in an eternal PMO of the netd
@@ -103,6 +123,14 @@ func NewDriver(m *kernel.Machine, capacity uint64) (*Driver, error) {
 
 // SetDeliver installs the wire-delivery hook (the benchmark's client side).
 func (d *Driver) SetDeliver(fn DeliverFunc) { d.deliver = fn }
+
+// SetDeferred switches the driver between release-at-commit (false, the
+// default, repl-mode=local) and release-at-ReleaseUpTo (true,
+// repl-mode=remote, driven by the replication ack pump).
+func (d *Driver) SetDeferred(on bool) { d.deferred = on }
+
+// Deferred reports whether release is deferred to ReleaseUpTo.
+func (d *Driver) Deferred() bool { return d.deferred }
 
 // pmo resolves the ring PMO in the current runtime tree.
 func (d *Driver) pmo() *caps.PMO {
@@ -259,10 +287,52 @@ func (d *Driver) Pending(lane *simclock.Lane) uint64 {
 // visible-writer advances and the messages go to the NIC.
 func (d *Driver) OnCheckpoint(version uint64, lane *simclock.Lane) {
 	writer := d.readU64(lane, offWriter)
+	if d.deferred {
+		// Remote durability: the commit alone does not release. Record
+		// the covered prefix; ReleaseUpTo delivers once the standby has
+		// acknowledged this version.
+		d.pending = append(d.pending, pendingRange{version: version, writer: writer})
+		return
+	}
 	visible := d.readU64(lane, offVisible)
 	if writer == visible {
 		return
 	}
+	d.release(lane, visible, writer)
+}
+
+// ReleaseUpTo delivers every ring slot covered by a commit version ≤ version
+// (deferred mode): called by the replication pump once the standby's ack for
+// that version has arrived, with the lane already advanced to the ack time.
+// A no-op when nothing pending qualifies.
+func (d *Driver) ReleaseUpTo(version uint64, lane *simclock.Lane) {
+	if !d.deferred {
+		return
+	}
+	var target uint64
+	found := false
+	n := 0
+	for _, p := range d.pending {
+		if p.version <= version {
+			target, found = p.writer, true
+		} else {
+			d.pending[n] = p
+			n++
+		}
+	}
+	d.pending = d.pending[:n]
+	if !found {
+		return
+	}
+	visible := d.readU64(lane, offVisible)
+	if target <= visible {
+		return
+	}
+	d.release(lane, visible, target)
+}
+
+// release durably advances the pointers and delivers slots [visible, writer).
+func (d *Driver) release(lane *simclock.Lane, visible, writer uint64) {
 	// The advance is durable BEFORE the NIC sees a byte: if the pointer
 	// updates could be lost to a power failure after delivery, a later
 	// OnCheckpoint would re-release packets clients already received.
@@ -296,6 +366,10 @@ func (d *Driver) OnCheckpoint(version uint64, lane *simclock.Lane) {
 // back: those packets already left through the hardware.
 func (d *Driver) OnRestore(version uint64, lane *simclock.Lane) {
 	d.cachedTree, d.cachedPMO = nil, nil // the tree was just replaced
+	// Deferred ranges covered-but-unreleased at the crash are dropped with
+	// the slots below: never-released means clients will retransmit, which
+	// is always safe; re-releasing after a crash never is.
+	d.pending = nil
 	writer := d.readU64(lane, offWriter)
 	visible := d.readU64(lane, offVisible)
 	if writer > visible {

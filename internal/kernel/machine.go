@@ -119,6 +119,11 @@ type Machine struct {
 	nextCkpt    simclock.Time
 	nextScrub   simclock.Time
 	crashed     bool
+	// pumps are deterministic background workers (e.g. the checkpoint
+	// replicator's ack/release pump) invoked whenever the machine clock
+	// moves past a settle point. Like service handlers they are code, not
+	// checkpointed state, so they survive crash/restore.
+	pumps []func(simclock.Time)
 
 	// LastScrub is the report of the most recent media scrub.
 	LastScrub checkpoint.ScrubReport
@@ -209,6 +214,36 @@ func New(cfg Config) *Machine {
 	return m
 }
 
+// NewStandby boots a bare machine prepared to receive a replicated
+// checkpoint image: no default services (the image brings the whole
+// capability tree, services re-bind after failover) and no periodic
+// checkpointing or scrubbing of its own until it is promoted.
+func NewStandby(cfg Config) *Machine {
+	cfg.SkipDefaultServices = true
+	cfg.CheckpointEvery = 0
+	cfg.ScrubEvery = 0
+	return New(cfg)
+}
+
+// RegisterPump installs a deterministic background worker invoked with the
+// current machine time after every checkpoint and at every settle point.
+// Pumps drive work whose deadline is a simulated-time instant rather than an
+// operation — e.g. releasing externally-gated responses once a replication
+// ack has arrived.
+func (m *Machine) RegisterPump(fn func(simclock.Time)) {
+	m.pumps = append(m.pumps, fn)
+}
+
+// runPumps fires the registered pumps at time t.
+func (m *Machine) runPumps(t simclock.Time) {
+	if m.crashed {
+		return
+	}
+	for _, fn := range m.pumps {
+		fn(t)
+	}
+}
+
 // registerMetrics surfaces machine-level quantities through snapshot-time
 // callbacks: the wall clock and the per-lane idle time (how long each core
 // spent waiting at rendezvous barriers or between operations).
@@ -294,6 +329,7 @@ func (m *Machine) TakeCheckpoint() checkpoint.Report {
 	rep := m.Ckpt.TakeCheckpoint(m.lanes(), 0, m.quiesce)
 	m.Stats.Checkpoints++
 	m.auditNow("checkpoint")
+	m.runPumps(m.Now())
 	return rep
 }
 
@@ -352,6 +388,7 @@ func (m *Machine) SettleTo(t simclock.Time) {
 	for _, c := range m.Cores {
 		c.Lane.AdvanceTo(t)
 	}
+	m.runPumps(t)
 }
 
 // pickCore returns the core a thread should run on: its affinity if set,
@@ -431,6 +468,7 @@ func (m *Machine) RunAt(arrival simclock.Time, p *Process, t *caps.Thread, fn fu
 	// A periodic checkpoint that came due while the op ran fires now, so
 	// long-running ops cannot starve the checkpointer.
 	m.runDueCheckpoints(core.Lane.Now())
+	m.runPumps(core.Lane.Now())
 	return res, err
 }
 

@@ -61,6 +61,37 @@ func (m *Machine) ensureSwap() *swapState {
 	return m.swap
 }
 
+// SwapReadSlot returns a copy of one swap slot's content, or nil if the
+// slot holds nothing. The checkpoint replicator uses it to ship swapped-out
+// page content to a standby (the audit digest only marks swapped pages, but
+// a promoted standby must be able to fault them back in).
+func (m *Machine) SwapReadSlot(slot uint64) []byte {
+	if m.swap == nil {
+		return nil
+	}
+	data, ok := m.swap.data[slot]
+	if !ok {
+		return nil
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out
+}
+
+// SwapWriteSlot installs content into one swap slot, creating the backend if
+// needed — the standby half of SwapReadSlot, used when a replicated image is
+// installed at failover. The slot allocator is advanced past the installed
+// slot so later local evictions never collide with replicated slots.
+func (m *Machine) SwapWriteSlot(slot uint64, data []byte) {
+	sw := m.ensureSwap()
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	sw.data[slot] = buf
+	if slot >= sw.next {
+		sw.next = slot + 1
+	}
+}
+
 // SwapStats returns swap activity counters.
 func (m *Machine) SwapStats() SwapStats {
 	if m.swap == nil {
