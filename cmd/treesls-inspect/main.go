@@ -14,9 +14,11 @@ import (
 
 	"treesls/internal/apps/kvstore"
 	"treesls/internal/caps"
+	"treesls/internal/cluster"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
+	"treesls/internal/obs/audit"
 	"treesls/internal/repl"
 	"treesls/internal/simclock"
 )
@@ -39,6 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	parallelWalk := fs.Bool("parallel-walk", true, "partition the checkpoint capability-tree walk across all lanes (false: serial reference walk)")
 	replicate := fs.Bool("replicate", false, "stream checkpoint deltas to a hot standby and probe a failover")
 	replMode := fs.String("repl-mode", "local", "replication durability contract: local (async standby) or remote (responses wait for the standby ack)")
+	shards := fs.Int("shards", 0, "if > 0, inspect an N-shard cluster instead: run a fleet through the consistent-hash router and dump the ring, cut log, and per-shard recovery state")
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +50,9 @@ func run(args []string, stdout io.Writer) error {
 	mode, err := mem.ParsePersistMode(*persist)
 	if err != nil {
 		return err
+	}
+	if *shards > 0 {
+		return runCluster(*shards, mode, stdout)
 	}
 	rmode, err := repl.ParseMode(*replMode)
 	if err != nil {
@@ -153,6 +159,84 @@ func run(args []string, stdout io.Writer) error {
 			m.LastAudit.RuntimeDigest, m.LastAudit.BackupDigest)
 	}
 	return obsOpts.Finish(ob, stdout, m.Now())
+}
+
+// runCluster boots an N-shard cluster, drives a small gated fleet through
+// the consistent-hash router, and dumps the ring, the announced cut log,
+// and each shard's recovery state — then power-fails the whole cluster and
+// reports what recovery converged on.
+func runCluster(shards int, mode mem.PersistMode, stdout io.Writer) error {
+	c, err := cluster.New(cluster.Config{
+		Shards:  shards,
+		Gated:   true,
+		Persist: mode,
+		Seed:    1,
+		Audit:   true,
+	})
+	if err != nil {
+		return err
+	}
+	fleet, err := cluster.NewFleet(c, cluster.FleetConfig{
+		Clients:       4,
+		KeysPerClient: 4,
+		Requests:      6,
+		Window:        2,
+		Seed:          1,
+	})
+	if err != nil {
+		return err
+	}
+	if err := fleet.Run(); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(stdout, "Cluster (%d shards, %d vnodes/shard, persist-mode=%s):\n",
+		shards, c.Ring.Vnodes(), mode)
+	owned := make([]int, shards)
+	for j := 0; j < fleet.Keys(); j++ {
+		owned[fleet.ShardOf(j)]++
+	}
+	for i, n := range owned {
+		fmt.Fprintf(stdout, "  shard%d owns %2d of %d fleet keys\n", i, n, fleet.Keys())
+	}
+
+	fmt.Fprintf(stdout, "\nFleet: %d requests acked, %d retransmits, %d rounds driven\n",
+		fleet.TotalAcked(), fleet.Retransmits, c.Stats.Rounds)
+
+	cuts := c.Coord.Cuts()
+	fmt.Fprintf(stdout, "\nCut log (%d announced):\n", len(cuts))
+	first, last := 0, len(cuts)
+	if last > 3 {
+		first = last - 3
+		fmt.Fprintf(stdout, "  ... %d earlier cuts elided\n", first)
+	}
+	for _, cut := range cuts[first:last] {
+		fmt.Fprintf(stdout, "  epoch %2d: versions %v cluster digest %#016x\n",
+			cut.Epoch, cut.Versions, cut.Cluster)
+	}
+
+	newest := c.Coord.Newest()
+	if _, err := c.PowerFail(); err != nil {
+		return fmt.Errorf("power-fail probe: %w", err)
+	}
+	fmt.Fprintf(stdout, "\nPower-fail probe: recovery converged on epoch %d\n", newest.Epoch)
+	for i, s := range c.Shards {
+		fmt.Fprintf(stdout, "  shard%d: committed v%d digest %#016x released v%d\n",
+			i, c.CommittedVersions()[i],
+			audit.RestorableDigest(s.M.Ckpt, s.M.Memory),
+			s.Drv.ReleasedVersion())
+	}
+	verified := "match"
+	if err := c.VerifyCut(newest); err != nil {
+		verified = fmt.Sprintf("MISMATCH: %v", err)
+	}
+	fmt.Fprintf(stdout, "  cluster digest vs announcement: %s\n", verified)
+	bad, err := fleet.CheckJustified()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "  unjustified client acks: %d\n", len(bad))
+	return nil
 }
 
 // injectBackupRot plants deterministic silent bit-rot in up to n distinct

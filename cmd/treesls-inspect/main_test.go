@@ -24,6 +24,7 @@ func TestInspectGolden(t *testing.T) {
 		{"kv", nil},
 		{"kv-adr", []string{"-persist-mode", "adr"}},
 		{"kv-replicate-remote", []string{"-replicate", "-repl-mode", "remote"}},
+		{"kv-shards", []string{"-shards", "3"}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -132,32 +132,40 @@ func (m *Manager) TakeCheckpoint(lanes []*simclock.Lane, leader int, quiesce Qui
 	// the revived tree reuse object IDs. (The converse staleness — a
 	// too-new counter with an uncommitted round — only skips IDs.)
 	m.savedNextID = m.tree.NextID()
-	rec := m.jrnl.Begin(ll, journal.OpCheckpointCommit, round)
-	// Publishing the version word IS the commit point: an 8-byte word
-	// either persists or is dropped whole under ADR, so a torn commit is
-	// indistinguishable from no commit and recovery rolls back cleanly.
-	m.persistCommitWord(ll, round)
-	m.committed = round
-	m.jrnl.MarkApplied(ll, rec)
-	m.alloc.TruncateLog()
-	m.jrnl.Commit(ll, rec)
-	ll.Charge(m.model.CommitCheckpoint)
-
-	// Deferred runtime-frame releases: safe now that the commit has made
-	// the state that stopped referencing them durable.
-	m.freedThisRound = make(map[uint32]bool)
-	for _, p := range m.deferredFrees {
-		m.alloc.FreePageCkpt(ll, p)
-		m.dropSum(p)
-		m.freedThisRound[p.Frame] = true
+	if m.cfg.DeferCommitPublish {
+		// Deferred publication (the cluster consistent-cut protocol,
+		// cut.go): the round is fully durable — every backup page,
+		// record and replica is fenced — but the commit word stays at
+		// the previous version until PublishCommit. A crash in this
+		// window is indistinguishable from a crash just before the
+		// commit word: the prepared slots carry an uncommitted version
+		// tag and restore scrubs them. In-memory `committed` still
+		// advances so runtime bookkeeping (COW tags, incremental
+		// walks, callbacks) sees the new round.
+		if m.pending.version != 0 {
+			panic("checkpoint: preparing a round while a publish is still pending")
+		}
+		m.pending = pendingCommit{
+			version: round,
+			stamp:   m.walkStamp,
+			frees:   len(m.deferredFrees),
+			roots:   len(m.roots),
+		}
+		m.committed = round
+	} else {
+		rec := m.jrnl.Begin(ll, journal.OpCheckpointCommit, round)
+		// Publishing the version word IS the commit point: an 8-byte
+		// word either persists or is dropped whole under ADR, so a
+		// torn commit is indistinguishable from no commit and recovery
+		// rolls back cleanly.
+		m.persistCommitWord(ll, round)
+		m.committed = round
+		m.jrnl.MarkApplied(ll, rec)
+		m.alloc.TruncateLog()
+		m.jrnl.Commit(ll, rec)
+		ll.Charge(m.model.CommitCheckpoint)
+		m.publishGC(ll, m.walkStamp, len(m.deferredFrees), true)
 	}
-	m.deferredFrees = m.deferredFrees[:0]
-
-	// Garbage-collect object roots that this (now committed) round could
-	// not reach: their objects were deleted before the checkpoint, so no
-	// restorable state references them anymore.
-	m.sweepUnreachable(ll, m.walkStamp)
-	m.freedThisRound = nil
 
 	// External-synchrony checkpoint callbacks (§5): run by the leader
 	// right after commit, before cores resume. This is the

@@ -88,6 +88,14 @@ type Config struct {
 	// deterministic work queue (walk.go). With it off — or on a
 	// single-core machine — the leader runs the serial reference walk.
 	ParallelWalk bool
+	// DeferCommitPublish splits step ❹ into a prepare (everything
+	// durable and fenced, commit word untouched) and a later explicit
+	// PublishCommit (cut.go). It is the shard-side half of the cluster
+	// consistent-cut protocol: a coordinator announces a cluster cut
+	// between the two, so a crash before the announcement rolls every
+	// shard back to the previous cut while a crash after it rolls the
+	// laggards forward.
+	DeferCommitPublish bool
 	// DisableChecksums turns off the per-page and per-record backup
 	// digests that restore and the scrubber verify. It exists ONLY as the
 	// ablation baseline for the media-fault campaign (to demonstrate that
@@ -295,6 +303,11 @@ type Manager struct {
 	// the unreachable-object sweep never double-frees a backup slot that
 	// aliased a runtime frame (the demoted-page case).
 	freedThisRound map[uint32]bool
+	// pending records a round prepared under Config.DeferCommitPublish
+	// whose commit word has not been published yet (cut.go). Volatile
+	// by design: a crash drops it, and the prepared round rolls back at
+	// restore exactly like a round crashed just before its commit word.
+	pending pendingCommit
 	// walkStamp is the id of the current checkpoint tree walk, used for
 	// the ORoot seen-markers. It is bumped per TakeCheckpoint *attempt*
 	// and never reused — the version number ("round") cannot serve here,

@@ -95,6 +95,7 @@ func (m *Manager) Restore(lane *simclock.Lane) (*caps.Tree, uint64, error) {
 	m.active = m.active[:0]
 	m.cached = 0
 	m.deferredFrees = m.deferredFrees[:0]
+	m.pending = pendingCommit{}
 	m.Stats.EpochFaults = 0
 
 	// Step 2a: discover reachable roots and create empty runtime objects.

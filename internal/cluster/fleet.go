@@ -1,0 +1,398 @@
+package cluster
+
+// The multi-shard client fleet: closed-loop clients whose keys spread over
+// the whole keyspace, routed to their owning shards through the ring. It
+// mirrors internal/net's single-machine fleet — same window pipelining,
+// same counter-value oracle, same FIFO/justification checks — but every
+// request and response additionally pays the router encapsulation
+// (net.RouteHeaderBytes), receipts arrive per shard, and a resync after a
+// failure rewinds only the keys the recovered shard owns.
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"treesls/internal/net"
+	"treesls/internal/simclock"
+	"treesls/internal/workload"
+)
+
+// FleetConfig sizes the cluster client fleet.
+type FleetConfig struct {
+	// Clients is the number of concurrent client processes (default 4).
+	Clients int
+	// KeysPerClient is how many distinct keys each client owns (default
+	// 4). Keys are drawn from the seeded cluster keyspace, so each client
+	// usually touches several shards.
+	KeysPerClient int
+	// Requests is the per-key request budget; 0 means unbounded (a
+	// harness drives Step itself).
+	Requests int
+	// Window is the per-client pipeline depth across its keys (default 4).
+	Window int
+	// ValueBytes is the SET value size (>= 8; default 64).
+	ValueBytes int
+	// Seed seeds the keyspace draw (key→shard spread).
+	Seed int64
+	// Think is the client pause between an acknowledgement and the next
+	// send it unblocks on that key.
+	Think simclock.Duration
+}
+
+// fkey is one client key: its own request counter stream, identified
+// cluster-wide by its global index (which doubles as the wire conn id).
+type fkey struct {
+	idx    int // global key index == conn id
+	client int
+	shard  int
+	key    []byte
+
+	sent       uint64 // highest request index put on the wire
+	acked      uint64 // highest contiguously acknowledged request index
+	nextSendAt simclock.Time
+}
+
+// StepStatus reports what one fleet micro-step did.
+type StepStatus int
+
+const (
+	// StepProgress: a frame was dispatched or a request sent.
+	StepProgress StepStatus = iota
+	// StepBlocked: every client is window-blocked behind gated responses
+	// parked in shard rings — the harness must run a cluster round (the
+	// cut is the only thing that releases them).
+	StepBlocked
+	// StepDone: every key reached its request budget.
+	StepDone
+)
+
+// Fleet drives the cluster's client load. All scheduling is deterministic:
+// Step executes exactly one micro-step chosen by simulated-time priority
+// across all shards.
+type Fleet struct {
+	c    *Cluster
+	cfg  FleetConfig
+	keys []*fkey
+
+	srvThreads int
+
+	// OnAck, when set, observes every in-order acknowledgement (the
+	// scenario digests hang off this).
+	OnAck func(conn int, req uint64, recv simclock.Time)
+
+	// Latencies collects client-observed latency per acknowledgement.
+	Latencies []simclock.Duration
+	// Violations records per-key FIFO violations and receipts that
+	// arrived on the wrong shard. Must stay empty.
+	Violations []string
+	// Retransmits counts requests re-sent after a shard failure dropped
+	// their frame or their un-released response.
+	Retransmits uint64
+	// DupAcks counts responses for already-acknowledged requests.
+	DupAcks uint64
+}
+
+// NewFleet builds the fleet: Clients*KeysPerClient seeded keys, each routed
+// to its ring owner, with every shard's receipt hook wired back here.
+func NewFleet(c *Cluster, cfg FleetConfig) (*Fleet, error) {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 4
+	}
+	if cfg.KeysPerClient <= 0 {
+		cfg.KeysPerClient = 4
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 4
+	}
+	if cfg.ValueBytes < 8 {
+		cfg.ValueBytes = 64
+	}
+	if c.cfg.Gated && cfg.ValueBytes > 200 {
+		return nil, fmt.Errorf("cluster: ValueBytes %d too large for a gated response slot", cfg.ValueBytes)
+	}
+	f := &Fleet{c: c, cfg: cfg, srvThreads: c.cfg.Cores}
+	raw := workload.ClusterKeys(cfg.Seed, cfg.Clients*cfg.KeysPerClient)
+	for j, key := range raw {
+		f.keys = append(f.keys, &fkey{
+			idx:    j,
+			client: j / cfg.KeysPerClient,
+			shard:  c.Ring.Owner(key),
+			key:    key,
+		})
+	}
+	for i := range c.Shards {
+		shard := i
+		c.Shards[i].Net.SetOnReceipt(func(r net.Receipt) { f.receipt(shard, r) })
+	}
+	f.applyAffinity()
+	return f, nil
+}
+
+// applyAffinity pins every shard server's worker threads round-robin to
+// cores (idempotent; re-applied after restore).
+func (f *Fleet) applyAffinity() {
+	for _, s := range f.c.Shards {
+		p := s.M.Process(s.Srv.Name())
+		if p == nil {
+			continue
+		}
+		for i, th := range p.Threads {
+			th.Sched.Affinity = i % len(s.M.Cores)
+		}
+	}
+}
+
+// Config returns the fleet's (defaulted) configuration.
+func (f *Fleet) Config() FleetConfig { return f.cfg }
+
+// Keys returns how many keys the fleet drives.
+func (f *Fleet) Keys() int { return len(f.keys) }
+
+// ShardOf returns the owning shard of key j.
+func (f *Fleet) ShardOf(j int) int { return f.keys[j].shard }
+
+// Acked returns key j's highest contiguously acknowledged request index.
+func (f *Fleet) Acked(j int) uint64 { return f.keys[j].acked }
+
+// TotalAcked sums acknowledged requests across all keys.
+func (f *Fleet) TotalAcked() uint64 {
+	var t uint64
+	for _, k := range f.keys {
+		t += k.acked
+	}
+	return t
+}
+
+// valueFor builds request req's value on key conn: the 8-byte big-endian
+// request index padded with a key-seasoned pattern (same scheme as the
+// single-machine fleet, so net.CounterValue parses it).
+func (f *Fleet) valueFor(conn int, req uint64) []byte {
+	v := make([]byte, f.cfg.ValueBytes)
+	binary.BigEndian.PutUint64(v, req)
+	for i := 8; i < len(v); i++ {
+		v[i] = byte(conn + i)
+	}
+	return v
+}
+
+// receipt is a shard network's delivery hook.
+func (f *Fleet) receipt(shard int, r net.Receipt) {
+	if r.Conn < 0 || r.Conn >= len(f.keys) {
+		f.Violations = append(f.Violations, fmt.Sprintf("shard %d: receipt for unknown conn %d", shard, r.Conn))
+		return
+	}
+	k := f.keys[r.Conn]
+	if k.shard != shard {
+		f.Violations = append(f.Violations,
+			fmt.Sprintf("key %d: response from shard %d but the ring owner is %d", r.Conn, shard, k.shard))
+		return
+	}
+	switch {
+	case r.Req == k.acked+1:
+		k.acked++
+		f.Latencies = append(f.Latencies, r.Receive.Sub(r.Submit))
+		if t := r.Receive.Add(f.cfg.Think); t > k.nextSendAt {
+			k.nextSendAt = t
+		}
+		if f.OnAck != nil {
+			f.OnAck(r.Conn, r.Req, r.Receive)
+		}
+	case r.Req <= k.acked:
+		f.DupAcks++
+	default:
+		f.Violations = append(f.Violations,
+			fmt.Sprintf("key %d: response for request %d arrived with only %d acknowledged", r.Conn, r.Req, k.acked))
+	}
+}
+
+// clientOutstanding sums un-acked requests across a client's keys (the
+// window is per client, shared by its keys).
+func (f *Fleet) clientOutstanding(client int) uint64 {
+	var o uint64
+	for j := client * f.cfg.KeysPerClient; j < (client+1)*f.cfg.KeysPerClient; j++ {
+		o += f.keys[j].sent - f.keys[j].acked
+	}
+	return o
+}
+
+// nextSender picks the earliest-eligible key (budget left, client window
+// open), ties broken by global key index.
+func (f *Fleet) nextSender() (*fkey, bool) {
+	var best *fkey
+	for _, k := range f.keys {
+		if f.cfg.Requests > 0 && k.sent >= uint64(f.cfg.Requests) {
+			continue
+		}
+		if f.clientOutstanding(k.client) >= uint64(f.cfg.Window) {
+			continue
+		}
+		if best == nil || k.nextSendAt < best.nextSendAt {
+			best = k
+		}
+	}
+	return best, best != nil
+}
+
+// nextArrival locates the earliest queued frame across every shard's NIC
+// queues, ties broken by shard index.
+func (f *Fleet) nextArrival() (int, simclock.Time, bool) {
+	bestShard, bestAt, ok := -1, simclock.Time(0), false
+	for i, s := range f.c.Shards {
+		if at, have := s.Net.NextArrival(); have && (!ok || at < bestAt) {
+			bestShard, bestAt, ok = i, at, true
+		}
+	}
+	return bestShard, bestAt, ok
+}
+
+// dispatch runs the server side of one frame on its shard: the kvstore SET
+// on the key's worker thread, then the response through the shard's gate
+// (or straight out when ungated). The router header is charged both ways.
+func (f *Fleet) dispatch(shard int) func(p net.Packet, ready simclock.Time) error {
+	s := f.c.Shards[shard]
+	return func(p net.Packet, ready simclock.Time) error {
+		k := f.keys[p.Conn]
+		tid := p.Conn % f.srvThreads
+		val := f.valueFor(p.Conn, p.Req)
+		res, seq, err := s.Srv.SetAt(ready, tid, k.key, val)
+		if err != nil {
+			return err
+		}
+		if s.Net.Gated() {
+			s.Net.TrackResponse(seq, p.Conn, p.Req, p.Submit, res.End)
+		} else {
+			s.Net.CompleteDirect(p.Conn, p.Req, p.Submit, len(val)+net.RouteHeaderBytes, res.Core)
+		}
+		return nil
+	}
+}
+
+// Step advances the fleet by one deterministic micro-step: the earlier of
+// (earliest queued frame across shards) and (earliest eligible send) runs.
+// When neither exists it returns StepDone if every budget is met, and
+// StepBlocked if gated responses are parked behind the next cut — the
+// harness answers StepBlocked by running a cluster round.
+func (f *Fleet) Step() (StepStatus, error) {
+	shard, arriveAt, haveFrame := f.nextArrival()
+	sender, haveSender := f.nextSender()
+	if haveFrame && (!haveSender || arriveAt <= sender.nextSendAt) {
+		_, err := f.c.Shards[shard].Net.DispatchNext(f.dispatch(shard))
+		return StepProgress, err
+	}
+	if haveSender {
+		k := sender
+		k.sent++
+		f.c.Shards[k.shard].Net.SendRequest(k.idx, k.sent,
+			len(k.key)+f.cfg.ValueBytes+net.RouteHeaderBytes, k.nextSendAt)
+		return StepProgress, nil
+	}
+	if f.outstanding() == 0 {
+		if f.doneAll() {
+			return StepDone, nil
+		}
+		return StepBlocked, nil
+	}
+	return StepBlocked, nil
+}
+
+func (f *Fleet) outstanding() int {
+	var o int
+	for _, k := range f.keys {
+		o += int(k.sent - k.acked)
+	}
+	return o
+}
+
+func (f *Fleet) doneAll() bool {
+	if f.cfg.Requests <= 0 {
+		return false
+	}
+	for _, k := range f.keys {
+		if k.acked < uint64(f.cfg.Requests) {
+			return false
+		}
+	}
+	return true
+}
+
+// Run drives the fleet to completion (requires Requests > 0), answering
+// every StepBlocked with a full cluster round — the steady-state loop of
+// "serve traffic, cut, release".
+func (f *Fleet) Run() error {
+	if f.cfg.Requests <= 0 {
+		return fmt.Errorf("cluster: Run needs a bounded FleetConfig.Requests")
+	}
+	limit := len(f.keys)*f.cfg.Requests*64 + 16384
+	for i := 0; ; i++ {
+		if i > limit {
+			return fmt.Errorf("cluster: no progress after %d micro-steps (%d/%d acked)",
+				limit, f.TotalAcked(), len(f.keys)*f.cfg.Requests)
+		}
+		st, err := f.Step()
+		if err != nil {
+			return err
+		}
+		switch st {
+		case StepDone:
+			return nil
+		case StepBlocked:
+			if err := f.c.Round(); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// ResyncShard realigns the fleet with shard i after it crashed and
+// recovered: the shard's queued frames and unreleased responses are gone,
+// so every key it owns rewinds its send cursor to its last acknowledged
+// request and retransmits after a one-RTT timeout. Keys on other shards
+// are untouched — the failure is partial, which is the point of sharding.
+func (f *Fleet) ResyncShard(i int) {
+	s := f.c.Shards[i]
+	s.Net.OnMachineRestore()
+	f.applyAffinity()
+	rto := s.M.Now().Add(s.M.Model.NetRTT)
+	for _, k := range f.keys {
+		if k.shard != i {
+			continue
+		}
+		f.Retransmits += k.sent - k.acked
+		k.sent = k.acked
+		if rto > k.nextSendAt {
+			k.nextSendAt = rto
+		}
+	}
+}
+
+// ResyncAll resyncs every shard (after a whole-cluster power failure).
+func (f *Fleet) ResyncAll() {
+	for i := range f.c.Shards {
+		f.ResyncShard(i)
+	}
+}
+
+// CheckJustified asserts the cluster-wide external-synchrony invariant
+// against the restored stores: for every key, the client's highest
+// acknowledged request index must not exceed the counter the owning
+// shard's state holds. An acknowledged-but-unpersisted response is exactly
+// the output commit the cut gate exists to prevent.
+func (f *Fleet) CheckJustified() ([]string, error) {
+	var bad []string
+	for _, k := range f.keys {
+		val, ok, err := f.c.Shards[k.shard].Srv.Peek(k.key)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: peeking %q on shard %d: %w", k.key, k.shard, err)
+		}
+		var counter uint64
+		if ok {
+			counter = net.CounterValue(val)
+		}
+		if k.acked > counter {
+			bad = append(bad, fmt.Sprintf(
+				"key %d (shard %d): client holds an acknowledgement for request %d but restored state justifies only %d",
+				k.idx, k.shard, k.acked, counter))
+		}
+	}
+	return bad, nil
+}

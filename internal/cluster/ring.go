@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVnodes is the default number of virtual nodes per shard. High
+// enough that seeded key sets balance within the bound the property test
+// states, low enough that Owner's binary search stays cheap.
+const DefaultVnodes = 64
+
+// ringPoint is one virtual node on the hash circle.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is a consistent-hash ring with virtual nodes: each shard owns
+// Vnodes points on a 64-bit circle, and a key belongs to the shard owning
+// the first point at or clockwise after the key's hash. Because a shard's
+// points depend only on its own id, resizing N↔N±1 moves exactly the keys
+// the arriving shard wins (or the departing shard held) — every other
+// key's owner is untouched.
+type Ring struct {
+	shards int
+	vnodes int
+	points []ringPoint // sorted by hash
+}
+
+// NewRing builds the ring for `shards` shards with `vnodes` virtual nodes
+// each (0 = DefaultVnodes).
+func NewRing(shards, vnodes int) *Ring {
+	if shards <= 0 {
+		panic("cluster: ring needs at least one shard")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{shards: shards, vnodes: vnodes}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: vnodeHash(s, v), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A full 64-bit collision between different shards' vnodes is
+		// astronomically unlikely but must still order deterministically.
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the number of shards on the ring.
+func (r *Ring) Shards() int { return r.shards }
+
+// Vnodes returns the virtual nodes per shard.
+func (r *Ring) Vnodes() int { return r.vnodes }
+
+// Owner maps a key to its owning shard.
+func (r *Ring) Owner(key []byte) int {
+	h := KeyHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point, the circle's first point owns
+	}
+	return r.points[i].shard
+}
+
+// KeyHash is the ring's key hash: FNV-1a finalized through mix64. Raw
+// FNV-1a diffuses a trailing byte poorly into the high bits that order the
+// circle, so similar strings would clump; the finalizer fixes that.
+func KeyHash(key []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(key)
+	return mix64(h.Sum64())
+}
+
+// vnodeHash places virtual node v of shard s on the circle. Derived from
+// the pair's textual name so a shard's points are a pure function of its
+// own id — the consistent-hashing minimal-movement property depends on it.
+func vnodeHash(s, v int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "shard-%d/vnode-%d", s, v)
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer: a bijective avalanche that spreads
+// every input bit across the whole word.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

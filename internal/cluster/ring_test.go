@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"testing"
+
+	"treesls/internal/workload"
+)
+
+// TestRingLoadBalance: across seeded key sets, virtual-node hashing keeps
+// every shard's share of the keyspace within a stated bound of the mean.
+func TestRingLoadBalance(t *testing.T) {
+	const keysN = 10000
+	for _, shards := range []int{2, 3, 4, 8} {
+		r := NewRing(shards, 0)
+		for seed := int64(1); seed <= 3; seed++ {
+			counts := make([]int, shards)
+			for _, key := range workload.ClusterKeys(seed, keysN) {
+				counts[r.Owner(key)]++
+			}
+			mean := float64(keysN) / float64(shards)
+			for s, n := range counts {
+				ratio := float64(n) / mean
+				if ratio < 0.5 || ratio > 1.6 {
+					t.Errorf("shards=%d seed=%d: shard %d owns %d keys (%.2fx the mean %.0f) — outside [0.5,1.6]",
+						shards, seed, s, n, ratio, mean)
+				}
+			}
+		}
+	}
+}
+
+// TestRingMinimalMovement: resizing N→N+1 moves exactly the keys the new
+// shard wins — every key that does not land on the arriving shard keeps its
+// old owner — and shrinking N+1→N moves exactly the departing shard's keys.
+func TestRingMinimalMovement(t *testing.T) {
+	const keysN = 5000
+	keys := workload.ClusterKeys(7, keysN)
+	for _, n := range []int{1, 2, 3, 4, 7} {
+		small := NewRing(n, 0)
+		big := NewRing(n+1, 0)
+		var moved, toNew int
+		for _, key := range keys {
+			a, b := small.Owner(key), big.Owner(key)
+			if a != b {
+				moved++
+				if b != n {
+					t.Fatalf("N=%d→%d: key %q moved from shard %d to %d — only the arriving shard %d may win keys",
+						n, n+1, key, a, b, n)
+				}
+			}
+			if b == n {
+				toNew++
+			}
+		}
+		if moved != toNew {
+			t.Errorf("N=%d→%d: %d keys moved but the arriving shard owns %d", n, n+1, moved, toNew)
+		}
+		if n > 1 && moved == 0 {
+			t.Errorf("N=%d→%d: no keys moved to the arriving shard — ring not spreading", n, n+1)
+		}
+		// Shrinking is the same comparison read in the other direction:
+		// keys moving N+1→N are exactly those the departing shard held.
+		for _, key := range keys {
+			if big.Owner(key) != n && small.Owner(key) != big.Owner(key) {
+				t.Fatalf("N=%d→%d: survivor-owned key %q changed owner on shrink", n+1, n, key)
+			}
+		}
+	}
+}
+
+// TestRingDeterminism: the ring is a pure function of (shards, vnodes).
+func TestRingDeterminism(t *testing.T) {
+	a, b := NewRing(4, 32), NewRing(4, 32)
+	for _, key := range workload.ClusterKeys(11, 500) {
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owner differs between identical rings", key)
+		}
+	}
+	if a.Shards() != 4 || a.Vnodes() != 32 {
+		t.Fatalf("ring reports shards=%d vnodes=%d, want 4/32", a.Shards(), a.Vnodes())
+	}
+	if NewRing(3, 0).Vnodes() != DefaultVnodes {
+		t.Fatalf("vnodes=0 should default to %d", DefaultVnodes)
+	}
+}

@@ -1,0 +1,294 @@
+// Package scenario is the deterministic whole-cluster scenario harness:
+// table-driven scripts boot an N-shard TreeSLS cluster, run a multi-shard
+// client fleet through the consistent-hash router, crash the coordinator,
+// individual shards, or the whole cluster at scripted event indices, and
+// assert after every crash that (a) recovery lands on a previously
+// announced cut whose folded per-shard digests match the announcement and
+// (b) no client holds an acknowledgement the recovered cluster cannot
+// justify.
+//
+// Every script is bit-identical across runs — the determinism regression
+// hashes the full acknowledgement/crash event log and compares digests,
+// including under -race: the whole cluster is single-threaded simulated
+// time.
+package scenario
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"treesls/internal/cluster"
+	"treesls/internal/mem"
+	"treesls/internal/simclock"
+)
+
+// Crash targets. Non-negative values name a shard index.
+const (
+	// TargetPower fails every shard at once (whole-cluster power loss).
+	TargetPower = -1
+	// TargetCoord kills the coordinator process (durable cut log
+	// survives, forming state is lost).
+	TargetCoord = -2
+)
+
+// Crash is one scripted failure: fire when the cluster's event counter
+// reaches At, against the given target.
+type Crash struct {
+	At     uint64
+	Target int
+}
+
+// TargetName names a crash target for logs.
+func TargetName(target int) string {
+	switch {
+	case target == TargetPower:
+		return "power"
+	case target == TargetCoord:
+		return "coord"
+	default:
+		return fmt.Sprintf("shard%d", target)
+	}
+}
+
+// Script is one whole-cluster scenario.
+type Script struct {
+	// Name labels the scenario in test output.
+	Name string
+	// Seed feeds shard jitter, ADR crash damage and the keyspace draw.
+	Seed uint64
+	// Shards is the cluster size (default 2).
+	Shards int
+	// Cores per shard (default 2).
+	Cores int
+	// Clients, KeysPerClient, Requests, Window shape the fleet
+	// (defaults 2, 2, 6, 2).
+	Clients       int
+	KeysPerClient int
+	Requests      int
+	Window        int
+	// Gated routes responses through the cut-conditioned gates. An
+	// ungated script is the crash-unsafe baseline the harness must be
+	// able to convict.
+	Gated bool
+	// Persist selects the shards' persistence model.
+	Persist mem.PersistMode
+	// Replicate attaches hot standbys to every shard.
+	Replicate bool
+	// Crashes fire in order at their event thresholds (see
+	// Cluster.Events).
+	Crashes []Crash
+}
+
+func (sc *Script) fill() {
+	if sc.Shards <= 0 {
+		sc.Shards = 2
+	}
+	if sc.Cores <= 0 {
+		sc.Cores = 2
+	}
+	if sc.Clients <= 0 {
+		sc.Clients = 2
+	}
+	if sc.KeysPerClient <= 0 {
+		sc.KeysPerClient = 2
+	}
+	if sc.Requests <= 0 {
+		sc.Requests = 6
+	}
+	if sc.Window <= 0 {
+		sc.Window = 2
+	}
+}
+
+// Result is what a scenario run produced.
+type Result struct {
+	// Acked is the total acknowledged requests (== keys*Requests on a
+	// completed run).
+	Acked uint64
+	// Crashes is how many scripted crashes actually fired.
+	Crashes int
+	// Retransmits, DupAcks mirror the fleet's counters.
+	Retransmits uint64
+	DupAcks     uint64
+	// Released sums responses delivered through the gates.
+	Released uint64
+	// Rounds and Cuts count completed cluster rounds and announced cuts.
+	Rounds uint64
+	Cuts   int
+	// RollForwards counts shards recovered by rolling the commit word
+	// forward onto a covered prepare.
+	RollForwards uint64
+	// Unjustified collects external-synchrony violations found after a
+	// crash: a client held an acknowledgement the recovered cluster could
+	// not justify. Gated runs must produce none.
+	Unjustified []string
+	// CutViolations collects recoveries whose live digests did not match
+	// the announced cut. Must always be empty.
+	CutViolations []string
+	// OrderViolations collects per-key FIFO breaches. Must always be
+	// empty.
+	OrderViolations []string
+	// AuditViolations sums state-digest auditor breaches across shards.
+	AuditViolations uint64
+	// FinalTime is the cluster clock when the run completed.
+	FinalTime simclock.Time
+	// Events is the final cluster event counter (the coordinate space for
+	// crash-at-every-K sweeps).
+	Events uint64
+	// Digest is an FNV-1a hash over the full ordered event log: two runs
+	// of the same script must produce equal digests.
+	Digest uint64
+}
+
+// Run executes one scenario script.
+func Run(sc Script) (Result, error) {
+	sc.fill()
+	c, err := cluster.New(cluster.Config{
+		Shards:    sc.Shards,
+		Cores:     sc.Cores,
+		Gated:     sc.Gated,
+		Replicate: sc.Replicate,
+		Persist:   sc.Persist,
+		Seed:      sc.Seed,
+		Audit:     true,
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: cluster: %w", sc.Name, err)
+	}
+	fleet, err := cluster.NewFleet(c, cluster.FleetConfig{
+		Clients:       sc.Clients,
+		KeysPerClient: sc.KeysPerClient,
+		Requests:      sc.Requests,
+		Window:        sc.Window,
+		Seed:          int64(sc.Seed),
+	})
+	if err != nil {
+		return Result{}, fmt.Errorf("scenario %s: fleet: %w", sc.Name, err)
+	}
+
+	h := fnv.New64a()
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(h, format, args...)
+	}
+	fleet.OnAck = func(conn int, req uint64, recv simclock.Time) {
+		logf("ack %d %d %d\n", conn, req, recv)
+	}
+
+	var res Result
+	crash := func(target, n int) error {
+		logf("crash %s at events=%d time=%d\n", TargetName(target), c.Events(), c.Now())
+		switch {
+		case target == TargetPower:
+			if _, err := c.PowerFail(); err != nil {
+				res.CutViolations = append(res.CutViolations,
+					fmt.Sprintf("crash %d (%s): %v", n, TargetName(target), err))
+			}
+			fleet.ResyncAll()
+		case target == TargetCoord:
+			if err := c.FailCoordinator(); err != nil {
+				return fmt.Errorf("coordinator recovery: %w", err)
+			}
+		default:
+			if target >= sc.Shards {
+				return fmt.Errorf("crash target %d out of range (%d shards)", target, sc.Shards)
+			}
+			if err := c.FailShard(target); err != nil {
+				return fmt.Errorf("shard %d recovery: %w", target, err)
+			}
+			fleet.ResyncShard(target)
+		}
+		// Recovery always converges on the newest announced cut: live
+		// digests must reproduce the announcement, and no gate may have
+		// released beyond it.
+		if err := c.VerifyCut(c.Coord.Newest()); err != nil {
+			res.CutViolations = append(res.CutViolations,
+				fmt.Sprintf("crash %d (%s): %v", n, TargetName(target), err))
+		}
+		if err := c.ReleasedCovered(); err != nil {
+			res.CutViolations = append(res.CutViolations,
+				fmt.Sprintf("crash %d (%s): %v", n, TargetName(target), err))
+		}
+		bad, err := fleet.CheckJustified()
+		if err != nil {
+			return fmt.Errorf("justification check: %w", err)
+		}
+		for _, b := range bad {
+			res.Unjustified = append(res.Unjustified,
+				fmt.Sprintf("crash %d (%s): %s", n, TargetName(target), b))
+		}
+		logf("recovered epoch=%d versions=%v unjustified=%d\n",
+			c.Coord.Newest().Epoch, c.CommittedVersions(), len(bad))
+		res.Crashes++
+		return nil
+	}
+
+	next := 0
+	limit := sc.Clients*sc.KeysPerClient*sc.Requests*256 + 65536
+	for step := 0; ; step++ {
+		if step > limit {
+			return res, fmt.Errorf("scenario %s: no progress after %d steps (%d/%d acked)",
+				sc.Name, limit, fleet.TotalAcked(), sc.Clients*sc.KeysPerClient*sc.Requests)
+		}
+		if next < len(sc.Crashes) && c.Events() >= sc.Crashes[next].At {
+			if err := crash(sc.Crashes[next].Target, next); err != nil {
+				return res, fmt.Errorf("scenario %s: crash %d: %w", sc.Name, next, err)
+			}
+			next++
+			continue
+		}
+		// A round in flight advances one micro-action at a time so crash
+		// thresholds can land between any two protocol actions.
+		if c.CurrentPhase() != cluster.PhaseIdle {
+			if err := c.Step(); err != nil {
+				return res, fmt.Errorf("scenario %s: round step: %w", sc.Name, err)
+			}
+			continue
+		}
+		st, err := fleet.Step()
+		if err != nil {
+			return res, fmt.Errorf("scenario %s: fleet step: %w", sc.Name, err)
+		}
+		if st == cluster.StepDone {
+			break
+		}
+		if st == cluster.StepBlocked {
+			c.StartRound()
+		}
+	}
+
+	res.Acked = fleet.TotalAcked()
+	res.Retransmits = fleet.Retransmits
+	res.DupAcks = fleet.DupAcks
+	res.OrderViolations = append(res.OrderViolations, fleet.Violations...)
+	for _, s := range c.Shards {
+		if s.Drv != nil {
+			res.Released += s.Drv.Stats.Delivered
+		}
+		if s.M.Auditor != nil {
+			res.AuditViolations += s.M.Auditor.TotalViolations
+		}
+	}
+	res.Rounds = c.Stats.Rounds
+	res.Cuts = len(c.Coord.Cuts())
+	res.RollForwards = c.Stats.RollForwards
+	res.FinalTime = c.Now()
+	res.Events = c.Events()
+	logf("final acked=%d retrans=%d dupacks=%d released=%d rounds=%d cuts=%d rollfwd=%d time=%d\n",
+		res.Acked, res.Retransmits, res.DupAcks, res.Released,
+		res.Rounds, res.Cuts, res.RollForwards, res.FinalTime)
+	res.Digest = h.Sum64()
+	return res, nil
+}
+
+// EventCount runs the script without crashes and reports how many cluster
+// events the clean run generates — the coordinate space for
+// crash-at-every-K sweeps.
+func EventCount(sc Script) (uint64, error) {
+	sc.Crashes = nil
+	sc.Name = sc.Name + "/count"
+	r, err := Run(sc)
+	if err != nil {
+		return 0, err
+	}
+	return r.Events, nil
+}

@@ -1,0 +1,336 @@
+package crashfuzz
+
+// Cluster crash campaign: a multi-shard fleet runs through the consistent-
+// hash router while failures — whole-cluster power loss, single-shard
+// crashes, coordinator loss — are injected at randomized cluster-event
+// indices. Because the cut protocol advances one micro-action per event,
+// the injections land on every protocol boundary: mid-route (traffic in
+// flight, no round), shard-prepared-but-uncut (a prepare reported, the cut
+// not yet announced), and mid-cut-announce (announced but not fully
+// published/released). The oracle after every recovery is the cluster-wide
+// external-synchrony invariant: recovery lands on a previously announced
+// cut whose digests verify, no gate has released beyond the cut, and no
+// client holds an acknowledgement the recovered keyspace cannot justify.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/cluster"
+	"treesls/internal/mem"
+)
+
+// ClusterConfig parameterizes a cluster crash campaign.
+type ClusterConfig struct {
+	// Mode is the persistence model of every shard.
+	Mode mem.PersistMode
+	// Seeds are the cluster/damage seeds; each seed gets its own cluster.
+	Seeds []uint64
+	// Shards is the cluster size (default 2).
+	Shards int
+	// CrashesPerSeed is how many injections to attempt per seed
+	// (default 24).
+	CrashesPerSeed int
+	// EventWindow bounds the random event countdown (default 40).
+	EventWindow int
+	// StepsPerCrash bounds micro-steps while waiting for a countdown to
+	// elapse (default 800).
+	StepsPerCrash int
+	// Clients, KeysPerClient, Window shape the fleet (defaults 2, 2, 2).
+	Clients       int
+	KeysPerClient int
+	Window        int
+}
+
+func (c *ClusterConfig) fill() {
+	if c.Shards == 0 {
+		c.Shards = 2
+	}
+	if c.CrashesPerSeed == 0 {
+		c.CrashesPerSeed = 24
+	}
+	if c.EventWindow == 0 {
+		c.EventWindow = 40
+	}
+	if c.StepsPerCrash == 0 {
+		c.StepsPerCrash = 800
+	}
+	if c.Clients == 0 {
+		c.Clients = 2
+	}
+	if c.KeysPerClient == 0 {
+		c.KeysPerClient = 2
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+}
+
+// ClusterResult aggregates a cluster crash campaign. A returned result
+// always reflects zero invariant violations — the first violation aborts
+// the campaign with an error.
+type ClusterResult struct {
+	// CrashesFired / Recoveries count injections and completed recoveries.
+	CrashesFired int
+	Recoveries   int
+	// PowerCrashes / ShardCrashes / CoordCrashes break injections down by
+	// target.
+	PowerCrashes int
+	ShardCrashes int
+	CoordCrashes int
+	// MidRoute / PreparedUncut / MidAnnounce classify the protocol
+	// boundary each crash landed on.
+	MidRoute      int
+	PreparedUncut int
+	MidAnnounce   int
+	// Acked / Retransmits / Released across all seeds.
+	Acked       uint64
+	Retransmits uint64
+	Released    uint64
+	// Rounds completed and RollForwards performed across all seeds.
+	Rounds       uint64
+	RollForwards uint64
+	// AuditChecks across all shards and seeds.
+	AuditChecks uint64
+}
+
+// clusterFuzzer is the per-seed state: one cluster plus its fleet.
+type clusterFuzzer struct {
+	cfg   ClusterConfig
+	rng   *rand.Rand
+	c     *cluster.Cluster
+	fleet *cluster.Fleet
+}
+
+// RunCluster executes the campaign.
+func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
+	cfg.fill()
+	var res ClusterResult
+	for _, seed := range cfg.Seeds {
+		if err := runClusterSeed(cfg, seed, &res); err != nil {
+			return res, fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return res, nil
+}
+
+func runClusterSeed(cfg ClusterConfig, seed uint64, res *ClusterResult) error {
+	f, err := newClusterFuzzer(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for c := 0; c < cfg.CrashesPerSeed; c++ {
+		// Target rotation is rng-driven so the interleaving of targets
+		// and boundaries varies per seed.
+		target := f.pickTarget()
+		fired, err := f.oneCrash(target, res)
+		if err != nil {
+			return fmt.Errorf("crash %d (%s): %w", c, targetName(target, cfg.Shards), err)
+		}
+		if fired {
+			res.CrashesFired++
+			res.Recoveries++
+		}
+	}
+	res.Acked += f.fleet.TotalAcked()
+	res.Retransmits += f.fleet.Retransmits
+	for _, s := range f.c.Shards {
+		if s.Drv != nil {
+			res.Released += s.Drv.Stats.Delivered
+		}
+		if s.M.Auditor != nil {
+			res.AuditChecks += s.M.Auditor.Checks
+		}
+		if err := s.M.Alloc.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	res.Rounds += f.c.Stats.Rounds
+	res.RollForwards += f.c.Stats.RollForwards
+	return nil
+}
+
+// Crash targets: 0 = power, 1 = coordinator, 2+i = shard i.
+func targetName(target, shards int) string {
+	switch target {
+	case 0:
+		return "power"
+	case 1:
+		return "coord"
+	default:
+		return fmt.Sprintf("shard%d", (target-2)%shards)
+	}
+}
+
+func (f *clusterFuzzer) pickTarget() int {
+	return f.rng.Intn(2 + f.c.Config().Shards)
+}
+
+func newClusterFuzzer(cfg ClusterConfig, seed uint64) (*clusterFuzzer, error) {
+	c, err := cluster.New(cluster.Config{
+		Shards:  cfg.Shards,
+		Gated:   true,
+		Persist: cfg.Mode,
+		Seed:    seed,
+		Audit:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := cluster.NewFleet(c, cluster.FleetConfig{
+		Clients:       cfg.Clients,
+		KeysPerClient: cfg.KeysPerClient,
+		Requests:      0, // unbounded: the campaign decides when to stop
+		Window:        cfg.Window,
+		ValueBytes:    32,
+		Seed:          int64(seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &clusterFuzzer{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(int64(seed))),
+		c:     c,
+		fleet: fleet,
+	}, nil
+}
+
+// stepOnce advances the cluster world by one micro-action: a round step if
+// a round is in flight (so crashes can land between protocol actions), a
+// fleet micro-step otherwise, opening a round when the gates block.
+func (f *clusterFuzzer) stepOnce() error {
+	if f.c.CurrentPhase() != cluster.PhaseIdle {
+		return f.c.Step()
+	}
+	st, err := f.fleet.Step()
+	if err != nil {
+		return err
+	}
+	if st == cluster.StepBlocked {
+		f.c.StartRound()
+	}
+	return nil
+}
+
+// classify records which protocol boundary the crash landed on.
+func (f *clusterFuzzer) classify(res *ClusterResult) {
+	switch f.c.CurrentPhase() {
+	case cluster.PhaseAnnounce, cluster.PhasePublish, cluster.PhaseRelease:
+		res.MidAnnounce++
+		return
+	case cluster.PhasePrepare:
+		for _, s := range f.c.Shards {
+			if s.M.Ckpt.PreparedVersion() != 0 {
+				res.PreparedUncut++
+				return
+			}
+		}
+	}
+	res.MidRoute++
+}
+
+// oneCrash waits a random event countdown, injects the failure, runs the
+// recovery procedure for the target, and applies the oracle.
+func (f *clusterFuzzer) oneCrash(target int, res *ClusterResult) (bool, error) {
+	deadline := f.c.Events() + uint64(1+f.rng.Intn(f.cfg.EventWindow))
+	fired := false
+	for step := 0; step < f.cfg.StepsPerCrash; step++ {
+		if f.c.Events() >= deadline {
+			fired = true
+			break
+		}
+		if err := f.stepOnce(); err != nil {
+			return false, err
+		}
+	}
+	if !fired {
+		return false, nil
+	}
+	f.classify(res)
+	switch target {
+	case 0:
+		res.PowerCrashes++
+		if _, err := f.c.PowerFail(); err != nil {
+			return true, err
+		}
+		f.fleet.ResyncAll()
+	case 1:
+		res.CoordCrashes++
+		if err := f.c.FailCoordinator(); err != nil {
+			return true, err
+		}
+	default:
+		res.ShardCrashes++
+		victim := (target - 2) % f.c.Config().Shards
+		if err := f.c.FailShard(victim); err != nil {
+			return true, err
+		}
+		f.fleet.ResyncShard(victim)
+	}
+	return true, f.verify()
+}
+
+// verify applies the cluster oracle after a recovery.
+func (f *clusterFuzzer) verify() error {
+	if err := f.c.VerifyCut(f.c.Coord.Newest()); err != nil {
+		return err
+	}
+	if err := f.c.ReleasedCovered(); err != nil {
+		return err
+	}
+	bad, err := f.fleet.CheckJustified()
+	if err != nil {
+		return err
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("released-but-uncovered response: %s", bad[0])
+	}
+	if n := len(f.fleet.Violations); n > 0 {
+		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
+	}
+	if f.fleet.DupAcks > 0 {
+		return fmt.Errorf("%d duplicate acknowledgements after recovery", f.fleet.DupAcks)
+	}
+	for i, s := range f.c.Shards {
+		if s.M.Auditor != nil {
+			if la := s.M.LastAudit; !la.Ok() {
+				return fmt.Errorf("shard %d audit at %s: %d violation(s), first: %s",
+					i, la.Where, len(la.Violations), la.Violations[0])
+			}
+		}
+	}
+	return nil
+}
+
+// ClusterOneShot runs a single parameterized cluster crash injection — the
+// entry point of FuzzClusterCrashEvent. Boot a gated cluster+fleet with the
+// given seed, wait eventK cluster events, inject the failure against the
+// fuzzed target, recover, and apply the oracle. A run where the countdown
+// never elapses within the step budget is a valid (uninteresting) input.
+func ClusterOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, steps uint16) error {
+	cfg := ClusterConfig{Mode: mode}
+	cfg.fill()
+	f, err := newClusterFuzzer(cfg, seed)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	deadline := f.c.Events() + eventK%uint64(cfg.EventWindow) + 1
+	n := int(steps)%cfg.StepsPerCrash + 1
+	fired := false
+	for step := 0; step < n; step++ {
+		if f.c.Events() >= deadline {
+			fired = true
+			break
+		}
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+	if !fired {
+		return nil
+	}
+	var res ClusterResult
+	_, err = f.oneCrash(int(target)%(2+cfg.Shards), &res)
+	return err
+}

@@ -84,6 +84,11 @@ type Driver struct {
 	// OnRestore rolls the un-released slots back for the applications to
 	// re-send — deferred release never re-delivers across a crash.
 	pending []pendingRange
+	// releasedVersion is the highest commit version whose covered
+	// responses have been handed to the NIC — in deferred mode the cut
+	// (or ack) condition that last fired. Recovery drivers consult it to
+	// re-issue an idempotent ReleaseUpTo after a coordinator loss.
+	releasedVersion uint64
 
 	Stats Stats
 }
@@ -295,11 +300,16 @@ func (d *Driver) OnCheckpoint(version uint64, lane *simclock.Lane) {
 		return
 	}
 	visible := d.readU64(lane, offVisible)
+	d.releasedVersion = version
 	if writer == visible {
 		return
 	}
 	d.release(lane, visible, writer)
 }
+
+// ReleasedVersion returns the highest commit version whose covered gated
+// responses have been released to the wire.
+func (d *Driver) ReleasedVersion() uint64 { return d.releasedVersion }
 
 // ReleaseUpTo delivers every ring slot covered by a commit version ≤ version
 // (deferred mode): called by the replication pump once the standby's ack for
@@ -309,12 +319,12 @@ func (d *Driver) ReleaseUpTo(version uint64, lane *simclock.Lane) {
 	if !d.deferred {
 		return
 	}
-	var target uint64
+	var target, covered uint64
 	found := false
 	n := 0
 	for _, p := range d.pending {
 		if p.version <= version {
-			target, found = p.writer, true
+			target, covered, found = p.writer, p.version, true
 		} else {
 			d.pending[n] = p
 			n++
@@ -323,6 +333,9 @@ func (d *Driver) ReleaseUpTo(version uint64, lane *simclock.Lane) {
 	d.pending = d.pending[:n]
 	if !found {
 		return
+	}
+	if covered > d.releasedVersion {
+		d.releasedVersion = covered
 	}
 	visible := d.readU64(lane, offVisible)
 	if target <= visible {
@@ -370,6 +383,9 @@ func (d *Driver) OnRestore(version uint64, lane *simclock.Lane) {
 	// the slots below: never-released means clients will retransmit, which
 	// is always safe; re-releasing after a crash never is.
 	d.pending = nil
+	if d.releasedVersion > version {
+		d.releasedVersion = version
+	}
 	writer := d.readU64(lane, offWriter)
 	visible := d.readU64(lane, offVisible)
 	if writer > visible {

@@ -333,6 +333,25 @@ func (m *Machine) TakeCheckpoint() checkpoint.Report {
 	return rep
 }
 
+// PublishCheckpoint publishes the prepared-but-unpublished checkpoint round
+// of a deferred-publication machine (checkpoint.Config.DeferCommitPublish):
+// the commit word, journal record, log truncation and garbage collection
+// that TakeCheckpoint withheld. The cluster coordinator calls it on every
+// shard once the covering cluster cut is durably announced.
+func (m *Machine) PublishCheckpoint() (uint64, error) {
+	if m.crashed {
+		return 0, fmt.Errorf("kernel: publish on a crashed machine")
+	}
+	lane := &m.Cores[0].Lane
+	v, err := m.Ckpt.PublishCommit(lane)
+	if err != nil {
+		return 0, err
+	}
+	m.auditNow("publish")
+	m.runPumps(m.Now())
+	return v, nil
+}
+
 // runDueCheckpoints fires every periodic checkpoint whose deadline is at or
 // before t.
 func (m *Machine) runDueCheckpoints(t simclock.Time) {
@@ -578,6 +597,30 @@ func (m *Machine) Restore() error {
 	}
 	m.Stats.Restores++
 	m.auditNow("restore")
+	return nil
+}
+
+// RestoreToCut recovers a crashed machine to exactly checkpoint version v:
+// if the durable commit word lags v by one round — the shard prepared v
+// under deferred publication and crashed before publishing — the word is
+// rolled forward first, which is sound only because the caller's durably
+// announced cluster cut proves the prepare completed. Then the ordinary
+// restore runs and the landing version is verified.
+func (m *Machine) RestoreToCut(v uint64) error {
+	if !m.crashed {
+		return fmt.Errorf("kernel: RestoreToCut on a running machine")
+	}
+	lane := &m.Cores[0].Lane
+	lane.AdvanceTo(m.Now())
+	if err := m.Ckpt.RollForwardCommit(lane, v); err != nil {
+		return err
+	}
+	if err := m.Restore(); err != nil {
+		return err
+	}
+	if got := m.Ckpt.CommittedVersion(); got != v {
+		return fmt.Errorf("kernel: restore landed at v%d, want cut v%d", got, v)
+	}
 	return nil
 }
 

@@ -31,6 +31,12 @@ const (
 	// FrameAck acknowledges that a delta was applied and is durable on
 	// the standby.
 	FrameAck
+	// FrameReport carries a shard's checkpoint-prepare report to the
+	// cluster coordinator (fabric.go).
+	FrameReport
+	// FrameCutAnnounce carries the coordinator's announced cluster cut
+	// back to a shard (fabric.go).
+	FrameCutAnnounce
 )
 
 // String implements fmt.Stringer.
@@ -42,6 +48,10 @@ func (t FrameType) String() string {
 		return "fullsync"
 	case FrameAck:
 		return "ack"
+	case FrameReport:
+		return "report"
+	case FrameCutAnnounce:
+		return "cut-announce"
 	default:
 		return fmt.Sprintf("frame(%d)", byte(t))
 	}

@@ -79,6 +79,7 @@ const (
 	markSwapped  = 1 // page lives on the swap device
 	markNil      = 2 // slot exists but holds no page
 	markNoSource = 3 // backup entry with no recoverable source
+	markEternal  = 4 // eternal PMO content excluded (RestorableDigest)
 )
 
 // StateDigest hashes the logical state reachable from the runtime capability
@@ -206,6 +207,20 @@ func restoreSource(cp *caps.CkptPage, committed uint64) int {
 // snapshot slot order), so the visit order — and the digest — is
 // deterministic.
 func BackupDigest(m *checkpoint.Manager, memory *mem.Memory) uint64 {
+	return backupDigest(m, memory, true)
+}
+
+// RestorableDigest hashes only the state a restore ROLLS BACK to: eternal
+// PMO page content is excluded. Eternal pages (§5) deliberately survive
+// recovery with whatever the device last wrote, so two captures of the same
+// checkpoint version can legitimately differ there; everything a checkpoint
+// promises to reproduce is covered. The cluster cut protocol announces this
+// digest — it must verify bit-identically after any recovery to the cut.
+func RestorableDigest(m *checkpoint.Manager, memory *mem.Memory) uint64 {
+	return backupDigest(m, memory, false)
+}
+
+func backupDigest(m *checkpoint.Manager, memory *mem.Memory, includeEternal bool) uint64 {
 	d := newDigest()
 	committed := m.CommittedVersion()
 	root := m.RootORoot()
@@ -272,6 +287,10 @@ func BackupDigest(m *checkpoint.Manager, memory *mem.Memory) uint64 {
 		case *caps.PMOSnap:
 			d.byte(byte(s.Type))
 			d.u64(s.SizePages)
+			if s.Type == caps.PMOEternal && !includeEternal {
+				d.byte(markEternal)
+				return
+			}
 			s.Pages.Walk(func(idx uint64, cp *caps.CkptPage) bool {
 				if cp.Born > committed {
 					return true // stillborn entry: not part of restorable state
@@ -369,8 +388,12 @@ func (a *Auditor) Check(tree *caps.Tree, where string) Result {
 	committed := m.CommittedVersion()
 
 	// Invariant 1: the in-memory committed version mirrors the durable
-	// commit word — between operations they must agree.
-	if dv := m.DurableVersion(); dv != committed {
+	// commit word — between operations they must agree. One exception:
+	// under deferred commit publication (cluster consistent cut) the
+	// word lawfully lags in-memory state by exactly the prepared round
+	// until PublishCommit.
+	if dv := m.DurableVersion(); dv != committed &&
+		!(m.PreparedVersion() == committed && dv+1 == committed) {
 		bad("%s: committed version %d != durable commit word %d", where, committed, dv)
 	}
 

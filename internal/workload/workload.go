@@ -307,3 +307,18 @@ func (m *Mixed) NextID() (OpType, uint64, []byte) {
 		return OpDelete, id, nil
 	}
 }
+
+// ---- Cluster key sets ---------------------------------------------------------
+
+// ClusterKeys draws n distinct keys for the sharded-cluster fleet and the
+// consistent-hash-ring property tests. The counter prefix guarantees
+// distinctness; the seeded random suffix spreads the keys across the ring's
+// hash space, so shard placement is a pure function of (seed, n).
+func ClusterKeys(seed int64, n int) [][]byte {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([][]byte, n)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("ck-%06d-%08x", i, rng.Uint32()))
+	}
+	return keys
+}
