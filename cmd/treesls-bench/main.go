@@ -7,7 +7,7 @@
 //
 // Experiment names: functional, table2, fig9a, fig9b, table3, fig10,
 // table4, fig11, fig12, fig13, fig14, ablation, restoretime, sensitivity,
-// scaling, net, repl, scrub, media, cluster.
+// scaling, net, repl, scrub, media, cluster, reshard.
 package main
 
 import (
@@ -77,6 +77,7 @@ func main() {
 			return mediaCampaign(s, *mediaFaults, *scrubInterval)
 		}},
 		{"cluster", func(s experiments.Scale) (string, error) { _, t, err := experiments.ClusterScaling(s); return t, err }},
+		{"reshard", func(s experiments.Scale) (string, error) { _, t, _, err := experiments.ReshardPause(s); return t, err }},
 	}
 
 	selected := all

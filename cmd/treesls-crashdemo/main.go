@@ -33,11 +33,16 @@ func main() {
 	replicate := flag.Bool("replicate", false, "stream checkpoint deltas to a hot standby and promote it at the crash")
 	replMode := flag.String("repl-mode", "local", "replication durability contract: local (async standby) or remote (responses wait for the standby ack)")
 	shards := flag.Int("shards", 0, "if > 0, narrate the sharded-cluster crash instead: N shards lose power mid-traffic and recover onto one consistent cut")
+	reshard := flag.Bool("reshard", false, "with -shards: narrate an elastic scale-out — power fails mid-migration (whole rollback), then a clean retry commits the new ring")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
 	mode, err := mem.ParsePersistMode(*persist)
 	check(err)
+	if *shards > 0 && *reshard {
+		reshardDemo(*shards, mode, *crashSeed)
+		return
+	}
 	if *shards > 0 {
 		clusterDemo(*shards, mode, *crashSeed, *replicate)
 		return
@@ -228,6 +233,97 @@ func clusterDemo(shards int, mode mem.PersistMode, seed uint64, replicate bool) 
 	check(fleet.Run())
 	fmt.Printf("▸ cluster is live after reboot: %d/%d requests acked, %d retransmits, %d rounds total\n",
 		fleet.TotalAcked(), fleet.Keys()*8, fleet.Retransmits, c.Stats.Rounds)
+}
+
+// reshardDemo narrates elastic online resharding: an add-shard migration
+// epoch streams keys under live traffic, power fails mid-stream — and the
+// recovery rolls the whole epoch back to the old ring, because the commit
+// cut was never announced. A retry then runs to its commit cut, the ring
+// flips atomically at the announcement, and the fleet reroutes.
+func reshardDemo(shards int, mode mem.PersistMode, seed uint64) {
+	c, err := cluster.New(cluster.Config{
+		Shards: shards, Gated: true, Persist: mode, Seed: seed, Audit: true,
+	})
+	check(err)
+	fleet, err := cluster.NewFleet(c, cluster.FleetConfig{
+		Clients: 4, KeysPerClient: 4, Requests: 0, Window: 2, Seed: int64(seed),
+	})
+	check(err)
+	fmt.Printf("▸ booted a %d-shard TreeSLS cluster (%s persistency), ring v%d %v\n",
+		shards, mode, c.Ring.Version(), c.Ring.Members())
+
+	migTurn := false
+	step := func() {
+		if c.CurrentPhase() != cluster.PhaseIdle {
+			check(c.Step())
+			return
+		}
+		if c.MigrationInFlight() && migTurn {
+			migTurn = false
+			check(c.MigStep())
+			return
+		}
+		migTurn = true
+		st, err := fleet.Step()
+		check(err)
+		if st == cluster.StepBlocked && !c.MigrationInFlight() {
+			c.StartRound()
+		}
+	}
+	for fleet.TotalAcked() < uint64(fleet.Keys())*3 {
+		step()
+	}
+	fmt.Printf("▸ %d requests acked under steady load; starting an online scale-out to %d shards\n",
+		fleet.TotalAcked(), shards+1)
+
+	joiner, err := c.StartAddShard()
+	check(err)
+	st := c.MigrationStatus()
+	for !c.MigrationInFlight() || st.Phase == cluster.MigScan {
+		step()
+		st = c.MigrationStatus()
+	}
+	fmt.Printf("▸ migration epoch open: %d keys planned for shard %d, %d streamed so far — traffic keeps flowing\n",
+		st.PlanKeys, joiner, st.Streamed)
+
+	fmt.Println("▸ PULLING THE PLUG MID-MIGRATION (keys in flight, commit cut not announced)")
+	cut, err := c.PowerFail()
+	check(err)
+	fleet.ResyncAll()
+	fmt.Printf("▸ recovered onto cut epoch %d naming ring v%d %v: the epoch rolled back WHOLE — no split-brain mix\n",
+		cut.Epoch, c.Ring.Version(), c.Ring.Members())
+	if c.MigrationInFlight() {
+		fmt.Println("▸ VIOLATION: migration survived the crash")
+		os.Exit(1)
+	}
+	fmt.Printf("▸ aborted epochs so far: %d; the joiner re-imaged to its boot state\n", c.Stats.MigrationsAborted)
+
+	// Retry: this time the epoch runs through its commit cut.
+	for c.CurrentPhase() != cluster.PhaseIdle {
+		step()
+	}
+	_, err = c.StartAddShard()
+	check(err)
+	for c.MigrationInFlight() {
+		step()
+	}
+	fmt.Printf("▸ retry committed: ring flipped atomically at the commit cut to v%d %v (%d keys moved, %d dual-writes, %d forwarded requests)\n",
+		c.Ring.Version(), c.Ring.Members(), c.Stats.KeysMoved, c.Stats.DualWrites, c.Stats.ForwardedRequests)
+
+	before := fleet.TotalAcked()
+	for fleet.TotalAcked() < before+uint64(fleet.Keys()) {
+		step()
+	}
+	bad, err := fleet.CheckJustified()
+	check(err)
+	twoOwner, err := fleet.CheckSoleOwner()
+	check(err)
+	if len(bad) > 0 || len(twoOwner) > 0 {
+		fmt.Printf("▸ VIOLATION: justify=%v soleOwner=%v\n", bad, twoOwner)
+		os.Exit(1)
+	}
+	fmt.Printf("▸ cluster is live on the new ring: %d requests acked, every ack justified, every key served by its sole ring owner\n",
+		fleet.TotalAcked())
 }
 
 func check(err error) {

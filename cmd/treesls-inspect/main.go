@@ -203,6 +203,31 @@ func runCluster(shards int, mode mem.PersistMode, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "\nFleet: %d requests acked, %d retransmits, %d rounds driven\n",
 		fleet.TotalAcked(), fleet.Retransmits, c.Stats.Rounds)
 
+	// An online scale-out, so the cut log below shows the ring epoch
+	// flipping at a commit cut.
+	joiner, err := c.StartAddShard()
+	if err != nil {
+		return err
+	}
+	for c.MigrationInFlight() {
+		if c.CurrentPhase() != cluster.PhaseIdle {
+			if err := c.Step(); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := c.MigStep(); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "\nOnline reshard: shard%d joined, ring now v%d %v (%d keys moved, %d migration bytes)\n",
+		joiner, c.Ring.Version(), c.Ring.Members(), c.Stats.KeysMoved, c.Stats.MigrationBytes)
+	rerouted := make([]int, len(c.Shards))
+	for j := 0; j < fleet.Keys(); j++ {
+		rerouted[fleet.ShardOf(j)]++
+	}
+	fmt.Fprintf(stdout, "  shard%d now owns %d of %d fleet keys\n", joiner, rerouted[joiner], fleet.Keys())
+
 	cuts := c.Coord.Cuts()
 	fmt.Fprintf(stdout, "\nCut log (%d announced):\n", len(cuts))
 	first, last := 0, len(cuts)
@@ -211,8 +236,8 @@ func runCluster(shards int, mode mem.PersistMode, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "  ... %d earlier cuts elided\n", first)
 	}
 	for _, cut := range cuts[first:last] {
-		fmt.Fprintf(stdout, "  epoch %2d: versions %v cluster digest %#016x\n",
-			cut.Epoch, cut.Versions, cut.Cluster)
+		fmt.Fprintf(stdout, "  epoch %2d: ring v%d %v versions %v cluster digest %#016x\n",
+			cut.Epoch, cut.RingVersion, cut.RingMembers, cut.Versions, cut.Cluster)
 	}
 
 	newest := c.Coord.Newest()

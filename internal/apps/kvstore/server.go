@@ -50,6 +50,9 @@ type Server struct {
 
 	// Stats.
 	Sets, Gets, Dels uint64
+	// Applies counts migration installs (ApplyAt) — writes that arrived
+	// shard-to-shard instead of from a client.
+	Applies uint64
 }
 
 // NewServer creates the server process and formats its store.
@@ -201,6 +204,44 @@ func (s *Server) Delete(tid int, key []byte) (kernel.OpResult, bool, error) {
 		s.Dels++
 	}
 	return res, ok, err
+}
+
+// ApplyAt installs key -> val on worker thread tid WITHOUT the response
+// path: no external-synchrony send, no WAL. It is the migration apply
+// primitive — a destination shard installing a streamed or dual-routed
+// write that the source shard already answers for, so emitting a second
+// client-visible response would be wrong.
+func (s *Server) ApplyAt(arrival simclock.Time, tid int, key, val []byte) (kernel.OpResult, error) {
+	p, err := s.proc()
+	if err != nil {
+		return kernel.OpResult{}, err
+	}
+	res, err := s.m.RunAt(arrival, p, p.Thread(tid), func(e *kernel.Env) error {
+		e.Syscall() // frame arrives via IPC from the migration endpoint
+		e.Charge(s.cfg.PerOpCompute)
+		return s.store().Set(e, key, val)
+	})
+	if err == nil {
+		s.Applies++
+	}
+	return res, err
+}
+
+// Keys scans every stored key on the server's main thread in deterministic
+// table order (see Store.Keys). The migration planner uses it to enumerate
+// a source shard's moved keys.
+func (s *Server) Keys() ([][]byte, error) {
+	p, err := s.proc()
+	if err != nil {
+		return nil, err
+	}
+	var keys [][]byte
+	_, err = s.m.Run(p, p.MainThread(), func(e *kernel.Env) error {
+		var err error
+		keys, err = s.store().Keys(e)
+		return err
+	})
+	return keys, err
 }
 
 // Peek reads a key on the server's main thread without touching the

@@ -273,3 +273,38 @@ func (s *Store) deleteEntry(e *kernel.Env, key []byte, h uint64) error {
 func (s *Store) Count(e *kernel.Env) (uint64, error) {
 	return e.ReadU64(s.HeaderVA + 8)
 }
+
+// Keys returns every stored key in deterministic table order (bucket index,
+// then chain position). Chain position is itself a pure function of the
+// write history, so two runs with identical histories scan identically —
+// the property the migration planner's event-log digests rely on.
+func (s *Store) Keys(e *kernel.Env) ([][]byte, error) {
+	nb, err := e.ReadU64(s.HeaderVA)
+	if err != nil {
+		return nil, err
+	}
+	var keys [][]byte
+	for b := uint64(0); b < nb; b++ {
+		cur, err := e.ReadU64(s.HeaderVA + 16 + b*8)
+		if err != nil {
+			return nil, err
+		}
+		for cur != 0 {
+			klen, err := e.ReadU64(cur + 16)
+			if err != nil {
+				return nil, err
+			}
+			k := make([]byte, klen)
+			if err := e.Read(cur+entryHdr, k); err != nil {
+				return nil, err
+			}
+			e.Charge(hashCost(len(k)))
+			keys = append(keys, k)
+			cur, err = e.ReadU64(cur)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return keys, nil
+}

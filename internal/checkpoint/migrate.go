@@ -1,0 +1,75 @@
+package checkpoint
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ReplKV is the migration record kind: one key/value pair streamed from a
+// source shard to a destination shard during an elastic reshard. It rides
+// the same Delta wire format (EncodeDelta/DecodeDelta) and image fold
+// (FoldDelta) as standby replication, so a migration stream is just another
+// delta stream — page-granular capture of exactly the moved state, applied
+// incrementally at the destination instead of a stop-the-world full copy.
+const ReplKV byte = 3
+
+// kvKey derives the stable ReplKey for a moved key. The record itself
+// carries the full key bytes (the hash only names the image entry), so two
+// streams of the same key fold to one entry and re-sends overwrite in place.
+func kvKey(key []byte) ReplKey {
+	h := fnv.New64a()
+	h.Write(key)
+	return ReplKey{ObjID: h.Sum64(), Page: uint64(len(key)), Kind: ReplKV}
+}
+
+// NewMigrationDelta starts an empty migration delta carrying a ring-version
+// transition: applying it moves the destination's migration image from ring
+// version `fromRing` toward `toRing`. Migration deltas are never Full — the
+// destination folds them into whatever it has already installed.
+func NewMigrationDelta(fromRing, toRing uint64) *Delta {
+	return &Delta{Version: toRing, From: fromRing}
+}
+
+// AddKV appends one moved key/value pair to a migration delta.
+func AddKV(d *Delta, key, val []byte) {
+	e := &recEncoder{}
+	e.bytes(key)
+	e.bytes(val)
+	d.Puts = append(d.Puts, ReplRecord{Key: kvKey(key), Data: e.buf})
+}
+
+// DecodeKVRecord parses one ReplKV record back into its key/value pair.
+func DecodeKVRecord(rec []byte) (key, val []byte, err error) {
+	d := &recDecoder{buf: rec}
+	key = d.bytes()
+	val = d.bytes()
+	if d.err != nil {
+		return nil, nil, d.err
+	}
+	if d.off != len(d.buf) {
+		return nil, nil, fmt.Errorf("checkpoint: %d trailing bytes after KV record", len(d.buf)-d.off)
+	}
+	return key, val, nil
+}
+
+// MigrationKV is one decoded moved pair.
+type MigrationKV struct {
+	Key, Val []byte
+}
+
+// MigrationKVs decodes every record of a migration delta, rejecting any
+// non-KV kind: a migration frame must carry only moved pairs.
+func MigrationKVs(d *Delta) ([]MigrationKV, error) {
+	out := make([]MigrationKV, 0, len(d.Puts))
+	for _, p := range d.Puts {
+		if p.Key.Kind != ReplKV {
+			return nil, fmt.Errorf("checkpoint: record kind %d in migration delta (want ReplKV)", p.Key.Kind)
+		}
+		k, v, err := DecodeKVRecord(p.Data)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, MigrationKV{Key: k, Val: v})
+	}
+	return out, nil
+}

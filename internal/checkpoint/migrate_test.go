@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// TestMigrationDeltaRoundTrip proves a migration stream is a plain delta
+// stream: KV records survive EncodeDelta/DecodeDelta bit-for-bit and decode
+// back to the exact moved pairs.
+func TestMigrationDeltaRoundTrip(t *testing.T) {
+	d := NewMigrationDelta(3, 4)
+	want := []MigrationKV{
+		{Key: []byte("client-0/key-1"), Val: bytes.Repeat([]byte{0xab}, 64)},
+		{Key: []byte("client-7/key-0"), Val: []byte{}},
+		{Key: []byte(""), Val: []byte("value-for-empty-key")},
+	}
+	for _, kv := range want {
+		AddKV(d, kv.Key, kv.Val)
+	}
+	if d.From != 3 || d.Version != 4 || d.Full {
+		t.Fatalf("migration delta header = from %d to %d full %v", d.From, d.Version, d.Full)
+	}
+
+	wire := EncodeDelta(d)
+	if len(wire) != d.PayloadBytes() {
+		t.Fatalf("wire size %d != PayloadBytes %d", len(wire), d.PayloadBytes())
+	}
+	back, err := DecodeDelta(wire)
+	if err != nil {
+		t.Fatalf("DecodeDelta: %v", err)
+	}
+	got, err := MigrationKVs(back)
+	if err != nil {
+		t.Fatalf("MigrationKVs: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i].Key, want[i].Key) || !bytes.Equal(got[i].Val, want[i].Val) {
+			t.Fatalf("pair %d: got (%q,%q) want (%q,%q)", i, got[i].Key, got[i].Val, want[i].Key, want[i].Val)
+		}
+	}
+}
+
+// TestMigrationFoldDedup proves re-streaming a key folds to a single image
+// entry holding the newest value — the property that makes retried batches
+// idempotent at the destination.
+func TestMigrationFoldDedup(t *testing.T) {
+	var img *ReplImage
+	for i := 0; i < 3; i++ {
+		d := NewMigrationDelta(uint64(i+1), uint64(i+2))
+		AddKV(d, []byte("hot-key"), []byte(fmt.Sprintf("v%d", i)))
+		AddKV(d, []byte(fmt.Sprintf("cold-%d", i)), []byte("x"))
+		img = FoldDelta(img, d)
+	}
+	if len(img.Entries) != 4 { // hot-key once + three cold keys
+		t.Fatalf("image holds %d entries, want 4", len(img.Entries))
+	}
+	rec := img.Entries[kvKey([]byte("hot-key"))]
+	_, val, err := DecodeKVRecord(rec)
+	if err != nil {
+		t.Fatalf("DecodeKVRecord: %v", err)
+	}
+	if string(val) != "v2" {
+		t.Fatalf("folded hot-key value %q, want newest v2", val)
+	}
+	if img.Version != 4 {
+		t.Fatalf("folded image at ring version %d, want 4", img.Version)
+	}
+}
+
+// TestMigrationKVRejectsForeignKinds proves a migration frame cannot smuggle
+// non-KV records past the destination.
+func TestMigrationKVRejectsForeignKinds(t *testing.T) {
+	d := NewMigrationDelta(1, 2)
+	AddKV(d, []byte("k"), []byte("v"))
+	d.Puts = append(d.Puts, ReplRecord{Key: ReplKey{ObjID: 9, Kind: ReplPage}, Data: []byte{0}})
+	if _, err := MigrationKVs(d); err == nil {
+		t.Fatal("MigrationKVs accepted a ReplPage record")
+	}
+}
+
+// TestDecodeKVRecordCorrupt proves truncated and oversized records fail
+// loudly instead of yielding garbage pairs.
+func TestDecodeKVRecordCorrupt(t *testing.T) {
+	e := &recEncoder{}
+	e.bytes([]byte("key"))
+	e.bytes([]byte("value"))
+	good := e.buf
+	if _, _, err := DecodeKVRecord(good[:len(good)-2]); err == nil {
+		t.Fatal("truncated record decoded")
+	}
+	if _, _, err := DecodeKVRecord(append(append([]byte(nil), good...), 0xff)); err == nil {
+		t.Fatal("record with trailing bytes decoded")
+	}
+}

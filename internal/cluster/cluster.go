@@ -8,16 +8,17 @@
 // protocol, advanced one micro-action per Step so crash harnesses can
 // inject a failure between any two actions:
 //
-//	prepare   — every shard takes a checkpoint with the commit word
+//	prepare   — every participant takes a checkpoint with the commit word
 //	            withheld and reports (version, backup digest) over the
 //	            control fabric;
 //	announce  — once all reports are in, the coordinator durably appends
-//	            the cut: per-shard versions and digests plus their fold,
-//	            the cluster digest;
-//	publish   — each shard publishes its commit word (the withheld half
-//	            of the ordinary commit);
-//	release   — each shard's extsync gate releases exactly the responses
-//	            the announced cut covers.
+//	            the cut: the ring (version, members) it stands for, the
+//	            participants' versions and digests, and their fold, the
+//	            cluster digest;
+//	publish   — each participant publishes its commit word (the withheld
+//	            half of the ordinary commit);
+//	release   — each participant's extsync gate releases exactly the
+//	            responses the announced cut covers.
 //
 // Recovery always lands on the newest announced cut. A shard whose word
 // lags the cut by one round provably prepared it (the announcement exists),
@@ -26,6 +27,14 @@
 // gated response is released only after the covering cut is announced AND
 // the local word published, no client ever holds an acknowledgement that
 // any recoverable state of the cluster lacks.
+//
+// Elastic resharding (migrate.go) rides the same machinery: a migration
+// epoch streams moved keys source→destination, and its commit is a cut
+// whose ring fields name the NEW ring while its participant set is the
+// union of old and new members. The announce append is the one atomic
+// instant of the reshard — recovery re-derives the routing ring from the
+// newest cut, so every crash lands on exactly the old ring or exactly the
+// new one, never a mix.
 package cluster
 
 import (
@@ -44,7 +53,8 @@ import (
 
 // Config describes a cluster.
 type Config struct {
-	// Shards is the number of keyspace shards (default 2).
+	// Shards is the number of keyspace shards at boot (default 2); elastic
+	// resharding can grow or shrink the live member set afterwards.
 	Shards int
 	// Cores is the core count of each shard machine (default 2).
 	Cores int
@@ -123,22 +133,53 @@ type Shard struct {
 func (s *Shard) leaderLane() *simclock.Lane { return &s.M.Cores[0].Lane }
 
 // Cut is one announced cluster cut: the durable record that epoch Epoch
-// consists of Versions[i] on shard i, with per-shard digests and their
-// deterministic fold.
+// consists of Versions[i] on shard Shards[i], under ring (RingVersion,
+// RingMembers). Ordinary cuts name the current ring and its members as
+// participants; a migration-commit cut names the NEW ring while its
+// participants are the union of old and new members, so both sides of the
+// hand-off are covered by the same durable instant.
 type Cut struct {
-	Epoch    uint64
+	Epoch uint64
+	// RingVersion / RingMembers are the routing ring this cut stands for;
+	// recovery re-derives the live ring from the newest cut's pair.
+	RingVersion uint64
+	RingMembers []int
+	// Shards lists the participant shard ids; Versions/Digests are
+	// parallel to it.
+	Shards   []int
 	Versions []uint64
 	Digests  []uint64
-	// Cluster is FoldDigests(Versions, Digests) — the cluster digest a
-	// recovery to this cut must reproduce.
+	// Cluster is FoldCut(Shards, Versions, Digests) — the cluster digest
+	// a recovery to this cut must reproduce.
 	Cluster uint64
 	// At is the coordinator time of the announcement.
 	At simclock.Time
 }
 
-// FoldDigests computes the cluster digest: an FNV-1a fold over each
-// shard's (index, version, digest) in shard order.
-func FoldDigests(versions, digests []uint64) uint64 {
+// VersionOf returns the version this cut names for a shard, and whether the
+// cut covers that shard at all.
+func (cut Cut) VersionOf(shard int) (uint64, bool) {
+	for i, s := range cut.Shards {
+		if s == shard {
+			return cut.Versions[i], true
+		}
+	}
+	return 0, false
+}
+
+// DigestOf returns the digest this cut names for a shard.
+func (cut Cut) DigestOf(shard int) (uint64, bool) {
+	for i, s := range cut.Shards {
+		if s == shard {
+			return cut.Digests[i], true
+		}
+	}
+	return 0, false
+}
+
+// FoldCut computes the cluster digest: an FNV-1a fold over each
+// participant's (shard id, version, digest) in participant order.
+func FoldCut(shards []int, versions, digests []uint64) uint64 {
 	h := fnv.New64a()
 	var b [8]byte
 	put := func(v uint64) {
@@ -148,11 +189,22 @@ func FoldDigests(versions, digests []uint64) uint64 {
 		h.Write(b[:])
 	}
 	for i := range versions {
-		put(uint64(i))
+		put(uint64(shards[i]))
 		put(versions[i])
 		put(digests[i])
 	}
 	return h.Sum64()
+}
+
+// FoldDigests folds versions/digests for the identity participant set
+// (shard i at position i) — the fixed-membership form, kept because its
+// fold is bit-identical to the pre-elastic cluster digest.
+func FoldDigests(versions, digests []uint64) uint64 {
+	shards := make([]int, len(versions))
+	for i := range shards {
+		shards[i] = i
+	}
+	return FoldCut(shards, versions, digests)
 }
 
 // Coordinator drives cluster epochs. Its announced-cut log models a record
@@ -213,6 +265,19 @@ type Stats struct {
 	ShardFailures uint64
 	CoordFailures uint64
 	RollForwards  uint64
+	// Migrations / MigrationsAborted count migration epochs that committed
+	// (their ring-change cut was announced) vs rolled back whole.
+	Migrations        uint64
+	MigrationsAborted uint64
+	// KeysMoved totals keys handed off by committed migrations.
+	KeysMoved uint64
+	// DualWrites counts in-flight writes forwarded source→destination
+	// during a migration epoch; ForwardedRequests counts post-flip client
+	// requests relayed from a previous owner to the current one;
+	// MigrationBytes totals migration-frame wire bytes.
+	DualWrites        uint64
+	ForwardedRequests uint64
+	MigrationBytes    uint64
 }
 
 // Cluster is N shards, their router ring, the control fabric and the cut
@@ -225,7 +290,17 @@ type Cluster struct {
 	Fabric *net.Fabric
 
 	phase  Phase
-	cursor int // shard index within the per-shard phases
+	cursor int // index within roundShards for the per-shard phases
+	// roundShards is the in-flight round's participant set (set by
+	// StartRound): the ring members, or the old∪new union for a migration
+	// commit round.
+	roundShards []int
+
+	// mig is the in-flight migration epoch, nil outside one (migrate.go).
+	mig *Migration
+	// onRingChange fires after the routing ring changes (commit or
+	// recovery roll-forward); the fleet hooks it to re-route keys.
+	onRingChange func()
 
 	// roundEvents counts round micro-actions taken outside recovery: the
 	// crash-at-event-K coordinate contributed by the cut protocol.
@@ -249,45 +324,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.Coord.lane.SetID(coordLaneID)
 	for i := 0; i < cfg.Shards; i++ {
-		kcfg := kernel.DefaultConfig()
-		kcfg.Cores = cfg.Cores
-		kcfg.CheckpointEvery = 0 // rounds are cluster-driven
-		kcfg.Seed = cfg.Seed + uint64(i)
-		kcfg.Mem.Persist = cfg.Persist
-		kcfg.Mem.CrashSeed = cfg.Seed + uint64(i)
-		kcfg.Checkpoint.DeferCommitPublish = true
-		kcfg.Audit = cfg.Audit
-		m := kernel.New(kcfg)
-		nw, err := net.New(m, net.Config{Gated: cfg.Gated, RingSlots: cfg.RingSlots})
+		s, err := c.newShard(i)
 		if err != nil {
-			return nil, fmt.Errorf("cluster: shard %d network: %w", i, err)
-		}
-		if nw.Driver != nil {
-			// Deferred release: a local prepare must NOT release
-			// responses — only the release phase of an announced cut
-			// does, via ReleaseUpTo. This is the cut-conditioned
-			// extension of the §5 gate.
-			nw.Driver.SetDeferred(true)
-		}
-		srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
-			Name:         fmt.Sprintf("shard%d", i),
-			Threads:      cfg.Cores,
-			HeapPages:    cfg.HeapPages,
-			Buckets:      cfg.Buckets,
-			EchoValue:    true,
-			Ext:          nw.Driver,
-			PerOpCompute: cfg.PerOpCompute,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("cluster: shard %d server: %w", i, err)
-		}
-		s := &Shard{M: m, Net: nw, Srv: srv, Drv: nw.Driver}
-		if cfg.Replicate {
-			// Local-mode standby: replication is asynchronous and
-			// never releases responses (the cut gate owns release);
-			// driver deliberately nil so even a future remote-mode
-			// pump could not bypass the cut.
-			s.Rep = repl.Attach(m, nil, repl.Config{})
+			return nil, err
 		}
 		c.Shards = append(c.Shards, s)
 	}
@@ -301,15 +340,68 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// newShard builds shard i's machine/network/server/gate stack. Shared by
+// boot and by AddShard (a joining shard is built exactly like a boot one).
+func (c *Cluster) newShard(i int) (*Shard, error) {
+	cfg := c.cfg
+	kcfg := kernel.DefaultConfig()
+	kcfg.Cores = cfg.Cores
+	kcfg.CheckpointEvery = 0 // rounds are cluster-driven
+	kcfg.Seed = cfg.Seed + uint64(i)
+	kcfg.Mem.Persist = cfg.Persist
+	kcfg.Mem.CrashSeed = cfg.Seed + uint64(i)
+	kcfg.Checkpoint.DeferCommitPublish = true
+	kcfg.Audit = cfg.Audit
+	m := kernel.New(kcfg)
+	nw, err := net.New(m, net.Config{Gated: cfg.Gated, RingSlots: cfg.RingSlots})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d network: %w", i, err)
+	}
+	if nw.Driver != nil {
+		// Deferred release: a local prepare must NOT release
+		// responses — only the release phase of an announced cut
+		// does, via ReleaseUpTo. This is the cut-conditioned
+		// extension of the §5 gate.
+		nw.Driver.SetDeferred(true)
+	}
+	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
+		Name:         fmt.Sprintf("shard%d", i),
+		Threads:      cfg.Cores,
+		HeapPages:    cfg.HeapPages,
+		Buckets:      cfg.Buckets,
+		EchoValue:    true,
+		Ext:          nw.Driver,
+		PerOpCompute: cfg.PerOpCompute,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cluster: shard %d server: %w", i, err)
+	}
+	s := &Shard{M: m, Net: nw, Srv: srv, Drv: nw.Driver}
+	if cfg.Replicate {
+		// Local-mode standby: replication is asynchronous and
+		// never releases responses (the cut gate owns release);
+		// driver deliberately nil so even a future remote-mode
+		// pump could not bypass the cut.
+		s.Rep = repl.Attach(m, nil, repl.Config{})
+	}
+	return s, nil
+}
+
 // Config returns the (defaulted) cluster configuration.
 func (c *Cluster) Config() Config { return c.cfg }
 
 // Phase returns the current round phase.
 func (c *Cluster) CurrentPhase() Phase { return c.phase }
 
-// Events returns the cluster's monotone event counter: every round
-// micro-action taken outside recovery plus every network event on every
-// shard. The crash harnesses use it as the crash-at-event-K coordinate.
+// SetOnRingChange registers the routing-ring-change hook (the fleet's
+// re-route callback). Fires after a migration commits — in the clean path
+// or a recovery roll-forward — with the new ring already installed.
+func (c *Cluster) SetOnRingChange(fn func()) { c.onRingChange = fn }
+
+// Events returns the cluster's monotone event counter: every round and
+// migration micro-action taken outside recovery plus every network event on
+// every shard. The crash harnesses use it as the crash-at-event-K
+// coordinate.
 func (c *Cluster) Events() uint64 {
 	e := c.roundEvents
 	for _, s := range c.Shards {
@@ -318,13 +410,19 @@ func (c *Cluster) Events() uint64 {
 	return e
 }
 
-// StartRound opens a cluster round; Step advances it.
+// StartRound opens a cluster round over the current participant set; Step
+// advances it.
 func (c *Cluster) StartRound() {
 	if c.phase != PhaseIdle {
 		panic("cluster: StartRound with a round in progress")
 	}
 	c.phase = PhasePrepare
 	c.cursor = 0
+	if c.mig != nil && c.mig.phase == MigCommit {
+		c.roundShards = c.mig.participants()
+	} else {
+		c.roundShards = c.Ring.Members()
+	}
 }
 
 // Step performs one round micro-action. Traffic must not interleave with a
@@ -335,60 +433,76 @@ func (c *Cluster) Step() error {
 	case PhaseIdle:
 		return fmt.Errorf("cluster: Step with no round in progress")
 	case PhasePrepare:
-		s := c.Shards[c.cursor]
+		id := c.roundShards[c.cursor]
+		s := c.Shards[id]
 		if s.prepared.version == 0 {
 			s.M.TakeCheckpoint()
 			v := s.M.Ckpt.PreparedVersion()
 			if v == 0 {
-				return fmt.Errorf("cluster: shard %d prepare published eagerly", c.cursor)
+				return fmt.Errorf("cluster: shard %d prepare published eagerly", id)
 			}
 			s.prepared = report{version: v, digest: audit.RestorableDigest(s.M.Ckpt, s.M.Memory)}
 		}
-		arrive := c.Fabric.SendReport(c.cursor, s.leaderLane().Now())
+		arrive := c.Fabric.SendReport(id, s.leaderLane().Now())
 		if arrive > c.Coord.lane.Now() {
 			c.Coord.lane.AdvanceTo(arrive)
 		}
-		c.Coord.forming[c.cursor] = s.prepared
+		c.Coord.forming[id] = s.prepared
 		c.advance(PhaseAnnounce)
 	case PhaseAnnounce:
-		n := len(c.Shards)
-		cut := Cut{
-			Epoch:    uint64(len(c.Coord.cuts)) + 1,
-			Versions: make([]uint64, n),
-			Digests:  make([]uint64, n),
+		n := len(c.roundShards)
+		ringV, ringM := c.Ring.Version(), c.Ring.Members()
+		if c.mig != nil && c.mig.phase == MigCommit {
+			// The migration's commit: this cut names the NEW ring.
+			// Appending it below is the reshard's atomic instant.
+			ringV, ringM = c.mig.next.Version(), c.mig.next.Members()
 		}
-		for i, r := range c.Coord.forming {
+		cut := Cut{
+			Epoch:       uint64(len(c.Coord.cuts)) + 1,
+			RingVersion: ringV,
+			RingMembers: ringM,
+			Shards:      append([]int(nil), c.roundShards...),
+			Versions:    make([]uint64, n),
+			Digests:     make([]uint64, n),
+		}
+		for i, id := range c.roundShards {
+			r := c.Coord.forming[id]
 			if r.version == 0 {
-				return fmt.Errorf("cluster: announcing with shard %d unreported", i)
+				return fmt.Errorf("cluster: announcing with shard %d unreported", id)
 			}
 			cut.Versions[i] = r.version
 			cut.Digests[i] = r.digest
 		}
-		cut.Cluster = FoldDigests(cut.Versions, cut.Digests)
+		cut.Cluster = FoldCut(cut.Shards, cut.Versions, cut.Digests)
 		// The append is the announcement's durability point (a record
 		// on the coordinator's NVM).
 		c.Coord.lane.Charge(c.Shards[0].M.Model.CommitCheckpoint)
 		cut.At = c.Coord.lane.Now()
 		c.Coord.cuts = append(c.Coord.cuts, cut)
-		c.Coord.forming = make([]report, n)
+		c.Coord.forming = make([]report, len(c.Shards))
+		if c.mig != nil && c.mig.phase == MigCommit {
+			c.mig.announced = true
+		}
 		c.phase = PhasePublish
 		c.cursor = 0
 		c.bumpEvents()
 	case PhasePublish:
-		s := c.Shards[c.cursor]
+		id := c.roundShards[c.cursor]
+		s := c.Shards[id]
 		cut := c.Coord.Newest()
-		arrive := c.Fabric.SendAnnounce(c.cursor, len(c.Shards), c.Coord.lane.Now())
+		arrive := c.Fabric.SendAnnounce(id, len(c.roundShards), c.Coord.lane.Now())
 		ll := s.leaderLane()
 		if arrive > ll.Now() {
 			ll.AdvanceTo(arrive)
 		}
 		if pv := s.M.Ckpt.PreparedVersion(); pv != 0 {
-			if pv != cut.Versions[c.cursor] {
+			want, _ := cut.VersionOf(id)
+			if pv != want {
 				return fmt.Errorf("cluster: shard %d prepared v%d but the cut names v%d",
-					c.cursor, pv, cut.Versions[c.cursor])
+					id, pv, want)
 			}
 			if _, err := s.M.PublishCheckpoint(); err != nil {
-				return fmt.Errorf("cluster: shard %d publish: %w", c.cursor, err)
+				return fmt.Errorf("cluster: shard %d publish: %w", id, err)
 			}
 		}
 		// else: the shard already published, or crashed and was
@@ -396,13 +510,22 @@ func (c *Cluster) Step() error {
 		s.prepared = report{}
 		c.advance(PhaseRelease)
 	case PhaseRelease:
-		s := c.Shards[c.cursor]
+		id := c.roundShards[c.cursor]
+		s := c.Shards[id]
 		if s.Drv != nil {
-			s.Drv.ReleaseUpTo(c.Coord.Newest().Versions[c.cursor], s.leaderLane())
+			v, _ := c.Coord.Newest().VersionOf(id)
+			s.Drv.ReleaseUpTo(v, s.leaderLane())
 		}
 		c.advance(PhaseIdle)
 		if c.phase == PhaseIdle {
 			c.Stats.Rounds++
+			if c.mig != nil && c.mig.announced {
+				// The commit round of a migration epoch just
+				// finished: flip the ring and clean up.
+				if err := c.completeMigration(); err != nil {
+					return err
+				}
+			}
 		}
 	}
 	return nil
@@ -412,7 +535,7 @@ func (c *Cluster) Step() error {
 func (c *Cluster) advance(next Phase) {
 	c.bumpEvents()
 	c.cursor++
-	if c.cursor == len(c.Shards) {
+	if c.cursor == len(c.roundShards) {
 		c.phase = next
 		c.cursor = 0
 	}
@@ -447,10 +570,12 @@ func (c *Cluster) finishRound() error {
 
 // PowerFail crashes every shard at once (a whole-cluster power failure) and
 // recovers each to the newest announced cut, rolling forward shards whose
-// word lags a covered prepare. The forming round — if any — is gone: its
-// volatile reports died with the machines and its prepared slots are
-// scrubbed by restore. Returns the recovered cut after verifying every
-// digest.
+// word lags a covered prepare; shards the cut does not cover (a joining
+// destination, a long-removed member) restore to their own newest durable
+// version. The routing ring is re-derived from the cut, so an in-flight
+// migration rolls back whole (cut names the old ring) or forward whole (the
+// commit was announced). Returns the recovered cut after verifying every
+// covered digest.
 func (c *Cluster) PowerFail() (Cut, error) {
 	c.inRecovery = true
 	defer func() { c.inRecovery = false }()
@@ -463,20 +588,38 @@ func (c *Cluster) PowerFail() (Cut, error) {
 	c.cursor = 0
 	c.Stats.PowerFailures++
 	cut := c.Coord.Newest()
-	for i, s := range c.Shards {
+	for i := range c.Shards {
 		if err := c.restoreShardToCut(i, cut); err != nil {
 			return Cut{}, err
 		}
-		_ = s
+	}
+	c.Ring = c.ringFromCut(cut)
+	if m := c.mig; m != nil {
+		c.mig = nil
+		if m.announced {
+			// Committed before the lights went out: the ring above is
+			// already the new one; finish the bookkeeping.
+			if err := c.finalizeMigration(m); err != nil {
+				return Cut{}, err
+			}
+		} else {
+			// The migration's volatile state died with the power: the
+			// newest cut names the old ring, the epoch rolls back
+			// whole. Destination installs were never covered by a cut
+			// for a joining shard, and a surviving member's stale
+			// extra copies are invisible to routing.
+			c.Stats.MigrationsAborted++
+		}
 	}
 	return cut, c.VerifyCut(cut)
 }
 
 // FailShard crashes one shard and runs the cluster's recovery procedure:
 // the shard restores to the newest announced cut (rolling forward when the
-// cut covers its unpublished prepare), and the interrupted round — if any —
-// is re-formed or finished before traffic resumes, so survivors are never
-// left holding an unpublished prepare into the next round.
+// cut covers its unpublished prepare; plain restore when the cut does not
+// cover it), an unannounced migration epoch aborts whole, an announced one
+// rolls forward, and the interrupted round — if any — is re-formed or
+// finished before traffic resumes.
 func (c *Cluster) FailShard(i int) error {
 	c.inRecovery = true
 	defer func() { c.inRecovery = false }()
@@ -487,6 +630,14 @@ func (c *Cluster) FailShard(i int) error {
 	c.Stats.ShardFailures++
 	if err := c.restoreShardToCut(i, c.Coord.Newest()); err != nil {
 		return err
+	}
+	if m := c.mig; m != nil && !m.announced {
+		// Losing any machine before the commit announcement aborts the
+		// epoch: the old ring stands and every moved key is still owned
+		// (and justified) by its source.
+		if err := c.abortMigration(m, i); err != nil {
+			return err
+		}
 	}
 	// A round interrupted before its announcement must re-collect from
 	// the top: the crashed shard's report (if any) described a prepare
@@ -501,7 +652,8 @@ func (c *Cluster) FailShard(i int) error {
 }
 
 // FailCoordinator models losing the coordinator process: the durable cut
-// log survives, the volatile forming state does not. The replacement
+// log survives, the volatile forming state — and any unannounced migration
+// epoch, whose plan lives in the coordinator — does not. The replacement
 // coordinator re-drives the interrupted round: before the announcement it
 // re-collects reports (shards cache theirs, so nothing re-prepares); after
 // it, it re-sends the announcement to every shard — publish is guarded and
@@ -511,6 +663,14 @@ func (c *Cluster) FailCoordinator() error {
 	defer func() { c.inRecovery = false }()
 	c.Coord.forming = make([]report, len(c.Shards))
 	c.Stats.CoordFailures++
+	if m := c.mig; m != nil && !m.announced {
+		// The migration plan was the coordinator's volatile state; a
+		// half-joined destination is re-imaged, a half-drained source
+		// keeps everything — the old ring stands.
+		if err := c.abortMigration(m, -1); err != nil {
+			return err
+		}
+	}
 	switch c.phase {
 	case PhasePrepare, PhaseAnnounce:
 		c.phase = PhasePrepare
@@ -521,56 +681,96 @@ func (c *Cluster) FailCoordinator() error {
 	return c.finishRound()
 }
 
-// restoreShardToCut recovers crashed shard i to the given cut.
+// restoreShardToCut recovers crashed shard i: to the version the cut names
+// for it, or — when the cut does not cover the shard (a joining destination
+// before its first covering cut, a member removed epochs ago) — to the
+// shard's own newest durable version.
 func (c *Cluster) restoreShardToCut(i int, cut Cut) error {
 	s := c.Shards[i]
-	if s.M.Ckpt.DurableVersion() < cut.Versions[i] {
+	v, covered := cut.VersionOf(i)
+	if !covered {
+		if err := s.M.Restore(); err != nil {
+			return fmt.Errorf("cluster: shard %d (uncovered by cut e%d) restore: %w", i, cut.Epoch, err)
+		}
+		return nil
+	}
+	if s.M.Ckpt.DurableVersion() < v {
 		c.Stats.RollForwards++
 	}
-	if err := s.M.RestoreToCut(cut.Versions[i]); err != nil {
+	if err := s.M.RestoreToCut(v); err != nil {
 		return fmt.Errorf("cluster: shard %d restore to cut e%d: %w", i, cut.Epoch, err)
 	}
 	return nil
 }
 
-// VerifyCut checks the cluster against an announced cut: every shard's
-// committed version and backup digest must match its slice, and the fold of
-// the live digests must equal the announced cluster digest.
+// ringFromCut re-derives the routing ring a cut stands for. When the live
+// ring already matches, it is kept (same points, no churn).
+func (c *Cluster) ringFromCut(cut Cut) *Ring {
+	if c.Ring.Version() == cut.RingVersion {
+		return c.Ring
+	}
+	return NewRingOf(cut.RingMembers, c.cfg.Vnodes, cut.RingVersion)
+}
+
+// VerifyCut checks the cluster against an announced cut: every covered
+// shard's committed version and backup digest must match its slice, and the
+// fold of the live digests must equal the announced cluster digest.
 func (c *Cluster) VerifyCut(cut Cut) error {
-	versions := make([]uint64, len(c.Shards))
-	digests := make([]uint64, len(c.Shards))
-	for i, s := range c.Shards {
+	versions := make([]uint64, len(cut.Shards))
+	digests := make([]uint64, len(cut.Shards))
+	for i, id := range cut.Shards {
+		s := c.Shards[id]
 		versions[i] = s.M.Ckpt.CommittedVersion()
 		digests[i] = audit.RestorableDigest(s.M.Ckpt, s.M.Memory)
 		if versions[i] != cut.Versions[i] {
 			return fmt.Errorf("cluster: shard %d at v%d, cut e%d names v%d",
-				i, versions[i], cut.Epoch, cut.Versions[i])
+				id, versions[i], cut.Epoch, cut.Versions[i])
 		}
 		if digests[i] != cut.Digests[i] {
 			return fmt.Errorf("cluster: shard %d digest %#x != cut e%d digest %#x",
-				i, digests[i], cut.Epoch, cut.Digests[i])
+				id, digests[i], cut.Epoch, cut.Digests[i])
 		}
 	}
-	if fold := FoldDigests(versions, digests); fold != cut.Cluster {
+	if fold := FoldCut(cut.Shards, versions, digests); fold != cut.Cluster {
 		return fmt.Errorf("cluster: digest fold %#x != announced cluster digest %#x (e%d)",
 			fold, cut.Cluster, cut.Epoch)
 	}
 	return nil
 }
 
+// coveredVersion returns the newest announced version covering shard id,
+// scanning the cut log newest-first (a removed shard's coverage stops at
+// its last participating cut; a joining shard has none until its commit).
+func (c *Cluster) coveredVersion(id int) (uint64, bool) {
+	cuts := c.Coord.cuts
+	for j := len(cuts) - 1; j >= 0; j-- {
+		if v, ok := cuts[j].VersionOf(id); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
 // ReleasedCovered checks the cluster-wide external-synchrony invariant on
 // the gates themselves: no shard may have released responses covered by a
-// version beyond what the newest announced cut names for it. The crash
+// version beyond the newest announced cut that names it. The crash
 // campaign asserts it at every probe point.
 func (c *Cluster) ReleasedCovered() error {
 	if !c.cfg.Gated {
 		return nil
 	}
-	cut := c.Coord.Newest()
 	for i, s := range c.Shards {
-		if rv := s.Drv.ReleasedVersion(); rv > cut.Versions[i] {
-			return fmt.Errorf("cluster: shard %d released through v%d but the newest cut covers only v%d",
-				i, rv, cut.Versions[i])
+		rv := s.Drv.ReleasedVersion()
+		if rv == 0 {
+			continue
+		}
+		v, ok := c.coveredVersion(i)
+		if !ok {
+			return fmt.Errorf("cluster: shard %d released through v%d but no announced cut ever covered it", i, rv)
+		}
+		if rv > v {
+			return fmt.Errorf("cluster: shard %d released through v%d but its newest covering cut names only v%d",
+				i, rv, v)
 		}
 	}
 	return nil
@@ -589,7 +789,7 @@ func (c *Cluster) Now() simclock.Time {
 }
 
 // CommittedVersions is a convenience view for inspectors: per-shard
-// committed checkpoint versions.
+// committed checkpoint versions (all machines, members or not).
 func (c *Cluster) CommittedVersions() []uint64 {
 	vs := make([]uint64, len(c.Shards))
 	for i, s := range c.Shards {

@@ -44,8 +44,15 @@ type FleetConfig struct {
 type fkey struct {
 	idx    int // global key index == conn id
 	client int
-	shard  int
+	shard  int // the ring owner (the fleet's routing view; reroutes on flip)
 	key    []byte
+
+	// sentShard is where the newest in-flight request was physically sent
+	// (its NIC queue). It lags shard across a ring flip: frames queued at
+	// the previous owner are forwarded at dispatch, but if that owner dies
+	// first they die with it — ResyncShard matches either field so those
+	// keys rewind too.
+	sentShard int
 
 	sent       uint64 // highest request index put on the wire
 	acked      uint64 // highest contiguously acknowledged request index
@@ -79,6 +86,9 @@ type Fleet struct {
 	// OnAck, when set, observes every in-order acknowledgement (the
 	// scenario digests hang off this).
 	OnAck func(conn int, req uint64, recv simclock.Time)
+	// OnSend, when set, observes every request put on the wire (including
+	// retransmits) — the linearizability recorder's invocation feed.
+	OnSend func(conn int, req uint64, at simclock.Time)
 
 	// Latencies collects client-observed latency per acknowledgement.
 	Latencies []simclock.Duration
@@ -113,19 +123,41 @@ func NewFleet(c *Cluster, cfg FleetConfig) (*Fleet, error) {
 	f := &Fleet{c: c, cfg: cfg, srvThreads: c.cfg.Cores}
 	raw := workload.ClusterKeys(cfg.Seed, cfg.Clients*cfg.KeysPerClient)
 	for j, key := range raw {
+		owner := c.Ring.Owner(key)
 		f.keys = append(f.keys, &fkey{
-			idx:    j,
-			client: j / cfg.KeysPerClient,
-			shard:  c.Ring.Owner(key),
-			key:    key,
+			idx:       j,
+			client:    j / cfg.KeysPerClient,
+			shard:     owner,
+			sentShard: owner,
+			key:       key,
 		})
 	}
-	for i := range c.Shards {
-		shard := i
-		c.Shards[i].Net.SetOnReceipt(func(r net.Receipt) { f.receipt(shard, r) })
-	}
+	f.attachReceipts()
 	f.applyAffinity()
+	c.SetOnRingChange(f.Reroute)
 	return f, nil
+}
+
+// attachReceipts wires every shard network's delivery hook back to the
+// fleet (idempotent; re-run when a joining shard appears).
+func (f *Fleet) attachReceipts() {
+	for i := range f.c.Shards {
+		shard := i
+		f.c.Shards[i].Net.SetOnReceipt(func(r net.Receipt) { f.receipt(shard, r) })
+	}
+}
+
+// Reroute re-derives every key's owning shard from the live ring — the
+// cluster fires it whenever the ring changes (a migration commit, in the
+// clean path or a recovery roll-forward). Frames already queued at a
+// previous owner are not lost: its dispatcher forwards them to the new
+// owner over the migration mesh.
+func (f *Fleet) Reroute() {
+	for _, k := range f.keys {
+		k.shard = f.c.Ring.Owner(k.key)
+	}
+	f.attachReceipts()
+	f.applyAffinity()
 }
 
 // applyAffinity pins every shard server's worker threads round-robin to
@@ -254,8 +286,33 @@ func (f *Fleet) dispatch(shard int) func(p net.Packet, ready simclock.Time) erro
 		k := f.keys[p.Conn]
 		tid := p.Conn % f.srvThreads
 		val := f.valueFor(p.Conn, p.Req)
+		if owner := f.c.Ring.Owner(k.key); owner != shard {
+			// A straggler: the frame was queued here before the ring
+			// flipped this key away. Relay it to the current owner over
+			// the migration mesh and serve it there — the response then
+			// rides the owner's network, matching the rerouted k.shard.
+			arrive := f.c.ForwardRequest(shard, owner,
+				len(k.key)+f.cfg.ValueBytes+net.RouteHeaderBytes, ready)
+			o := f.c.Shards[owner]
+			res, seq, err := o.Srv.SetAt(arrive, tid, k.key, val)
+			if err != nil {
+				return err
+			}
+			if o.Net.Gated() {
+				o.Net.TrackResponse(seq, p.Conn, p.Req, p.Submit, res.End)
+			} else {
+				o.Net.CompleteDirect(p.Conn, p.Req, p.Submit, len(val)+net.RouteHeaderBytes, res.Core)
+			}
+			return nil
+		}
 		res, seq, err := s.Srv.SetAt(ready, tid, k.key, val)
 		if err != nil {
+			return err
+		}
+		// An in-flight migration dual-writes this value to the key's
+		// destination (no-op outside an epoch or for unmoved keys), so the
+		// install never goes stale behind answered traffic.
+		if _, err := f.c.DualWrite(k.key, val, res.End); err != nil {
 			return err
 		}
 		if s.Net.Gated() {
@@ -282,8 +339,12 @@ func (f *Fleet) Step() (StepStatus, error) {
 	if haveSender {
 		k := sender
 		k.sent++
+		k.sentShard = k.shard
 		f.c.Shards[k.shard].Net.SendRequest(k.idx, k.sent,
 			len(k.key)+f.cfg.ValueBytes+net.RouteHeaderBytes, k.nextSendAt)
+		if f.OnSend != nil {
+			f.OnSend(k.idx, k.sent, k.nextSendAt)
+		}
 		return StepProgress, nil
 	}
 	if f.outstanding() == 0 {
@@ -354,11 +415,12 @@ func (f *Fleet) ResyncShard(i int) {
 	f.applyAffinity()
 	rto := s.M.Now().Add(s.M.Model.NetRTT)
 	for _, k := range f.keys {
-		if k.shard != i {
+		if k.shard != i && k.sentShard != i {
 			continue
 		}
 		f.Retransmits += k.sent - k.acked
 		k.sent = k.acked
+		k.sentShard = k.shard
 		if rto > k.nextSendAt {
 			k.nextSendAt = rto
 		}
@@ -370,6 +432,60 @@ func (f *Fleet) ResyncAll() {
 	for i := range f.c.Shards {
 		f.ResyncShard(i)
 	}
+}
+
+// PeekCounter reads key j's stored request counter from its owning shard's
+// state (0 when absent): the oracle read the justification and
+// linearizability checks compare acknowledgements against.
+func (f *Fleet) PeekCounter(j int) (uint64, error) {
+	k := f.keys[j]
+	val, ok, err := f.c.Shards[k.shard].Srv.Peek(k.key)
+	if err != nil {
+		return 0, fmt.Errorf("cluster: peeking %q on shard %d: %w", k.key, k.shard, err)
+	}
+	if !ok {
+		return 0, nil
+	}
+	return net.CounterValue(val), nil
+}
+
+// CheckSoleOwner asserts that no ACKNOWLEDGED request was ever served by a
+// shard that was not the key's ring owner. Migrations legitimately leave
+// copies behind — stale remnants on old sources, unacknowledged dual-write
+// remnants on destinations after an abort rolled the source back — so a
+// non-owner copy being fresher than the owner is not by itself damning. The
+// two-owner-serve signature is an acknowledged counter value present at a
+// non-owner while MISSING at the owner: the client got its receipt from a
+// shard the ring did not point at.
+func (f *Fleet) CheckSoleOwner() ([]string, error) {
+	var bad []string
+	for j, k := range f.keys {
+		owner := f.c.Ring.Owner(k.key)
+		var ownerVal uint64
+		if v, ok, err := f.c.Shards[owner].Srv.Peek(k.key); err != nil {
+			return nil, fmt.Errorf("cluster: peeking %q on owner %d: %w", k.key, owner, err)
+		} else if ok {
+			ownerVal = net.CounterValue(v)
+		}
+		for i, s := range f.c.Shards {
+			if i == owner {
+				continue
+			}
+			v, ok, err := s.Srv.Peek(k.key)
+			if err != nil {
+				return nil, fmt.Errorf("cluster: peeking %q on shard %d: %w", k.key, i, err)
+			}
+			if ok {
+				cv := net.CounterValue(v)
+				if cv > ownerVal && cv <= k.acked {
+					bad = append(bad, fmt.Sprintf(
+						"key %d: acked counter %d lives on shard %d but ring owner %d holds %d",
+						j, cv, i, owner, ownerVal))
+				}
+			}
+		}
+	}
+	return bad, nil
 }
 
 // CheckJustified asserts the cluster-wide external-synchrony invariant

@@ -1,0 +1,263 @@
+package cluster
+
+import (
+	"testing"
+)
+
+// driveMigration advances an open migration epoch to completion, draining
+// any in-flight round first (the commit round included).
+func driveMigration(t *testing.T, c *Cluster) {
+	t.Helper()
+	for i := 0; c.MigrationInFlight(); i++ {
+		if i > 1<<16 {
+			t.Fatalf("migration did not complete (phase %v)", c.MigrationStatus().Phase)
+		}
+		if c.CurrentPhase() != PhaseIdle {
+			if err := c.Step(); err != nil {
+				t.Fatalf("Step: %v", err)
+			}
+			continue
+		}
+		if err := c.MigStep(); err != nil {
+			t.Fatalf("MigStep: %v", err)
+		}
+	}
+}
+
+// runFleet drives the fleet to completion, answering StepBlocked with a
+// round (the steady-state loop, inlined so tests can interleave).
+func runFleet(t *testing.T, f *Fleet) {
+	t.Helper()
+	if err := f.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+// TestMigrationAddShard: a 3→4 scale-out under live gated traffic commits,
+// flips the ring atomically, moves keys to the joining shard, and every
+// acknowledgement stays justified by the owner named in the new ring.
+func TestMigrationAddShard(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Gated: true, Audit: true, Seed: 7})
+	f := newTestFleet(t, c, FleetConfig{Clients: 4, KeysPerClient: 4, Requests: 4, Seed: 7})
+	runFleet(t, f) // first batch entirely on the old ring
+	checkClean(t, f, "pre-migration")
+
+	id, err := c.StartAddShard()
+	if err != nil {
+		t.Fatalf("StartAddShard: %v", err)
+	}
+	if id != 3 {
+		t.Fatalf("joining shard id = %d, want 3", id)
+	}
+	if !c.MigrationInFlight() {
+		t.Fatal("MigrationInFlight = false after StartAddShard")
+	}
+	driveMigration(t, c)
+
+	if got := c.Ring.Version(); got != 2 {
+		t.Fatalf("ring version = %d, want 2", got)
+	}
+	if got := c.Ring.Shards(); got != 4 {
+		t.Fatalf("ring members = %d, want 4", got)
+	}
+	if c.Stats.Migrations != 1 || c.Stats.MigrationsAborted != 0 {
+		t.Fatalf("Migrations=%d Aborted=%d, want 1/0", c.Stats.Migrations, c.Stats.MigrationsAborted)
+	}
+	if c.Stats.KeysMoved == 0 {
+		t.Fatal("KeysMoved = 0: the vnode ring moved nothing to the new shard")
+	}
+	cut := c.Coord.Newest()
+	if cut.RingVersion != 2 || len(cut.RingMembers) != 4 {
+		t.Fatalf("commit cut names ring v%d/%d members, want v2/4", cut.RingVersion, len(cut.RingMembers))
+	}
+	if len(cut.Shards) != 4 {
+		t.Fatalf("commit cut covers %d participants, want 4 (old∪new)", len(cut.Shards))
+	}
+
+	// The fleet rerouted: at least one key now lives on the new shard, and
+	// a second traffic batch (including straggler forwarding for frames
+	// queued pre-flip) completes clean.
+	moved := 0
+	for j := 0; j < f.Keys(); j++ {
+		if f.ShardOf(j) == id {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no fleet key rerouted to the joining shard")
+	}
+	f.cfg.Requests *= 2
+	runFleet(t, f)
+	checkClean(t, f, "post-migration")
+	if err := c.Round(); err != nil {
+		t.Fatalf("quiesce round: %v", err)
+	}
+	if err := c.VerifyCut(c.Coord.Newest()); err != nil {
+		t.Fatalf("post-migration cut does not verify: %v", err)
+	}
+}
+
+// TestMigrationRemoveShard: a 3→2 scale-in drains the leaving member's keys
+// to the survivors and commits; traffic previously owned by the removed
+// shard is answered — and justified — by its new owners.
+func TestMigrationRemoveShard(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Gated: true, Audit: true, Seed: 11})
+	f := newTestFleet(t, c, FleetConfig{Clients: 4, KeysPerClient: 4, Requests: 4, Seed: 11})
+	runFleet(t, f)
+	checkClean(t, f, "pre-migration")
+
+	victim := 1
+	if err := c.StartRemoveShard(victim); err != nil {
+		t.Fatalf("StartRemoveShard: %v", err)
+	}
+	driveMigration(t, c)
+
+	if c.Ring.Has(victim) {
+		t.Fatalf("shard %d still a ring member after commit", victim)
+	}
+	if got := c.Ring.Shards(); got != 2 {
+		t.Fatalf("ring members = %d, want 2", got)
+	}
+	if c.Stats.Migrations != 1 {
+		t.Fatalf("Migrations = %d, want 1", c.Stats.Migrations)
+	}
+	for j := 0; j < f.Keys(); j++ {
+		if f.ShardOf(j) == victim {
+			t.Fatalf("key %d still routed to the removed shard", j)
+		}
+	}
+	f.cfg.Requests *= 2
+	runFleet(t, f)
+	checkClean(t, f, "post-migration")
+}
+
+// TestMigrationAbortOnShardFailure: losing a source machine mid-stream
+// rolls the epoch back whole — the old ring stands, the half-joined
+// destination is re-imaged, and traffic continues clean on the old ring.
+func TestMigrationAbortOnShardFailure(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 3, Gated: true, Audit: true, Seed: 13})
+	f := newTestFleet(t, c, FleetConfig{Clients: 4, KeysPerClient: 4, Requests: 4, Seed: 13})
+	runFleet(t, f)
+
+	if _, err := c.StartAddShard(); err != nil {
+		t.Fatalf("StartAddShard: %v", err)
+	}
+	// Scan everything, stream a couple of keys, then kill a source.
+	for c.MigrationStatus().Phase == MigScan {
+		if err := c.MigStep(); err != nil {
+			t.Fatalf("MigStep(scan): %v", err)
+		}
+	}
+	for i := 0; i < 2 && c.MigrationStatus().Phase == MigStream; i++ {
+		if err := c.MigStep(); err != nil {
+			t.Fatalf("MigStep(stream): %v", err)
+		}
+	}
+	if err := c.FailShard(0); err != nil {
+		t.Fatalf("FailShard: %v", err)
+	}
+	f.ResyncShard(0)
+
+	if c.MigrationInFlight() {
+		t.Fatal("migration still in flight after a source failure")
+	}
+	if c.Stats.MigrationsAborted != 1 || c.Stats.Migrations != 0 {
+		t.Fatalf("Aborted=%d Migrations=%d, want 1/0", c.Stats.MigrationsAborted, c.Stats.Migrations)
+	}
+	if got := c.Ring.Version(); got != 1 {
+		t.Fatalf("ring version = %d after abort, want 1 (old ring stands)", got)
+	}
+	if got := c.Ring.Shards(); got != 3 {
+		t.Fatalf("ring members = %d after abort, want 3", got)
+	}
+	f.cfg.Requests *= 2
+	runFleet(t, f)
+	checkClean(t, f, "post-abort")
+}
+
+// TestMigrationPowerFail: a whole-cluster power failure lands the reshard
+// on exactly one side of the commit — before the announcement the old ring
+// stands (epoch rolled back whole), after completion the new ring survives
+// recovery because it is what the newest cut names.
+func TestMigrationPowerFail(t *testing.T) {
+	t.Run("before-announce-rolls-back", func(t *testing.T) {
+		c := newTestCluster(t, Config{Shards: 3, Gated: true, Audit: true, Seed: 17})
+		f := newTestFleet(t, c, FleetConfig{Clients: 3, KeysPerClient: 3, Requests: 3, Seed: 17})
+		runFleet(t, f)
+		if _, err := c.StartAddShard(); err != nil {
+			t.Fatalf("StartAddShard: %v", err)
+		}
+		for c.MigrationStatus().Phase != MigCommit {
+			if err := c.MigStep(); err != nil {
+				t.Fatalf("MigStep: %v", err)
+			}
+		}
+		cut, err := c.PowerFail()
+		if err != nil {
+			t.Fatalf("PowerFail: %v", err)
+		}
+		f.ResyncAll()
+		if cut.RingVersion != 1 || c.Ring.Version() != 1 || c.Ring.Shards() != 3 {
+			t.Fatalf("recovered to ring v%d/%d members (cut v%d), want the old ring v1/3",
+				c.Ring.Version(), c.Ring.Shards(), cut.RingVersion)
+		}
+		if c.Stats.MigrationsAborted != 1 {
+			t.Fatalf("MigrationsAborted = %d, want 1", c.Stats.MigrationsAborted)
+		}
+		f.cfg.Requests *= 2
+		runFleet(t, f)
+		checkClean(t, f, "post-powerfail")
+	})
+	t.Run("after-commit-stays-forward", func(t *testing.T) {
+		c := newTestCluster(t, Config{Shards: 3, Gated: true, Audit: true, Seed: 19})
+		f := newTestFleet(t, c, FleetConfig{Clients: 3, KeysPerClient: 3, Requests: 3, Seed: 19})
+		runFleet(t, f)
+		if _, err := c.StartAddShard(); err != nil {
+			t.Fatalf("StartAddShard: %v", err)
+		}
+		driveMigration(t, c)
+		cut, err := c.PowerFail()
+		if err != nil {
+			t.Fatalf("PowerFail: %v", err)
+		}
+		f.ResyncAll()
+		if cut.RingVersion != 2 || c.Ring.Version() != 2 || c.Ring.Shards() != 4 {
+			t.Fatalf("recovered to ring v%d/%d members (cut v%d), want the new ring v2/4",
+				c.Ring.Version(), c.Ring.Shards(), cut.RingVersion)
+		}
+		f.cfg.Requests *= 2
+		runFleet(t, f)
+		checkClean(t, f, "post-powerfail")
+	})
+}
+
+// TestMigrationGuards: the start guards reject double epochs, mid-round
+// starts, unknown members, and emptying the ring; MigStep demands an epoch.
+func TestMigrationGuards(t *testing.T) {
+	c := newTestCluster(t, Config{Shards: 2, Gated: true, Seed: 23})
+	if err := c.MigStep(); err == nil {
+		t.Fatal("MigStep with no epoch: want error")
+	}
+	if err := c.StartRemoveShard(7); err == nil {
+		t.Fatal("StartRemoveShard(non-member): want error")
+	}
+	if _, err := c.StartAddShard(); err != nil {
+		t.Fatalf("StartAddShard: %v", err)
+	}
+	if _, err := c.StartAddShard(); err == nil {
+		t.Fatal("second StartAddShard with an epoch open: want error")
+	}
+	if err := c.StartRemoveShard(0); err == nil {
+		t.Fatal("StartRemoveShard with an epoch open: want error")
+	}
+	driveMigration(t, c)
+
+	st := c.MigrationStatus()
+	if st.Active {
+		t.Fatal("MigrationStatus.Active after completion")
+	}
+	c2 := newTestCluster(t, Config{Shards: 1, Gated: true, Seed: 23})
+	if err := c2.StartRemoveShard(0); err == nil {
+		t.Fatal("StartRemoveShard(last member): want error")
+	}
+}

@@ -29,24 +29,36 @@ func TestRingLoadBalance(t *testing.T) {
 	}
 }
 
-// TestRingMinimalMovement: resizing N→N+1 moves exactly the keys the new
-// shard wins — every key that does not land on the arriving shard keeps its
-// old owner — and shrinking N+1→N moves exactly the departing shard's keys.
+// TestRingMinimalMovement: growing a versioned ring by one member
+// (WithShard) moves exactly the keys the arriving shard's vnodes win — a
+// key that does not move keeps not just its owning shard but its exact
+// owning VNODE (the same ring point), which is the strict form of
+// consistent-hash stability: an unchanged shard owner with a changed vnode
+// would mean the ring reshuffled internally and only coincidentally mapped
+// back. Shrinking (WithoutShard) is the inverse: survivors' keys keep
+// their points, and exactly the departing shard's keys move.
 func TestRingMinimalMovement(t *testing.T) {
 	const keysN = 5000
 	keys := workload.ClusterKeys(7, keysN)
 	for _, n := range []int{1, 2, 3, 4, 7} {
 		small := NewRing(n, 0)
-		big := NewRing(n+1, 0)
+		big := small.WithShard(n)
+		if small.Version() != 1 || big.Version() != 2 {
+			t.Fatalf("N=%d: versions %d→%d, want 1→2", n, small.Version(), big.Version())
+		}
 		var moved, toNew int
 		for _, key := range keys {
-			a, b := small.Owner(key), big.Owner(key)
+			a, apt := small.OwnerVnode(key)
+			b, bpt := big.OwnerVnode(key)
 			if a != b {
 				moved++
 				if b != n {
 					t.Fatalf("N=%d→%d: key %q moved from shard %d to %d — only the arriving shard %d may win keys",
 						n, n+1, key, a, b, n)
 				}
+			} else if apt != bpt {
+				t.Fatalf("N=%d→%d: key %q kept shard %d but its owning vnode point changed %#x→%#x",
+					n, n+1, key, a, apt, bpt)
 			}
 			if b == n {
 				toNew++
@@ -58,14 +70,67 @@ func TestRingMinimalMovement(t *testing.T) {
 		if n > 1 && moved == 0 {
 			t.Errorf("N=%d→%d: no keys moved to the arriving shard — ring not spreading", n, n+1)
 		}
-		// Shrinking is the same comparison read in the other direction:
-		// keys moving N+1→N are exactly those the departing shard held.
+		// Shrinking is the same transition read in the other direction:
+		// WithoutShard(n) must reproduce the small ring's point assignment
+		// exactly — keys moving down are those the departing shard held.
+		back := big.WithoutShard(n)
+		if back.Version() != 3 {
+			t.Fatalf("N=%d: shrink version %d, want 3", n, back.Version())
+		}
 		for _, key := range keys {
-			if big.Owner(key) != n && small.Owner(key) != big.Owner(key) {
+			bo, _ := big.OwnerVnode(key)
+			so, spt := small.OwnerVnode(key)
+			ko, kpt := back.OwnerVnode(key)
+			if ko != so || kpt != spt {
+				t.Fatalf("N=%d→%d: key %q owned by shard %d point %#x after shrink, want shard %d point %#x",
+					n+1, n, key, ko, kpt, so, spt)
+			}
+			if bo != n && bo != ko {
 				t.Fatalf("N=%d→%d: survivor-owned key %q changed owner on shrink", n+1, n, key)
 			}
 		}
 	}
+}
+
+// TestRingMembership: versioned membership transitions keep the member set
+// sorted, reject duplicates and absentees, and leave the source ring
+// untouched (rings are immutable values).
+func TestRingMembership(t *testing.T) {
+	r := NewRingOf([]int{0, 2, 5}, 16, 9)
+	if r.Version() != 9 || r.Shards() != 3 {
+		t.Fatalf("ring v%d/%d members, want v9/3", r.Version(), r.Shards())
+	}
+	for _, id := range []int{0, 2, 5} {
+		if !r.Has(id) {
+			t.Fatalf("Has(%d) = false", id)
+		}
+	}
+	if r.Has(1) || r.Has(3) {
+		t.Fatal("Has reports a non-member")
+	}
+	grown := r.WithShard(3)
+	if got := grown.Members(); len(got) != 4 || got[0] != 0 || got[1] != 2 || got[2] != 3 || got[3] != 5 {
+		t.Fatalf("grown members = %v, want [0 2 3 5]", got)
+	}
+	if r.Shards() != 3 {
+		t.Fatal("WithShard mutated the source ring")
+	}
+	shrunk := grown.WithoutShard(2)
+	if shrunk.Has(2) || shrunk.Shards() != 3 {
+		t.Fatalf("shrunk members = %v, want 2 gone", shrunk.Members())
+	}
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("WithShard(dup)", func() { r.WithShard(2) })
+	mustPanic("WithoutShard(absent)", func() { r.WithoutShard(4) })
+	mustPanic("WithoutShard(last)", func() { NewRingOf([]int{1}, 8, 1).WithoutShard(1) })
 }
 
 // TestRingDeterminism: the ring is a pure function of (shards, vnodes).

@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 
 	"treesls/internal/cluster"
+	"treesls/internal/linearize"
 	"treesls/internal/mem"
 	"treesls/internal/simclock"
 )
@@ -36,6 +37,17 @@ const (
 type Crash struct {
 	At     uint64
 	Target int
+}
+
+// Reshard is one scripted elastic membership change: when the cluster's
+// event counter reaches At, start a scale-out (Add) or the scale-in of
+// shard Target, then let the migration epoch interleave with traffic. A
+// reshard whose turn comes while another epoch is still in flight waits for
+// it.
+type Reshard struct {
+	At     uint64
+	Add    bool
+	Target int // the leaving shard (ignored when Add)
 }
 
 // TargetName names a crash target for logs.
@@ -74,9 +86,18 @@ type Script struct {
 	Persist mem.PersistMode
 	// Replicate attaches hot standbys to every shard.
 	Replicate bool
+	// Think is the fleet's per-key pause between an acknowledgement and
+	// the next send it unblocks. Conviction scripts set Window=1 and
+	// Think>0 so per-key writes are strictly sequential in simulated time
+	// — the shape where an acked-then-rolled-back write is provably
+	// non-linearizable.
+	Think simclock.Duration
 	// Crashes fire in order at their event thresholds (see
 	// Cluster.Events).
 	Crashes []Crash
+	// Reshards fire in order at their event thresholds, interleaved with
+	// traffic and crashes.
+	Reshards []Reshard
 }
 
 func (sc *Script) fill() {
@@ -135,6 +156,26 @@ type Result struct {
 	// Events is the final cluster event counter (the coordinate space for
 	// crash-at-every-K sweeps).
 	Events uint64
+	// CrashesSkipped counts scripted crashes that named a shard not yet
+	// created (a destination crash scheduled before its StartAddShard) —
+	// logged no-ops, so sweeps can target the joiner across all event
+	// indices.
+	CrashesSkipped int
+	// RingVersion / RingMembers describe the routing ring the run ended
+	// on; Migrations / MigrationsAborted / KeysMoved mirror the cluster's
+	// migration counters. Every crash must leave the ring exactly old or
+	// exactly new — the sweep asserts it via these fields.
+	RingVersion       uint64
+	RingMembers       []int
+	Migrations        uint64
+	MigrationsAborted uint64
+	KeysMoved         uint64
+	// LinearizeOps counts operations fed to the linearizability checker;
+	// LinearizeViolations holds its conviction (empty for a linearizable
+	// history). Gated runs must produce none; the ungated baseline must
+	// not.
+	LinearizeOps        int
+	LinearizeViolations []string
 	// Digest is an FNV-1a hash over the full ordered event log: two runs
 	// of the same script must produce equal digests.
 	Digest uint64
@@ -161,6 +202,7 @@ func Run(sc Script) (Result, error) {
 		Requests:      sc.Requests,
 		Window:        sc.Window,
 		Seed:          int64(sc.Seed),
+		Think:         sc.Think,
 	})
 	if err != nil {
 		return Result{}, fmt.Errorf("scenario %s: fleet: %w", sc.Name, err)
@@ -170,12 +212,51 @@ func Run(sc Script) (Result, error) {
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(h, format, args...)
 	}
+	// The linearizability oracle: every wire send is a write invocation,
+	// every in-order acknowledgement its return, and after each recovery
+	// (plus at the end) the restored counters become oracle reads.
+	//
+	// Operation timestamps are a LOGICAL clock — one tick per recorded
+	// event in harness order — not simulated time. Simulated clocks are
+	// per-machine and only partially ordered: an oracle read stamped with
+	// the cluster-wide max can precede, causally, an acknowledgement whose
+	// receive time rides a lagging shard's clock, and wall-clock-style
+	// stamps would invert that pair and convict a correct run. The
+	// harness's own deterministic schedule is exactly the observation
+	// order a real-time client would see, so it is the sound time base.
+	rec := linearize.NewRecorder()
+	var ltime int64
+	tick := func() int64 { ltime++; return ltime }
+	fleet.OnSend = func(conn int, req uint64, at simclock.Time) {
+		rec.InvokeWrite(conn, req, tick())
+	}
 	fleet.OnAck = func(conn int, req uint64, recv simclock.Time) {
 		logf("ack %d %d %d\n", conn, req, recv)
+		rec.AckWrite(conn, req, tick())
+	}
+	observe := func() error {
+		for j := 0; j < fleet.Keys(); j++ {
+			v, err := fleet.PeekCounter(j)
+			if err != nil {
+				return err
+			}
+			rec.Read(j, v, tick())
+		}
+		return nil
 	}
 
 	var res Result
 	crash := func(target, n int) error {
+		if target >= len(c.Shards) {
+			// The scripted victim does not exist (yet): a sweep aimed a
+			// crash at the joining destination before its StartAddShard
+			// created it. A logged no-op keeps the sweep's coordinate
+			// space uniform.
+			logf("crash %s skipped (only %d machines) at events=%d\n",
+				TargetName(target), len(c.Shards), c.Events())
+			res.CrashesSkipped++
+			return nil
+		}
 		logf("crash %s at events=%d time=%d\n", TargetName(target), c.Events(), c.Now())
 		switch {
 		case target == TargetPower:
@@ -189,9 +270,6 @@ func Run(sc Script) (Result, error) {
 				return fmt.Errorf("coordinator recovery: %w", err)
 			}
 		default:
-			if target >= sc.Shards {
-				return fmt.Errorf("crash target %d out of range (%d shards)", target, sc.Shards)
-			}
 			if err := c.FailShard(target); err != nil {
 				return fmt.Errorf("shard %d recovery: %w", target, err)
 			}
@@ -216,13 +294,17 @@ func Run(sc Script) (Result, error) {
 			res.Unjustified = append(res.Unjustified,
 				fmt.Sprintf("crash %d (%s): %s", n, TargetName(target), b))
 		}
-		logf("recovered epoch=%d versions=%v unjustified=%d\n",
-			c.Coord.Newest().Epoch, c.CommittedVersions(), len(bad))
+		logf("recovered epoch=%d ring=%d versions=%v unjustified=%d\n",
+			c.Coord.Newest().Epoch, c.Ring.Version(), c.CommittedVersions(), len(bad))
+		if err := observe(); err != nil {
+			return fmt.Errorf("post-recovery oracle reads: %w", err)
+		}
 		res.Crashes++
 		return nil
 	}
 
-	next := 0
+	next, nextR := 0, 0
+	migTurn := false
 	limit := sc.Clients*sc.KeysPerClient*sc.Requests*256 + 65536
 	for step := 0; ; step++ {
 		if step > limit {
@@ -244,14 +326,59 @@ func Run(sc Script) (Result, error) {
 			}
 			continue
 		}
+		// Once traffic is complete the event counter stalls, so a pending
+		// reshard fires regardless of its threshold.
+		fleetDone := fleet.TotalAcked() >= uint64(sc.Clients*sc.KeysPerClient*sc.Requests)
+		if nextR < len(sc.Reshards) && !c.MigrationInFlight() &&
+			(fleetDone || c.Events() >= sc.Reshards[nextR].At) {
+			r := sc.Reshards[nextR]
+			nextR++
+			if r.Add {
+				id, err := c.StartAddShard()
+				if err != nil {
+					return res, fmt.Errorf("scenario %s: reshard %d add: %w", sc.Name, nextR-1, err)
+				}
+				logf("reshard add shard%d at events=%d\n", id, c.Events())
+			} else {
+				if !c.Ring.Has(r.Target) {
+					// A back-to-back script may ask to remove a shard an
+					// earlier crash-aborted add never created, or one
+					// already removed: logged no-op.
+					logf("reshard remove shard%d skipped at events=%d\n", r.Target, c.Events())
+					continue
+				}
+				if err := c.StartRemoveShard(r.Target); err != nil {
+					return res, fmt.Errorf("scenario %s: reshard %d remove: %w", sc.Name, nextR-1, err)
+				}
+				logf("reshard remove shard%d at events=%d\n", r.Target, c.Events())
+			}
+			continue
+		}
+		// A migration epoch interleaves with traffic one action at a time:
+		// strict alternation keeps the schedule deterministic while keys
+		// stream under live writes (the dual-routing window the sweep
+		// crashes into).
+		if c.MigrationInFlight() && migTurn {
+			migTurn = false
+			if err := c.MigStep(); err != nil {
+				return res, fmt.Errorf("scenario %s: migration step: %w", sc.Name, err)
+			}
+			continue
+		}
+		migTurn = true
 		st, err := fleet.Step()
 		if err != nil {
 			return res, fmt.Errorf("scenario %s: fleet step: %w", sc.Name, err)
 		}
 		if st == cluster.StepDone {
+			if c.MigrationInFlight() || nextR < len(sc.Reshards) {
+				// Traffic finished first: drain the remaining scripted
+				// reshards so the run ends on a settled ring.
+				continue
+			}
 			break
 		}
-		if st == cluster.StepBlocked {
+		if st == cluster.StepBlocked && !c.MigrationInFlight() {
 			c.StartRound()
 		}
 	}
@@ -271,11 +398,29 @@ func Run(sc Script) (Result, error) {
 	res.Rounds = c.Stats.Rounds
 	res.Cuts = len(c.Coord.Cuts())
 	res.RollForwards = c.Stats.RollForwards
+	res.RingVersion = c.Ring.Version()
+	res.RingMembers = c.Ring.Members()
+	res.Migrations = c.Stats.Migrations
+	res.MigrationsAborted = c.Stats.MigrationsAborted
+	res.KeysMoved = c.Stats.KeysMoved
 	res.FinalTime = c.Now()
 	res.Events = c.Events()
-	logf("final acked=%d retrans=%d dupacks=%d released=%d rounds=%d cuts=%d rollfwd=%d time=%d\n",
+	// Closing oracle reads over the settled state, then the verdict.
+	if err := observe(); err != nil {
+		return res, fmt.Errorf("scenario %s: final oracle reads: %w", sc.Name, err)
+	}
+	lin := rec.Check()
+	res.LinearizeOps = lin.Ops
+	if !lin.Ok {
+		res.LinearizeViolations = append(res.LinearizeViolations,
+			fmt.Sprintf("key %d: %s", lin.Key, lin.Reason))
+	}
+	logf("final acked=%d retrans=%d dupacks=%d released=%d rounds=%d cuts=%d rollfwd=%d ring=%d members=%v mig=%d/%d moved=%d linops=%d linok=%v time=%d\n",
 		res.Acked, res.Retransmits, res.DupAcks, res.Released,
-		res.Rounds, res.Cuts, res.RollForwards, res.FinalTime)
+		res.Rounds, res.Cuts, res.RollForwards,
+		res.RingVersion, res.RingMembers,
+		res.Migrations, res.MigrationsAborted, res.KeysMoved,
+		res.LinearizeOps, lin.Ok, res.FinalTime)
 	res.Digest = h.Sum64()
 	return res, nil
 }

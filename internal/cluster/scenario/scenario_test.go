@@ -29,8 +29,15 @@ func assertSafe(t *testing.T, sc Script, r Result) {
 	if r.AuditViolations != 0 {
 		t.Errorf("%s: %d state-digest audit violations", sc.Name, r.AuditViolations)
 	}
-	if r.Crashes != len(sc.Crashes) {
-		t.Errorf("%s: %d crashes fired, scripted %d", sc.Name, r.Crashes, len(sc.Crashes))
+	if len(r.LinearizeViolations) != 0 {
+		t.Errorf("%s: linearizability violations: %v", sc.Name, r.LinearizeViolations)
+	}
+	if r.LinearizeOps == 0 {
+		t.Errorf("%s: linearizability oracle saw no operations", sc.Name)
+	}
+	if r.Crashes+r.CrashesSkipped != len(sc.Crashes) {
+		t.Errorf("%s: %d crashes fired + %d skipped, scripted %d",
+			sc.Name, r.Crashes, r.CrashesSkipped, len(sc.Crashes))
 	}
 }
 

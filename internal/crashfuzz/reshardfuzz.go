@@ -1,0 +1,567 @@
+package crashfuzz
+
+// Reshard crash campaign: a gated cluster runs elastic scale-out and
+// scale-in epochs under fleet traffic while failures — power loss, a source
+// shard, the joining/leaving destination, or the coordinator that owns the
+// migration plan — are injected at the epoch's protocol boundaries. The
+// boundaries are walked deterministically per injection (mid-stream,
+// keys-installed-but-uncut, mid-ring-announce, post-commit) with rng jitter
+// inside each window, so every crash class is provably exercised. The
+// oracle after every recovery: the cluster sits on a whole ring (exactly
+// the old one if the crash preceded the commit announcement, exactly the
+// new one otherwise — never a mix), the newest cut verifies, no gate
+// released beyond the cut, no client holds an unjustifiable
+// acknowledgement, and no acknowledged request was served by a shard the
+// ring did not point at.
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/cluster"
+	"treesls/internal/mem"
+)
+
+// Crash classes a reshard injection lands on.
+const (
+	classMidStream = iota // scanning/streaming: plan forming, keys in flight
+	classInstalledUncut   // commit round open, keys at dest, cut not announced
+	classMidAnnounce      // ring change announced, publish/release unfinished
+	classPostCommit       // epoch complete: a plain crash on the new ring
+	classCount
+)
+
+func className(class int) string {
+	switch class {
+	case classMidStream:
+		return "mid-stream"
+	case classInstalledUncut:
+		return "installed-uncut"
+	case classMidAnnounce:
+		return "mid-announce"
+	default:
+		return "post-commit"
+	}
+}
+
+// ReshardConfig parameterizes a reshard crash campaign.
+type ReshardConfig struct {
+	// Mode is the persistence model of every shard.
+	Mode mem.PersistMode
+	// Seeds are the cluster/traffic seeds; each seed gets its own cluster.
+	Seeds []uint64
+	// Shards is the starting cluster size (default 3).
+	Shards int
+	// ReshardsPerSeed is how many crash-injected epochs to run per seed
+	// (default 8).
+	ReshardsPerSeed int
+	// StepsPerCrash bounds micro-steps while driving an epoch to the
+	// desired crash class (default 4000).
+	StepsPerCrash int
+	// Clients, KeysPerClient, Window shape the fleet (defaults 2, 2, 2).
+	Clients       int
+	KeysPerClient int
+	Window        int
+}
+
+func (c *ReshardConfig) fill() {
+	if c.Shards == 0 {
+		c.Shards = 3
+	}
+	if c.ReshardsPerSeed == 0 {
+		c.ReshardsPerSeed = 8
+	}
+	if c.StepsPerCrash == 0 {
+		c.StepsPerCrash = 4000
+	}
+	if c.Clients == 0 {
+		c.Clients = 2
+	}
+	if c.KeysPerClient == 0 {
+		c.KeysPerClient = 2
+	}
+	if c.Window == 0 {
+		c.Window = 2
+	}
+}
+
+// ReshardResult aggregates a reshard crash campaign. A returned result
+// always reflects zero invariant violations — the first violation aborts
+// the campaign with an error.
+type ReshardResult struct {
+	// CrashesFired / Recoveries count injections and completed recoveries.
+	CrashesFired int
+	Recoveries   int
+	// Adds / Removes break the injected epochs down by direction.
+	Adds    int
+	Removes int
+	// MidStream / InstalledUncut / MidAnnounce / PostCommit classify the
+	// boundary each crash landed on.
+	MidStream      int
+	InstalledUncut int
+	MidAnnounce    int
+	PostCommit     int
+	// PowerCrashes / CoordCrashes / SourceCrashes / DestCrashes break
+	// injections down by target.
+	PowerCrashes  int
+	CoordCrashes  int
+	SourceCrashes int
+	DestCrashes   int
+	// RolledBack / RolledForward count epochs that converged to the old
+	// ring and the new one.
+	RolledBack    int
+	RolledForward int
+	// Migrations / MigrationsAborted / KeysMoved across all seeds, from
+	// the clusters' own stats.
+	Migrations        uint64
+	MigrationsAborted uint64
+	KeysMoved         uint64
+	// Acked across all seeds.
+	Acked uint64
+}
+
+// reshardFuzzer is the per-seed state: one elastic cluster plus its fleet.
+type reshardFuzzer struct {
+	cfg     ReshardConfig
+	rng     *rand.Rand
+	c       *cluster.Cluster
+	fleet   *cluster.Fleet
+	migTurn bool
+}
+
+// RunReshard executes the campaign.
+func RunReshard(cfg ReshardConfig) (ReshardResult, error) {
+	cfg.fill()
+	var res ReshardResult
+	for _, seed := range cfg.Seeds {
+		if err := runReshardSeed(cfg, seed, &res); err != nil {
+			return res, fmt.Errorf("seed %d: %w", seed, err)
+		}
+	}
+	return res, nil
+}
+
+func runReshardSeed(cfg ReshardConfig, seed uint64, res *ReshardResult) error {
+	f, err := newReshardFuzzer(cfg, seed)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < cfg.ReshardsPerSeed; i++ {
+		// The crash class rotates so every boundary is exercised; the
+		// target rotates against it so (class, target) pairs interleave
+		// across iterations and seeds.
+		class := i % classCount
+		target := f.pickTarget()
+		if err := f.oneEpoch(class, target, res); err != nil {
+			return fmt.Errorf("epoch %d (%s, %s): %w",
+				i, className(class), reshardTargetName(target), err)
+		}
+		res.CrashesFired++
+		res.Recoveries++
+	}
+	res.Acked += f.fleet.TotalAcked()
+	res.Migrations += f.c.Stats.Migrations
+	res.MigrationsAborted += f.c.Stats.MigrationsAborted
+	res.KeysMoved += f.c.Stats.KeysMoved
+	for _, s := range f.c.Shards {
+		if err := s.M.Alloc.CheckInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Crash targets: 0 = power, 1 = coordinator, 2 = a source shard, 3 = the
+// epoch's destination (the joining or leaving shard).
+const (
+	reshardTargetPower = iota
+	reshardTargetCoord
+	reshardTargetSource
+	reshardTargetDest
+	reshardTargetCount
+)
+
+func reshardTargetName(target int) string {
+	switch target {
+	case reshardTargetPower:
+		return "power"
+	case reshardTargetCoord:
+		return "coord"
+	case reshardTargetSource:
+		return "source"
+	default:
+		return "dest"
+	}
+}
+
+func (f *reshardFuzzer) pickTarget() int {
+	return f.rng.Intn(reshardTargetCount)
+}
+
+func newReshardFuzzer(cfg ReshardConfig, seed uint64) (*reshardFuzzer, error) {
+	c, err := cluster.New(cluster.Config{
+		Shards:  cfg.Shards,
+		Gated:   true,
+		Persist: cfg.Mode,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fleet, err := cluster.NewFleet(c, cluster.FleetConfig{
+		Clients:       cfg.Clients,
+		KeysPerClient: cfg.KeysPerClient,
+		Requests:      0, // unbounded: the campaign decides when to stop
+		Window:        cfg.Window,
+		ValueBytes:    32,
+		Seed:          int64(seed),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &reshardFuzzer{
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(int64(seed))),
+		c:     c,
+		fleet: fleet,
+	}, nil
+}
+
+// stepOnce advances the world by one micro-action, interleaving migration
+// progress with traffic exactly like the scenario harness: a round step if
+// a round is in flight, alternating migration/fleet steps otherwise, and a
+// round only opens for blocked gates when no epoch holds the ring.
+func (f *reshardFuzzer) stepOnce() error {
+	if f.c.CurrentPhase() != cluster.PhaseIdle {
+		return f.c.Step()
+	}
+	if f.c.MigrationInFlight() && f.migTurn {
+		f.migTurn = false
+		return f.c.MigStep()
+	}
+	f.migTurn = true
+	st, err := f.fleet.Step()
+	if err != nil {
+		return err
+	}
+	if st == cluster.StepBlocked && !f.c.MigrationInFlight() {
+		f.c.StartRound()
+	}
+	return nil
+}
+
+// classOf maps the live migration status to a crash class.
+func classOf(st cluster.MigrationStatus) int {
+	switch {
+	case !st.Active:
+		return classPostCommit
+	case st.Announced:
+		return classMidAnnounce
+	case st.Phase == cluster.MigCommit:
+		return classInstalledUncut
+	default:
+		return classMidStream
+	}
+}
+
+// startEpoch opens a scale-out or scale-in epoch, keeping the membership
+// between 2 and Shards+2 so both directions keep occurring. It returns the
+// destination shard id.
+func (f *reshardFuzzer) startEpoch() (int, error) {
+	members := f.c.Ring.Members()
+	add := f.rng.Intn(2) == 0
+	if len(members) <= 2 {
+		add = true
+	} else if len(members) >= f.cfg.Shards+2 {
+		add = false
+	}
+	if add {
+		return f.c.StartAddShard()
+	}
+	victim := members[f.rng.Intn(len(members))]
+	return victim, f.c.StartRemoveShard(victim)
+}
+
+// oneEpoch starts a reshard, drives it to the requested crash class (with
+// rng jitter inside the class window), injects the failure, recovers, and
+// applies the oracle — including whole-ring convergence: a crash before the
+// commit announcement must land back on the old ring, a crash at or after
+// it must land on the new one.
+func (f *reshardFuzzer) oneEpoch(class, target int, res *ReshardResult) error {
+	// Recovery can leave a re-driven round in flight; an epoch only opens
+	// on an idle protocol.
+	for step := 0; f.c.CurrentPhase() != cluster.PhaseIdle; step++ {
+		if step >= f.cfg.StepsPerCrash {
+			return fmt.Errorf("round never drained to idle")
+		}
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+	oldV, oldMembers := f.c.Ring.Version(), f.c.Ring.Members()
+	dest, err := f.startEpoch()
+	if err != nil {
+		return err
+	}
+	st := f.c.MigrationStatus()
+	if st.Add {
+		res.Adds++
+	} else {
+		res.Removes++
+	}
+	newV, newMembers := st.NewRing, ringAfter(oldMembers, dest, st.Add)
+
+	// Drive to the crash class. Every class is reachable: an epoch starts
+	// in MigScan and marches scan -> stream -> commit -> announce -> done.
+	reached := false
+	for step := 0; step < f.cfg.StepsPerCrash; step++ {
+		if classOf(f.c.MigrationStatus()) == class {
+			reached = true
+			break
+		}
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+	if !reached {
+		return fmt.Errorf("crash class never reached within %d steps", f.cfg.StepsPerCrash)
+	}
+	// Jitter inside the class window so the crash lands on varying
+	// micro-actions, not always the window's first.
+	for f.rng.Intn(3) != 0 && classOf(f.c.MigrationStatus()) == class {
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+
+	st = f.c.MigrationStatus()
+	switch classOf(st) {
+	case classMidStream:
+		res.MidStream++
+	case classInstalledUncut:
+		res.InstalledUncut++
+	case classMidAnnounce:
+		res.MidAnnounce++
+	default:
+		res.PostCommit++
+	}
+	// The convergence obligation is fixed at crash time: announced (or
+	// complete) rolls forward, anything earlier rolls back whole.
+	wantForward := !st.Active || st.Announced
+
+	switch target {
+	case reshardTargetPower:
+		res.PowerCrashes++
+		if _, err := f.c.PowerFail(); err != nil {
+			return err
+		}
+		f.fleet.ResyncAll()
+	case reshardTargetCoord:
+		res.CoordCrashes++
+		if err := f.c.FailCoordinator(); err != nil {
+			return err
+		}
+	case reshardTargetSource:
+		res.SourceCrashes++
+		// A shard that held keys before the epoch: the first old member
+		// that is not the destination.
+		src := oldMembers[0]
+		if src == dest && len(oldMembers) > 1 {
+			src = oldMembers[1]
+		}
+		if err := f.c.FailShard(src); err != nil {
+			return err
+		}
+		f.fleet.ResyncShard(src)
+	default:
+		res.DestCrashes++
+		if err := f.c.FailShard(dest); err != nil {
+			return err
+		}
+		f.fleet.ResyncShard(dest)
+	}
+
+	if wantForward {
+		res.RolledForward++
+		if err := checkRing(f.c, newV, newMembers); err != nil {
+			return fmt.Errorf("post-announce crash did not roll forward: %w", err)
+		}
+	} else {
+		res.RolledBack++
+		if err := checkRing(f.c, oldV, oldMembers); err != nil {
+			return fmt.Errorf("pre-announce crash did not roll back whole: %w", err)
+		}
+	}
+	if f.c.MigrationInFlight() {
+		return fmt.Errorf("migration still in flight after recovery")
+	}
+	if err := f.verify(); err != nil {
+		return err
+	}
+	// Let the world breathe between epochs so the next one starts from
+	// settled traffic rather than the recovery's doorstep.
+	for i, n := 0, 20+f.rng.Intn(40); i < n; i++ {
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ringAfter computes the committed epoch's membership from the old one.
+func ringAfter(oldMembers []int, dest int, add bool) []int {
+	var out []int
+	for _, m := range oldMembers {
+		if !add && m == dest {
+			continue
+		}
+		out = append(out, m)
+	}
+	if add {
+		out = append(out, dest)
+	}
+	return out
+}
+
+// checkRing asserts the live ring is exactly (version, members).
+func checkRing(c *cluster.Cluster, v uint64, members []int) error {
+	if c.Ring.Version() != v {
+		return fmt.Errorf("ring v%d, want v%d", c.Ring.Version(), v)
+	}
+	got := c.Ring.Members()
+	if len(got) != len(members) {
+		return fmt.Errorf("ring members %v, want %v", got, members)
+	}
+	want := map[int]bool{}
+	for _, m := range members {
+		want[m] = true
+	}
+	for _, m := range got {
+		if !want[m] {
+			return fmt.Errorf("ring members %v, want %v", got, members)
+		}
+	}
+	return nil
+}
+
+// verify applies the full reshard oracle after a recovery.
+func (f *reshardFuzzer) verify() error {
+	if err := f.c.VerifyCut(f.c.Coord.Newest()); err != nil {
+		return err
+	}
+	if err := f.c.ReleasedCovered(); err != nil {
+		return err
+	}
+	bad, err := f.fleet.CheckJustified()
+	if err != nil {
+		return err
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("released-but-uncovered response: %s", bad[0])
+	}
+	twoOwner, err := f.fleet.CheckSoleOwner()
+	if err != nil {
+		return err
+	}
+	if len(twoOwner) > 0 {
+		return fmt.Errorf("two-owner serve: %s", twoOwner[0])
+	}
+	if n := len(f.fleet.Violations); n > 0 {
+		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
+	}
+	if f.fleet.DupAcks > 0 {
+		return fmt.Errorf("%d duplicate acknowledgements after recovery", f.fleet.DupAcks)
+	}
+	return nil
+}
+
+// ReshardOneShot runs a single parameterized reshard crash injection — the
+// entry point of FuzzReshardEvent. Boot a gated cluster+fleet, run a burst
+// of warm-up traffic, open a scale-out (even seed) or scale-in (odd seed)
+// epoch, crash the fuzzed target after an event countdown measured from the
+// epoch's start, recover, and apply the full oracle including whole-ring
+// convergence. A countdown that outlives the step budget is a valid
+// (uninteresting) input.
+func ReshardOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, steps uint16) error {
+	cfg := ReshardConfig{Mode: mode}
+	cfg.fill()
+	f, err := newReshardFuzzer(cfg, seed)
+	if err != nil {
+		return fmt.Errorf("boot: %w", err)
+	}
+	// Warm-up: populate the stores so the epoch has keys to move.
+	for i := 0; i < 60; i++ {
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+	oldV, oldMembers := f.c.Ring.Version(), f.c.Ring.Members()
+	var dest int
+	if seed%2 == 0 {
+		dest, err = f.c.StartAddShard()
+	} else {
+		dest = oldMembers[int(seed/2)%len(oldMembers)]
+		err = f.c.StartRemoveShard(dest)
+	}
+	if err != nil {
+		return err
+	}
+	st := f.c.MigrationStatus()
+	newV, newMembers := st.NewRing, ringAfter(oldMembers, dest, st.Add)
+
+	deadline := f.c.Events() + eventK%96 + 1
+	n := int(steps)%cfg.StepsPerCrash + 1
+	fired := false
+	for step := 0; step < n; step++ {
+		if f.c.Events() >= deadline {
+			fired = true
+			break
+		}
+		if err := f.stepOnce(); err != nil {
+			return err
+		}
+	}
+	if !fired {
+		return nil
+	}
+	st = f.c.MigrationStatus()
+	wantForward := !st.Active || st.Announced
+	switch int(target) % reshardTargetCount {
+	case reshardTargetPower:
+		if _, err := f.c.PowerFail(); err != nil {
+			return err
+		}
+		f.fleet.ResyncAll()
+	case reshardTargetCoord:
+		if err := f.c.FailCoordinator(); err != nil {
+			return err
+		}
+	case reshardTargetSource:
+		src := oldMembers[0]
+		if src == dest && len(oldMembers) > 1 {
+			src = oldMembers[1]
+		}
+		if err := f.c.FailShard(src); err != nil {
+			return err
+		}
+		f.fleet.ResyncShard(src)
+	default:
+		if err := f.c.FailShard(dest); err != nil {
+			return err
+		}
+		f.fleet.ResyncShard(dest)
+	}
+	if wantForward {
+		if err := checkRing(f.c, newV, newMembers); err != nil {
+			return fmt.Errorf("post-announce crash did not roll forward: %w", err)
+		}
+	} else {
+		if err := checkRing(f.c, oldV, oldMembers); err != nil {
+			return fmt.Errorf("pre-announce crash did not roll back whole: %w", err)
+		}
+	}
+	if f.c.MigrationInFlight() {
+		return fmt.Errorf("migration still in flight after recovery")
+	}
+	return f.verify()
+}

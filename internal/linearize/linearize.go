@@ -1,0 +1,187 @@
+// Package linearize is a history-based linearizability checker for per-key
+// registers, in the style of Wing & Gong's algorithm as implemented by
+// porcupine: every operation is an interval [Invoke, Return] on simulated
+// time, and a history is linearizable iff each operation can be assigned a
+// linearization point inside its interval such that the resulting sequence
+// is a legal register execution.
+//
+// The cluster scenarios use it as a second oracle alongside the
+// justification check: client writes become operations when they hit the
+// wire (invoke) and when their acknowledgement arrives (return); oracle
+// reads of recovered state become instantaneous read operations. A pending
+// write — sent but never acknowledged, e.g. lost to a crash — may or may
+// not take effect, exactly the ambiguity a real client faces; the checker
+// tries both. A system that acknowledges a write and then recovers to a
+// state without it produces a history no assignment can linearize, which is
+// how the ungated baseline is convicted.
+package linearize
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// InfTime marks a pending operation's Return: it never completed, so its
+// interval extends to the end of the history.
+const InfTime = int64(math.MaxInt64)
+
+// Op is one operation on one register. Registers start at value 0 (the
+// cluster's counter keys read 0 before their first write).
+type Op struct {
+	// Key names the register.
+	Key int
+	// Write distinguishes writes (install Value) from reads (observe
+	// Value).
+	Write bool
+	// Value is the value written or observed.
+	Value uint64
+	// Invoke / Return bound the operation's real-time interval. A pending
+	// operation has Return == InfTime and may be linearized anywhere after
+	// Invoke — or never.
+	Invoke int64
+	Return int64
+}
+
+func (o Op) String() string {
+	kind := "read"
+	if o.Write {
+		kind = "write"
+	}
+	ret := "pending"
+	if o.Return != InfTime {
+		ret = fmt.Sprintf("%d", o.Return)
+	}
+	return fmt.Sprintf("%s(key %d, value %d) [%d, %s]", kind, o.Key, o.Value, o.Invoke, ret)
+}
+
+// Result reports a check's outcome. A conviction names the offending key
+// and the size of its history; the per-key histories are independent, so
+// one bad register convicts the run.
+type Result struct {
+	Ok bool
+	// Key is the convicted register (first in key order) when !Ok.
+	Key int
+	// Reason describes the conviction.
+	Reason string
+	// Ops counts operations checked across all keys.
+	Ops int
+}
+
+// Check decides whether a history of register operations is linearizable.
+// Keys are independent registers, checked in ascending key order.
+func Check(ops []Op) Result {
+	byKey := map[int][]Op{}
+	for _, o := range ops {
+		byKey[o.Key] = append(byKey[o.Key], o)
+	}
+	keys := make([]int, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		if reason, ok := checkKey(byKey[k]); !ok {
+			return Result{Ok: false, Key: k, Reason: reason, Ops: len(ops)}
+		}
+	}
+	return Result{Ok: true, Ops: len(ops)}
+}
+
+// checkKey runs the WGL search on one register's history: depth-first over
+// "which operation linearizes next", memoizing failed (linearized-set,
+// register-state) configurations. An operation is eligible next iff no
+// other un-linearized operation returned before it was invoked (it is
+// minimal in the real-time order) and its effect is legal in the current
+// state. Pending operations are never forced: the search succeeds as soon
+// as every completed operation is linearized.
+func checkKey(ops []Op) (string, bool) {
+	// Deterministic op order (the search result is order-independent, the
+	// conviction message is not).
+	sort.Slice(ops, func(i, j int) bool {
+		if ops[i].Invoke != ops[j].Invoke {
+			return ops[i].Invoke < ops[j].Invoke
+		}
+		if ops[i].Return != ops[j].Return {
+			return ops[i].Return < ops[j].Return
+		}
+		return ops[i].Value < ops[j].Value
+	})
+	n := len(ops)
+	completed := 0
+	for _, o := range ops {
+		if o.Return != InfTime {
+			completed++
+		}
+	}
+	if completed == 0 {
+		return "", true
+	}
+	words := (n + 63) / 64
+	// visited holds configurations proven un-linearizable: the chosen-set
+	// bitmask plus the register value it produced.
+	visited := map[string]bool{}
+	encode := func(mask []uint64, state uint64) string {
+		b := make([]byte, 0, (words+1)*8)
+		for _, w := range mask {
+			for s := 0; s < 64; s += 8 {
+				b = append(b, byte(w>>s))
+			}
+		}
+		for s := 0; s < 64; s += 8 {
+			b = append(b, byte(state>>s))
+		}
+		return string(b)
+	}
+	var dfs func(mask []uint64, state uint64, done int) bool
+	dfs = func(mask []uint64, state uint64, done int) bool {
+		if done == completed {
+			return true
+		}
+		key := encode(mask, state)
+		if visited[key] {
+			return false
+		}
+		// The real-time frontier: nothing may linearize after an
+		// un-linearized operation's return.
+		minRet := InfTime
+		for i := 0; i < n; i++ {
+			if mask[i/64]&(1<<(i%64)) == 0 && ops[i].Return < minRet {
+				minRet = ops[i].Return
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask[i/64]&(1<<(i%64)) != 0 {
+				continue
+			}
+			o := ops[i]
+			if minRet < o.Invoke {
+				continue // some un-linearized op returned before this began
+			}
+			if !o.Write && o.Value != state {
+				continue // a read must observe the current register value
+			}
+			next := make([]uint64, words)
+			copy(next, mask)
+			next[i/64] |= 1 << (i % 64)
+			ns := state
+			if o.Write {
+				ns = o.Value
+			}
+			nd := done
+			if o.Return != InfTime {
+				nd++
+			}
+			if dfs(next, ns, nd) {
+				return true
+			}
+		}
+		visited[key] = true
+		return false
+	}
+	if dfs(make([]uint64, words), 0, 0) {
+		return "", true
+	}
+	return fmt.Sprintf("no linearization of %d operations (%d completed); earliest: %s",
+		n, completed, ops[0]), false
+}

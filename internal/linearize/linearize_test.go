@@ -1,0 +1,235 @@
+package linearize
+
+import (
+	"strings"
+	"testing"
+)
+
+func w(key int, v uint64, inv, ret int64) Op {
+	return Op{Key: key, Write: true, Value: v, Invoke: inv, Return: ret}
+}
+
+func rd(key int, v uint64, at int64) Op {
+	return Op{Key: key, Write: false, Value: v, Invoke: at, Return: at}
+}
+
+func mustOk(t *testing.T, ops []Op) {
+	t.Helper()
+	res := Check(ops)
+	if !res.Ok {
+		t.Fatalf("history convicted: key %d: %s", res.Key, res.Reason)
+	}
+	if res.Ops != len(ops) {
+		t.Fatalf("Result.Ops = %d, want %d", res.Ops, len(ops))
+	}
+}
+
+func mustConvict(t *testing.T, ops []Op, key int) {
+	t.Helper()
+	res := Check(ops)
+	if res.Ok {
+		t.Fatal("history passed, want conviction")
+	}
+	if res.Key != key {
+		t.Fatalf("convicted key %d, want %d", res.Key, key)
+	}
+	if res.Reason == "" {
+		t.Fatal("conviction with empty reason")
+	}
+}
+
+// TestSequential: a strictly sequential write/read history is linearizable
+// iff every read observes the newest preceding write.
+func TestSequential(t *testing.T) {
+	mustOk(t, []Op{
+		w(0, 1, 0, 10),
+		rd(0, 1, 20),
+		w(0, 2, 30, 40),
+		rd(0, 2, 50),
+	})
+	mustConvict(t, []Op{
+		w(0, 1, 0, 10),
+		w(0, 2, 30, 40),
+		rd(0, 1, 50), // stale: write 2 returned before this read began
+	}, 0)
+}
+
+// TestInitialValue: registers start at 0, so a pre-write read of 0 passes
+// and a pre-write read of anything else convicts.
+func TestInitialValue(t *testing.T) {
+	mustOk(t, []Op{rd(0, 0, 5), w(0, 1, 10, 20), rd(0, 1, 30)})
+	mustConvict(t, []Op{rd(0, 7, 5), w(0, 7, 10, 20)}, 0)
+}
+
+// TestEmpty: an empty history (and a key with only pending writes) is
+// trivially linearizable.
+func TestEmpty(t *testing.T) {
+	mustOk(t, nil)
+	mustOk(t, []Op{w(0, 1, 0, InfTime), w(0, 2, 5, InfTime)})
+}
+
+// TestPendingWrite: a pending write may take effect (a read of its value
+// after its invoke passes) or never happen (a read of the prior value
+// passes too) — but it cannot take effect before it was invoked.
+func TestPendingWrite(t *testing.T) {
+	mustOk(t, []Op{
+		w(0, 1, 0, 10),
+		w(0, 2, 20, InfTime), // lost to a crash, maybe applied
+		rd(0, 2, 30),         // it did apply
+	})
+	mustOk(t, []Op{
+		w(0, 1, 0, 10),
+		w(0, 2, 20, InfTime),
+		rd(0, 1, 30), // it did not apply
+	})
+	mustConvict(t, []Op{
+		w(0, 1, 0, 10),
+		rd(0, 2, 15),
+		w(0, 2, 20, InfTime), // invoked after the read observed it
+	}, 0)
+}
+
+// TestRollback: the external-synchrony conviction shape — a write is
+// acknowledged, the system recovers to a state without it, and a later
+// oracle read observes the stale value. No assignment of linearization
+// points can explain the read.
+func TestRollback(t *testing.T) {
+	mustConvict(t, []Op{
+		w(0, 1, 0, 10),
+		w(0, 2, 20, 30),
+		w(0, 3, 40, 50), // acked...
+		rd(0, 2, 60),    // ...then rolled back
+	}, 0)
+	// The gated counterpart: the third write is never acknowledged, so the
+	// recovery observing 2 is a legal "it never happened".
+	mustOk(t, []Op{
+		w(0, 1, 0, 10),
+		w(0, 2, 20, 30),
+		w(0, 3, 40, InfTime),
+		rd(0, 2, 60),
+	})
+}
+
+// TestOverlap: two concurrent writes may linearize in either order, so a
+// read after both returns may observe either — but a third value convicts.
+func TestOverlap(t *testing.T) {
+	base := []Op{
+		w(0, 1, 0, 100),
+		w(0, 2, 50, 100),
+	}
+	mustOk(t, append(append([]Op{}, base...), rd(0, 1, 200)))
+	mustOk(t, append(append([]Op{}, base...), rd(0, 2, 200)))
+	mustConvict(t, append(append([]Op{}, base...), rd(0, 3, 200)), 0)
+	// Observed order pins the rest: reading 2 then 1 means 1 linearized
+	// after 2 — fine while both overlap the reads, impossible once write 1
+	// returned before write 2 was invoked.
+	mustOk(t, []Op{
+		w(0, 1, 0, 300),
+		w(0, 2, 50, 300),
+		rd(0, 2, 400),
+		rd(0, 2, 410),
+	})
+	mustConvict(t, []Op{
+		w(0, 1, 0, 10),
+		w(0, 2, 50, 60),
+		rd(0, 2, 70),
+		rd(0, 1, 80), // 1 cannot re-appear: it returned before 2 began
+	}, 0)
+}
+
+// TestKeysIndependent: registers are independent; a conviction names the
+// smallest offending key.
+func TestKeysIndependent(t *testing.T) {
+	mustOk(t, []Op{
+		w(3, 1, 0, 10), rd(3, 1, 20),
+		w(9, 5, 0, 10), rd(9, 5, 20),
+	})
+	mustConvict(t, []Op{
+		w(3, 1, 0, 10), rd(3, 1, 20),
+		w(9, 5, 0, 10), rd(9, 4, 20),
+	}, 9)
+}
+
+// TestPipelined: a window of overlapping writes in seq order with an
+// in-order ack stream (the fleet's shape) stays linearizable, including a
+// final read of the newest acked value.
+func TestPipelined(t *testing.T) {
+	var ops []Op
+	for i := uint64(1); i <= 8; i++ {
+		inv := int64(i) * 10
+		ret := inv + 35 // overlaps the next ~3 writes
+		ops = append(ops, w(1, i, inv, ret))
+	}
+	ops = append(ops, rd(1, 8, 200))
+	mustOk(t, ops)
+}
+
+// TestOpString covers the debug formatting of completed and pending ops.
+func TestOpString(t *testing.T) {
+	if s := w(2, 7, 1, 5).String(); !strings.Contains(s, "write(key 2, value 7)") {
+		t.Fatalf("unexpected String: %q", s)
+	}
+	if s := w(2, 7, 1, InfTime).String(); !strings.Contains(s, "pending") {
+		t.Fatalf("pending op String: %q", s)
+	}
+	if s := rd(2, 7, 1).String(); !strings.Contains(s, "read") {
+		t.Fatalf("read op String: %q", s)
+	}
+}
+
+// TestRecorder: retransmitted invokes keep the original interval, first ack
+// wins, an orphan ack still registers, and reads flow through.
+func TestRecorder(t *testing.T) {
+	r := NewRecorder()
+	r.InvokeWrite(0, 1, 10)
+	r.InvokeWrite(0, 1, 50) // retransmit: invoke stays 10
+	r.AckWrite(0, 1, 60)
+	r.AckWrite(0, 1, 70) // dup ack: return stays 60
+	r.InvokeWrite(0, 2, 80)
+	r.Read(0, 1, 75)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+	if r.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", r.Pending())
+	}
+	ops := r.Ops()
+	if ops[0].Invoke != 10 || ops[0].Return != 60 {
+		t.Fatalf("write 1 interval [%d,%d], want [10,60]", ops[0].Invoke, ops[0].Return)
+	}
+	if res := r.Check(); !res.Ok {
+		t.Fatalf("recorder history convicted: %s", res.Reason)
+	}
+	// An ack with no invoke registers an instantaneous write.
+	r2 := NewRecorder()
+	r2.AckWrite(4, 9, 33)
+	ops2 := r2.Ops()
+	if len(ops2) != 1 || ops2[0].Invoke != 33 || ops2[0].Return != 33 {
+		t.Fatalf("orphan ack produced %v", ops2)
+	}
+	// A retransmit with an earlier timestamp than the first record also
+	// tightens the invoke downward, never upward.
+	r2.InvokeWrite(4, 9, 40)
+	if r2.Len() != 1 {
+		t.Fatalf("late invoke duplicated the op: %d", r2.Len())
+	}
+}
+
+// TestRecorderConvicts: the recorder feeding the checker reproduces the
+// acked-then-rolled-back conviction end to end.
+func TestRecorderConvicts(t *testing.T) {
+	r := NewRecorder()
+	for v := uint64(1); v <= 3; v++ {
+		at := int64(v) * 100
+		r.InvokeWrite(7, v, at)
+		r.AckWrite(7, v, at+50)
+	}
+	r.Read(7, 1, 1000) // recovered state lost writes 2 and 3
+	res := r.Check()
+	if res.Ok {
+		t.Fatal("rolled-back acked writes passed the check")
+	}
+	if res.Key != 7 {
+		t.Fatalf("convicted key %d, want 7", res.Key)
+	}
+}

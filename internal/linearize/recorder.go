@@ -1,0 +1,85 @@
+package linearize
+
+// Recorder accumulates a register history from a live run. It is shaped for
+// the cluster fleet's counter workload — every write on a key carries a
+// distinct value (the request index), so (key, value) identifies a write
+// operation across retransmissions — but nothing in it is cluster-specific.
+
+// Recorder builds an Op history incrementally.
+type Recorder struct {
+	idx map[[2]uint64]int // (key, value) -> index into ops, writes only
+	ops []Op
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder {
+	return &Recorder{idx: map[[2]uint64]int{}}
+}
+
+func (r *Recorder) writeID(key int, value uint64) [2]uint64 {
+	return [2]uint64{uint64(key), value}
+}
+
+// InvokeWrite records write(key) = value hitting the wire at `at`. A
+// retransmission of the same write keeps the ORIGINAL invocation time: the
+// operation began when the client first exposed it to the system, and
+// widening the interval later would only make the check laxer.
+func (r *Recorder) InvokeWrite(key int, value uint64, at int64) {
+	id := r.writeID(key, value)
+	if i, ok := r.idx[id]; ok {
+		if at < r.ops[i].Invoke {
+			r.ops[i].Invoke = at
+		}
+		return
+	}
+	r.idx[id] = len(r.ops)
+	r.ops = append(r.ops, Op{Key: key, Write: true, Value: value, Invoke: at, Return: InfTime})
+}
+
+// AckWrite records the acknowledgement of write(key) = value at `at`. The
+// first acknowledgement wins; an ack without a recorded invocation
+// registers the full operation (interval [at, at]) so a mis-wired harness
+// still produces a checkable — and convictable — history.
+func (r *Recorder) AckWrite(key int, value uint64, at int64) {
+	id := r.writeID(key, value)
+	i, ok := r.idx[id]
+	if !ok {
+		r.idx[id] = len(r.ops)
+		r.ops = append(r.ops, Op{Key: key, Write: true, Value: value, Invoke: at, Return: at})
+		return
+	}
+	if r.ops[i].Return == InfTime {
+		r.ops[i].Return = at
+	}
+}
+
+// Read records an instantaneous oracle read: key held value at `at`. The
+// cluster scenarios take one per key right after every recovery (restored
+// state is exactly an announced cut) and at the end of the run.
+func (r *Recorder) Read(key int, value uint64, at int64) {
+	r.ops = append(r.ops, Op{Key: key, Write: false, Value: value, Invoke: at, Return: at})
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int { return len(r.ops) }
+
+// Pending counts writes still awaiting acknowledgement.
+func (r *Recorder) Pending() int {
+	n := 0
+	for _, o := range r.ops {
+		if o.Return == InfTime {
+			n++
+		}
+	}
+	return n
+}
+
+// Ops returns a copy of the recorded history.
+func (r *Recorder) Ops() []Op {
+	return append([]Op(nil), r.ops...)
+}
+
+// Check runs the linearizability check over the recorded history.
+func (r *Recorder) Check() Result {
+	return Check(r.Ops())
+}

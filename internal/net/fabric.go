@@ -32,15 +32,20 @@ const (
 type FabricStats struct {
 	Reports   uint64
 	Announces uint64
+	Migrates  uint64
 	Bytes     uint64
 }
 
 // Fabric is the coordinator↔shard control-plane link set: one full-duplex
-// link pair per shard. Purely deterministic arithmetic over simulated time,
-// like the Link it is built on.
+// link pair per shard, plus lazily created shard-to-shard mesh links that
+// carry migration traffic during an elastic reshard. Purely deterministic
+// arithmetic over simulated time, like the Link it is built on.
 type Fabric struct {
 	up   []*Link // shard i -> coordinator
 	down []*Link // coordinator -> shard i
+	mesh map[[2]int]*Link
+
+	model *simclock.CostModel
 
 	Stats FabricStats
 }
@@ -53,12 +58,19 @@ const fabricWindow = 64 << 10
 // NewFabric creates the control plane for `shards` shards over the given
 // cost model (nil = default).
 func NewFabric(model *simclock.CostModel, shards int) *Fabric {
-	f := &Fabric{}
+	f := &Fabric{model: model}
 	for i := 0; i < shards; i++ {
-		f.up = append(f.up, NewLink(model, fabricWindow))
-		f.down = append(f.down, NewLink(model, fabricWindow))
+		f.AddEndpoint()
 	}
 	return f
+}
+
+// AddEndpoint grows the fabric by one shard endpoint (a joining shard's
+// full-duplex coordinator link pair) and returns the new shard index.
+func (f *Fabric) AddEndpoint() int {
+	f.up = append(f.up, NewLink(f.model, fabricWindow))
+	f.down = append(f.down, NewLink(f.model, fabricWindow))
+	return len(f.up) - 1
 }
 
 // Shards returns the number of shard endpoints.
@@ -78,6 +90,25 @@ func (f *Fabric) SendReport(shard int, earliest simclock.Time) simclock.Time {
 func (f *Fabric) SendAnnounce(shard, shards int, earliest simclock.Time) simclock.Time {
 	payload := AnnounceBase + shards*AnnouncePerShard
 	return f.send(f.down[shard], FrameCutAnnounce, payload, earliest, &f.Stats.Announces)
+}
+
+// SendMigrate ships `payload` bytes of migration traffic (a moved-key delta
+// batch, or a dual-routed in-flight request) from shard src to shard dst and
+// returns when it arrives. Mesh links are created on first use, so only
+// pairs that actually migrate pay for a link.
+func (f *Fabric) SendMigrate(src, dst, payload int, earliest simclock.Time) simclock.Time {
+	if src == dst {
+		panic("net: migration frame to self")
+	}
+	if f.mesh == nil {
+		f.mesh = make(map[[2]int]*Link)
+	}
+	l, ok := f.mesh[[2]int{src, dst}]
+	if !ok {
+		l = NewLink(f.model, fabricWindow)
+		f.mesh[[2]int{src, dst}] = l
+	}
+	return f.send(l, FrameMigrate, payload, earliest, &f.Stats.Migrates)
 }
 
 func (f *Fabric) send(l *Link, typ FrameType, payload int, earliest simclock.Time, counter *uint64) simclock.Time {

@@ -37,6 +37,10 @@ const (
 	// FrameCutAnnounce carries the coordinator's announced cluster cut
 	// back to a shard (fabric.go).
 	FrameCutAnnounce
+	// FrameMigrate carries a migration delta (moved key/value records, or
+	// a dual-routed in-flight request) shard-to-shard during an elastic
+	// reshard (fabric.go).
+	FrameMigrate
 )
 
 // String implements fmt.Stringer.
@@ -52,6 +56,8 @@ func (t FrameType) String() string {
 		return "report"
 	case FrameCutAnnounce:
 		return "cut-announce"
+	case FrameMigrate:
+		return "migrate"
 	default:
 		return fmt.Sprintf("frame(%d)", byte(t))
 	}
