@@ -14,6 +14,7 @@ import (
 
 	"treesls/internal/apps/kvstore"
 	"treesls/internal/cluster"
+	"treesls/internal/crashfuzz"
 	"treesls/internal/extsync"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
@@ -34,11 +35,16 @@ func main() {
 	replMode := flag.String("repl-mode", "local", "replication durability contract: local (async standby) or remote (responses wait for the standby ack)")
 	shards := flag.Int("shards", 0, "if > 0, narrate the sharded-cluster crash instead: N shards lose power mid-traffic and recover onto one consistent cut")
 	reshard := flag.Bool("reshard", false, "with -shards: narrate an elastic scale-out — power fails mid-migration (whole rollback), then a clean retry commits the new ring")
+	campaign := flag.String("campaign", "", "narrate a composed fault-plane campaign instead: media-reshard, repl-cluster, or media-repl (seeded by -crash-seed)")
 	obsOpts := obs.AddFlags(nil)
 	flag.Parse()
 
 	mode, err := mem.ParsePersistMode(*persist)
 	check(err)
+	if *campaign != "" {
+		composedDemo(*campaign, mode, *crashSeed)
+		return
+	}
 	if *shards > 0 && *reshard {
 		reshardDemo(*shards, mode, *crashSeed)
 		return
@@ -324,6 +330,47 @@ func reshardDemo(shards int, mode mem.PersistMode, seed uint64) {
 	}
 	fmt.Printf("▸ cluster is live on the new ring: %d requests acked, every ack justified, every key served by its sole ring owner\n",
 		fleet.TotalAcked())
+}
+
+// composedDemo narrates one composed fault-plane campaign: two fault
+// domains stacked on the shared engine, every crash judged by the union of
+// both domains' oracle registries.
+func composedDemo(name string, mode mem.PersistMode, seed uint64) {
+	seeds := []uint64{seed}
+	switch name {
+	case "media-reshard":
+		fmt.Printf("▸ composed campaign: silent media rot planted during an elastic reshard (seed %d)\n", seed)
+		res, mres, err := crashfuzz.RunMediaDuringReshard(crashfuzz.ReshardConfig{
+			Mode: mode, Seeds: seeds, Replicas: 2,
+		}, 14)
+		check(err)
+		fmt.Printf("▸ %d crashes fired, %d rot faults planted in restore-source slots\n", res.CrashesFired, mres.RotInjected)
+		fmt.Printf("▸ %d replica repairs + %d scrub repairs; %d epochs rolled back whole, %d rolled forward\n",
+			mres.ReplicaRepairs, mres.ScrubRepairs, res.RolledBack, res.RolledForward)
+	case "repl-cluster":
+		fmt.Printf("▸ composed campaign: hot-standby failover probed under cluster crashes (seed %d)\n", seed)
+		res, pres, err := crashfuzz.RunReplUnderCluster(crashfuzz.ClusterConfig{
+			Mode: mode, Seeds: seeds, CrashesPerSeed: 24,
+		})
+		check(err)
+		fmt.Printf("▸ %d crashes fired, %d standby promotions probed at the crash instant\n", res.CrashesFired, pres.CrashProbes)
+		fmt.Printf("▸ %d oracle promotions held digest-exact; %d refusals with nothing acknowledged\n",
+			pres.OracleFailovers, pres.NoAckedAtProbe)
+	case "media-repl":
+		fmt.Printf("▸ composed campaign: silent media rot under hot-standby replication (seed %d)\n", seed)
+		res, mres, err := crashfuzz.RunMediaUnderRepl(crashfuzz.ReplConfig{
+			Mode: mode, Seeds: seeds, Replicas: 2,
+		}, 12)
+		check(err)
+		fmt.Printf("▸ %d crashes fired, %d rot faults planted; %d failovers probed while the primary was down\n",
+			res.CrashesFired, mres.RotInjected, res.Failovers)
+		fmt.Printf("▸ %d replica repairs + %d scrub repairs; restored digests matched every recorded commit\n",
+			mres.ReplicaRepairs, mres.ScrubRepairs)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown campaign %q (want media-reshard, repl-cluster, or media-repl)\n", name)
+		os.Exit(2)
+	}
+	fmt.Println("▸ zero oracle convictions: the gated system survived the composed schedule")
 }
 
 func check(err error) {

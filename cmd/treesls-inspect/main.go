@@ -15,6 +15,7 @@ import (
 	"treesls/internal/apps/kvstore"
 	"treesls/internal/caps"
 	"treesls/internal/cluster"
+	"treesls/internal/crashfuzz"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
@@ -42,6 +43,7 @@ func run(args []string, stdout io.Writer) error {
 	replicate := fs.Bool("replicate", false, "stream checkpoint deltas to a hot standby and probe a failover")
 	replMode := fs.String("repl-mode", "local", "replication durability contract: local (async standby) or remote (responses wait for the standby ack)")
 	shards := fs.Int("shards", 0, "if > 0, inspect an N-shard cluster instead: run a fleet through the consistent-hash router and dump the ring, cut log, and per-shard recovery state")
+	oracles := fs.Bool("oracles", false, "dump the fault-plane oracle catalog (which named invariants judge each crash campaign) and exit")
 	obsOpts := obs.AddFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +52,9 @@ func run(args []string, stdout io.Writer) error {
 	mode, err := mem.ParsePersistMode(*persist)
 	if err != nil {
 		return err
+	}
+	if *oracles {
+		return dumpOracleCatalog(stdout)
 	}
 	if *shards > 0 {
 		return runCluster(*shards, mode, stdout)
@@ -165,6 +170,21 @@ func run(args []string, stdout io.Writer) error {
 // the consistent-hash router, and dumps the ring, the announced cut log,
 // and each shard's recovery state — then power-fails the whole cluster and
 // reports what recovery converged on.
+// dumpOracleCatalog renders the fault-plane oracle catalog: every campaign
+// domain (legacy and composed) with its oracle registry in run order, built
+// from real worlds so the listing cannot go stale.
+func dumpOracleCatalog(stdout io.Writer) error {
+	sets, err := crashfuzz.OracleCatalog()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, "Fault-plane oracle catalog (run order; composed campaigns check the union):")
+	for _, s := range sets {
+		fmt.Fprintf(stdout, "  %-16s domain=%-9s %s\n", s.Campaign, s.Domain, strings.Join(s.Oracles, ", "))
+	}
+	return nil
+}
+
 func runCluster(shards int, mode mem.PersistMode, stdout io.Writer) error {
 	c, err := cluster.New(cluster.Config{
 		Shards:  shards,

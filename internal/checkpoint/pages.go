@@ -341,8 +341,13 @@ func (m *Manager) runHybridCopy(workers []*simclock.Lane, start simclock.Time, r
 			w.Charge(m.memory.CopyPage(d, s.Page))
 			// The old NVM runtime page becomes the latest backup; its
 			// epoch's stores must be written back for the commit fence.
+			// It is now a versioned restore source exactly like a
+			// stop-copied or COW backup, so it joins the replica tier
+			// too — without this, a media fault on a migrated-away
+			// frame is detectable but unrepairable.
 			m.flushPage(w, s.Page)
 			m.checksumPage(w, s.Page)
+			m.updateReplica(w, s.Page)
 			cp.Page[1] = s.Page
 			cp.Ver[1] = round
 			s.Page = d

@@ -138,8 +138,8 @@ func (e *recEncoder) u64(v uint64) {
 	e.buf = append(e.buf, b[:]...)
 }
 
-func (e *recEncoder) byte(b byte)        { e.buf = append(e.buf, b) }
-func (e *recEncoder) bytes(b []byte)     { e.u64(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *recEncoder) byte(b byte)    { e.buf = append(e.buf, b) }
+func (e *recEncoder) bytes(b []byte) { e.u64(uint64(len(b))); e.buf = append(e.buf, b...) }
 func (e *recEncoder) root(r *caps.ORoot) {
 	if r == nil {
 		e.u64(0)

@@ -87,6 +87,13 @@ type Config struct {
 	// Audit runs each shard's state-digest auditor at every protocol
 	// boundary.
 	Audit bool
+	// Replicas keeps redundant backup-page copies on every shard,
+	// turning detected media corruption into transparent repair;
+	// DisableChecksums runs the shards as the media ablation baseline
+	// (silent rot sails through). Both exist for composed fault
+	// campaigns that stack media damage on cluster crashes.
+	Replicas         int
+	DisableChecksums bool
 }
 
 func (c *Config) fill() {
@@ -351,6 +358,8 @@ func (c *Cluster) newShard(i int) (*Shard, error) {
 	kcfg.Mem.Persist = cfg.Persist
 	kcfg.Mem.CrashSeed = cfg.Seed + uint64(i)
 	kcfg.Checkpoint.DeferCommitPublish = true
+	kcfg.Checkpoint.Replicas = cfg.Replicas
+	kcfg.Checkpoint.DisableChecksums = cfg.DisableChecksums
 	kcfg.Audit = cfg.Audit
 	m := kernel.New(kcfg)
 	nw, err := net.New(m, net.Config{Gated: cfg.Gated, RingSlots: cfg.RingSlots})
@@ -712,6 +721,28 @@ func (c *Cluster) ringFromCut(cut Cut) *Ring {
 	return NewRingOf(cut.RingMembers, c.cfg.Vnodes, cut.RingVersion)
 }
 
+// CutDigestError reports a restored shard whose recomputed restorable
+// digest does not match what its cut announced — the cluster-level
+// "restore silently changed committed state" failure. It is typed so
+// campaign harnesses can attribute it to the cut-digest invariant even
+// when recovery itself (PowerFail) detects it before any oracle runs;
+// Shard is -1 when the cluster-wide digest fold mismatches instead.
+type CutDigestError struct {
+	Shard       int
+	Epoch       uint64
+	Got, Want   uint64
+	FoldFailure bool
+}
+
+func (e *CutDigestError) Error() string {
+	if e.FoldFailure {
+		return fmt.Sprintf("cluster: digest fold %#x != announced cluster digest %#x (e%d)",
+			e.Got, e.Want, e.Epoch)
+	}
+	return fmt.Sprintf("cluster: shard %d digest %#x != cut e%d digest %#x",
+		e.Shard, e.Got, e.Epoch, e.Want)
+}
+
 // VerifyCut checks the cluster against an announced cut: every covered
 // shard's committed version and backup digest must match its slice, and the
 // fold of the live digests must equal the announced cluster digest.
@@ -727,13 +758,11 @@ func (c *Cluster) VerifyCut(cut Cut) error {
 				id, versions[i], cut.Epoch, cut.Versions[i])
 		}
 		if digests[i] != cut.Digests[i] {
-			return fmt.Errorf("cluster: shard %d digest %#x != cut e%d digest %#x",
-				id, digests[i], cut.Epoch, cut.Digests[i])
+			return &CutDigestError{Shard: id, Epoch: cut.Epoch, Got: digests[i], Want: cut.Digests[i]}
 		}
 	}
 	if fold := FoldCut(cut.Shards, versions, digests); fold != cut.Cluster {
-		return fmt.Errorf("cluster: digest fold %#x != announced cluster digest %#x (e%d)",
-			fold, cut.Cluster, cut.Epoch)
+		return &CutDigestError{Shard: -1, Epoch: cut.Epoch, Got: fold, Want: cut.Cluster, FoldFailure: true}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"hash/fnv"
 
 	"treesls/internal/cluster"
+	"treesls/internal/faultplane"
 	"treesls/internal/linearize"
 	"treesls/internal/mem"
 	"treesls/internal/simclock"
@@ -245,6 +246,30 @@ func Run(sc Script) (Result, error) {
 		return nil
 	}
 
+	// Post-recovery invariants live in the shared fault-plane oracle
+	// registry — the same oracle names and order the cluster/reshard
+	// campaigns register — run in collect mode after every scripted crash:
+	// convictions are recorded on the Result, mechanism failures abort.
+	var bad []string
+	var mech error
+	oracles := faultplane.NewRegistry()
+	oracles.Register("cut-verified", func() error {
+		return c.VerifyCut(c.Coord.Newest())
+	})
+	oracles.Register("released-covered", c.ReleasedCovered)
+	oracles.Register("extsync-justified", func() error {
+		b, err := fleet.CheckJustified()
+		if err != nil {
+			mech = err
+			return err
+		}
+		bad = b
+		if len(b) > 0 {
+			return fmt.Errorf("%d released-but-unjustified responses", len(b))
+		}
+		return nil
+	})
+
 	var res Result
 	crash := func(target, n int) error {
 		if target >= len(c.Shards) {
@@ -277,18 +302,19 @@ func Run(sc Script) (Result, error) {
 		}
 		// Recovery always converges on the newest announced cut: live
 		// digests must reproduce the announcement, and no gate may have
-		// released beyond it.
-		if err := c.VerifyCut(c.Coord.Newest()); err != nil {
-			res.CutViolations = append(res.CutViolations,
-				fmt.Sprintf("crash %d (%s): %v", n, TargetName(target), err))
+		// released beyond it. The registry runs the full oracle set and
+		// reports every conviction; the script records them all.
+		bad, mech = nil, nil
+		_, convs := oracles.CheckAll()
+		if mech != nil {
+			return fmt.Errorf("justification check: %w", mech)
 		}
-		if err := c.ReleasedCovered(); err != nil {
+		for _, cv := range convs {
+			if cv.Oracle == "extsync-justified" {
+				continue // recorded per violation below
+			}
 			res.CutViolations = append(res.CutViolations,
-				fmt.Sprintf("crash %d (%s): %v", n, TargetName(target), err))
-		}
-		bad, err := fleet.CheckJustified()
-		if err != nil {
-			return fmt.Errorf("justification check: %w", err)
+				fmt.Sprintf("crash %d (%s): %v", n, TargetName(target), cv.Err))
 		}
 		for _, b := range bad {
 			res.Unjustified = append(res.Unjustified,

@@ -1,0 +1,48 @@
+package crashfuzz
+
+import "testing"
+
+// TestOracleCatalog pins the catalog's shape: every campaign (legacy and
+// composed) is present, and the composed campaigns carry their overlay
+// oracles appended to the base registry.
+func TestOracleCatalog(t *testing.T) {
+	sets, err := OracleCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]OracleSet{}
+	for _, s := range sets {
+		byName[s.Campaign] = s
+		if len(s.Oracles) == 0 {
+			t.Errorf("%s: empty oracle registry", s.Campaign)
+		}
+	}
+	for _, want := range []string{
+		"crash", "net", "media", "repl", "cluster", "reshard",
+		"media x reshard", "repl x cluster", "media x repl",
+	} {
+		if _, ok := byName[want]; !ok {
+			t.Errorf("catalog missing campaign %q", want)
+		}
+	}
+	has := func(campaign, oracle string) bool {
+		for _, o := range byName[campaign].Oracles {
+			if o == oracle {
+				return true
+			}
+		}
+		return false
+	}
+	if !has("cluster", "cut-verified") || !has("reshard", "cut-verified") {
+		t.Error("cluster-family campaigns must register cut-verified")
+	}
+	if !has("repl x cluster", "standby-promotable") {
+		t.Error("repl overlay must append standby-promotable to the cluster registry")
+	}
+	if !has("media x repl", "restored-digest") {
+		t.Error("media overlay must append restored-digest to the repl registry")
+	}
+	if byName["media x reshard"].Domain != "reshard+media" {
+		t.Errorf("composed domain name %q, want reshard+media", byName["media x reshard"].Domain)
+	}
+}

@@ -13,11 +13,14 @@ package crashfuzz
 // client holds an acknowledgement the recovered keyspace cannot justify.
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"treesls/internal/cluster"
+	"treesls/internal/faultplane"
 	"treesls/internal/mem"
+	"treesls/internal/simclock"
 )
 
 // ClusterConfig parameterizes a cluster crash campaign.
@@ -28,18 +31,35 @@ type ClusterConfig struct {
 	Seeds []uint64
 	// Shards is the cluster size (default 2).
 	Shards int
-	// CrashesPerSeed is how many injections to attempt per seed
-	// (default 24).
+	// CrashesPerSeed is how many injections to attempt per seed (default
+	// 24, below the shared default: every cluster round boots Shards
+	// whole machines through an up-to-800-micro-step window, so the
+	// shared 40 would roughly double the campaign's CI cost for coverage
+	// the target/boundary rotation already reaches by 24).
 	CrashesPerSeed int
-	// EventWindow bounds the random event countdown (default 40).
+	// EventWindow bounds the random event countdown (default 40: cluster
+	// events — cut-protocol micro-actions — are far sparser than NVM
+	// persistence events, and a 96-event window would routinely outlast
+	// the step budget, converting boundary crashes into expired
+	// countdowns).
 	EventWindow int
 	// StepsPerCrash bounds micro-steps while waiting for a countdown to
-	// elapse (default 800).
+	// elapse (default 800: a micro-step is one packet hop or one protocol
+	// action across the whole cluster, so the window needs many more of
+	// them than a single machine's workload does).
 	StepsPerCrash int
 	// Clients, KeysPerClient, Window shape the fleet (defaults 2, 2, 2).
 	Clients       int
 	KeysPerClient int
 	Window        int
+	// Replicate attaches a per-shard replicator streaming each shard's
+	// checkpoints to a hot standby (used by composed campaigns that probe
+	// failover under cluster crashes).
+	Replicate bool
+	// Ungated drops the shards' extsync gates — the unsafe ablation
+	// baseline the composed conviction tests use. The justification oracle
+	// then convicts the first acknowledgement a recovery cannot cover.
+	Ungated bool
 }
 
 func (c *ClusterConfig) fill() {
@@ -94,44 +114,50 @@ type ClusterResult struct {
 	AuditChecks uint64
 }
 
-// clusterFuzzer is the per-seed state: one cluster plus its fleet.
+// clusterFuzzer is the per-seed world: one cluster plus its fleet.
 type clusterFuzzer struct {
 	cfg   ClusterConfig
 	rng   *rand.Rand
+	res   *ClusterResult
 	c     *cluster.Cluster
 	fleet *cluster.Fleet
+
+	// lastVictims records which shards the last injection crash-restored
+	// (all of them for a power failure); overlays target faults there.
+	lastVictims []int
+
+	oracles  *faultplane.Registry
+	preCrash []func() error
+}
+
+// clusterDomain adapts the cluster campaign to the fault-plane engine.
+type clusterDomain struct {
+	cfg ClusterConfig
+	res *ClusterResult
+}
+
+func (d *clusterDomain) Name() string        { return "cluster" }
+func (d *clusterDomain) StreamLabel() string { return "" }
+
+func (d *clusterDomain) Build(seed uint64, rng *rand.Rand) (faultplane.World, error) {
+	return newClusterFuzzer(d.cfg, seed, rng, d.res)
 }
 
 // RunCluster executes the campaign.
 func RunCluster(cfg ClusterConfig) (ClusterResult, error) {
 	cfg.fill()
 	var res ClusterResult
-	for _, seed := range cfg.Seeds {
-		if err := runClusterSeed(cfg, seed, &res); err != nil {
-			return res, fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return res, nil
+	st, err := faultplane.RunCampaign(
+		faultplane.Spec{Seeds: cfg.Seeds, RoundsPerSeed: cfg.CrashesPerSeed},
+		&clusterDomain{cfg: cfg, res: &res})
+	res.CrashesFired = st.Injections
+	res.Recoveries = st.Recoveries
+	return res, err
 }
 
-func runClusterSeed(cfg ClusterConfig, seed uint64, res *ClusterResult) error {
-	f, err := newClusterFuzzer(cfg, seed)
-	if err != nil {
-		return err
-	}
-	for c := 0; c < cfg.CrashesPerSeed; c++ {
-		// Target rotation is rng-driven so the interleaving of targets
-		// and boundaries varies per seed.
-		target := f.pickTarget()
-		fired, err := f.oneCrash(target, res)
-		if err != nil {
-			return fmt.Errorf("crash %d (%s): %w", c, targetName(target, cfg.Shards), err)
-		}
-		if fired {
-			res.CrashesFired++
-			res.Recoveries++
-		}
-	}
+// Finish folds the seed's traffic and protocol counters.
+func (f *clusterFuzzer) Finish() error {
+	res := f.res
 	res.Acked += f.fleet.TotalAcked()
 	res.Retransmits += f.fleet.Retransmits
 	for _, s := range f.c.Shards {
@@ -166,13 +192,14 @@ func (f *clusterFuzzer) pickTarget() int {
 	return f.rng.Intn(2 + f.c.Config().Shards)
 }
 
-func newClusterFuzzer(cfg ClusterConfig, seed uint64) (*clusterFuzzer, error) {
+func newClusterFuzzer(cfg ClusterConfig, seed uint64, rng *rand.Rand, res *ClusterResult) (*clusterFuzzer, error) {
 	c, err := cluster.New(cluster.Config{
-		Shards:  cfg.Shards,
-		Gated:   true,
-		Persist: cfg.Mode,
-		Seed:    seed,
-		Audit:   true,
+		Shards:    cfg.Shards,
+		Gated:     !cfg.Ungated,
+		Persist:   cfg.Mode,
+		Seed:      seed,
+		Audit:     true,
+		Replicate: cfg.Replicate,
 	})
 	if err != nil {
 		return nil, err
@@ -188,13 +215,71 @@ func newClusterFuzzer(cfg ClusterConfig, seed uint64) (*clusterFuzzer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &clusterFuzzer{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(int64(seed))),
-		c:     c,
-		fleet: fleet,
-	}, nil
+	f := &clusterFuzzer{cfg: cfg, rng: rng, res: res, c: c, fleet: fleet}
+	f.registerOracles()
+	return f, nil
 }
+
+// registerOracles wires the cluster-wide external-synchrony invariant set
+// in its legacy check order: cut digests, release coverage, acknowledgement
+// justification, client FIFO, duplicate acks, per-shard audit.
+func (f *clusterFuzzer) registerOracles() {
+	f.oracles = faultplane.NewRegistry()
+	f.oracles.Register("cut-verified", func() error {
+		return f.c.VerifyCut(f.c.Coord.Newest())
+	})
+	f.oracles.Register("released-covered", f.c.ReleasedCovered)
+	f.oracles.Register("extsync-justified", func() error {
+		bad, err := f.fleet.CheckJustified()
+		if err != nil {
+			return err
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("released-but-uncovered response: %s", bad[0])
+		}
+		return nil
+	})
+	f.oracles.Register("client-fifo", func() error {
+		if n := len(f.fleet.Violations); n > 0 {
+			return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
+		}
+		return nil
+	})
+	f.oracles.Register("dup-acks", func() error {
+		if f.fleet.DupAcks > 0 {
+			return fmt.Errorf("%d duplicate acknowledgements after recovery", f.fleet.DupAcks)
+		}
+		return nil
+	})
+	f.oracles.Register("shard-audit", func() error {
+		for i, s := range f.c.Shards {
+			if s.M.Auditor != nil {
+				if la := s.M.LastAudit; !la.Ok() {
+					return fmt.Errorf("shard %d audit at %s: %d violation(s), first: %s",
+						i, la.Where, len(la.Violations), la.Violations[0])
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// Oracles returns the cluster domain's registry.
+func (f *clusterFuzzer) Oracles() *faultplane.Registry { return f.oracles }
+
+// AddPreCrash registers a composition hook run at the crash boundary —
+// after the countdown elapsed and the crash target is known, before the
+// failure is injected.
+func (f *clusterFuzzer) AddPreCrash(fn func() error) { f.preCrash = append(f.preCrash, fn) }
+
+// Now reports simulated time for engine trace instants.
+func (f *clusterFuzzer) Now() simclock.Time { return f.c.Shards[0].M.Now() }
+
+// Cluster exposes the live cluster to composition overlays.
+func (f *clusterFuzzer) Cluster() *cluster.Cluster { return f.c }
+
+// Victims reports the shard indices the last injection crash-restored.
+func (f *clusterFuzzer) Victims() []int { return f.lastVictims }
 
 // stepOnce advances the cluster world by one micro-action: a round step if
 // a round is in flight (so crashes can land between protocol actions), a
@@ -230,9 +315,36 @@ func (f *clusterFuzzer) classify(res *ClusterResult) {
 	res.MidRoute++
 }
 
-// oneCrash waits a random event countdown, injects the failure, runs the
-// recovery procedure for the target, and applies the oracle.
-func (f *clusterFuzzer) oneCrash(target int, res *ClusterResult) (bool, error) {
+// Round rotates the crash target rng-driven (so the interleaving of targets
+// and boundaries varies per seed), then waits out a random event countdown
+// and injects; the engine runs the oracle registry next.
+func (f *clusterFuzzer) Round(rng *rand.Rand, round int) (bool, error) {
+	target := f.pickTarget()
+	fired, err := f.crashOnce(target)
+	if err != nil {
+		return fired, fmt.Errorf("%s: %w", targetName(target, f.cfg.Shards), attributeCutDigest(err))
+	}
+	return fired, nil
+}
+
+// attributeCutDigest turns a typed cut-digest mismatch detected inside the
+// recovery procedure itself (PowerFail verifies the cut before handing the
+// cluster back) into a conviction of the registered "cut-verified" oracle:
+// it is the same invariant the registry re-checks after every round, just
+// caught one step earlier.
+func attributeCutDigest(err error) error {
+	var de *cluster.CutDigestError
+	if errors.As(err, &de) {
+		return &faultplane.Conviction{Oracle: "cut-verified", Err: err}
+	}
+	return err
+}
+
+// crashOnce waits a random event countdown, then injects the failure and
+// runs the recovery procedure for the target. Oracle checks are the
+// engine's job (or the caller's, for the one-shot entry point).
+func (f *clusterFuzzer) crashOnce(target int) (bool, error) {
+	res := f.res
 	deadline := f.c.Events() + uint64(1+f.rng.Intn(f.cfg.EventWindow))
 	fired := false
 	for step := 0; step < f.cfg.StepsPerCrash; step++ {
@@ -248,6 +360,19 @@ func (f *clusterFuzzer) oneCrash(target int, res *ClusterResult) (bool, error) {
 		return false, nil
 	}
 	f.classify(res)
+	f.lastVictims = f.lastVictims[:0]
+	switch target {
+	case 0:
+		for i := range f.c.Shards {
+			f.lastVictims = append(f.lastVictims, i)
+		}
+	case 1:
+	default:
+		f.lastVictims = append(f.lastVictims, (target-2)%f.c.Config().Shards)
+	}
+	if err := f.runPreCrash(); err != nil {
+		return false, err
+	}
 	switch target {
 	case 0:
 		res.PowerCrashes++
@@ -268,36 +393,13 @@ func (f *clusterFuzzer) oneCrash(target int, res *ClusterResult) (bool, error) {
 		}
 		f.fleet.ResyncShard(victim)
 	}
-	return true, f.verify()
+	return true, nil
 }
 
-// verify applies the cluster oracle after a recovery.
-func (f *clusterFuzzer) verify() error {
-	if err := f.c.VerifyCut(f.c.Coord.Newest()); err != nil {
-		return err
-	}
-	if err := f.c.ReleasedCovered(); err != nil {
-		return err
-	}
-	bad, err := f.fleet.CheckJustified()
-	if err != nil {
-		return err
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("released-but-uncovered response: %s", bad[0])
-	}
-	if n := len(f.fleet.Violations); n > 0 {
-		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
-	}
-	if f.fleet.DupAcks > 0 {
-		return fmt.Errorf("%d duplicate acknowledgements after recovery", f.fleet.DupAcks)
-	}
-	for i, s := range f.c.Shards {
-		if s.M.Auditor != nil {
-			if la := s.M.LastAudit; !la.Ok() {
-				return fmt.Errorf("shard %d audit at %s: %d violation(s), first: %s",
-					i, la.Where, len(la.Violations), la.Violations[0])
-			}
+func (f *clusterFuzzer) runPreCrash() error {
+	for _, fn := range f.preCrash {
+		if err := fn(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -308,10 +410,13 @@ func (f *clusterFuzzer) verify() error {
 // given seed, wait eventK cluster events, inject the failure against the
 // fuzzed target, recover, and apply the oracle. A run where the countdown
 // never elapses within the step budget is a valid (uninteresting) input.
+// (Historical quirk, preserved: the fuzzed countdown gates a second,
+// rng-drawn countdown inside crashOnce.)
 func ClusterOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, steps uint16) error {
 	cfg := ClusterConfig{Mode: mode}
 	cfg.fill()
-	f, err := newClusterFuzzer(cfg, seed)
+	var res ClusterResult
+	f, err := newClusterFuzzer(cfg, seed, faultplane.Stream(seed, ""), &res)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
 	}
@@ -330,7 +435,13 @@ func ClusterOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, ste
 	if !fired {
 		return nil
 	}
-	var res ClusterResult
-	_, err = f.oneCrash(int(target)%(2+cfg.Shards), &res)
+	fired, err = f.crashOnce(int(target) % (2 + cfg.Shards))
+	if err != nil {
+		return err
+	}
+	if !fired {
+		return nil
+	}
+	_, err = f.oracles.Check()
 	return err
 }

@@ -1,0 +1,97 @@
+package crashfuzz
+
+// Corpus-compat regression: every checked-in fuzz corpus entry must keep
+// parsing, decoding, and round-tripping through the shared fuzz-input codec
+// that replaced the six hand-rolled decoders. A schema drift (field
+// reordered, type changed) would silently orphan the corpus — this test
+// makes it loud.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"treesls/internal/faultplane"
+)
+
+func TestCorpusCompat(t *testing.T) {
+	total := 0
+	for domain, target := range FuzzTargetNames {
+		dir := filepath.Join("testdata", "fuzz", target)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("%s: corpus dir: %v", domain, err)
+		}
+		if len(entries) == 0 {
+			t.Fatalf("%s: corpus dir %s is empty", domain, dir)
+		}
+		schema := faultplane.Schemas[domain]
+		for _, e := range entries {
+			if e.IsDir() {
+				continue
+			}
+			total++
+			path := filepath.Join(dir, e.Name())
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			vals, err := faultplane.ParseCorpus(data)
+			if err != nil {
+				t.Errorf("%s: parse: %v", path, err)
+				continue
+			}
+			if len(vals) != len(schema) {
+				t.Errorf("%s: %d values, schema %s wants %d", path, len(vals), domain, len(schema))
+				continue
+			}
+			in, err := faultplane.Decode(domain, vals)
+			if err != nil {
+				t.Errorf("%s: decode: %v", path, err)
+				continue
+			}
+			enc, err := faultplane.Encode(in)
+			if err != nil {
+				t.Errorf("%s: encode: %v", path, err)
+				continue
+			}
+			if !reflect.DeepEqual(enc, vals) {
+				t.Errorf("%s: decode/encode round-trip diverged:\n got %#v\nwant %#v", path, enc, vals)
+			}
+			if _, ok := oneShots[in.Domain]; !ok {
+				t.Errorf("%s: decoded domain %q has no dispatcher", path, in.Domain)
+			}
+		}
+	}
+	t.Logf("replayed %d corpus entries across %d domains", total, len(FuzzTargetNames))
+}
+
+// TestCorpusExecutesSmoke executes one real corpus entry per domain through
+// the full decode-dispatch path, proving the codec feeds the same campaign
+// machinery the legacy decoders did. One entry per domain keeps the test in
+// tier-1 time; the fuzz-short CI job executes the rest.
+func TestCorpusExecutesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus execution smoke skipped in -short")
+	}
+	for domain, target := range FuzzTargetNames {
+		dir := filepath.Join("testdata", "fuzz", target)
+		entries, err := os.ReadDir(dir)
+		if err != nil || len(entries) == 0 {
+			t.Fatalf("%s: corpus dir: %v", domain, err)
+		}
+		path := filepath.Join(dir, entries[0].Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		vals, err := faultplane.ParseCorpus(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", path, err)
+		}
+		if err := RunOneShot(domain, vals...); err != nil {
+			t.Errorf("%s: replay convicted: %v", path, err)
+		}
+	}
+}

@@ -1,5 +1,11 @@
 // Package crashfuzz is the systematic crash-injection harness for the
-// TreeSLS persistence protocol. It drives randomized workloads on a full
+// TreeSLS persistence protocol. Every campaign here is a fault domain on
+// the shared fault-plane engine (internal/faultplane): the engine owns
+// seeded stream splitting, the round loop, and uniform post-crash oracle
+// runs; each domain owns its world choreography — what to build, how to
+// drive it, where to inject — and registers its invariants once.
+//
+// The original crash domain drives randomized workloads on a full
 // simulated machine, arms power failures at randomized NVM persistence
 // events (every tracked store, write-back, fence, and metadata crash point
 // counts as one event), and after every crash restores the machine and
@@ -19,11 +25,12 @@ import (
 	"fmt"
 	"math/rand"
 
-	"treesls/internal/alloc"
 	"treesls/internal/caps"
+	"treesls/internal/faultplane"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/obs"
+	"treesls/internal/simclock"
 )
 
 // Config parameterizes one fuzzing campaign.
@@ -35,10 +42,10 @@ type Config struct {
 	// CrashesPerSeed is how many crash injections to attempt per seed.
 	CrashesPerSeed int
 	// EventWindow bounds the armed countdown: each injection fires after
-	// 1..EventWindow persistence events (default 96).
+	// 1..EventWindow persistence events.
 	EventWindow int
 	// StepsPerCrash bounds the workload steps run while waiting for an
-	// armed crash to fire (default 400).
+	// armed crash to fire.
 	StepsPerCrash int
 	// Pages is the size of the fuzzed working set (default 32).
 	Pages int
@@ -52,19 +59,20 @@ type Config struct {
 	// and subtree-commit boundaries are persistence events — so armed
 	// crashes land mid-steal and between subtree commits.
 	SerialWalk bool
-	// Obs attaches an observability layer to the fuzzed machines.
+	// Obs attaches an observability layer to the fuzzed machines and the
+	// engine (faultplane.* metrics, per-crash trace instants).
 	Obs *obs.Observer
 }
 
 func (c *Config) fill() {
 	if c.CrashesPerSeed == 0 {
-		c.CrashesPerSeed = 50
+		c.CrashesPerSeed = faultplane.Defaults.RoundsPerSeed
 	}
 	if c.EventWindow == 0 {
-		c.EventWindow = 96
+		c.EventWindow = faultplane.Defaults.EventWindow
 	}
 	if c.StepsPerCrash == 0 {
-		c.StepsPerCrash = 400
+		c.StepsPerCrash = faultplane.Defaults.StepsPerRound
 	}
 	if c.Pages == 0 {
 		c.Pages = 32
@@ -109,14 +117,18 @@ type Result struct {
 	AuditChecks uint64
 }
 
-// fuzzer is the per-seed state: one machine plus the shadow model.
+// fuzzer is the per-seed world: one machine plus the shadow model.
 type fuzzer struct {
 	fuzzerCounters
 	cfg Config
 	rng *rand.Rand
+	res *Result
 	m   *kernel.Machine
 	p   *kernel.Process
 	va  uint64
+
+	oracles  *faultplane.Registry
+	preCrash []func() error
 
 	live      []uint64 // current app state
 	committed []uint64 // app state at the last durable commit
@@ -136,35 +148,37 @@ type fuzzer struct {
 	lastOp string
 }
 
+// crashDomain adapts the crash campaign to the fault-plane engine.
+type crashDomain struct {
+	cfg Config
+	res *Result
+}
+
+func (d *crashDomain) Name() string        { return "crash" }
+func (d *crashDomain) StreamLabel() string { return "" }
+
+func (d *crashDomain) Build(seed uint64, rng *rand.Rand) (faultplane.World, error) {
+	return newFuzzer(d.cfg, seed, rng, d.res)
+}
+
 // Run executes the campaign and returns its aggregate result. The first
 // verification failure aborts the campaign with an error describing the
 // divergence.
 func Run(cfg Config) (Result, error) {
 	cfg.fill()
 	var res Result
-	for _, seed := range cfg.Seeds {
-		if err := runSeed(cfg, seed, &res); err != nil {
-			return res, fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return res, nil
+	st, err := faultplane.RunCampaign(
+		faultplane.Spec{Seeds: cfg.Seeds, RoundsPerSeed: cfg.CrashesPerSeed, Obs: cfg.Obs},
+		&crashDomain{cfg: cfg, res: &res})
+	res.CrashesFired = st.Injections
+	res.Restores = st.Recoveries
+	return res, err
 }
 
-func runSeed(cfg Config, seed uint64, res *Result) error {
-	f, err := newFuzzer(cfg, seed)
-	if err != nil {
-		return err
-	}
-	for c := 0; c < cfg.CrashesPerSeed; c++ {
-		fired, err := f.oneCrash()
-		if err != nil {
-			return fmt.Errorf("crash %d: %w", c, err)
-		}
-		if fired {
-			res.CrashesFired++
-			res.Restores++
-		}
-	}
+// Finish folds the seed's machine counters into the campaign result and
+// runs the allocator's final invariants.
+func (f *fuzzer) Finish() error {
+	res := f.res
 	res.Commits += int(f.m.Ckpt.Stats.Checkpoints)
 	res.Rollbacks += f.rollbacks
 	res.InFlightCommitted += f.inFlightCommitted
@@ -181,7 +195,7 @@ func runSeed(cfg Config, seed uint64, res *Result) error {
 	return f.m.Alloc.CheckInvariants()
 }
 
-// rollbacks / inFlightCommitted live on the fuzzer so runSeed can fold them
+// rollbacks / inFlightCommitted live on the fuzzer so Finish can fold them
 // into the Result after the seed finishes.
 type fuzzerCounters struct {
 	rollbacks         int
@@ -189,7 +203,7 @@ type fuzzerCounters struct {
 	restoreCrashes    int
 }
 
-func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
+func newFuzzer(cfg Config, seed uint64, rng *rand.Rand, res *Result) (*fuzzer, error) {
 	mcfg := kernel.DefaultConfig()
 	mcfg.CheckpointEvery = 0 // explicit checkpoints give a precise model
 	mcfg.SkipDefaultServices = true
@@ -205,7 +219,8 @@ func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
 
 	f := &fuzzer{
 		cfg:       cfg,
-		rng:       rand.New(rand.NewSource(int64(seed))),
+		rng:       rng,
+		res:       res,
 		m:         m,
 		live:      make([]uint64, cfg.Pages),
 		committed: make([]uint64, cfg.Pages),
@@ -231,7 +246,38 @@ func newFuzzer(cfg Config, seed uint64) (*fuzzer, error) {
 	if err := f.checkpoint(); err != nil {
 		return nil, err
 	}
+	f.registerOracles()
 	return f, nil
+}
+
+// registerOracles wires the crash domain's invariant set, in the order the
+// legacy harness checked them: the state-digest audit, the restored
+// version's lineage (which also resynchronizes the shadow model), then the
+// shadow page and register comparisons against the surviving commit.
+func (f *fuzzer) registerOracles() {
+	f.oracles = faultplane.NewRegistry()
+	f.oracles.Register("audit", f.checkAudit)
+	f.oracles.Register("version-lineage", f.checkLineage)
+	f.oracles.Register("shadow-pages", f.checkPages)
+	f.oracles.Register("shadow-register", f.checkRegister)
+}
+
+// Oracles returns the crash domain's registry.
+func (f *fuzzer) Oracles() *faultplane.Registry { return f.oracles }
+
+// AddPreCrash registers a composition hook run at the crash boundary.
+func (f *fuzzer) AddPreCrash(fn func() error) { f.preCrash = append(f.preCrash, fn) }
+
+// Now reports simulated time for engine trace instants.
+func (f *fuzzer) Now() simclock.Time { return f.m.Now() }
+
+func (f *fuzzer) runPreCrash() error {
+	for _, fn := range f.preCrash {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (f *fuzzer) writePage(i int, v uint64) error {
@@ -275,10 +321,11 @@ func (f *fuzzer) commitPending() {
 	f.pendingVer = 0
 }
 
-// oneCrash arms a random persistence-event countdown, drives the workload
-// until it fires (re-arming with fresh randomness if a window ends quiet),
-// then crash-restores and verifies. Returns whether a crash fired.
-func (f *fuzzer) oneCrash() (bool, error) {
+// Round arms a random persistence-event countdown, drives the workload
+// until it fires (a window can end quiet — that round simply did not
+// fire), then crash-restores. The engine runs the oracle registry after
+// every fired round.
+func (f *fuzzer) Round(rng *rand.Rand, round int) (bool, error) {
 	k := 1 + f.rng.Intn(f.cfg.EventWindow)
 	f.m.Memory.ArmCrashAfter(uint64(k))
 	fired := false
@@ -294,33 +341,33 @@ func (f *fuzzer) oneCrash() (bool, error) {
 	if !fired {
 		return false, nil
 	}
+	if err := f.runPreCrash(); err != nil {
+		return false, err
+	}
 	f.m.Crash()
-	// One crash in four also arms a failure over the restore itself: the
-	// recovery path's own persistence events (backup copies, flushes,
-	// journaled frees) are crash points too, and a half-finished restore
-	// must be restartable without losing the never-silently-corrupt
-	// guarantee.
-	if f.rng.Intn(4) == 0 {
-		fired, err := f.crashDuringRestore()
+	// One crash in RestoreCrashDenom also arms a failure over the restore
+	// itself: the recovery path's own persistence events (backup copies,
+	// flushes, journaled frees) are crash points too, and a half-finished
+	// restore must be restartable without losing the
+	// never-silently-corrupt guarantee.
+	if f.rng.Intn(faultplane.Defaults.RestoreCrashDenom) == 0 {
+		rfired, err := f.crashDuringRestore()
 		if err != nil {
 			return true, err
 		}
-		if fired {
+		if rfired {
 			f.restoreCrashes++
-			if err := f.restoreAndVerify(); err != nil {
-				return true, fmt.Errorf("after crash-during-restore: %w", err)
+			if err := f.m.Restore(); err != nil {
+				return true, fmt.Errorf("after crash-during-restore: restore: %w", err)
 			}
 			return true, nil
 		}
 		// The countdown outlived the restore: the machine is already up,
-		// only verification remains.
-		if err := f.verifyRestored(); err != nil {
-			return true, err
-		}
+		// only the oracle run remains.
 		return true, nil
 	}
-	if err := f.restoreAndVerify(); err != nil {
-		return true, err
+	if err := f.m.Restore(); err != nil {
+		return true, fmt.Errorf("restore: %w", err)
 	}
 	return true, nil
 }
@@ -328,22 +375,10 @@ func (f *fuzzer) oneCrash() (bool, error) {
 // crashDuringRestore attempts a restore with an armed power-failure
 // countdown. It reports whether the failure fired mid-restore (leaving the
 // machine crashed again); if the restore completed first, the machine is
-// running and verified state is the caller's next step.
-func (f *fuzzer) crashDuringRestore() (fired bool, err error) {
+// running and the oracle run is the caller's next step.
+func (f *fuzzer) crashDuringRestore() (bool, error) {
 	f.m.Memory.ArmCrashAfter(uint64(1 + f.rng.Intn(f.cfg.EventWindow)))
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				switch r.(type) {
-				case mem.CrashError, alloc.CrashError:
-					fired = true
-				default:
-					panic(r)
-				}
-			}
-		}()
-		err = f.m.Restore()
-	}()
+	fired, err := faultplane.CatchCrash(f.m.Restore)
 	f.m.Memory.DisarmCrash()
 	if fired {
 		f.m.Crash()
@@ -357,61 +392,43 @@ func (f *fuzzer) crashDuringRestore() (fired bool, err error) {
 
 // step runs one random workload operation, converting an injected power
 // failure into a clean "fired" signal.
-func (f *fuzzer) step() (fired bool, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			switch r.(type) {
-			case mem.CrashError, alloc.CrashError:
-				fired = true
-				err = nil
-			default:
-				panic(r)
+func (f *fuzzer) step() (bool, error) {
+	return faultplane.CatchCrash(func() error {
+		switch r := f.rng.Intn(100); {
+		case r < 62: // page write
+			i, v := f.rng.Intn(f.cfg.Pages), f.rng.Uint64()
+			f.lastOp = fmt.Sprintf("write page %d = %#x", i, v)
+			return f.writePage(i, v)
+		case r < 72: // register update
+			v := f.rng.Uint64()
+			f.lastOp = "register update"
+			_, e := f.m.Run(f.p, f.p.Threads[1], func(e *kernel.Env) error {
+				e.T.Touch(func(c *caps.Context) { c.R[5] = v })
+				return nil
+			})
+			if e == nil {
+				f.liveReg = v
 			}
-		}
-	}()
-	switch r := f.rng.Intn(100); {
-	case r < 62: // page write
-		i, v := f.rng.Intn(f.cfg.Pages), f.rng.Uint64()
-		f.lastOp = fmt.Sprintf("write page %d = %#x", i, v)
-		return false, f.writePage(i, v)
-	case r < 72: // register update
-		v := f.rng.Uint64()
-		f.lastOp = "register update"
-		_, e := f.m.Run(f.p, f.p.Threads[1], func(e *kernel.Env) error {
-			e.T.Touch(func(c *caps.Context) { c.R[5] = v })
+			return e
+		case r < 78: // cold-page eviction (exercises swap under crash)
+			f.lastOp = "evict"
+			if f.m.Ckpt.HasCheckpoint() {
+				_, e := f.m.EvictColdPages(f.rng.Intn(4) + 1)
+				return e
+			}
 			return nil
-		})
-		if e == nil {
-			f.liveReg = v
+		default: // checkpoint
+			f.lastOp = fmt.Sprintf("checkpoint v%d", f.m.Ckpt.CommittedVersion()+1)
+			return f.checkpoint()
 		}
-		return false, e
-	case r < 78: // cold-page eviction (exercises swap under crash)
-		f.lastOp = "evict"
-		if f.m.Ckpt.HasCheckpoint() {
-			_, e := f.m.EvictColdPages(f.rng.Intn(4) + 1)
-			return false, e
-		}
-		return false, nil
-	default: // checkpoint
-		f.lastOp = fmt.Sprintf("checkpoint v%d", f.m.Ckpt.CommittedVersion()+1)
-		return false, f.checkpoint()
-	}
+	})
 }
 
-// restoreAndVerify restores the crashed machine and checks every page and
-// the shadowed register against the model of whichever version survived.
-func (f *fuzzer) restoreAndVerify() error {
-	if err := f.m.Restore(); err != nil {
-		return fmt.Errorf("restore: %w", err)
-	}
-	return f.verifyRestored()
-}
-
-// verifyRestored checks an already-restored machine against the shadow model.
-func (f *fuzzer) verifyRestored() error {
-	if err := f.checkAudit(); err != nil {
-		return err
-	}
+// checkLineage classifies which version survived the crash — the last
+// durable commit or an in-flight round whose commit word persisted — and
+// resynchronizes the shadow model and process handle to it. Any other
+// restored version is a lineage violation.
+func (f *fuzzer) checkLineage() error {
 	ver := f.m.Ckpt.CommittedVersion()
 	switch {
 	case ver == f.commVer:
@@ -436,7 +453,13 @@ func (f *fuzzer) verifyRestored() error {
 	if f.p == nil {
 		return fmt.Errorf("process lost across restore")
 	}
+	return nil
+}
 
+// checkPages compares every restored page against the shadow model of the
+// surviving commit.
+func (f *fuzzer) checkPages() error {
+	ver := f.m.Ckpt.CommittedVersion()
 	for i := 0; i < f.cfg.Pages; i++ {
 		var got uint64
 		if _, err := f.m.Run(f.p, f.p.MainThread(), func(e *kernel.Env) error {
@@ -451,8 +474,15 @@ func (f *fuzzer) verifyRestored() error {
 				i, got, f.committed[i], ver, f.lastOp)
 		}
 	}
+	return nil
+}
+
+// checkRegister compares the shadowed register against the surviving
+// commit.
+func (f *fuzzer) checkRegister() error {
 	if got := f.p.Threads[1].Ctx.R[5]; got != f.commReg {
-		return fmt.Errorf("register = %#x, committed model %#x (version %d, crash during %s)", got, f.commReg, ver, f.lastOp)
+		return fmt.Errorf("register = %#x, committed model %#x (version %d, crash during %s)",
+			got, f.commReg, f.m.Ckpt.CommittedVersion(), f.lastOp)
 	}
 	return nil
 }
@@ -460,13 +490,13 @@ func (f *fuzzer) verifyRestored() error {
 // OneShot runs a single parameterized crash injection: boot a machine with
 // the given workload seed, arm a power failure eventK persistence events
 // ahead, drive up to steps workload operations, and — if the failure fired —
-// crash, restore, and verify (with the state-digest auditor enabled). It is
-// the entry point of FuzzCrashEvent: the fuzzer owns the parameter space,
-// this function owns the oracle. A run where the countdown never fires is a
-// valid (uninteresting) input, not an error. serial selects the reference
-// walk; the default parallel walk adds a persistence event at every
-// work-queue claim and subtree commit, putting those boundaries inside the
-// fuzzed crash window.
+// crash, restore, and run the oracle set (with the state-digest auditor
+// enabled). It is the entry point of FuzzCrashEvent: the fuzzer owns the
+// parameter space, this function owns the oracle. A run where the countdown
+// never fires is a valid (uninteresting) input, not an error. serial selects
+// the reference walk; the default parallel walk adds a persistence event at
+// every work-queue claim and subtree commit, putting those boundaries inside
+// the fuzzed crash window.
 func OneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16, serial bool) error {
 	cfg := Config{
 		Mode:       mode,
@@ -476,7 +506,8 @@ func OneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16, serial boo
 		SerialWalk: serial,
 	}
 	cfg.fill()
-	f, err := newFuzzer(cfg, seed)
+	var res Result
+	f, err := newFuzzer(cfg, seed, faultplane.Stream(seed, ""), &res)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
 	}
@@ -498,5 +529,9 @@ func OneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16, serial boo
 		return nil
 	}
 	f.m.Crash()
-	return f.restoreAndVerify()
+	if err := f.m.Restore(); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	_, err = f.oracles.Check()
+	return err
 }

@@ -24,12 +24,8 @@ func FuzzCrashEvent(f *testing.F) {
 	f.Add(true, uint64(42), uint64(7), uint16(90), false)
 
 	f.Fuzz(func(t *testing.T, adr bool, seed, eventK uint64, steps uint16, serial bool) {
-		mode := mem.ModeEADR
-		if adr {
-			mode = mem.ModeADR
-		}
-		if err := OneShot(mode, seed, eventK, steps, serial); err != nil {
-			t.Fatalf("mode=%v seed=%d eventK=%d steps=%d serial=%v: %v", mode, seed, eventK, steps, serial, err)
+		if err := RunOneShot("crash", adr, seed, eventK, steps, serial); err != nil {
+			t.Fatalf("adr=%v seed=%d eventK=%d steps=%d serial=%v: %v", adr, seed, eventK, steps, serial, err)
 		}
 	})
 }

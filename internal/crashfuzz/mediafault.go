@@ -19,8 +19,10 @@ import (
 
 	"treesls/internal/caps"
 	"treesls/internal/checkpoint"
+	"treesls/internal/faultplane"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
+	"treesls/internal/simclock"
 )
 
 // MediaConfig parameterizes one media-fault campaign.
@@ -36,7 +38,7 @@ type MediaConfig struct {
 	// gets its own machine.
 	Seeds []uint64
 	// InjectionsPerSeed is how many inject-crash-restore-verify rounds
-	// to run per seed (default 40).
+	// to run per seed.
 	InjectionsPerSeed int
 	// Pages is the app working set (default 24). Threads defaults to 2.
 	Pages, Threads int
@@ -51,8 +53,9 @@ type MediaConfig struct {
 	// detectable (the device flags it), but silent rot sails through.
 	// Mismatches are counted as SilentCorruptions instead of failing.
 	DisableChecksums bool
-	// CrashDuringRestore arms a power failure over one restore in four,
-	// stacking recovery re-entrancy on top of media damage.
+	// CrashDuringRestore arms a power failure over one restore in
+	// faultplane.Defaults.RestoreCrashDenom, stacking recovery
+	// re-entrancy on top of media damage.
 	CrashDuringRestore bool
 	// ScrubEveryN runs a full media scrub every N rounds (0 disables;
 	// 1 heals mirror rot before the next round can pile a second fault
@@ -64,7 +67,7 @@ type MediaConfig struct {
 
 func (c *MediaConfig) fill() {
 	if c.InjectionsPerSeed == 0 {
-		c.InjectionsPerSeed = 40
+		c.InjectionsPerSeed = faultplane.Defaults.RoundsPerSeed
 	}
 	if c.Pages == 0 {
 		c.Pages = 24
@@ -106,27 +109,41 @@ type MediaResult struct {
 	AuditChecks                               uint64
 }
 
+// mediaDomain adapts the media campaign to the fault-plane engine. Its
+// stream label preserves the campaign's historical RNG identity: the silo
+// always XORed its seeds with the ASCII bytes of "media".
+type mediaDomain struct {
+	cfg MediaConfig
+	res *MediaResult
+}
+
+func (d *mediaDomain) Name() string        { return "media" }
+func (d *mediaDomain) StreamLabel() string { return "media" }
+
+func (d *mediaDomain) Build(seed uint64, rng *rand.Rand) (faultplane.World, error) {
+	return newMediaFuzzer(d.cfg, seed, rng, d.res)
+}
+
 // RunMedia executes the campaign and returns the aggregate result. With
 // checksums enabled, the first silently corrupt page aborts with an error;
 // the baseline instead counts and resynchronizes.
 func RunMedia(cfg MediaConfig) (MediaResult, error) {
 	cfg.fill()
 	var res MediaResult
-	for _, seed := range cfg.Seeds {
-		if err := runMediaSeed(cfg, seed, &res); err != nil {
-			return res, fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return res, nil
+	_, err := faultplane.RunCampaign(
+		faultplane.Spec{Seeds: cfg.Seeds, RoundsPerSeed: cfg.InjectionsPerSeed},
+		&mediaDomain{cfg: cfg, res: &res})
+	return res, err
 }
 
-// mediaFuzzer is the per-seed state: one machine plus a full-page oracle.
+// mediaFuzzer is the per-seed world: one machine plus a full-page oracle.
 // hist keeps the exact committed bytes of every app page at every committed
 // version, so degraded restores can be checked against the precise older
 // version the manifest names.
 type mediaFuzzer struct {
 	cfg   MediaConfig
 	rng   *rand.Rand
+	res   *MediaResult
 	m     *kernel.Machine
 	p     *kernel.Process
 	va    uint64
@@ -144,9 +161,12 @@ type mediaFuzzer struct {
 	// record cannot survive — the one case where a fail-closed restore is
 	// the correct loud outcome rather than a harness failure.
 	primaryFault, mirrorFault bool
+
+	oracles  *faultplane.Registry
+	preCrash []func() error
 }
 
-func newMediaFuzzer(cfg MediaConfig, seed uint64) (*mediaFuzzer, error) {
+func newMediaFuzzer(cfg MediaConfig, seed uint64, rng *rand.Rand, res *MediaResult) (*mediaFuzzer, error) {
 	mcfg := kernel.DefaultConfig()
 	mcfg.CheckpointEvery = 0
 	mcfg.SkipDefaultServices = true
@@ -165,7 +185,8 @@ func newMediaFuzzer(cfg MediaConfig, seed uint64) (*mediaFuzzer, error) {
 
 	f := &mediaFuzzer{
 		cfg:  cfg,
-		rng:  rand.New(rand.NewSource(int64(seed) ^ 0x6d65646961)), // "media"
+		rng:  rng,
+		res:  res,
 		m:    m,
 		hist: make(map[uint64][][]byte),
 		live: make([][]byte, cfg.Pages),
@@ -190,8 +211,29 @@ func newMediaFuzzer(cfg MediaConfig, seed uint64) (*mediaFuzzer, error) {
 		}
 	}
 	f.checkpoint()
+	f.registerOracles()
 	return f, nil
 }
+
+// registerOracles wires the never-silently-corrupt contract in its legacy
+// check order: audit, then version identity, then the manifest-explained
+// page-content walk.
+func (f *mediaFuzzer) registerOracles() {
+	f.oracles = faultplane.NewRegistry()
+	f.oracles.Register("audit", f.checkAudit)
+	f.oracles.Register("committed-version", f.checkVersion)
+	f.oracles.Register("page-contract", f.checkPages)
+}
+
+// Oracles returns the media domain's registry.
+func (f *mediaFuzzer) Oracles() *faultplane.Registry { return f.oracles }
+
+// AddPreCrash registers a composition hook run at the crash boundary —
+// after this round's targeted injection, before the power failure lands.
+func (f *mediaFuzzer) AddPreCrash(fn func() error) { f.preCrash = append(f.preCrash, fn) }
+
+// Now reports simulated time for engine trace instants.
+func (f *mediaFuzzer) Now() simclock.Time { return f.m.Now() }
 
 func (f *mediaFuzzer) writePage(i int, v uint64) error {
 	_, err := f.m.Run(f.p, f.p.Thread(f.rng.Intn(f.cfg.Threads)), func(e *kernel.Env) error {
@@ -221,9 +263,16 @@ func (f *mediaFuzzer) checkpoint() {
 // appSlots collects the checkpoint-page slots of the app PMO, returning for
 // each page index its CkptPage. Used to aim targeted injections.
 func (f *mediaFuzzer) appSlots() map[uint64]*caps.CkptPage {
+	return collectPMOSlots(f.m, f.pmoID)
+}
+
+// collectPMOSlots walks a machine's checkpoint tree and returns the
+// checkpoint-page slot of every page of the given PMO, keyed by page index.
+// Shared by the media domain and the media overlay of composed campaigns.
+func collectPMOSlots(m *kernel.Machine, pmoID uint64) map[uint64]*caps.CkptPage {
 	out := make(map[uint64]*caps.CkptPage)
-	f.m.Ckpt.ForEachRoot(func(r *caps.ORoot) {
-		if r.ObjID != f.pmoID {
+	m.Ckpt.ForEachRoot(func(r *caps.ORoot) {
+		if r.ObjID != pmoID {
 			return
 		}
 		for bi := range r.Backup {
@@ -307,66 +356,82 @@ func (f *mediaFuzzer) inject(res *MediaResult) bool {
 	return true
 }
 
-func runMediaSeed(cfg MediaConfig, seed uint64, res *MediaResult) error {
-	f, err := newMediaFuzzer(cfg, seed)
-	if err != nil {
-		return err
-	}
-	for round := 0; round < cfg.InjectionsPerSeed; round++ {
-		// A burst of writes, usually followed by a commit — skipping
-		// some commits spreads backup version tags across rules 1-3.
-		for w := 1 + f.rng.Intn(5); w > 0; w-- {
-			if err := f.writePage(f.rng.Intn(cfg.Pages), f.rng.Uint64()); err != nil {
-				return fmt.Errorf("round %d: %w", round, err)
-			}
-		}
-		if f.rng.Intn(4) < 3 {
-			f.checkpoint()
-		}
-		if cfg.ScrubEveryN > 0 && round%cfg.ScrubEveryN == 0 {
-			f.m.Scrub()
-			// The scrubber rebuilds any dead commit-record copy from
-			// its intact twin (clearing poison as it rewrites).
-			f.primaryFault, f.mirrorFault = false, false
-		}
-		f.inject(res)
-		f.m.Crash()
-		res.Crashes++
-		commitDead := false
-		if cfg.CrashDuringRestore && f.rng.Intn(4) == 0 {
-			fired, err := f.crashRestore()
-			switch {
-			case f.commitLost(err):
-				commitDead = true
-			case err != nil:
-				return fmt.Errorf("round %d: %w", round, err)
-			case fired:
-				res.RestoreCrashes++
-			}
-		}
-		if !commitDead && f.m.Crashed() {
-			err := f.m.Restore()
-			if f.commitLost(err) {
-				commitDead = true
-			} else if err != nil {
-				return fmt.Errorf("round %d: restore: %w", round, err)
-			}
-		}
-		if commitDead {
-			// Both commit-record copies were separately damaged and the
-			// restore failed closed — loud, attributable total loss, the
-			// designed outcome of a double fault on a 2-copy record. The
-			// machine is unrestorable; the seed ends here.
-			res.CommitLost++
-			break
-		}
-		// A completed restore validated (or repaired from the mirror) the
-		// primary commit record; latent mirror rot is untouched.
-		f.primaryFault = false
-		if err := f.verify(res); err != nil {
-			return fmt.Errorf("round %d: %w", round, err)
+// Round runs one inject-crash-restore round: a write burst, usually a
+// commit, an optional scrub, one targeted media fault, a power failure, and
+// the restore (itself crash-armed one time in RestoreCrashDenom). The
+// engine runs the page-contract oracle registry next. A seed whose commit
+// record was separately damaged on both copies ends with ErrStopSeed — the
+// loud fail-closed restore is the designed outcome there.
+func (f *mediaFuzzer) Round(rng *rand.Rand, round int) (bool, error) {
+	res := f.res
+	// A burst of writes, usually followed by a commit — skipping
+	// some commits spreads backup version tags across rules 1-3.
+	for w := 1 + f.rng.Intn(5); w > 0; w-- {
+		if err := f.writePage(f.rng.Intn(f.cfg.Pages), f.rng.Uint64()); err != nil {
+			return false, err
 		}
 	}
+	if f.rng.Intn(4) < 3 {
+		f.checkpoint()
+	}
+	if f.cfg.ScrubEveryN > 0 && round%f.cfg.ScrubEveryN == 0 {
+		f.m.Scrub()
+		// The scrubber rebuilds any dead commit-record copy from
+		// its intact twin (clearing poison as it rewrites).
+		f.primaryFault, f.mirrorFault = false, false
+	}
+	f.inject(res)
+	if err := f.runPreCrash(); err != nil {
+		return false, err
+	}
+	f.m.Crash()
+	res.Crashes++
+	commitDead := false
+	if f.cfg.CrashDuringRestore && f.rng.Intn(faultplane.Defaults.RestoreCrashDenom) == 0 {
+		fired, err := f.crashRestore()
+		switch {
+		case f.commitLost(err):
+			commitDead = true
+		case err != nil:
+			return false, err
+		case fired:
+			res.RestoreCrashes++
+		}
+	}
+	if !commitDead && f.m.Crashed() {
+		err := f.m.Restore()
+		if f.commitLost(err) {
+			commitDead = true
+		} else if err != nil {
+			return false, fmt.Errorf("restore: %w", err)
+		}
+	}
+	if commitDead {
+		// Both commit-record copies were separately damaged and the
+		// restore failed closed — loud, attributable total loss, the
+		// designed outcome of a double fault on a 2-copy record. The
+		// machine is unrestorable; the seed ends here.
+		res.CommitLost++
+		return false, faultplane.ErrStopSeed
+	}
+	// A completed restore validated (or repaired from the mirror) the
+	// primary commit record; latent mirror rot is untouched.
+	f.primaryFault = false
+	return true, nil
+}
+
+func (f *mediaFuzzer) runPreCrash() error {
+	for _, fn := range f.preCrash {
+		if err := fn(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Finish folds the seed's repair and robustness counters.
+func (f *mediaFuzzer) Finish() error {
+	res := f.res
 	res.ReplicaRepairs += f.m.Ckpt.Stats.ReplicaRepair
 	res.MetaRepairs += f.m.Ckpt.Stats.MetaRepairs + f.m.Journal.MirrorRepairs
 	res.ScrubRepairs += f.m.Ckpt.Stats.ScrubRepairs
@@ -393,19 +458,8 @@ func (f *mediaFuzzer) commitLost(err error) bool {
 // crashRestore restores under an armed power-failure countdown, re-crashing
 // the machine if it fires. The caller finishes the restore if needed.
 func (f *mediaFuzzer) crashRestore() (fired bool, err error) {
-	f.m.Memory.ArmCrashAfter(uint64(1 + f.rng.Intn(64)))
-	func() {
-		defer func() {
-			if r := recover(); r != nil {
-				if _, ok := r.(mem.CrashError); ok {
-					fired = true
-					return
-				}
-				panic(r)
-			}
-		}()
-		err = f.m.Restore()
-	}()
+	f.m.Memory.ArmCrashAfter(uint64(1 + f.rng.Intn(faultplane.Defaults.RestoreEventWindow)))
+	fired, err = faultplane.CatchCrash(f.m.Restore)
 	f.m.Memory.DisarmCrash()
 	if fired {
 		f.m.Crash()
@@ -417,21 +471,31 @@ func (f *mediaFuzzer) crashRestore() (fired bool, err error) {
 	return false, nil
 }
 
-// verify reads back every app page and holds the restored machine to the
-// contract: bit-identical to the committed oracle, or explicitly degraded
-// to a named older version, or explicitly lost (zeros) — never silently
-// wrong. The baseline counts violations instead of failing, then resyncs
-// its oracle so each corruption is counted once.
-func (f *mediaFuzzer) verify(res *MediaResult) error {
-	if f.m.Auditor != nil {
-		if la := f.m.LastAudit; !la.Ok() {
-			return fmt.Errorf("audit at %s: %s", la.Where, la.Violations[0])
-		}
+func (f *mediaFuzzer) checkAudit() error {
+	if f.m.Auditor == nil {
+		return nil
 	}
-	ver := f.m.Ckpt.CommittedVersion()
-	if ver != f.commVer {
+	if la := f.m.LastAudit; !la.Ok() {
+		return fmt.Errorf("audit at %s: %s", la.Where, la.Violations[0])
+	}
+	return nil
+}
+
+func (f *mediaFuzzer) checkVersion() error {
+	if ver := f.m.Ckpt.CommittedVersion(); ver != f.commVer {
 		return fmt.Errorf("restored version %d, want %d", ver, f.commVer)
 	}
+	return nil
+}
+
+// checkPages reads back every app page and holds the restored machine to
+// the contract: bit-identical to the committed oracle, or explicitly
+// degraded to a named older version, or explicitly lost (zeros) — never
+// silently wrong. The baseline counts violations instead of failing, then
+// resyncs its oracle so each corruption is counted once.
+func (f *mediaFuzzer) checkPages() error {
+	res := f.res
+	ver := f.m.Ckpt.CommittedVersion()
 	man := f.m.Ckpt.Manifest()
 	degraded := make(map[uint64]uint64) // app page index -> got version
 	lost := make(map[uint64]bool)

@@ -2,8 +2,6 @@ package crashfuzz
 
 import (
 	"testing"
-
-	"treesls/internal/mem"
 )
 
 // FuzzMediaFault lets the fuzzer pick the media-fault campaign shape:
@@ -24,13 +22,9 @@ func FuzzMediaFault(f *testing.F) {
 	f.Add(true, uint64(5), uint64(9), uint64(2), true)
 
 	f.Fuzz(func(t *testing.T, adr bool, seed, injections, crashFaults uint64, duringRestore bool) {
-		mode := mem.ModeEADR
-		if adr {
-			mode = mem.ModeADR
-		}
-		if err := OneShotMedia(mode, seed, injections, crashFaults, duringRestore); err != nil {
-			t.Fatalf("mode=%v seed=%d injections=%d crashFaults=%d duringRestore=%v: %v",
-				mode, seed, injections, crashFaults, duringRestore, err)
+		if err := RunOneShot("media", adr, seed, injections, crashFaults, duringRestore); err != nil {
+			t.Fatalf("adr=%v seed=%d injections=%d crashFaults=%d duringRestore=%v: %v",
+				adr, seed, injections, crashFaults, duringRestore, err)
 		}
 	})
 }

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math/rand"
 
-	"treesls/internal/alloc"
 	"treesls/internal/apps/kvstore"
+	"treesls/internal/faultplane"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/net"
@@ -26,13 +26,16 @@ type NetConfig struct {
 	Mode mem.PersistMode
 	// Seeds are the machine/damage seeds; each seed gets its own machine.
 	Seeds []uint64
-	// CrashesPerSeed is how many crash injections to attempt per seed
-	// (default 40).
+	// CrashesPerSeed is how many crash injections to attempt per seed.
 	CrashesPerSeed int
-	// EventWindow bounds the armed countdown (default 64).
+	// EventWindow bounds the armed countdown.
 	EventWindow int
 	// StepsPerCrash bounds the fleet micro-steps run while waiting for an
-	// armed crash to fire (default 600).
+	// armed crash to fire (default 600: a fleet micro-step is much finer
+	// than a workload op — one packet hop or one server poll — so the
+	// window needs more of them for the countdown to elapse;
+	// TestNetCrashCampaign's boundary-coverage counters depend on
+	// countdowns firing inside the response path rather than expiring).
 	StepsPerCrash int
 	// Clients and Window shape the fleet (defaults 3 and 2).
 	Clients int
@@ -50,10 +53,10 @@ type NetConfig struct {
 
 func (c *NetConfig) fill() {
 	if c.CrashesPerSeed == 0 {
-		c.CrashesPerSeed = 40
+		c.CrashesPerSeed = faultplane.Defaults.RoundsPerSeed
 	}
 	if c.EventWindow == 0 {
-		c.EventWindow = 64
+		c.EventWindow = faultplane.Defaults.EventWindow
 	}
 	if c.StepsPerCrash == 0 {
 		c.StepsPerCrash = 600
@@ -96,13 +99,35 @@ type NetResult struct {
 	AuditChecks uint64
 }
 
-// netFuzzer is the per-seed state: one gated machine plus its fleet.
+// netFuzzer is the per-seed world: one gated machine plus its fleet.
 type netFuzzer struct {
 	cfg   NetConfig
 	rng   *rand.Rand
+	res   *NetResult
 	m     *kernel.Machine
 	nw    *net.Network
 	fleet *net.Fleet
+
+	oracles  *faultplane.Registry
+	preCrash []func() error
+
+	// lastFired gates PostRound: the legacy silo only ran progress steps
+	// after a fired crash, and the steps advance machine state that the
+	// next countdown's landing spot depends on.
+	lastFired bool
+}
+
+// netDomain adapts the network campaign to the fault-plane engine.
+type netDomain struct {
+	cfg NetConfig
+	res *NetResult
+}
+
+func (d *netDomain) Name() string        { return "net" }
+func (d *netDomain) StreamLabel() string { return "" }
+
+func (d *netDomain) Build(seed uint64, rng *rand.Rand) (faultplane.World, error) {
+	return newNetFuzzer(d.cfg, seed, rng, d.res)
 }
 
 // RunNet executes the campaign. The oracle after every restore: the fleet's
@@ -112,29 +137,17 @@ type netFuzzer struct {
 func RunNet(cfg NetConfig) (NetResult, error) {
 	cfg.fill()
 	var res NetResult
-	for _, seed := range cfg.Seeds {
-		if err := runNetSeed(cfg, seed, &res); err != nil {
-			return res, fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return res, nil
+	st, err := faultplane.RunCampaign(
+		faultplane.Spec{Seeds: cfg.Seeds, RoundsPerSeed: cfg.CrashesPerSeed},
+		&netDomain{cfg: cfg, res: &res})
+	res.CrashesFired = st.Injections
+	res.Restores = st.Recoveries
+	return res, err
 }
 
-func runNetSeed(cfg NetConfig, seed uint64, res *NetResult) error {
-	f, err := newNetFuzzer(cfg, seed)
-	if err != nil {
-		return err
-	}
-	for c := 0; c < cfg.CrashesPerSeed; c++ {
-		fired, err := f.oneCrash()
-		if err != nil {
-			return fmt.Errorf("crash %d: %w", c, err)
-		}
-		if fired {
-			res.CrashesFired++
-			res.Restores++
-		}
-	}
+// Finish folds the seed's traffic counters into the campaign result.
+func (f *netFuzzer) Finish() error {
+	res := f.res
 	res.Acked += f.fleet.TotalAcked()
 	res.Retransmits += f.fleet.Retransmits
 	res.DroppedRequests += f.nw.Stats.DroppedRequests
@@ -147,7 +160,7 @@ func runNetSeed(cfg NetConfig, seed uint64, res *NetResult) error {
 	return f.m.Alloc.CheckInvariants()
 }
 
-func newNetFuzzer(cfg NetConfig, seed uint64) (*netFuzzer, error) {
+func newNetFuzzer(cfg NetConfig, seed uint64, rng *rand.Rand, res *NetResult) (*netFuzzer, error) {
 	mcfg := kernel.DefaultConfig()
 	mcfg.Cores = 4
 	mcfg.CheckpointEvery = simclock.Duration(cfg.IntervalUs) * simclock.Microsecond
@@ -182,9 +195,30 @@ func newNetFuzzer(cfg NetConfig, seed uint64) (*netFuzzer, error) {
 		return nil, err
 	}
 	m.TakeCheckpoint() // base state: a crash at any event has somewhere to restore to
-	f := &netFuzzer{cfg: cfg, rng: rand.New(rand.NewSource(int64(seed))), m: m, nw: nw, fleet: fleet}
+	f := &netFuzzer{cfg: cfg, rng: rng, res: res, m: m, nw: nw, fleet: fleet}
+	f.registerOracles()
 	return f, f.checkAudit()
 }
+
+// registerOracles wires the external-synchrony invariant set in the legacy
+// check order: audit, then the justification of every acknowledged prefix,
+// then client-observed FIFO, then duplicate acknowledgements.
+func (f *netFuzzer) registerOracles() {
+	f.oracles = faultplane.NewRegistry()
+	f.oracles.Register("audit", f.checkAudit)
+	f.oracles.Register("extsync-justified", f.checkJustified)
+	f.oracles.Register("client-fifo", f.checkFIFO)
+	f.oracles.Register("dup-acks", f.checkDupAcks)
+}
+
+// Oracles returns the net domain's registry.
+func (f *netFuzzer) Oracles() *faultplane.Registry { return f.oracles }
+
+// AddPreCrash registers a composition hook run at the crash boundary.
+func (f *netFuzzer) AddPreCrash(fn func() error) { f.preCrash = append(f.preCrash, fn) }
+
+// Now reports simulated time for engine trace instants.
+func (f *netFuzzer) Now() simclock.Time { return f.m.Now() }
 
 func (f *netFuzzer) checkAudit() error {
 	if f.m.Auditor == nil {
@@ -197,9 +231,36 @@ func (f *netFuzzer) checkAudit() error {
 	return nil
 }
 
-// oneCrash arms a random persistence-event countdown, drives fleet
-// micro-steps until it fires, then crash-restores and verifies.
-func (f *netFuzzer) oneCrash() (bool, error) {
+func (f *netFuzzer) checkJustified() error {
+	bad, err := f.fleet.CheckJustified()
+	if err != nil {
+		return err
+	}
+	if len(bad) > 0 {
+		return fmt.Errorf("released-but-unpersisted response: %s", bad[0])
+	}
+	return nil
+}
+
+func (f *netFuzzer) checkFIFO() error {
+	if n := len(f.fleet.Violations); n > 0 {
+		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
+	}
+	return nil
+}
+
+func (f *netFuzzer) checkDupAcks() error {
+	if f.fleet.DupAcks > 0 {
+		return fmt.Errorf("%d duplicate acknowledgements after restore", f.fleet.DupAcks)
+	}
+	return nil
+}
+
+// Round arms a random persistence-event countdown, drives fleet
+// micro-steps until it fires, then crash-restores and resynchronizes the
+// fleet; the engine runs the oracle registry next.
+func (f *netFuzzer) Round(rng *rand.Rand, round int) (bool, error) {
+	f.lastFired = false
 	k := 1 + f.rng.Intn(f.cfg.EventWindow)
 	f.m.Memory.ArmCrashAfter(uint64(k))
 	fired := false
@@ -215,63 +276,50 @@ func (f *netFuzzer) oneCrash() (bool, error) {
 	if !fired {
 		return false, nil
 	}
-	f.m.Crash()
-	if err := f.restoreAndVerify(); err != nil {
-		return true, err
+	if err := f.runPreCrash(); err != nil {
+		return false, err
 	}
-	// Un-armed progress: let the fleet reach checkpoints so the gate
-	// releases acknowledgements before the next injection.
-	for step := 0; step < f.cfg.ProgressSteps; step++ {
-		if _, err := f.fleet.Step(); err != nil {
-			return true, err
+	f.m.Crash()
+	if err := f.m.Restore(); err != nil {
+		return true, fmt.Errorf("restore: %w", err)
+	}
+	f.fleet.ResyncAfterRestore()
+	f.lastFired = true
+	return true, nil
+}
+
+func (f *netFuzzer) runPreCrash() error {
+	for _, fn := range f.preCrash {
+		if err := fn(); err != nil {
+			return err
 		}
 	}
-	return true, nil
+	return nil
+}
+
+// PostRound runs un-armed progress: the fleet reaches checkpoints so the
+// gate releases acknowledgements before the next injection.
+func (f *netFuzzer) PostRound(rng *rand.Rand) error {
+	if !f.lastFired {
+		return nil
+	}
+	for step := 0; step < f.cfg.ProgressSteps; step++ {
+		if _, err := f.fleet.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // step runs one fleet micro-step, converting an injected power failure into
 // a clean "fired" signal. The micro-step scheduler means the failure lands
 // wherever the traffic put persistence events: inside a SET's stores, the
 // ring append, a checkpoint walk, or the post-commit release.
-func (f *netFuzzer) step() (fired bool, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			switch r.(type) {
-			case mem.CrashError, alloc.CrashError:
-				fired = true
-				err = nil
-			default:
-				panic(r)
-			}
-		}
-	}()
-	_, err = f.fleet.Step()
-	return false, err
-}
-
-// restoreAndVerify restores the crashed machine and applies the oracle.
-func (f *netFuzzer) restoreAndVerify() error {
-	if err := f.m.Restore(); err != nil {
-		return fmt.Errorf("restore: %w", err)
-	}
-	if err := f.checkAudit(); err != nil {
+func (f *netFuzzer) step() (bool, error) {
+	return faultplane.CatchCrash(func() error {
+		_, err := f.fleet.Step()
 		return err
-	}
-	f.fleet.ResyncAfterRestore()
-	bad, err := f.fleet.CheckJustified()
-	if err != nil {
-		return err
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("released-but-unpersisted response: %s", bad[0])
-	}
-	if n := len(f.fleet.Violations); n > 0 {
-		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
-	}
-	if f.fleet.DupAcks > 0 {
-		return fmt.Errorf("%d duplicate acknowledgements after restore", f.fleet.DupAcks)
-	}
-	return nil
+	})
 }
 
 // NetOneShot runs a single parameterized network crash injection — the
@@ -283,7 +331,8 @@ func (f *netFuzzer) restoreAndVerify() error {
 func NetOneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16) error {
 	cfg := NetConfig{Mode: mode, Clients: 2, Window: 2, StepsPerCrash: 200}
 	cfg.fill()
-	f, err := newNetFuzzer(cfg, seed)
+	var res NetResult
+	f, err := newNetFuzzer(cfg, seed, faultplane.Stream(seed, ""), &res)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
 	}
@@ -302,5 +351,10 @@ func NetOneShot(mode mem.PersistMode, seed, eventK uint64, steps uint16) error {
 		return nil
 	}
 	f.m.Crash()
-	return f.restoreAndVerify()
+	if err := f.m.Restore(); err != nil {
+		return fmt.Errorf("restore: %w", err)
+	}
+	f.fleet.ResyncAfterRestore()
+	_, err = f.oracles.Check()
+	return err
 }

@@ -4,9 +4,9 @@ import (
 	"fmt"
 	"math/rand"
 
-	"treesls/internal/alloc"
 	"treesls/internal/apps/kvstore"
 	"treesls/internal/checkpoint"
+	"treesls/internal/faultplane"
 	"treesls/internal/kernel"
 	"treesls/internal/mem"
 	"treesls/internal/repl"
@@ -31,12 +31,17 @@ type ReplConfig struct {
 	// Seeds are the machine/damage seeds; each seed gets its own machine.
 	Seeds []uint64
 	// CrashesPerSeed is how many crash injections to attempt per seed
-	// (default 8).
+	// (default 8, far below the shared default: every fired crash probes
+	// 3-5 failovers, each a full standby promotion — the campaign's cost
+	// is per-probe, not per-crash).
 	CrashesPerSeed int
-	// EventWindow bounds the armed countdown (default 96).
+	// EventWindow bounds the armed countdown.
 	EventWindow int
 	// StepsPerCrash bounds the write+checkpoint rounds run while waiting
-	// for an armed crash to fire (default 40).
+	// for an armed crash to fire (default 40: a repl round is a whole
+	// write burst plus a replicated checkpoint, orders of magnitude
+	// coarser than the other domains' micro-steps, so far fewer are
+	// needed to cover the countdown window).
 	StepsPerCrash int
 	// WritesPerRound is how many kvstore SETs precede each checkpoint
 	// (default 6).
@@ -44,6 +49,11 @@ type ReplConfig struct {
 	// FullSyncEvery is the replicator's full-tree sync period (default 4,
 	// short so campaigns cross full-sync generations).
 	FullSyncEvery int
+	// Replicas keeps redundant backup-page copies on the primary;
+	// DisableChecksums runs it as the media ablation baseline. Both exist
+	// for composed campaigns that stack media damage on replication crashes.
+	Replicas         int
+	DisableChecksums bool
 }
 
 func (c *ReplConfig) fill() {
@@ -51,7 +61,7 @@ func (c *ReplConfig) fill() {
 		c.CrashesPerSeed = 8
 	}
 	if c.EventWindow == 0 {
-		c.EventWindow = 96
+		c.EventWindow = faultplane.Defaults.EventWindow
 	}
 	if c.StepsPerCrash == 0 {
 		c.StepsPerCrash = 40
@@ -93,10 +103,34 @@ type ReplResult struct {
 type replFuzzer struct {
 	cfg   ReplConfig
 	rng   *rand.Rand
+	res   *ReplResult
 	m     *kernel.Machine
 	srv   *kvstore.Server
 	rep   *repl.Replicator
 	round int
+
+	// ackedAtCrash is the acknowledged version at the last crash instant,
+	// stashed by Round for the acked-covered oracle.
+	ackedAtCrash uint64
+	// lastFired gates PostRound: the legacy silo only ran progress rounds
+	// after a fired crash, and progress rounds draw from the stream.
+	lastFired bool
+
+	oracles  *faultplane.Registry
+	preCrash []func() error
+}
+
+// replDomain adapts the replication campaign to the fault-plane engine.
+type replDomain struct {
+	cfg ReplConfig
+	res *ReplResult
+}
+
+func (d *replDomain) Name() string        { return "repl" }
+func (d *replDomain) StreamLabel() string { return "" }
+
+func (d *replDomain) Build(seed uint64, rng *rand.Rand) (faultplane.World, error) {
+	return newReplFuzzer(d.cfg, seed, rng, d.res)
 }
 
 // RunRepl executes the campaign. The oracle after every crash: every
@@ -107,29 +141,17 @@ type replFuzzer struct {
 func RunRepl(cfg ReplConfig) (ReplResult, error) {
 	cfg.fill()
 	var res ReplResult
-	for _, seed := range cfg.Seeds {
-		if err := runReplSeed(cfg, seed, &res); err != nil {
-			return res, fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return res, nil
+	st, err := faultplane.RunCampaign(
+		faultplane.Spec{Seeds: cfg.Seeds, RoundsPerSeed: cfg.CrashesPerSeed},
+		&replDomain{cfg: cfg, res: &res})
+	res.CrashesFired = st.Injections
+	res.Restores = st.Recoveries
+	return res, err
 }
 
-func runReplSeed(cfg ReplConfig, seed uint64, res *ReplResult) error {
-	f, err := newReplFuzzer(cfg, seed)
-	if err != nil {
-		return err
-	}
-	for c := 0; c < cfg.CrashesPerSeed; c++ {
-		fired, err := f.oneCrash(res)
-		if err != nil {
-			return fmt.Errorf("crash %d: %w", c, err)
-		}
-		if fired {
-			res.CrashesFired++
-			res.Restores++
-		}
-	}
+// Finish folds the seed's replicator traffic counters.
+func (f *replFuzzer) Finish() error {
+	res := f.res
 	res.Deltas += f.rep.Stats.Deltas
 	res.FullSyncs += f.rep.Stats.FullSyncs
 	res.BytesSent += f.rep.Stats.BytesSent
@@ -137,7 +159,7 @@ func runReplSeed(cfg ReplConfig, seed uint64, res *ReplResult) error {
 	return f.m.Alloc.CheckInvariants()
 }
 
-func newReplFuzzer(cfg ReplConfig, seed uint64) (*replFuzzer, error) {
+func newReplFuzzer(cfg ReplConfig, seed uint64, rng *rand.Rand, res *ReplResult) (*replFuzzer, error) {
 	mcfg := kernel.DefaultConfig()
 	mcfg.Cores = 2
 	mcfg.CheckpointEvery = 0 // rounds checkpoint explicitly
@@ -147,6 +169,8 @@ func newReplFuzzer(cfg ReplConfig, seed uint64) (*replFuzzer, error) {
 	mcfg.Audit = true
 	mcfg.Checkpoint.Method = cfg.Method
 	mcfg.Checkpoint.HybridCopy = cfg.Hybrid
+	mcfg.Checkpoint.Replicas = cfg.Replicas
+	mcfg.Checkpoint.DisableChecksums = cfg.DisableChecksums
 	m := kernel.New(mcfg)
 
 	srv, err := kvstore.NewServer(m, kvstore.ServerConfig{
@@ -159,9 +183,53 @@ func newReplFuzzer(cfg ReplConfig, seed uint64) (*replFuzzer, error) {
 		return nil, err
 	}
 	rep := repl.Attach(m, nil, repl.Config{FullSyncEvery: uint64(cfg.FullSyncEvery)})
-	f := &replFuzzer{cfg: cfg, rng: rand.New(rand.NewSource(int64(seed))), m: m, srv: srv, rep: rep}
+	f := &replFuzzer{cfg: cfg, rng: rng, res: res, m: m, srv: srv, rep: rep}
 	f.m.TakeCheckpoint() // base state: replicated as the first full sync
+	f.registerOracles()
 	return f, nil
+}
+
+// registerOracles wires the post-restore replication invariants in their
+// legacy check order: audit, then acknowledged-coverage. The failover
+// probes themselves run inside Round — they must observe the crash instant,
+// before the primary restores.
+func (f *replFuzzer) registerOracles() {
+	f.oracles = faultplane.NewRegistry()
+	f.oracles.Register("audit", f.checkAudit)
+	f.oracles.Register("acked-covered", f.checkAckedCovered)
+}
+
+// Oracles returns the repl domain's registry.
+func (f *replFuzzer) Oracles() *faultplane.Registry { return f.oracles }
+
+// AddPreCrash registers a composition hook run at the crash boundary.
+func (f *replFuzzer) AddPreCrash(fn func() error) { f.preCrash = append(f.preCrash, fn) }
+
+// Now reports simulated time for engine trace instants.
+func (f *replFuzzer) Now() simclock.Time { return f.m.Now() }
+
+// Machine exposes the primary to composition overlays.
+func (f *replFuzzer) Machine() *kernel.Machine { return f.m }
+
+// Replicator exposes the primary's replicator to composition overlays.
+func (f *replFuzzer) Replicator() *repl.Replicator { return f.rep }
+
+func (f *replFuzzer) checkAudit() error {
+	if la := f.m.LastAudit; f.m.Auditor != nil && !la.Ok() {
+		return fmt.Errorf("audit at %s: %s", la.Where, la.Violations[0])
+	}
+	return nil
+}
+
+// checkAckedCovered holds the restored primary to the replication contract:
+// the primary commits locally before the standby can acknowledge, so a
+// restored primary behind the acknowledged replica would mean the local
+// persistence layer lost a checkpoint the world already saw.
+func (f *replFuzzer) checkAckedCovered() error {
+	if got := f.m.Ckpt.CommittedVersion(); got < f.ackedAtCrash {
+		return fmt.Errorf("restored primary at v%d behind acknowledged replica v%d", got, f.ackedAtCrash)
+	}
+	return nil
 }
 
 // step runs one traffic round — a handful of SETs then a checkpoint (which
@@ -169,33 +237,26 @@ func newReplFuzzer(cfg ReplConfig, seed uint64) (*replFuzzer, error) {
 // "fired" signal. The armed countdown lands the failure inside a SET's
 // stores, the checkpoint walk, or the commit sequence.
 func (f *replFuzzer) step() (fired bool, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			switch r.(type) {
-			case mem.CrashError, alloc.CrashError:
-				fired = true
-				err = nil
-			default:
-				panic(r)
+	return faultplane.CatchCrash(func() error {
+		f.round++
+		for i := 0; i < f.cfg.WritesPerRound; i++ {
+			key := fmt.Sprintf("k%d", f.rng.Intn(24))
+			val := fmt.Sprintf("r%d-%d", f.round, i)
+			if _, _, err := f.srv.Set(f.rng.Intn(2), []byte(key), []byte(val)); err != nil {
+				return err
 			}
 		}
-	}()
-	f.round++
-	for i := 0; i < f.cfg.WritesPerRound; i++ {
-		key := fmt.Sprintf("k%d", f.rng.Intn(24))
-		val := fmt.Sprintf("r%d-%d", f.round, i)
-		if _, _, err := f.srv.Set(f.rng.Intn(2), []byte(key), []byte(val)); err != nil {
-			return false, err
-		}
-	}
-	f.m.TakeCheckpoint()
-	return false, nil
+		f.m.TakeCheckpoint()
+		return nil
+	})
 }
 
-// oneCrash arms a random persistence-event countdown, runs rounds until it
-// fires, then crashes the primary, probes failover on the replication
-// boundaries, restores, and verifies.
-func (f *replFuzzer) oneCrash(res *ReplResult) (bool, error) {
+// Round arms a random persistence-event countdown, runs traffic rounds
+// until it fires, then crashes the primary, probes failover on the
+// replication boundaries at the crash instant, and restores; the engine
+// runs the post-restore oracle registry next.
+func (f *replFuzzer) Round(rng *rand.Rand, round int) (bool, error) {
+	f.lastFired = false
 	k := 1 + f.rng.Intn(f.cfg.EventWindow)
 	f.m.Memory.ArmCrashAfter(uint64(k))
 	fired := false
@@ -211,35 +272,48 @@ func (f *replFuzzer) oneCrash(res *ReplResult) (bool, error) {
 	if !fired {
 		return false, nil
 	}
+	if err := f.runPreCrash(); err != nil {
+		return false, err
+	}
 	f.m.Crash()
 
 	// Probe failover at the crash instant and on each replication boundary
 	// of a randomly chosen ledger entry. The ledger is the standby's view;
 	// it survives the primary's power failure.
-	ackedAtCrash, err := f.probeFailovers(res)
+	acked, err := f.probeFailovers(f.res)
 	if err != nil {
 		return true, err
 	}
+	f.ackedAtCrash = acked
 	if err := f.m.Restore(); err != nil {
 		return true, fmt.Errorf("restore: %w", err)
 	}
-	if la := f.m.LastAudit; f.m.Auditor != nil && !la.Ok() {
-		return true, fmt.Errorf("audit at %s: %s", la.Where, la.Violations[0])
-	}
-	// The primary commits locally before the standby can acknowledge, so a
-	// restored primary behind the acknowledged replica would mean the local
-	// persistence layer lost a checkpoint the world already saw.
-	if got := f.m.Ckpt.CommittedVersion(); got < ackedAtCrash {
-		return true, fmt.Errorf("restored primary at v%d behind acknowledged replica v%d", got, ackedAtCrash)
-	}
-	// Un-armed progress: new rounds re-establish replication (the restore
-	// forces the next delta to be a full sync) before the next injection.
-	for step := 0; step < 3; step++ {
-		if _, err := f.step(); err != nil {
-			return true, err
+	f.lastFired = true
+	return true, nil
+}
+
+func (f *replFuzzer) runPreCrash() error {
+	for _, fn := range f.preCrash {
+		if err := fn(); err != nil {
+			return err
 		}
 	}
-	return true, nil
+	return nil
+}
+
+// PostRound runs un-armed progress after a fired crash: new rounds
+// re-establish replication (the restore forces the next delta to be a full
+// sync) before the next injection.
+func (f *replFuzzer) PostRound(rng *rand.Rand) error {
+	if !f.lastFired {
+		return nil
+	}
+	for step := 0; step < 3; step++ {
+		if _, err := f.step(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // probeFailovers applies the replication oracle at several instants around
@@ -324,7 +398,8 @@ func ReplOneShot(mode mem.PersistMode, variant uint8, seed, eventK uint64, steps
 		cfg.Method, cfg.Hybrid = checkpoint.MethodCOW, true
 	}
 	cfg.fill()
-	f, err := newReplFuzzer(cfg, seed)
+	var res ReplResult
+	f, err := newReplFuzzer(cfg, seed, faultplane.Stream(seed, ""), &res)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
 	}
@@ -343,7 +418,6 @@ func ReplOneShot(mode mem.PersistMode, variant uint8, seed, eventK uint64, steps
 		return nil
 	}
 	f.m.Crash()
-	var res ReplResult
 	ackedAtCrash, err := f.probeFailovers(&res)
 	if err != nil {
 		return err

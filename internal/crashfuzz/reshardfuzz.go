@@ -19,15 +19,17 @@ import (
 	"math/rand"
 
 	"treesls/internal/cluster"
+	"treesls/internal/faultplane"
 	"treesls/internal/mem"
+	"treesls/internal/simclock"
 )
 
 // Crash classes a reshard injection lands on.
 const (
-	classMidStream = iota // scanning/streaming: plan forming, keys in flight
-	classInstalledUncut   // commit round open, keys at dest, cut not announced
-	classMidAnnounce      // ring change announced, publish/release unfinished
-	classPostCommit       // epoch complete: a plain crash on the new ring
+	classMidStream      = iota // scanning/streaming: plan forming, keys in flight
+	classInstalledUncut        // commit round open, keys at dest, cut not announced
+	classMidAnnounce           // ring change announced, publish/release unfinished
+	classPostCommit            // epoch complete: a plain crash on the new ring
 	classCount
 )
 
@@ -53,15 +55,25 @@ type ReshardConfig struct {
 	// Shards is the starting cluster size (default 3).
 	Shards int
 	// ReshardsPerSeed is how many crash-injected epochs to run per seed
-	// (default 8).
+	// (default 8: an epoch is the domain's whole unit of work — scan,
+	// stream, commit, announce, plus recovery — so 8 epochs already cover
+	// each of the 4 crash classes twice per seed; the shared 40 would
+	// multiply the most expensive campaign's CI cost fivefold).
 	ReshardsPerSeed int
 	// StepsPerCrash bounds micro-steps while driving an epoch to the
-	// desired crash class (default 4000).
+	// desired crash class (default 4000: reaching a late class like
+	// mid-announce means marching an entire migration through scan and
+	// stream first, micro-step by micro-step).
 	StepsPerCrash int
 	// Clients, KeysPerClient, Window shape the fleet (defaults 2, 2, 2).
 	Clients       int
 	KeysPerClient int
 	Window        int
+	// Replicas keeps redundant backup copies on every shard;
+	// DisableChecksums runs the media ablation baseline. Used by composed
+	// campaigns that stack media faults on reshard epochs.
+	Replicas         int
+	DisableChecksums bool
 }
 
 func (c *ReshardConfig) fill() {
@@ -120,45 +132,58 @@ type ReshardResult struct {
 	Acked uint64
 }
 
-// reshardFuzzer is the per-seed state: one elastic cluster plus its fleet.
+// reshardFuzzer is the per-seed world: one elastic cluster plus its fleet.
 type reshardFuzzer struct {
 	cfg     ReshardConfig
 	rng     *rand.Rand
+	res     *ReshardResult
 	c       *cluster.Cluster
 	fleet   *cluster.Fleet
 	migTurn bool
+
+	// Per-round oracle context, stashed by Round at crash time: the ring
+	// the recovery must converge to is fixed the instant the failure
+	// lands, not when the oracle runs.
+	wantForward            bool
+	oldV, newV             uint64
+	oldMembers, newMembers []int
+
+	// lastVictims records which shards the last injection crash-restored;
+	// overlays target faults there.
+	lastVictims []int
+
+	oracles  *faultplane.Registry
+	preCrash []func() error
+}
+
+// reshardDomain adapts the reshard campaign to the fault-plane engine.
+type reshardDomain struct {
+	cfg ReshardConfig
+	res *ReshardResult
+}
+
+func (d *reshardDomain) Name() string        { return "reshard" }
+func (d *reshardDomain) StreamLabel() string { return "" }
+
+func (d *reshardDomain) Build(seed uint64, rng *rand.Rand) (faultplane.World, error) {
+	return newReshardFuzzer(d.cfg, seed, rng, d.res)
 }
 
 // RunReshard executes the campaign.
 func RunReshard(cfg ReshardConfig) (ReshardResult, error) {
 	cfg.fill()
 	var res ReshardResult
-	for _, seed := range cfg.Seeds {
-		if err := runReshardSeed(cfg, seed, &res); err != nil {
-			return res, fmt.Errorf("seed %d: %w", seed, err)
-		}
-	}
-	return res, nil
+	st, err := faultplane.RunCampaign(
+		faultplane.Spec{Seeds: cfg.Seeds, RoundsPerSeed: cfg.ReshardsPerSeed},
+		&reshardDomain{cfg: cfg, res: &res})
+	res.CrashesFired = st.Injections
+	res.Recoveries = st.Recoveries
+	return res, err
 }
 
-func runReshardSeed(cfg ReshardConfig, seed uint64, res *ReshardResult) error {
-	f, err := newReshardFuzzer(cfg, seed)
-	if err != nil {
-		return err
-	}
-	for i := 0; i < cfg.ReshardsPerSeed; i++ {
-		// The crash class rotates so every boundary is exercised; the
-		// target rotates against it so (class, target) pairs interleave
-		// across iterations and seeds.
-		class := i % classCount
-		target := f.pickTarget()
-		if err := f.oneEpoch(class, target, res); err != nil {
-			return fmt.Errorf("epoch %d (%s, %s): %w",
-				i, className(class), reshardTargetName(target), err)
-		}
-		res.CrashesFired++
-		res.Recoveries++
-	}
+// Finish folds the seed's traffic and migration counters.
+func (f *reshardFuzzer) Finish() error {
+	res := f.res
 	res.Acked += f.fleet.TotalAcked()
 	res.Migrations += f.c.Stats.Migrations
 	res.MigrationsAborted += f.c.Stats.MigrationsAborted
@@ -198,12 +223,14 @@ func (f *reshardFuzzer) pickTarget() int {
 	return f.rng.Intn(reshardTargetCount)
 }
 
-func newReshardFuzzer(cfg ReshardConfig, seed uint64) (*reshardFuzzer, error) {
+func newReshardFuzzer(cfg ReshardConfig, seed uint64, rng *rand.Rand, res *ReshardResult) (*reshardFuzzer, error) {
 	c, err := cluster.New(cluster.Config{
-		Shards:  cfg.Shards,
-		Gated:   true,
-		Persist: cfg.Mode,
-		Seed:    seed,
+		Shards:           cfg.Shards,
+		Gated:            true,
+		Persist:          cfg.Mode,
+		Seed:             seed,
+		Replicas:         cfg.Replicas,
+		DisableChecksums: cfg.DisableChecksums,
 	})
 	if err != nil {
 		return nil, err
@@ -219,13 +246,88 @@ func newReshardFuzzer(cfg ReshardConfig, seed uint64) (*reshardFuzzer, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &reshardFuzzer{
-		cfg:   cfg,
-		rng:   rand.New(rand.NewSource(int64(seed))),
-		c:     c,
-		fleet: fleet,
-	}, nil
+	f := &reshardFuzzer{cfg: cfg, rng: rng, res: res, c: c, fleet: fleet}
+	f.registerOracles()
+	return f, nil
 }
+
+// registerOracles wires the reshard invariant set in its legacy check
+// order: whole-ring convergence, migration settlement, cut digests, release
+// coverage, acknowledgement justification, sole ownership, client FIFO,
+// duplicate acks.
+func (f *reshardFuzzer) registerOracles() {
+	f.oracles = faultplane.NewRegistry()
+	f.oracles.Register("ring-convergence", func() error {
+		if f.wantForward {
+			if err := checkRing(f.c, f.newV, f.newMembers); err != nil {
+				return fmt.Errorf("post-announce crash did not roll forward: %w", err)
+			}
+			return nil
+		}
+		if err := checkRing(f.c, f.oldV, f.oldMembers); err != nil {
+			return fmt.Errorf("pre-announce crash did not roll back whole: %w", err)
+		}
+		return nil
+	})
+	f.oracles.Register("migration-settled", func() error {
+		if f.c.MigrationInFlight() {
+			return fmt.Errorf("migration still in flight after recovery")
+		}
+		return nil
+	})
+	f.oracles.Register("cut-verified", func() error {
+		return f.c.VerifyCut(f.c.Coord.Newest())
+	})
+	f.oracles.Register("released-covered", f.c.ReleasedCovered)
+	f.oracles.Register("extsync-justified", func() error {
+		bad, err := f.fleet.CheckJustified()
+		if err != nil {
+			return err
+		}
+		if len(bad) > 0 {
+			return fmt.Errorf("released-but-uncovered response: %s", bad[0])
+		}
+		return nil
+	})
+	f.oracles.Register("sole-owner", func() error {
+		twoOwner, err := f.fleet.CheckSoleOwner()
+		if err != nil {
+			return err
+		}
+		if len(twoOwner) > 0 {
+			return fmt.Errorf("two-owner serve: %s", twoOwner[0])
+		}
+		return nil
+	})
+	f.oracles.Register("client-fifo", func() error {
+		if n := len(f.fleet.Violations); n > 0 {
+			return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
+		}
+		return nil
+	})
+	f.oracles.Register("dup-acks", func() error {
+		if f.fleet.DupAcks > 0 {
+			return fmt.Errorf("%d duplicate acknowledgements after recovery", f.fleet.DupAcks)
+		}
+		return nil
+	})
+}
+
+// Oracles returns the reshard domain's registry.
+func (f *reshardFuzzer) Oracles() *faultplane.Registry { return f.oracles }
+
+// AddPreCrash registers a composition hook run at the crash boundary —
+// after the epoch reached its crash class, before the failure is injected.
+func (f *reshardFuzzer) AddPreCrash(fn func() error) { f.preCrash = append(f.preCrash, fn) }
+
+// Now reports simulated time for engine trace instants.
+func (f *reshardFuzzer) Now() simclock.Time { return f.c.Shards[0].M.Now() }
+
+// Cluster exposes the live cluster to composition overlays.
+func (f *reshardFuzzer) Cluster() *cluster.Cluster { return f.c }
+
+// Victims reports the shard indices the last injection crash-restored.
+func (f *reshardFuzzer) Victims() []int { return f.lastVictims }
 
 // stepOnce advances the world by one micro-action, interleaving migration
 // progress with traffic exactly like the scenario harness: a round step if
@@ -282,12 +384,25 @@ func (f *reshardFuzzer) startEpoch() (int, error) {
 	return victim, f.c.StartRemoveShard(victim)
 }
 
+// Round runs one crash-injected epoch. The crash class rotates with the
+// round index so every boundary is exercised; the target rotates against it
+// rng-driven so (class, target) pairs interleave across rounds and seeds.
+// The engine runs the oracle registry — including whole-ring convergence —
+// after the injection.
+func (f *reshardFuzzer) Round(rng *rand.Rand, round int) (bool, error) {
+	class := round % classCount
+	target := f.pickTarget()
+	if err := f.oneEpoch(class, target); err != nil {
+		return false, fmt.Errorf("%s, %s: %w", className(class), reshardTargetName(target), attributeCutDigest(err))
+	}
+	return true, nil
+}
+
 // oneEpoch starts a reshard, drives it to the requested crash class (with
-// rng jitter inside the class window), injects the failure, recovers, and
-// applies the oracle — including whole-ring convergence: a crash before the
-// commit announcement must land back on the old ring, a crash at or after
-// it must land on the new one.
-func (f *reshardFuzzer) oneEpoch(class, target int, res *ReshardResult) error {
+// rng jitter inside the class window), injects the failure, and stashes the
+// convergence obligation for the oracles.
+func (f *reshardFuzzer) oneEpoch(class, target int) error {
+	res := f.res
 	// Recovery can leave a re-driven round in flight; an epoch only opens
 	// on an idle protocol.
 	for step := 0; f.c.CurrentPhase() != cluster.PhaseIdle; step++ {
@@ -347,7 +462,29 @@ func (f *reshardFuzzer) oneEpoch(class, target int, res *ReshardResult) error {
 	}
 	// The convergence obligation is fixed at crash time: announced (or
 	// complete) rolls forward, anything earlier rolls back whole.
-	wantForward := !st.Active || st.Announced
+	f.wantForward = !st.Active || st.Announced
+	f.oldV, f.oldMembers = oldV, oldMembers
+	f.newV, f.newMembers = newV, newMembers
+
+	f.lastVictims = f.lastVictims[:0]
+	src := oldMembers[0]
+	if src == dest && len(oldMembers) > 1 {
+		src = oldMembers[1]
+	}
+	switch target {
+	case reshardTargetPower:
+		for i := range f.c.Shards {
+			f.lastVictims = append(f.lastVictims, i)
+		}
+	case reshardTargetCoord:
+	case reshardTargetSource:
+		f.lastVictims = append(f.lastVictims, src)
+	default:
+		f.lastVictims = append(f.lastVictims, dest)
+	}
+	if err := f.runPreCrash(); err != nil {
+		return err
+	}
 
 	switch target {
 	case reshardTargetPower:
@@ -365,10 +502,6 @@ func (f *reshardFuzzer) oneEpoch(class, target int, res *ReshardResult) error {
 		res.SourceCrashes++
 		// A shard that held keys before the epoch: the first old member
 		// that is not the destination.
-		src := oldMembers[0]
-		if src == dest && len(oldMembers) > 1 {
-			src = oldMembers[1]
-		}
 		if err := f.c.FailShard(src); err != nil {
 			return err
 		}
@@ -381,25 +514,26 @@ func (f *reshardFuzzer) oneEpoch(class, target int, res *ReshardResult) error {
 		f.fleet.ResyncShard(dest)
 	}
 
-	if wantForward {
+	if f.wantForward {
 		res.RolledForward++
-		if err := checkRing(f.c, newV, newMembers); err != nil {
-			return fmt.Errorf("post-announce crash did not roll forward: %w", err)
-		}
 	} else {
 		res.RolledBack++
-		if err := checkRing(f.c, oldV, oldMembers); err != nil {
-			return fmt.Errorf("pre-announce crash did not roll back whole: %w", err)
+	}
+	return nil
+}
+
+func (f *reshardFuzzer) runPreCrash() error {
+	for _, fn := range f.preCrash {
+		if err := fn(); err != nil {
+			return err
 		}
 	}
-	if f.c.MigrationInFlight() {
-		return fmt.Errorf("migration still in flight after recovery")
-	}
-	if err := f.verify(); err != nil {
-		return err
-	}
-	// Let the world breathe between epochs so the next one starts from
-	// settled traffic rather than the recovery's doorstep.
+	return nil
+}
+
+// PostRound lets the world breathe between epochs so the next one starts
+// from settled traffic rather than the recovery's doorstep.
+func (f *reshardFuzzer) PostRound(rng *rand.Rand) error {
 	for i, n := 0, 20+f.rng.Intn(40); i < n; i++ {
 		if err := f.stepOnce(); err != nil {
 			return err
@@ -444,37 +578,6 @@ func checkRing(c *cluster.Cluster, v uint64, members []int) error {
 	return nil
 }
 
-// verify applies the full reshard oracle after a recovery.
-func (f *reshardFuzzer) verify() error {
-	if err := f.c.VerifyCut(f.c.Coord.Newest()); err != nil {
-		return err
-	}
-	if err := f.c.ReleasedCovered(); err != nil {
-		return err
-	}
-	bad, err := f.fleet.CheckJustified()
-	if err != nil {
-		return err
-	}
-	if len(bad) > 0 {
-		return fmt.Errorf("released-but-uncovered response: %s", bad[0])
-	}
-	twoOwner, err := f.fleet.CheckSoleOwner()
-	if err != nil {
-		return err
-	}
-	if len(twoOwner) > 0 {
-		return fmt.Errorf("two-owner serve: %s", twoOwner[0])
-	}
-	if n := len(f.fleet.Violations); n > 0 {
-		return fmt.Errorf("client FIFO violation: %s", f.fleet.Violations[0])
-	}
-	if f.fleet.DupAcks > 0 {
-		return fmt.Errorf("%d duplicate acknowledgements after recovery", f.fleet.DupAcks)
-	}
-	return nil
-}
-
 // ReshardOneShot runs a single parameterized reshard crash injection — the
 // entry point of FuzzReshardEvent. Boot a gated cluster+fleet, run a burst
 // of warm-up traffic, open a scale-out (even seed) or scale-in (odd seed)
@@ -485,7 +588,8 @@ func (f *reshardFuzzer) verify() error {
 func ReshardOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, steps uint16) error {
 	cfg := ReshardConfig{Mode: mode}
 	cfg.fill()
-	f, err := newReshardFuzzer(cfg, seed)
+	var res ReshardResult
+	f, err := newReshardFuzzer(cfg, seed, faultplane.Stream(seed, ""), &res)
 	if err != nil {
 		return fmt.Errorf("boot: %w", err)
 	}
@@ -525,7 +629,9 @@ func ReshardOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, ste
 		return nil
 	}
 	st = f.c.MigrationStatus()
-	wantForward := !st.Active || st.Announced
+	f.wantForward = !st.Active || st.Announced
+	f.oldV, f.oldMembers = oldV, oldMembers
+	f.newV, f.newMembers = newV, newMembers
 	switch int(target) % reshardTargetCount {
 	case reshardTargetPower:
 		if _, err := f.c.PowerFail(); err != nil {
@@ -551,17 +657,6 @@ func ReshardOneShot(mode mem.PersistMode, seed, eventK uint64, target uint8, ste
 		}
 		f.fleet.ResyncShard(dest)
 	}
-	if wantForward {
-		if err := checkRing(f.c, newV, newMembers); err != nil {
-			return fmt.Errorf("post-announce crash did not roll forward: %w", err)
-		}
-	} else {
-		if err := checkRing(f.c, oldV, oldMembers); err != nil {
-			return fmt.Errorf("pre-announce crash did not roll back whole: %w", err)
-		}
-	}
-	if f.c.MigrationInFlight() {
-		return fmt.Errorf("migration still in flight after recovery")
-	}
-	return f.verify()
+	_, err = f.oracles.Check()
+	return err
 }

@@ -1,0 +1,140 @@
+package faultplane
+
+import (
+	"fmt"
+	"math/rand"
+
+	"treesls/internal/simclock"
+)
+
+// An Overlay stacks a second fault domain onto a base domain's world:
+// extra faults placed at the base's crash boundaries and extra oracles
+// appended to the base's registry. The overlay draws from its own labeled
+// stream, so composing it changes nothing about the base's own schedule.
+type Overlay interface {
+	// Name identifies the overlay; the composed domain is named
+	// "base+overlay".
+	Name() string
+	// StreamLabel is the overlay's RNG split label.
+	StreamLabel() string
+	// Bind attaches the overlay to a freshly built base world. Bind
+	// registers the overlay's oracles into base.Oracles() and keeps rng
+	// for its own draws.
+	Bind(base World, seed uint64, rng *rand.Rand) (OverlayWorld, error)
+}
+
+// OverlayWorld is one seed's bound overlay state.
+type OverlayWorld interface {
+	// Finish folds end-of-seed overlay accounting.
+	Finish() error
+}
+
+// PreCrasher is implemented by overlay worlds that inject at the crash
+// boundary: the base world calls it after a round's fault countdown
+// elapsed, immediately before the failure lands and recovery begins — the
+// instant where latent media damage is revealed by recovery.
+type PreCrasher interface {
+	PreCrash() error
+}
+
+// BeforeRounder is implemented by overlay worlds that act at the top of
+// every round, before the base world's choreography.
+type BeforeRounder interface {
+	BeforeRound(round int) error
+}
+
+// Compose stacks overlays onto a base domain. The composed domain builds
+// the base world, binds each overlay to it (wiring PreCrash hooks through
+// the base's PreCrashHooker), and runs the union of oracles after every
+// injected crash.
+func Compose(base Domain, overlays ...Overlay) Domain {
+	return &composedDomain{base: base, overlays: overlays}
+}
+
+type composedDomain struct {
+	base     Domain
+	overlays []Overlay
+}
+
+func (c *composedDomain) Name() string {
+	name := c.base.Name()
+	for _, ov := range c.overlays {
+		name += "+" + ov.Name()
+	}
+	return name
+}
+
+func (c *composedDomain) StreamLabel() string { return c.base.StreamLabel() }
+
+func (c *composedDomain) Build(seed uint64, rng *rand.Rand) (World, error) {
+	bw, err := c.base.Build(seed, rng)
+	if err != nil {
+		return nil, err
+	}
+	cw := &composedWorld{base: bw}
+	for _, ov := range c.overlays {
+		ow, err := ov.Bind(bw, seed, Stream(seed, ov.StreamLabel()))
+		if err != nil {
+			return nil, fmt.Errorf("overlay %s: %w", ov.Name(), err)
+		}
+		if pc, ok := ow.(PreCrasher); ok {
+			hooker, ok := bw.(PreCrashHooker)
+			if !ok {
+				return nil, fmt.Errorf("overlay %s needs pre-crash hooks, domain %s has none", ov.Name(), c.base.Name())
+			}
+			hooker.AddPreCrash(pc.PreCrash)
+		}
+		cw.overlays = append(cw.overlays, ow)
+	}
+	return cw, nil
+}
+
+type composedWorld struct {
+	base     World
+	overlays []OverlayWorld
+}
+
+func (w *composedWorld) Round(rng *rand.Rand, round int) (bool, error) {
+	for _, ow := range w.overlays {
+		if br, ok := ow.(BeforeRounder); ok {
+			if err := br.BeforeRound(round); err != nil {
+				return false, err
+			}
+		}
+	}
+	return w.base.Round(rng, round)
+}
+
+func (w *composedWorld) Oracles() *Registry { return w.base.Oracles() }
+
+func (w *composedWorld) Finish() error {
+	if err := w.base.Finish(); err != nil {
+		return err
+	}
+	for _, ow := range w.overlays {
+		if err := ow.Finish(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *composedWorld) PostRound(rng *rand.Rand) error {
+	if pr, ok := w.base.(PostRounder); ok {
+		return pr.PostRound(rng)
+	}
+	return nil
+}
+
+func (w *composedWorld) Now() simclock.Time {
+	if c, ok := w.base.(Clocked); ok {
+		return c.Now()
+	}
+	return 0
+}
+
+func (w *composedWorld) AddPreCrash(fn func() error) {
+	if h, ok := w.base.(PreCrashHooker); ok {
+		h.AddPreCrash(fn)
+	}
+}

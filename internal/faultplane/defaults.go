@@ -1,0 +1,39 @@
+package faultplane
+
+// CampaignDefaults is the one source of default knobs shared by every
+// fault domain. The legacy silos had silently diverged (the crash campaign
+// attempted 50 injections per seed, the net campaign drew countdowns from
+// a 64-event window — both for no documented reason); domains now take
+// these values and override only where a test justifies the departure in a
+// comment next to the override.
+type CampaignDefaults struct {
+	// RoundsPerSeed is how many injection rounds each seed attempts.
+	RoundsPerSeed int
+	// EventWindow bounds an armed persistence-event countdown: each
+	// injection fires after 1..EventWindow events.
+	EventWindow int
+	// StepsPerRound bounds the workload micro-steps run while waiting for
+	// an armed countdown to fire.
+	StepsPerRound int
+	// RestoreCrashDenom is the crash-during-restore rate: one restore in
+	// RestoreCrashDenom runs under its own armed countdown, proving
+	// recovery is restartable.
+	RestoreCrashDenom int
+	// RestoreEventWindow bounds the countdown armed over a restore. It is
+	// shorter than EventWindow because a restore performs far fewer
+	// persistence events than a full workload window; the value is pinned
+	// by the migration goldens (the media domain has always used 64).
+	RestoreEventWindow int
+}
+
+// Defaults are the shared campaign defaults. Changing any value changes
+// every domain that does not override it — the migration goldens pass
+// every knob explicitly, so they stay green, but campaign-scale tests will
+// see different schedules.
+var Defaults = CampaignDefaults{
+	RoundsPerSeed:      40,
+	EventWindow:        96,
+	StepsPerRound:      400,
+	RestoreCrashDenom:  4,
+	RestoreEventWindow: 64,
+}

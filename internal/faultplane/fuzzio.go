@@ -1,0 +1,256 @@
+package faultplane
+
+// fuzzio is the shared fuzz-input codec: one Input struct spans the
+// parameter spaces of all six native fuzz targets, one positional schema
+// per domain maps a target's legacy argument list onto it, and a parser
+// for Go's "go test fuzz v1" corpus format lets regression tests replay
+// every checked-in corpus entry through the same decoder the fuzz targets
+// use. The six hand-rolled *OneShot argument decoders collapse into this
+// file.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"treesls/internal/mem"
+)
+
+// Input is the decoded parameter space of one fuzz injection, superset of
+// all domains. Unused fields are zero for domains whose schema omits them.
+type Input struct {
+	// Domain names the fault domain ("crash", "net", "media", "repl",
+	// "cluster", "reshard").
+	Domain string
+	// ADR selects the relaxed-persistency model (eADR otherwise).
+	ADR bool
+	// Seed is the workload/damage seed.
+	Seed uint64
+	// EventK is the armed persistence/cluster-event countdown.
+	EventK uint64
+	// Steps is the workload step budget.
+	Steps uint16
+	// Target is the crash target (cluster/reshard domains).
+	Target uint8
+	// Variant selects the checkpoint copy variant (repl domain).
+	Variant uint8
+	// Flag is the domain's boolean knob: serial walk (crash) or
+	// crash-during-restore (media).
+	Flag bool
+	// Aux and Aux2 are the media domain's injection and crash-fault
+	// budgets.
+	Aux, Aux2 uint64
+}
+
+// Mode returns the persistence model the input selects.
+func (in Input) Mode() mem.PersistMode {
+	if in.ADR {
+		return mem.ModeADR
+	}
+	return mem.ModeEADR
+}
+
+// A FieldKind is the Go type of one positional fuzz argument.
+type FieldKind int
+
+const (
+	KindBool FieldKind = iota
+	KindU8
+	KindU16
+	KindU64
+)
+
+// Field is one positional argument of a domain's fuzz target: its Input
+// field name and wire type.
+type Field struct {
+	Name string
+	Kind FieldKind
+}
+
+// Schemas maps each domain to its fuzz target's positional argument list.
+// The orders are frozen: they are the signatures of the legacy Fuzz*
+// targets, and every checked-in corpus file encodes them positionally.
+var Schemas = map[string][]Field{
+	"crash":   {{"adr", KindBool}, {"seed", KindU64}, {"eventK", KindU64}, {"steps", KindU16}, {"flag", KindBool}},
+	"net":     {{"adr", KindBool}, {"seed", KindU64}, {"eventK", KindU64}, {"steps", KindU16}},
+	"media":   {{"adr", KindBool}, {"seed", KindU64}, {"aux", KindU64}, {"aux2", KindU64}, {"flag", KindBool}},
+	"repl":    {{"adr", KindBool}, {"variant", KindU8}, {"seed", KindU64}, {"eventK", KindU64}, {"steps", KindU16}},
+	"cluster": {{"adr", KindBool}, {"seed", KindU64}, {"eventK", KindU64}, {"target", KindU8}, {"steps", KindU16}},
+	"reshard": {{"adr", KindBool}, {"seed", KindU64}, {"eventK", KindU64}, {"target", KindU8}, {"steps", KindU16}},
+}
+
+// Decode maps a positional value list (as produced by a fuzz target's
+// arguments or ParseCorpus) onto an Input using the domain's schema.
+func Decode(domain string, vals []interface{}) (Input, error) {
+	schema, ok := Schemas[domain]
+	if !ok {
+		return Input{}, fmt.Errorf("fuzzio: unknown domain %q", domain)
+	}
+	if len(vals) != len(schema) {
+		return Input{}, fmt.Errorf("fuzzio: %s wants %d values, got %d", domain, len(schema), len(vals))
+	}
+	in := Input{Domain: domain}
+	for i, f := range schema {
+		if err := in.set(f, vals[i]); err != nil {
+			return Input{}, fmt.Errorf("fuzzio: %s arg %d (%s): %w", domain, i, f.Name, err)
+		}
+	}
+	return in, nil
+}
+
+func (in *Input) set(f Field, v interface{}) error {
+	switch f.Kind {
+	case KindBool:
+		b, ok := v.(bool)
+		if !ok {
+			return fmt.Errorf("want bool, got %T", v)
+		}
+		switch f.Name {
+		case "adr":
+			in.ADR = b
+		default:
+			in.Flag = b
+		}
+	case KindU8:
+		u, ok := v.(uint8)
+		if !ok {
+			return fmt.Errorf("want uint8, got %T", v)
+		}
+		switch f.Name {
+		case "target":
+			in.Target = u
+		default:
+			in.Variant = u
+		}
+	case KindU16:
+		u, ok := v.(uint16)
+		if !ok {
+			return fmt.Errorf("want uint16, got %T", v)
+		}
+		in.Steps = u
+	case KindU64:
+		u, ok := v.(uint64)
+		if !ok {
+			return fmt.Errorf("want uint64, got %T", v)
+		}
+		switch f.Name {
+		case "seed":
+			in.Seed = u
+		case "eventK":
+			in.EventK = u
+		case "aux":
+			in.Aux = u
+		default:
+			in.Aux2 = u
+		}
+	}
+	return nil
+}
+
+// Encode is Decode's inverse: the domain's positional value list for in.
+// Round-tripping through Encode/Decode is the codec's regression contract.
+func Encode(in Input) ([]interface{}, error) {
+	schema, ok := Schemas[in.Domain]
+	if !ok {
+		return nil, fmt.Errorf("fuzzio: unknown domain %q", in.Domain)
+	}
+	out := make([]interface{}, len(schema))
+	for i, f := range schema {
+		switch f.Name {
+		case "adr":
+			out[i] = in.ADR
+		case "flag":
+			out[i] = in.Flag
+		case "seed":
+			out[i] = in.Seed
+		case "eventK":
+			out[i] = in.EventK
+		case "steps":
+			out[i] = in.Steps
+		case "target":
+			out[i] = in.Target
+		case "variant":
+			out[i] = in.Variant
+		case "aux":
+			out[i] = in.Aux
+		case "aux2":
+			out[i] = in.Aux2
+		}
+	}
+	return out, nil
+}
+
+// ParseCorpus parses a "go test fuzz v1" corpus file into its positional
+// value list. Only the types the campaign targets use — bool, uint8,
+// uint16, uint64 — are accepted; anything else is a corpus format error.
+func ParseCorpus(data []byte) ([]interface{}, error) {
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != "go test fuzz v1" {
+		return nil, fmt.Errorf("fuzzio: not a go test fuzz v1 corpus file")
+	}
+	var vals []interface{}
+	for _, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		v, err := parseCorpusValue(line)
+		if err != nil {
+			return nil, err
+		}
+		vals = append(vals, v)
+	}
+	return vals, nil
+}
+
+func parseCorpusValue(line string) (interface{}, error) {
+	switch line {
+	case "true":
+		return true, nil
+	case "false":
+		return false, nil
+	}
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return nil, fmt.Errorf("fuzzio: unparseable corpus value %q", line)
+	}
+	typ, lit := line[:open], line[open+1:len(line)-1]
+	bits := 64
+	switch typ {
+	case "bool":
+		switch lit {
+		case "true":
+			return true, nil
+		case "false":
+			return false, nil
+		}
+		return nil, fmt.Errorf("fuzzio: bad bool literal %q", lit)
+	case "uint8", "byte":
+		// Go's corpus writer encodes bytes as rune literals: byte('\x01').
+		if strings.HasPrefix(lit, "'") && strings.HasSuffix(lit, "'") && len(lit) >= 3 {
+			r, _, tail, err := strconv.UnquoteChar(lit[1:len(lit)-1], '\'')
+			if err != nil || tail != "" || r > 0xff {
+				return nil, fmt.Errorf("fuzzio: bad byte literal %q", lit)
+			}
+			return uint8(r), nil
+		}
+		bits = 8
+	case "uint16":
+		bits = 16
+	case "uint64", "uint":
+	default:
+		return nil, fmt.Errorf("fuzzio: unsupported corpus type %q", typ)
+	}
+	u, err := strconv.ParseUint(lit, 0, bits)
+	if err != nil {
+		return nil, fmt.Errorf("fuzzio: bad %s literal %q: %w", typ, lit, err)
+	}
+	switch bits {
+	case 8:
+		return uint8(u), nil
+	case 16:
+		return uint16(u), nil
+	default:
+		return u, nil
+	}
+}

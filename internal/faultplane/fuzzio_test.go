@@ -1,0 +1,142 @@
+package faultplane
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDecodeEncodeRoundTripAllSchemas(t *testing.T) {
+	cases := map[string][]interface{}{
+		"crash":   {true, uint64(3), uint64(17), uint16(200), false},
+		"net":     {false, uint64(9), uint64(5), uint16(64)},
+		"media":   {true, uint64(11), uint64(6), uint64(2), true},
+		"repl":    {false, uint8(2), uint64(4), uint64(30), uint16(25)},
+		"cluster": {true, uint64(8), uint64(12), uint8(1), uint16(500)},
+		"reshard": {false, uint64(6), uint64(40), uint8(3), uint16(900)},
+	}
+	for domain, vals := range cases {
+		in, err := Decode(domain, vals)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", domain, err)
+		}
+		if in.Domain != domain {
+			t.Fatalf("%s: Domain = %q", domain, in.Domain)
+		}
+		enc, err := Encode(in)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", domain, err)
+		}
+		if !reflect.DeepEqual(enc, vals) {
+			t.Fatalf("%s: round trip\n got %#v\nwant %#v", domain, enc, vals)
+		}
+	}
+}
+
+func TestDecodeFieldMapping(t *testing.T) {
+	in, err := Decode("crash", []interface{}{true, uint64(3), uint64(17), uint16(200), true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.ADR || in.Seed != 3 || in.EventK != 17 || in.Steps != 200 || !in.Flag {
+		t.Fatalf("crash mapping %+v", in)
+	}
+	in, err = Decode("media", []interface{}{false, uint64(11), uint64(6), uint64(2), true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Aux != 6 || in.Aux2 != 2 || !in.Flag || in.ADR {
+		t.Fatalf("media mapping %+v", in)
+	}
+	in, err = Decode("repl", []interface{}{false, uint8(2), uint64(4), uint64(30), uint16(25)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Variant != 2 || in.Seed != 4 || in.EventK != 30 || in.Steps != 25 {
+		t.Fatalf("repl mapping %+v", in)
+	}
+	in, err = Decode("cluster", []interface{}{true, uint64(8), uint64(12), uint8(1), uint16(500)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Target != 1 || in.Variant != 0 {
+		t.Fatalf("cluster mapping %+v", in)
+	}
+}
+
+func TestInputMode(t *testing.T) {
+	if (Input{ADR: true}).Mode() == (Input{ADR: false}).Mode() {
+		t.Fatal("ADR and eADR map to the same mode")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name   string
+		domain string
+		vals   []interface{}
+		want   string
+	}{
+		{"unknown domain", "tape", []interface{}{true}, `unknown domain "tape"`},
+		{"wrong count", "net", []interface{}{true, uint64(1)}, "wants 4 values, got 2"},
+		{"wrong bool type", "crash", []interface{}{1, uint64(1), uint64(1), uint16(1), false}, "want bool, got int"},
+		{"wrong u64 type", "crash", []interface{}{true, int64(1), uint64(1), uint16(1), false}, "want uint64, got int64"},
+		{"wrong u16 type", "net", []interface{}{true, uint64(1), uint64(1), uint64(1)}, "want uint16, got uint64"},
+		{"wrong u8 type", "repl", []interface{}{true, uint16(1), uint64(1), uint64(1), uint16(1)}, "want uint8, got uint16"},
+	}
+	for _, tc := range cases {
+		_, err := Decode(tc.domain, tc.vals)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want %q", tc.name, err, tc.want)
+		}
+	}
+	if _, err := Encode(Input{Domain: "tape"}); err == nil {
+		t.Error("Encode of unknown domain must fail")
+	}
+}
+
+func TestParseCorpus(t *testing.T) {
+	data := []byte("go test fuzz v1\nbool(true)\nuint64(3)\nuint64(17)\nuint16(200)\nfalse\n")
+	vals, err := ParseCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []interface{}{true, uint64(3), uint64(17), uint16(200), false}
+	if !reflect.DeepEqual(vals, want) {
+		t.Fatalf("parsed %#v, want %#v", vals, want)
+	}
+	// Byte rune literals, hex integers, bare bools, and uint aliases.
+	data = []byte("go test fuzz v1\nbyte('\\x01')\nuint8(7)\nuint(0x10)\ntrue\nbool(false)\n")
+	vals, err = ParseCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = []interface{}{uint8(1), uint8(7), uint64(16), true, false}
+	if !reflect.DeepEqual(vals, want) {
+		t.Fatalf("parsed %#v, want %#v", vals, want)
+	}
+}
+
+func TestParseCorpusErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"bad header", "not a corpus\nuint64(1)\n", "not a go test fuzz v1"},
+		{"empty", "", "not a go test fuzz v1"},
+		{"unparseable", "go test fuzz v1\nwhatever\n", "unparseable corpus value"},
+		{"unsupported type", "go test fuzz v1\nint64(-1)\n", `unsupported corpus type "int64"`},
+		{"bad bool literal", "go test fuzz v1\nbool(maybe)\n", "bad bool literal"},
+		{"bad byte literal", "go test fuzz v1\nbyte('ab')\n", "bad byte literal"},
+		{"overflow u8", "go test fuzz v1\nuint8(300)\n", "bad uint8 literal"},
+		{"overflow u16", "go test fuzz v1\nuint16(70000)\n", "bad uint16 literal"},
+		{"garbage u64", "go test fuzz v1\nuint64(xyz)\n", "bad uint64 literal"},
+	}
+	for _, tc := range cases {
+		_, err := ParseCorpus([]byte(tc.data))
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %v, want %q", tc.name, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package faultplane
+
+import "fmt"
+
+// An Oracle is one named post-crash invariant. Oracles may mutate harness
+// state (model resync is part of verification for several domains), so the
+// registry runs them in registration order, exactly once per injected
+// crash, and stops at the first failure.
+type Oracle struct {
+	Name  string
+	Check func() error
+}
+
+// Conviction is the error a failing oracle produces: the named invariant
+// was violated by an injected fault. Campaign tests unwrap it to assert
+// WHICH oracle convicted an ablated baseline.
+type Conviction struct {
+	Oracle string
+	Err    error
+}
+
+func (c *Conviction) Error() string {
+	return fmt.Sprintf("oracle %s: %v", c.Oracle, c.Err)
+}
+
+func (c *Conviction) Unwrap() error { return c.Err }
+
+// Registry is an ordered set of oracles. A domain registers its invariants
+// once at world build time; the engine runs the whole set after every
+// injected crash. Composition appends overlay oracles to the same registry,
+// so cross-domain campaigns check the union uniformly.
+type Registry struct {
+	oracles []Oracle
+}
+
+// NewRegistry returns an empty oracle registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Register appends a named oracle. Order is significant: oracles run in
+// registration order and earlier oracles may resynchronize state later
+// ones depend on.
+func (r *Registry) Register(name string, check func() error) {
+	r.oracles = append(r.oracles, Oracle{Name: name, Check: check})
+}
+
+// Names lists the registered oracle names in run order.
+func (r *Registry) Names() []string {
+	out := make([]string, len(r.oracles))
+	for i, o := range r.oracles {
+		out[i] = o.Name
+	}
+	return out
+}
+
+// Len returns the number of registered oracles.
+func (r *Registry) Len() int { return len(r.oracles) }
+
+// Check runs every oracle in order, returning how many ran and the first
+// failure (as a *Conviction) if any.
+func (r *Registry) Check() (ran int, err error) {
+	for _, o := range r.oracles {
+		ran++
+		if cerr := o.Check(); cerr != nil {
+			return ran, &Conviction{Oracle: o.Name, Err: cerr}
+		}
+	}
+	return ran, nil
+}
+
+// CheckAll runs every oracle in order regardless of failures, returning how
+// many ran and every conviction produced. Campaign engines stop at the
+// first conviction (Check) because a convicted world is already lost;
+// scenario harnesses instead record the complete verdict of each scripted
+// crash and let the script decide which convictions are fatal.
+func (r *Registry) CheckAll() (ran int, convictions []*Conviction) {
+	for _, o := range r.oracles {
+		ran++
+		if cerr := o.Check(); cerr != nil {
+			convictions = append(convictions, &Conviction{Oracle: o.Name, Err: cerr})
+		}
+	}
+	return ran, convictions
+}

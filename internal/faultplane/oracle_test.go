@@ -1,0 +1,106 @@
+package faultplane
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestRegistryOrdering(t *testing.T) {
+	// Oracles run in registration order: earlier oracles may resynchronize
+	// state later ones depend on, so the order is part of the contract.
+	var order []string
+	r := NewRegistry()
+	for _, name := range []string{"audit", "lineage", "shadow"} {
+		name := name
+		r.Register(name, func() error {
+			order = append(order, name)
+			return nil
+		})
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len %d", r.Len())
+	}
+	want := []string{"audit", "lineage", "shadow"}
+	names := r.Names()
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names %v, want %v", names, want)
+		}
+	}
+	ran, err := r.Check()
+	if err != nil || ran != 3 {
+		t.Fatalf("Check ran=%d err=%v", ran, err)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("run order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestRegistryFirstFailureWins(t *testing.T) {
+	boom := errors.New("page digest mismatch")
+	r := NewRegistry()
+	r.Register("ok", func() error { return nil })
+	r.Register("fails", func() error { return boom })
+	r.Register("after", func() error {
+		t.Fatal("oracle after the first failure must not run")
+		return nil
+	})
+	ran, err := r.Check()
+	if ran != 2 {
+		t.Fatalf("ran %d, want 2 (stop at first failure)", ran)
+	}
+	var conv *Conviction
+	if !errors.As(err, &conv) {
+		t.Fatalf("error %v is not a *Conviction", err)
+	}
+	if conv.Oracle != "fails" {
+		t.Fatalf("convicting oracle %q", conv.Oracle)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatal("Conviction must unwrap to the oracle's error")
+	}
+	if got := conv.Error(); got != "oracle fails: page digest mismatch" {
+		t.Fatalf("Error() = %q", got)
+	}
+}
+
+func TestRegistryCheckAllCollects(t *testing.T) {
+	// CheckAll is the scenario harnesses' collect mode: every oracle runs
+	// even after a failure, and every conviction comes back.
+	first := errors.New("unjustified response")
+	second := errors.New("digest mismatch")
+	var afterRan bool
+	r := NewRegistry()
+	r.Register("fails-first", func() error { return first })
+	r.Register("ok", func() error { afterRan = true; return nil })
+	r.Register("fails-second", func() error { return second })
+	ran, convs := r.CheckAll()
+	if ran != 3 {
+		t.Fatalf("ran %d, want 3 (collect mode never stops early)", ran)
+	}
+	if !afterRan {
+		t.Fatal("oracle after a failure must still run in collect mode")
+	}
+	if len(convs) != 2 {
+		t.Fatalf("%d convictions, want 2", len(convs))
+	}
+	if convs[0].Oracle != "fails-first" || !errors.Is(convs[0], first) {
+		t.Fatalf("conviction[0] = %v", convs[0])
+	}
+	if convs[1].Oracle != "fails-second" || !errors.Is(convs[1], second) {
+		t.Fatalf("conviction[1] = %v", convs[1])
+	}
+}
+
+func TestRegistryEmpty(t *testing.T) {
+	r := NewRegistry()
+	ran, err := r.Check()
+	if ran != 0 || err != nil {
+		t.Fatalf("empty registry: ran=%d err=%v", ran, err)
+	}
+	if len(r.Names()) != 0 || r.Len() != 0 {
+		t.Fatal("empty registry reports oracles")
+	}
+}

@@ -1,0 +1,31 @@
+package faultplane
+
+import "math/rand"
+
+// SplitSeed derives a labeled child seed from a campaign seed. The label's
+// ASCII bytes (at most eight) are packed big-endian into a 64-bit word and
+// XORed into the seed, so distinct labels give decorrelated streams while
+// the empty label is the identity — the campaign's root stream.
+//
+// The packing is pinned by history: the media campaign has always drawn
+// from seed ^ 0x6d65646961, which is exactly SplitSeed(seed, "media").
+// Changing this function changes every campaign's injection schedule and
+// fails the migration goldens.
+func SplitSeed(seed uint64, label string) uint64 {
+	if len(label) > 8 {
+		label = label[:8]
+	}
+	var v uint64
+	for i := 0; i < len(label); i++ {
+		v = v<<8 | uint64(label[i])
+	}
+	return seed ^ v
+}
+
+// Stream returns the deterministic RNG stream for (seed, label). Every
+// domain draws all of its randomness — countdowns, workload choices,
+// jitter — from exactly one stream, so a campaign replays bit-identically
+// from its seed list alone.
+func Stream(seed uint64, label string) *rand.Rand {
+	return rand.New(rand.NewSource(int64(SplitSeed(seed, label))))
+}

@@ -1,0 +1,37 @@
+package faultplane
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+)
+
+// CampaignStatsEnv names the environment variable that, when set to a file
+// path, makes every engine campaign append its Stats as one JSON line.
+// The CI campaign matrix sets it and uploads the file as the
+// campaign-stats.json artifact, so fault-space coverage — injections,
+// comparisons, convictions per domain — is auditable per run.
+const CampaignStatsEnv = "CAMPAIGN_STATS"
+
+var statsMu sync.Mutex
+
+// emitStats appends st to $CAMPAIGN_STATS if set. Emission is best-effort:
+// a stats write must never fail a campaign.
+func emitStats(st *Stats) {
+	path := os.Getenv(CampaignStatsEnv)
+	if path == "" {
+		return
+	}
+	line, err := json.Marshal(st)
+	if err != nil {
+		return
+	}
+	statsMu.Lock()
+	defer statsMu.Unlock()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_, _ = f.Write(append(line, '\n'))
+}

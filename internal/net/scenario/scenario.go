@@ -16,6 +16,7 @@ import (
 	"hash/fnv"
 
 	"treesls/internal/apps/kvstore"
+	"treesls/internal/faultplane"
 	"treesls/internal/kernel"
 	"treesls/internal/net"
 	"treesls/internal/simclock"
@@ -161,6 +162,26 @@ func Run(sc Script) (Result, error) {
 		logf("ack %d %d %d\n", conn, req, recv)
 	}
 
+	// Post-crash invariants live in the shared fault-plane oracle registry —
+	// the same mechanism (and oracle name) the crashfuzz campaigns use — run
+	// in collect mode: a conviction is recorded on the Result, a mechanism
+	// failure aborts the script.
+	var bad []string
+	var mech error
+	oracles := faultplane.NewRegistry()
+	oracles.Register("extsync-justified", func() error {
+		b, err := fleet.CheckJustified()
+		if err != nil {
+			mech = err
+			return err
+		}
+		bad = b
+		if len(b) > 0 {
+			return fmt.Errorf("%d released-but-unjustified responses", len(b))
+		}
+		return nil
+	})
+
 	var res Result
 	next := 0
 	limit := sc.Clients*sc.Requests*256 + 65536
@@ -176,9 +197,10 @@ func Run(sc Script) (Result, error) {
 				return res, fmt.Errorf("scenario %s: restore after crash %d: %w", sc.Name, next, err)
 			}
 			fleet.ResyncAfterRestore()
-			bad, err := fleet.CheckJustified()
-			if err != nil {
-				return res, fmt.Errorf("scenario %s: justification check: %w", sc.Name, err)
+			bad, mech = nil, nil
+			oracles.CheckAll()
+			if mech != nil {
+				return res, fmt.Errorf("scenario %s: justification check: %w", sc.Name, mech)
 			}
 			for _, b := range bad {
 				res.Unjustified = append(res.Unjustified, fmt.Sprintf("crash %d: %s", next, b))
